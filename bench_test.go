@@ -1,0 +1,177 @@
+// Benchmarks regenerating the paper's evaluation under testing.B:
+//
+//   - BenchmarkCompile/*            — Figure 1 inputs: compile time of each
+//     benchmark in baseline / warnings / warnings+codegen mode; the
+//     overhead percentages derive from the mode ratios.
+//   - BenchmarkAnalysisOnly/*       — the three verification phases alone.
+//   - BenchmarkRuntime/*            — the runtime-overhead experiment:
+//     uninstrumented vs selectively instrumented vs fully instrumented
+//     (raw PDF+) execution of the correct benchmarks.
+//   - BenchmarkDetection/*          — time to a verified abort on the
+//     seeded micro error corpus (the "stops as soon as unavoidable" claim).
+//   - BenchmarkAblationTaint        — the interprocedural rank-dependence
+//     refinement's cost (analysis with and without the filter).
+package parcoach_test
+
+import (
+	"testing"
+
+	"parcoach"
+	"parcoach/internal/core"
+	"parcoach/internal/interp"
+	"parcoach/internal/omp"
+	"parcoach/internal/parser"
+	"parcoach/internal/workload"
+)
+
+// benchSet holds the Figure 1 benchmarks at the paper-like scale B for
+// compile measurements and at scale S for execution measurements (runtime
+// benches execute the full program per iteration).
+var (
+	compileSet = workload.Figure1Set(workload.ScaleB)
+	runtimeSet = workload.Figure1Set(workload.ScaleS)
+)
+
+func BenchmarkCompile(b *testing.B) {
+	modes := []struct {
+		name string
+		mode parcoach.Mode
+	}{
+		{"baseline", parcoach.ModeBaseline},
+		{"warnings", parcoach.ModeAnalyze},
+		{"full", parcoach.ModeFull},
+	}
+	for _, w := range compileSet {
+		for _, m := range modes {
+			b.Run(w.Name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := parcoach.Compile(w.Name, w.Source, parcoach.Options{Mode: m.mode}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAnalysisOnly(b *testing.B) {
+	for _, w := range compileSet {
+		prog, err := parser.Parse(w.Name, w.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Analyze(prog, core.Options{})
+			}
+		})
+	}
+}
+
+func BenchmarkRuntime(b *testing.B) {
+	for _, w := range runtimeSet {
+		sel, err := parcoach.Compile(w.Name, w.Source, parcoach.Options{Mode: parcoach.ModeFull})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := parcoach.Compile(w.Name, w.Source, parcoach.Options{Mode: parcoach.ModeFull, RawPDF: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, p *parcoach.Program, instrumented bool) {
+			for i := 0; i < b.N; i++ {
+				var res *parcoach.RunResult
+				if instrumented {
+					res = p.Run(parcoach.RunOptions{Procs: 2, Threads: 2})
+				} else {
+					res = p.RunUninstrumented(parcoach.RunOptions{Procs: 2, Threads: 2})
+				}
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.Run(w.Name+"/plain", func(b *testing.B) { run(b, sel, false) })
+		b.Run(w.Name+"/selective", func(b *testing.B) { run(b, sel, true) })
+		b.Run(w.Name+"/full-instr", func(b *testing.B) { run(b, full, true) })
+	}
+}
+
+func BenchmarkDetection(b *testing.B) {
+	for _, bug := range workload.AllBugs {
+		w := workload.Micro(bug)
+		p, err := parcoach.Compile(w.Name, w.Source, parcoach.Options{Mode: parcoach.ModeFull})
+		if err != nil {
+			b.Fatal(err)
+		}
+		procs := 2
+		if bug == workload.BugConcurrentSingles || bug == workload.BugSectionsCollectives {
+			procs = 1
+		}
+		b.Run(bug.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := p.Run(parcoach.RunOptions{Procs: procs, Threads: 2, Policy: omp.RoundRobin})
+				if res.Err == nil {
+					b.Fatal("seeded bug not detected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTaint(b *testing.B) {
+	w := workload.HERA(workload.ScaleB, workload.BugNone)
+	prog, err := parser.Parse(w.Name, w.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("refined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Analyze(prog, core.Options{})
+		}
+	})
+	b.Run("raw-pdf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Analyze(prog, core.Options{RawPDF: true})
+		}
+	})
+}
+
+// BenchmarkInterpreter pins the simulated-runtime cost itself: a hybrid
+// step loop at varying thread counts.
+func BenchmarkInterpreter(b *testing.B) {
+	src := `
+func main() {
+	MPI_Init()
+	var x = rank()
+	for step = 0 .. 10 {
+		parallel {
+			pfor i = 0 .. 64 {
+				atomic x += 1
+			}
+			single {
+				MPI_Allreduce(x, x, sum)
+			}
+		}
+	}
+	MPI_Finalize()
+}`
+	prog, err := parser.Parse("interp.mh", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(benchName("threads", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := interp.Run(prog, interp.Options{Procs: 2, Threads: threads})
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,84 @@
+// Command figures regenerates the paper's experimental tables:
+//
+//	-fig1        Figure 1 — compile-time overhead (warnings / +codegen)
+//	-warnings    warning inventory per benchmark and seeded bug class
+//	-detect      error-detection matrix on the micro corpus
+//	-overhead    runtime overhead of the selective instrumentation
+//	-ablation    phase timings and the rank-dependence refinement
+//	-all         everything above
+//
+//	-scale S|A|B benchmark scale (default B, the paper-like size)
+//	-iters N     measurement repetitions (default 10)
+//	-np N        processes for runtime experiments (default 2)
+//	-threads N   team size for runtime experiments (default 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcoach/internal/report"
+	"parcoach/internal/workload"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "reproduce Figure 1")
+	warns := flag.Bool("warnings", false, "warning inventory")
+	detect := flag.Bool("detect", false, "detection matrix")
+	overhead := flag.Bool("overhead", false, "runtime overhead")
+	ablation := flag.Bool("ablation", false, "ablation tables")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.String("scale", "B", "benchmark scale: S, A or B")
+	iters := flag.Int("iters", 10, "measurement repetitions")
+	np := flag.Int("np", 2, "processes for runtime experiments")
+	threads := flag.Int("threads", 2, "team size for runtime experiments")
+	flag.Parse()
+
+	var sc workload.Scale
+	switch *scale {
+	case "S":
+		sc = workload.ScaleS
+	case "A":
+		sc = workload.ScaleA
+	case "B":
+		sc = workload.ScaleB
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *all {
+		*fig1, *warns, *detect, *overhead, *ablation = true, true, true, true, true
+	}
+	if !*fig1 && !*warns && !*detect && !*overhead && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	show := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *fig1 {
+		show("fig1", func() (string, error) { return report.Figure1(sc, *iters) })
+	}
+	if *warns {
+		show("warnings", func() (string, error) { return report.WarningInventory(sc) })
+	}
+	if *detect {
+		show("detect", report.DetectionMatrix)
+	}
+	if *overhead {
+		show("overhead", func() (string, error) {
+			return report.RuntimeOverhead(sc, *np, *threads, *iters)
+		})
+	}
+	if *ablation {
+		show("ablation", func() (string, error) { return report.Ablation(sc, *iters) })
+	}
+}

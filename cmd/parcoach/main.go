@@ -1,0 +1,127 @@
+// Command parcoach is the static-analysis front end: it compiles a
+// MiniHybrid source file, prints the compile-time verification warnings
+// (with collective names and source lines, as the paper requires), and can
+// dump the CFG, the parallelism-word analysis artifacts, the instrumented
+// source and the lowered IR.
+//
+// Usage:
+//
+//	parcoach [flags] file.mh
+//
+//	-initial multithreaded   assume main may start inside a parallel region
+//	-raw-pdf                 disable the rank-dependence refinement (ablation)
+//	-mode baseline|analyze|full
+//	-dot func                write the function's CFG in Graphviz DOT to stdout
+//	-ir func                 dump the function's lowered IR
+//	-dump-instrumented       print the instrumented program
+//	-summary                 print per-function analysis summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcoach"
+	"parcoach/internal/ast"
+	"parcoach/internal/cfg"
+)
+
+func main() {
+	initial := flag.String("initial", "monothreaded", "initial context: monothreaded or multithreaded")
+	rawPDF := flag.Bool("raw-pdf", false, "disable the rank-dependence refinement of phase 3")
+	mode := flag.String("mode", "full", "compilation mode: baseline, analyze or full")
+	dotFunc := flag.String("dot", "", "dump the CFG of the named function as DOT")
+	irFunc := flag.String("ir", "", "dump the lowered IR of the named function")
+	dumpInst := flag.Bool("dump-instrumented", false, "print the instrumented program")
+	summary := flag.Bool("summary", false, "print per-function analysis summary")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: parcoach [flags] file.mh")
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := parcoach.Options{Mode: parcoach.ModeFull, RawPDF: *rawPDF}
+	switch *mode {
+	case "baseline":
+		opts.Mode = parcoach.ModeBaseline
+	case "analyze":
+		opts.Mode = parcoach.ModeAnalyze
+	case "full":
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *initial {
+	case "monothreaded":
+	case "multithreaded":
+		opts.Initial = parcoach.ContextMultithreaded
+	default:
+		fatal(fmt.Errorf("unknown initial context %q", *initial))
+	}
+
+	prog, err := parcoach.Compile(file, string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, d := range prog.Diagnostics() {
+		fmt.Println(d)
+	}
+
+	if *summary && prog.Analysis != nil {
+		fmt.Printf("\nfunctions: %d, statements: %d, cfg nodes: %d, required level: %s\n",
+			prog.Stats.Functions, prog.Stats.Statements, prog.Stats.CFGNodes, prog.Analysis.RequiredLevel)
+		for _, f := range prog.Source.Funcs {
+			fa := prog.Analysis.Funcs[f.Name]
+			if fa == nil {
+				continue
+			}
+			fmt.Printf("  %-24s multithreaded-entry=%-5v S=%d Sipw=%d Scc=%d cc=%v\n",
+				f.Name, fa.Multithreaded, len(fa.MultithreadedColls), len(fa.Sipw), len(fa.Scc), fa.NeedsCC)
+		}
+		fmt.Printf("instrumentation: %+v\n", prog.Stats.Checks)
+	}
+
+	if *dotFunc != "" {
+		fn := prog.Source.Func(*dotFunc)
+		if fn == nil {
+			fatal(fmt.Errorf("no function %q", *dotFunc))
+		}
+		cfg.Build(fn).WriteDot(os.Stdout)
+	}
+
+	if *irFunc != "" {
+		ir, ok := prog.IR[*irFunc]
+		if !ok {
+			fatal(fmt.Errorf("no IR for function %q", *irFunc))
+		}
+		fmt.Print(ir.String())
+		if alloc := prog.Allocations[*irFunc]; alloc != nil {
+			fmt.Printf("spills: %d, max live: %d\n", alloc.Spills, alloc.MaxLive)
+		}
+	}
+
+	if *dumpInst {
+		if prog.Instrumented == nil {
+			fmt.Println("// no instrumentation required")
+		} else {
+			ast.Fprint(os.Stdout, prog.Instrumented)
+		}
+	}
+
+	if len(prog.Warnings()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parcoach:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,217 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/parser"
+)
+
+const sample = `
+func helper(n) {
+	var a[4]
+	if n > 0 {
+		MPI_Reduce(n, n, sum, 0)
+	}
+	return n
+}
+
+func main() {
+	MPI_Init()
+	var x = rank()
+	parallel {
+		single {
+			MPI_Bcast(x)
+		}
+		pfor i = 0 .. 4 {
+			x += helper(i)
+		}
+		sections {
+			section { x += 1 }
+			section { x -= 1 }
+		}
+	}
+	MPI_Finalize()
+}`
+
+func parse(t *testing.T) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse("s.mh", sample)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestInspectVisitsAllStatementKinds(t *testing.T) {
+	prog := parse(t)
+	var sawParallel, sawSingle, sawPfor, sawSections, sawMPI, sawIf, sawCall bool
+	ast.Inspect(prog, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ParallelStmt:
+			sawParallel = true
+		case *ast.SingleStmt:
+			sawSingle = true
+		case *ast.PforStmt:
+			sawPfor = true
+		case *ast.SectionsStmt:
+			sawSections = true
+		case *ast.MPIStmt:
+			sawMPI = true
+		case *ast.If:
+			sawIf = true
+		case *ast.CallExpr:
+			sawCall = true
+		}
+		return true
+	})
+	if !sawParallel || !sawSingle || !sawPfor || !sawSections || !sawMPI || !sawIf || !sawCall {
+		t.Error("Inspect missed a node kind")
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	prog := parse(t)
+	count := 0
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ParallelStmt); ok {
+			return false // prune
+		}
+		if _, ok := n.(*ast.SingleStmt); ok {
+			count++
+		}
+		return true
+	})
+	if count != 0 {
+		t.Errorf("pruned subtree was visited (%d singles)", count)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	prog := parse(t)
+	names := ast.Calls(prog.Func("main"))
+	if len(names) != 1 || names[0] != "helper" {
+		t.Errorf("Calls = %v, want [helper]", names)
+	}
+	// Intrinsics are excluded.
+	for _, n := range names {
+		if _, ok := ast.Intrinsics[n]; ok {
+			t.Errorf("intrinsic %q leaked into Calls", n)
+		}
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	prog := parse(t)
+	if n := ast.CountStmts(prog); n < 10 {
+		t.Errorf("CountStmts = %d, implausibly small", n)
+	}
+}
+
+func TestIsCollective(t *testing.T) {
+	collectives := []ast.MPIKind{
+		ast.MPIBarrier, ast.MPIBcast, ast.MPIReduce, ast.MPIAllreduce,
+		ast.MPIGather, ast.MPIAllgather, ast.MPIScatter, ast.MPIAlltoall, ast.MPIScan,
+	}
+	for _, k := range collectives {
+		if !k.IsCollective() {
+			t.Errorf("%v must be collective", k)
+		}
+	}
+	for _, k := range []ast.MPIKind{ast.MPIInit, ast.MPIFinalize, ast.MPISend, ast.MPIRecv} {
+		if k.IsCollective() {
+			t.Errorf("%v must not be collective", k)
+		}
+	}
+}
+
+func TestMPIKindString(t *testing.T) {
+	if ast.MPIAllreduce.String() != "MPI_Allreduce" || ast.MPIBarrier.String() != "MPI_Barrier" {
+		t.Error("MPIKind.String mismatch")
+	}
+}
+
+func TestCloneProgramIsDeep(t *testing.T) {
+	prog := parse(t)
+	clone := ast.CloneProgram(prog)
+	if ast.String(prog) != ast.String(clone) {
+		t.Fatal("clone renders differently")
+	}
+	// Mutate the clone; the original must not change.
+	clone.Func("main").Body.Stmts = nil
+	if len(prog.Func("main").Body.Stmts) == 0 {
+		t.Error("clone shares the statement slice with the original")
+	}
+
+	clone2 := ast.CloneProgram(prog)
+	ast.Inspect(clone2, func(n ast.Node) bool {
+		if d, ok := n.(*ast.VarDecl); ok && d.Init != nil {
+			if lit, ok := d.Init.(*ast.CallExpr); ok {
+				lit.Name = "mutated"
+			}
+		}
+		return true
+	})
+	if strings.Contains(ast.String(prog), "mutated") {
+		t.Error("clone shares expression nodes with the original")
+	}
+}
+
+func TestCloneInstrNodes(t *testing.T) {
+	stmts := []ast.Stmt{
+		&ast.InstrCC{CollKind: ast.MPIBcast},
+		&ast.InstrCCReturn{},
+		&ast.InstrMonoCheck{RegionID: 3},
+		&ast.InstrPhaseCount{NodeID: 7, CollKind: ast.MPIBarrier},
+		&ast.InstrConcNote{RegionID: 1, Enter: true},
+	}
+	for _, s := range stmts {
+		c := ast.CloneStmt(s)
+		if c == s {
+			t.Errorf("%T clone returned same pointer", s)
+		}
+	}
+}
+
+func TestPrinterRendersInstrNodes(t *testing.T) {
+	b := &ast.Block{Stmts: []ast.Stmt{
+		&ast.InstrCC{CollKind: ast.MPIBcast},
+		&ast.InstrCCReturn{},
+		&ast.InstrMonoCheck{RegionID: 3},
+		&ast.InstrPhaseCount{NodeID: 7, CollKind: ast.MPIBarrier},
+		&ast.InstrConcNote{RegionID: 1, Enter: true},
+		&ast.InstrConcNote{RegionID: 1, Enter: false},
+	}}
+	f := &ast.FuncDecl{Name: "f", Body: b}
+	out := ast.String(f)
+	for _, want := range []string{"__cc(", "__cc_return", "__mono_check", "__phase_count", "__conc_enter", "__conc_exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	prog, err := parser.Parse("e.mh", `func f() { x = (1 + 2) * -3 - min(a[4], !b) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Func("f").Body.Stmts[0].(*ast.Assign)
+	got := ast.ExprString(as.Value)
+	want := "(1 + 2) * -3 - min(a[4], !b)"
+	if got != want {
+		t.Errorf("ExprString = %q, want %q", got, want)
+	}
+}
+
+func TestProgramPos(t *testing.T) {
+	prog := parse(t)
+	if !prog.Pos().IsValid() {
+		t.Error("non-empty program must have a valid Pos")
+	}
+	empty := &ast.Program{}
+	if empty.Pos().IsValid() {
+		t.Error("empty program must have invalid Pos")
+	}
+}

@@ -1,0 +1,154 @@
+package ast
+
+// CloneProgram deep-copies a program. The instrumentation pass transforms a
+// clone so the analysed (pristine) tree and the instrumented tree can
+// coexist; this also keeps Compile idempotent for the benchmark harness.
+func CloneProgram(p *Program) *Program {
+	out := &Program{File: p.File, Regions: p.Regions, ByName: make(map[string]*FuncDecl, len(p.Funcs))}
+	for _, f := range p.Funcs {
+		nf := CloneFunc(f)
+		out.Funcs = append(out.Funcs, nf)
+		out.ByName[nf.Name] = nf
+	}
+	return out
+}
+
+// CloneFunc deep-copies a function declaration.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	params := make([]string, len(f.Params))
+	copy(params, f.Params)
+	return &FuncDecl{NamePos: f.NamePos, Name: f.Name, Params: params, Body: CloneBlock(f.Body)}
+}
+
+// CloneBlock deep-copies a block.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	out := &Block{Lbrace: b.Lbrace, Stmts: make([]Stmt, 0, len(b.Stmts))}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *VarDecl:
+		return &VarDecl{VarPos: s.VarPos, Name: s.Name, ArraySize: CloneExpr(s.ArraySize), Init: CloneExpr(s.Init)}
+	case *Assign:
+		return &Assign{Target: cloneLValue(s.Target), Op: s.Op, Value: CloneExpr(s.Value)}
+	case *CallStmt:
+		return &CallStmt{Call: CloneExpr(s.Call).(*CallExpr)}
+	case *If:
+		out := &If{IfPos: s.IfPos, Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then)}
+		if s.Else != nil {
+			out.Else = CloneStmt(s.Else)
+		}
+		return out
+	case *Block:
+		return CloneBlock(s)
+	case *For:
+		return &For{ForPos: s.ForPos, Var: s.Var, From: CloneExpr(s.From), To: CloneExpr(s.To), Body: CloneBlock(s.Body)}
+	case *While:
+		return &While{WhilePos: s.WhilePos, Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body)}
+	case *Return:
+		return &Return{RetPos: s.RetPos, Value: CloneExpr(s.Value)}
+	case *Print:
+		return &Print{PrintPos: s.PrintPos, Args: cloneExprs(s.Args)}
+	case *MPIStmt:
+		out := &MPIStmt{KindPos: s.KindPos, Kind: s.Kind, OpName: s.OpName,
+			Src: CloneExpr(s.Src), Root: CloneExpr(s.Root), Dest: CloneExpr(s.Dest), Tag: CloneExpr(s.Tag)}
+		if s.Dst != nil {
+			out.Dst = cloneLValue(s.Dst)
+		}
+		return out
+	case *ParallelStmt:
+		return &ParallelStmt{ParPos: s.ParPos, NumThreads: CloneExpr(s.NumThreads), Body: CloneBlock(s.Body), RegionID: s.RegionID}
+	case *SingleStmt:
+		return &SingleStmt{SingPos: s.SingPos, Nowait: s.Nowait, Body: CloneBlock(s.Body), RegionID: s.RegionID}
+	case *MasterStmt:
+		return &MasterStmt{MastPos: s.MastPos, Body: CloneBlock(s.Body), RegionID: s.RegionID}
+	case *CriticalStmt:
+		return &CriticalStmt{CritPos: s.CritPos, Name: s.Name, Body: CloneBlock(s.Body)}
+	case *BarrierStmt:
+		return &BarrierStmt{BarPos: s.BarPos}
+	case *AtomicStmt:
+		return &AtomicStmt{AtomPos: s.AtomPos, Target: cloneLValue(s.Target), Op: s.Op, Value: CloneExpr(s.Value)}
+	case *PforStmt:
+		return &PforStmt{PforPos: s.PforPos, Var: s.Var, From: CloneExpr(s.From), To: CloneExpr(s.To),
+			Sched: s.Sched, Nowait: s.Nowait, Body: CloneBlock(s.Body), RegionID: s.RegionID}
+	case *SectionsStmt:
+		out := &SectionsStmt{SecsPos: s.SecsPos, Nowait: s.Nowait, RegionID: s.RegionID}
+		out.SectionIDs = append(out.SectionIDs, s.SectionIDs...)
+		for _, b := range s.Bodies {
+			out.Bodies = append(out.Bodies, CloneBlock(b))
+		}
+		return out
+	case *InstrCC:
+		cp := *s
+		return &cp
+	case *InstrCCReturn:
+		cp := *s
+		return &cp
+	case *InstrMonoCheck:
+		cp := *s
+		return &cp
+	case *InstrPhaseCount:
+		cp := *s
+		return &cp
+	case *InstrConcNote:
+		cp := *s
+		return &cp
+	}
+	panic("ast: CloneStmt: unknown statement type")
+}
+
+func cloneLValue(lv LValue) LValue {
+	switch lv := lv.(type) {
+	case *VarRef:
+		cp := *lv
+		return &cp
+	case *IndexExpr:
+		return &IndexExpr{NamePos: lv.NamePos, Name: lv.Name, Index: CloneExpr(lv.Index)}
+	}
+	panic("ast: cloneLValue: unknown lvalue type")
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression; nil propagates.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		cp := *e
+		return &cp
+	case *BoolLit:
+		cp := *e
+		return &cp
+	case *VarRef:
+		cp := *e
+		return &cp
+	case *IndexExpr:
+		return &IndexExpr{NamePos: e.NamePos, Name: e.Name, Index: CloneExpr(e.Index)}
+	case *BinaryExpr:
+		return &BinaryExpr{OpPos: e.OpPos, Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *UnaryExpr:
+		return &UnaryExpr{OpPos: e.OpPos, Op: e.Op, X: CloneExpr(e.X)}
+	case *CallExpr:
+		return &CallExpr{NamePos: e.NamePos, Name: e.Name, Args: cloneExprs(e.Args)}
+	}
+	panic("ast: CloneExpr: unknown expression type")
+}

@@ -1,0 +1,291 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"parcoach/internal/token"
+)
+
+// Fprint writes a canonical textual rendering of the node. The output of a
+// pristine program re-parses to an equivalent tree (round-trip tested);
+// instrumentation nodes render as __cc/__mono/__phase/__conc pseudo-calls
+// so instrumented programs remain inspectable.
+func Fprint(w io.Writer, n Node) {
+	p := &printer{w: w}
+	p.node(n)
+}
+
+// String renders the node with Fprint.
+func String(n Node) string {
+	var b strings.Builder
+	Fprint(&b, n)
+	return b.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.printf("%s", strings.Repeat("    ", p.indent))
+	p.printf(format, args...)
+	p.printf("\n")
+}
+
+func (p *printer) node(n Node) {
+	switch n := n.(type) {
+	case *Program:
+		for i, f := range n.Funcs {
+			if i > 0 {
+				p.printf("\n")
+			}
+			p.node(f)
+		}
+	case *FuncDecl:
+		p.line("func %s(%s) {", n.Name, strings.Join(n.Params, ", "))
+		p.indent++
+		p.stmts(n.Body)
+		p.indent--
+		p.line("}")
+	default:
+		p.stmt(n.(Stmt))
+	}
+}
+
+func (p *printer) stmts(b *Block) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) blockTail(b *Block) {
+	p.indent++
+	p.stmts(b)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.blockTail(s)
+	case *VarDecl:
+		switch {
+		case s.ArraySize != nil:
+			p.line("var %s[%s]", s.Name, ExprString(s.ArraySize))
+		case s.Init != nil:
+			p.line("var %s = %s", s.Name, ExprString(s.Init))
+		default:
+			p.line("var %s", s.Name)
+		}
+	case *Assign:
+		p.line("%s %s %s", ExprString(s.Target), s.Op, ExprString(s.Value))
+	case *CallStmt:
+		p.line("%s", ExprString(s.Call))
+	case *If:
+		p.ifStmt(s, "")
+	case *For:
+		p.line("for %s = %s .. %s {", s.Var, ExprString(s.From), ExprString(s.To))
+		p.blockTail(s.Body)
+	case *While:
+		p.line("while %s {", ExprString(s.Cond))
+		p.blockTail(s.Body)
+	case *Return:
+		if s.Value != nil {
+			p.line("return %s", ExprString(s.Value))
+		} else {
+			p.line("return")
+		}
+	case *Print:
+		p.line("print(%s)", exprList(s.Args))
+	case *MPIStmt:
+		p.mpi(s)
+	case *ParallelStmt:
+		if s.NumThreads != nil {
+			p.line("parallel num_threads(%s) {", ExprString(s.NumThreads))
+		} else {
+			p.line("parallel {")
+		}
+		p.blockTail(s.Body)
+	case *SingleStmt:
+		if s.Nowait {
+			p.line("single nowait {")
+		} else {
+			p.line("single {")
+		}
+		p.blockTail(s.Body)
+	case *MasterStmt:
+		p.line("master {")
+		p.blockTail(s.Body)
+	case *CriticalStmt:
+		if s.Name != "" {
+			p.line("critical(%s) {", s.Name)
+		} else {
+			p.line("critical {")
+		}
+		p.blockTail(s.Body)
+	case *BarrierStmt:
+		p.line("barrier")
+	case *AtomicStmt:
+		p.line("atomic %s %s %s", ExprString(s.Target), s.Op, ExprString(s.Value))
+	case *PforStmt:
+		var cl []string
+		if s.Sched == ScheduleDynamic {
+			cl = append(cl, "schedule(dynamic)")
+		}
+		if s.Nowait {
+			cl = append(cl, "nowait")
+		}
+		clause := ""
+		if len(cl) > 0 {
+			clause = " " + strings.Join(cl, " ")
+		}
+		p.line("pfor%s %s = %s .. %s {", clause, s.Var, ExprString(s.From), ExprString(s.To))
+		p.blockTail(s.Body)
+	case *SectionsStmt:
+		if s.Nowait {
+			p.line("sections nowait {")
+		} else {
+			p.line("sections {")
+		}
+		p.indent++
+		for _, b := range s.Bodies {
+			p.line("section {")
+			p.blockTail(b)
+		}
+		p.indent--
+		p.line("}")
+	case *InstrCC:
+		p.line("// __cc(%s) before %s", s.OpName(), s.CollPos)
+	case *InstrCCReturn:
+		p.line("// __cc_return()")
+	case *InstrMonoCheck:
+		p.line("// __mono_check(region=%d)", s.RegionID)
+	case *InstrPhaseCount:
+		p.line("// __phase_count(node=%d, %s)", s.NodeID, s.CollKind)
+	case *InstrConcNote:
+		if s.Enter {
+			p.line("// __conc_enter(region=%d)", s.RegionID)
+		} else {
+			p.line("// __conc_exit(region=%d)", s.RegionID)
+		}
+	default:
+		p.line("// <unknown statement %T>", s)
+	}
+}
+
+func (p *printer) ifStmt(s *If, prefix string) {
+	p.line("%sif %s {", prefix, ExprString(s.Cond))
+	p.blockTail(s.Then)
+	if s.Else != nil {
+		p.elseTail(s.Else)
+	}
+}
+
+func (p *printer) elseTail(s Stmt) {
+	switch e := s.(type) {
+	case *If:
+		p.line("else if %s {", ExprString(e.Cond))
+		p.blockTail(e.Then)
+		if e.Else != nil {
+			p.elseTail(e.Else)
+		}
+	case *Block:
+		p.line("else {")
+		p.blockTail(e)
+	}
+}
+
+func (p *printer) mpi(s *MPIStmt) {
+	var args []string
+	add := func(e Expr) {
+		if e != nil {
+			args = append(args, ExprString(e))
+		}
+	}
+	switch s.Kind {
+	case MPIInit, MPIFinalize, MPIBarrier:
+	case MPIBcast:
+		args = append(args, ExprString(s.Dst))
+		add(s.Root)
+	case MPIReduce, MPIAllreduce, MPIScan:
+		args = append(args, ExprString(s.Dst), ExprString(s.Src))
+		if s.OpName != "" {
+			args = append(args, s.OpName)
+		}
+		add(s.Root)
+	case MPIGather, MPIScatter:
+		args = append(args, ExprString(s.Dst), ExprString(s.Src))
+		add(s.Root)
+	case MPIAllgather, MPIAlltoall:
+		args = append(args, ExprString(s.Dst), ExprString(s.Src))
+	case MPISend:
+		args = append(args, ExprString(s.Src), ExprString(s.Dest))
+		add(s.Tag)
+	case MPIRecv:
+		args = append(args, ExprString(s.Dst), ExprString(s.Dest))
+		add(s.Tag)
+	}
+	p.line("%s(%s)", s.Kind, strings.Join(args, ", "))
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression in source syntax with minimal
+// parenthesization (children of lower precedence are parenthesized).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *VarRef:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Name, ExprString(e.Index))
+	case *BinaryExpr:
+		x := ExprString(e.X)
+		y := ExprString(e.Y)
+		if sub, ok := e.X.(*BinaryExpr); ok && sub.Op.Precedence() < e.Op.Precedence() {
+			x = "(" + x + ")"
+		}
+		if sub, ok := e.Y.(*BinaryExpr); ok && sub.Op.Precedence() <= e.Op.Precedence() {
+			y = "(" + y + ")"
+		}
+		return fmt.Sprintf("%s %s %s", x, e.Op, y)
+	case *UnaryExpr:
+		x := ExprString(e.X)
+		if _, ok := e.X.(*BinaryExpr); ok {
+			x = "(" + x + ")"
+		}
+		if e.Op == token.Not {
+			return "!" + x
+		}
+		return "-" + x
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", e.Name, exprList(e.Args))
+	}
+	return fmt.Sprintf("<expr %T>", e)
+}

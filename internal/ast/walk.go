@@ -1,0 +1,124 @@
+package ast
+
+// Inspect traverses the tree rooted at n in depth-first order, calling f for
+// each node. If f returns false for a node, its children are skipped.
+// Nil children are never visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, fn := range n.Funcs {
+			Inspect(fn, f)
+		}
+	case *FuncDecl:
+		Inspect(n.Body, f)
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *VarDecl:
+		inspectExpr(n.ArraySize, f)
+		inspectExpr(n.Init, f)
+	case *Assign:
+		Inspect(n.Target, f)
+		inspectExpr(n.Value, f)
+	case *CallStmt:
+		Inspect(n.Call, f)
+	case *If:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *For:
+		inspectExpr(n.From, f)
+		inspectExpr(n.To, f)
+		Inspect(n.Body, f)
+	case *While:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Body, f)
+	case *Return:
+		inspectExpr(n.Value, f)
+	case *Print:
+		for _, a := range n.Args {
+			inspectExpr(a, f)
+		}
+	case *MPIStmt:
+		if n.Dst != nil {
+			Inspect(n.Dst, f)
+		}
+		inspectExpr(n.Src, f)
+		inspectExpr(n.Root, f)
+		inspectExpr(n.Dest, f)
+		inspectExpr(n.Tag, f)
+	case *ParallelStmt:
+		inspectExpr(n.NumThreads, f)
+		Inspect(n.Body, f)
+	case *SingleStmt:
+		Inspect(n.Body, f)
+	case *MasterStmt:
+		Inspect(n.Body, f)
+	case *CriticalStmt:
+		Inspect(n.Body, f)
+	case *AtomicStmt:
+		Inspect(n.Target, f)
+		inspectExpr(n.Value, f)
+	case *PforStmt:
+		inspectExpr(n.From, f)
+		inspectExpr(n.To, f)
+		Inspect(n.Body, f)
+	case *SectionsStmt:
+		for _, b := range n.Bodies {
+			Inspect(b, f)
+		}
+	case *IndexExpr:
+		inspectExpr(n.Index, f)
+	case *BinaryExpr:
+		inspectExpr(n.X, f)
+		inspectExpr(n.Y, f)
+	case *UnaryExpr:
+		inspectExpr(n.X, f)
+	case *CallExpr:
+		for _, a := range n.Args {
+			inspectExpr(a, f)
+		}
+	}
+}
+
+func inspectExpr(e Expr, f func(Node) bool) {
+	if e != nil {
+		Inspect(e, f)
+	}
+}
+
+// Calls returns the names of all user-level function calls appearing
+// anywhere under n (intrinsics excluded), in first-appearance order.
+func Calls(n Node) []string {
+	var names []string
+	seen := make(map[string]bool)
+	Inspect(n, func(m Node) bool {
+		if c, ok := m.(*CallExpr); ok {
+			if _, intrinsic := Intrinsics[c.Name]; !intrinsic && !seen[c.Name] {
+				seen[c.Name] = true
+				names = append(names, c.Name)
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// CountStmts returns the number of statement nodes under n; used by the
+// benchmark harness to report workload sizes.
+func CountStmts(n Node) int {
+	count := 0
+	Inspect(n, func(m Node) bool {
+		if _, ok := m.(Stmt); ok {
+			count++
+		}
+		return true
+	})
+	return count
+}

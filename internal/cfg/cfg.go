@@ -1,0 +1,442 @@
+// Package cfg builds per-function control-flow graphs from MiniHybrid ASTs.
+//
+// Following the paper, the CFG is the representation the static analyses
+// consume: nodes containing an MPI collective operation are flagged, the
+// threading directives are put into dedicated begin/end nodes, and new
+// nodes are added for the implicit thread barriers at the ends of
+// single/sections/worksharing constructs and before the join of a parallel
+// region. Single/master/sections constructs also carry "skip" edges for
+// the threads that do not execute the body.
+package cfg
+
+import (
+	"fmt"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/source"
+	"parcoach/internal/token"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindEntry NodeKind = iota
+	KindExit
+	KindNormal     // straight-line statements
+	KindCall       // a statement containing user function calls
+	KindBranch     // if/while/for condition
+	KindCollective // exactly one MPI collective statement
+	KindBarrier    // explicit or implicit team barrier
+	KindParallelBegin
+	KindParallelEnd
+	KindSingleBegin
+	KindSingleEnd
+	KindMasterBegin
+	KindMasterEnd
+	KindCriticalBegin
+	KindCriticalEnd
+	KindSectionsBegin
+	KindSectionBegin
+	KindSectionEnd
+	KindSectionsEnd
+	KindPforBegin
+	KindPforEnd
+)
+
+var kindNames = map[NodeKind]string{
+	KindEntry: "entry", KindExit: "exit", KindNormal: "normal",
+	KindCall: "call", KindBranch: "branch", KindCollective: "collective",
+	KindBarrier: "barrier", KindParallelBegin: "parallel.begin",
+	KindParallelEnd: "parallel.end", KindSingleBegin: "single.begin",
+	KindSingleEnd: "single.end", KindMasterBegin: "master.begin",
+	KindMasterEnd: "master.end", KindCriticalBegin: "critical.begin",
+	KindCriticalEnd: "critical.end", KindSectionsBegin: "sections.begin",
+	KindSectionBegin: "section.begin", KindSectionEnd: "section.end",
+	KindSectionsEnd: "sections.end", KindPforBegin: "pfor.begin",
+	KindPforEnd: "pfor.end",
+}
+
+func (k NodeKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Pos   source.Pos
+	Stmts []ast.Stmt // statements of Normal/Call nodes; the Return, if any, is last
+
+	Succs []*Node
+	Preds []*Node
+
+	// Coll is the collective statement of a KindCollective node.
+	Coll *ast.MPIStmt
+	// Calls lists user functions invoked from this node (Call and Branch
+	// nodes); the inter-procedural analysis treats calls to
+	// collective-bearing functions like collective nodes.
+	Calls []string
+	// Cond is the controlling expression of a Branch node.
+	Cond ast.Expr
+	// RegionID identifies the threading construct of region begin/end
+	// nodes (the subscript of the paper's P_i / S_i letters).
+	RegionID int
+	// Nowait is set on SingleEnd/SectionsEnd/PforEnd nodes without an
+	// implicit barrier.
+	Nowait bool
+	// Implicit marks barrier nodes inserted for construct-end barriers.
+	Implicit bool
+	// IsMaster marks the begin/end nodes of a master construct (an S
+	// letter executed by thread 0, with no implicit end barrier).
+	IsMaster bool
+	// NumThreads is the clause expression of a ParallelBegin, if any.
+	NumThreads ast.Expr
+}
+
+// String renders a short description for diagnostics and tests.
+func (n *Node) String() string {
+	switch n.Kind {
+	case KindCollective:
+		return fmt.Sprintf("n%d:%s(%s)", n.ID, n.Kind, n.Coll.Kind)
+	case KindParallelBegin, KindParallelEnd, KindSingleBegin, KindSingleEnd,
+		KindMasterBegin, KindMasterEnd, KindSectionBegin, KindSectionEnd,
+		KindSectionsBegin, KindSectionsEnd, KindPforBegin, KindPforEnd:
+		return fmt.Sprintf("n%d:%s[r%d]", n.ID, n.Kind, n.RegionID)
+	}
+	return fmt.Sprintf("n%d:%s", n.ID, n.Kind)
+}
+
+// IsRegionBegin reports whether the node opens a threading region that
+// contributes a parallelism-word letter.
+func (n *Node) IsRegionBegin() bool {
+	switch n.Kind {
+	case KindParallelBegin, KindSingleBegin, KindMasterBegin, KindSectionBegin:
+		return true
+	}
+	return false
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Func  *ast.FuncDecl
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// NodeByID returns the node with the given id, or nil.
+func (g *Graph) NodeByID(id int) *Node {
+	if id >= 0 && id < len(g.Nodes) {
+		return g.Nodes[id]
+	}
+	return nil
+}
+
+// Collectives returns all collective nodes in id order.
+func (g *Graph) Collectives() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCollective {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Size returns the number of nodes and edges.
+func (g *Graph) Size() (nodes, edges int) {
+	nodes = len(g.Nodes)
+	for _, n := range g.Nodes {
+		edges += len(n.Succs)
+	}
+	return nodes, edges
+}
+
+// Build constructs the CFG of one function.
+func Build(f *ast.FuncDecl) *Graph {
+	b := &builder{g: &Graph{Func: f}}
+	b.g.Entry = b.newNode(KindEntry, f.NamePos)
+	b.g.Exit = b.newNode(KindExit, f.NamePos)
+	last := b.buildBlock(f.Body, b.g.Entry)
+	if last != nil {
+		b.link(last, b.g.Exit)
+	}
+	return b.g
+}
+
+// BuildAll builds CFGs for every function of the program, keyed by name.
+func BuildAll(prog *ast.Program) map[string]*Graph {
+	out := make(map[string]*Graph, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		out[f.Name] = Build(f)
+	}
+	return out
+}
+
+type builder struct {
+	g *Graph
+}
+
+func (b *builder) newNode(kind NodeKind, pos source.Pos) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: kind, Pos: pos}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// buildBlock threads the statements of blk starting from prev and returns
+// the node control falls out of, or nil if all paths return.
+func (b *builder) buildBlock(blk *ast.Block, prev *Node) *Node {
+	cur := prev
+	for _, s := range blk.Stmts {
+		if cur == nil {
+			// Unreachable code after a return: keep building so analyses
+			// and diagnostics still see it, anchored to a fresh island.
+			cur = b.newNode(KindNormal, s.Pos())
+		}
+		cur = b.buildStmt(s, cur)
+	}
+	return cur
+}
+
+// appendSimple adds a straight-line statement, merging into the current
+// node when possible.
+func (b *builder) appendSimple(s ast.Stmt, prev *Node, calls []string) *Node {
+	kind := KindNormal
+	if len(calls) > 0 {
+		kind = KindCall
+	}
+	if kind == KindNormal && prev.Kind == KindNormal && len(prev.Succs) == 0 && prev != b.g.Entry {
+		prev.Stmts = append(prev.Stmts, s)
+		return prev
+	}
+	n := b.newNode(kind, s.Pos())
+	n.Stmts = []ast.Stmt{s}
+	n.Calls = calls
+	b.link(prev, n)
+	return n
+}
+
+func (b *builder) buildStmt(s ast.Stmt, prev *Node) *Node {
+	switch s := s.(type) {
+	case *ast.Block:
+		return b.buildBlock(s, prev)
+
+	case *ast.VarDecl, *ast.Assign, *ast.Print, *ast.AtomicStmt:
+		return b.appendSimple(s, prev, stmtCalls(s))
+
+	case *ast.CallStmt:
+		return b.appendSimple(s, prev, stmtCalls(s))
+
+	case *ast.Return:
+		n := b.appendSimple(s, prev, stmtCalls(s))
+		b.link(n, b.g.Exit)
+		return nil
+
+	case *ast.MPIStmt:
+		if s.Kind.IsCollective() {
+			n := b.newNode(KindCollective, s.KindPos)
+			n.Coll = s
+			n.Stmts = []ast.Stmt{s}
+			b.link(prev, n)
+			return n
+		}
+		return b.appendSimple(s, prev, stmtCalls(s))
+
+	case *ast.If:
+		cond := b.newNode(KindBranch, s.IfPos)
+		cond.Cond = s.Cond
+		cond.Calls = exprCalls(s.Cond)
+		b.link(prev, cond)
+		merge := b.newNode(KindNormal, s.IfPos)
+		thenEnd := b.buildBlock(s.Then, cond)
+		if thenEnd != nil {
+			b.link(thenEnd, merge)
+		}
+		if s.Else != nil {
+			elseEnd := b.buildStmt(s.Else, cond)
+			if elseEnd != nil {
+				b.link(elseEnd, merge)
+			}
+		} else {
+			b.link(cond, merge)
+		}
+		if len(merge.Preds) == 0 {
+			// Both arms return; everything after is unreachable.
+			return nil
+		}
+		return merge
+
+	case *ast.For:
+		init := b.appendSimple(&ast.Assign{
+			Target: &ast.VarRef{NamePos: s.ForPos, Name: s.Var},
+			Value:  s.From,
+		}, prev, exprCalls(s.From))
+		header := b.newNode(KindBranch, s.ForPos)
+		header.Cond = &ast.BinaryExpr{OpPos: s.ForPos, Op: token.Lt, X: &ast.VarRef{NamePos: s.ForPos, Name: s.Var}, Y: s.To}
+		header.Calls = exprCalls(s.To)
+		b.link(init, header)
+		bodyEnd := b.buildBlock(s.Body, header)
+		if bodyEnd != nil {
+			b.link(bodyEnd, header)
+		}
+		after := b.newNode(KindNormal, s.ForPos)
+		b.link(header, after)
+		return after
+
+	case *ast.While:
+		header := b.newNode(KindBranch, s.WhilePos)
+		header.Cond = s.Cond
+		header.Calls = exprCalls(s.Cond)
+		b.link(prev, header)
+		bodyEnd := b.buildBlock(s.Body, header)
+		if bodyEnd != nil {
+			b.link(bodyEnd, header)
+		}
+		after := b.newNode(KindNormal, s.WhilePos)
+		b.link(header, after)
+		return after
+
+	case *ast.BarrierStmt:
+		n := b.newNode(KindBarrier, s.BarPos)
+		b.link(prev, n)
+		return n
+
+	case *ast.ParallelStmt:
+		begin := b.newNode(KindParallelBegin, s.ParPos)
+		begin.RegionID = s.RegionID
+		begin.NumThreads = s.NumThreads
+		b.link(prev, begin)
+		bodyEnd := b.buildBlock(s.Body, begin)
+		// Implicit join barrier, inside the region.
+		join := b.newNode(KindBarrier, s.ParPos)
+		join.Implicit = true
+		if bodyEnd != nil {
+			b.link(bodyEnd, join)
+		}
+		end := b.newNode(KindParallelEnd, s.ParPos)
+		end.RegionID = s.RegionID
+		b.link(join, end)
+		return end
+
+	case *ast.SingleStmt:
+		begin := b.newNode(KindSingleBegin, s.SingPos)
+		begin.RegionID = s.RegionID
+		b.link(prev, begin)
+		bodyEnd := b.buildBlock(s.Body, begin)
+		end := b.newNode(KindSingleEnd, s.SingPos)
+		end.RegionID = s.RegionID
+		end.Nowait = s.Nowait
+		if bodyEnd != nil {
+			b.link(bodyEnd, end)
+		}
+		b.link(begin, end) // threads that do not win the single skip the body
+		if s.Nowait {
+			return end
+		}
+		bar := b.newNode(KindBarrier, s.SingPos)
+		bar.Implicit = true
+		b.link(end, bar)
+		return bar
+
+	case *ast.MasterStmt:
+		begin := b.newNode(KindMasterBegin, s.MastPos)
+		begin.RegionID = s.RegionID
+		begin.IsMaster = true
+		b.link(prev, begin)
+		bodyEnd := b.buildBlock(s.Body, begin)
+		end := b.newNode(KindMasterEnd, s.MastPos)
+		end.RegionID = s.RegionID
+		end.IsMaster = true
+		if bodyEnd != nil {
+			b.link(bodyEnd, end)
+		}
+		b.link(begin, end) // non-master threads skip; no implicit barrier
+		return end
+
+	case *ast.CriticalStmt:
+		begin := b.newNode(KindCriticalBegin, s.CritPos)
+		b.link(prev, begin)
+		bodyEnd := b.buildBlock(s.Body, begin)
+		end := b.newNode(KindCriticalEnd, s.CritPos)
+		if bodyEnd != nil {
+			b.link(bodyEnd, end)
+		}
+		return end
+
+	case *ast.PforStmt:
+		begin := b.newNode(KindPforBegin, s.PforPos)
+		begin.RegionID = s.RegionID
+		begin.Stmts = []ast.Stmt{s} // analyses read the loop bounds from here
+		begin.Calls = append(exprCalls(s.From), exprCalls(s.To)...)
+		b.link(prev, begin)
+		bodyEnd := b.buildBlock(s.Body, begin)
+		if bodyEnd != nil {
+			b.link(bodyEnd, begin) // next chunk of iterations
+		}
+		end := b.newNode(KindPforEnd, s.PforPos)
+		end.RegionID = s.RegionID
+		end.Nowait = s.Nowait
+		b.link(begin, end)
+		if s.Nowait {
+			return end
+		}
+		bar := b.newNode(KindBarrier, s.PforPos)
+		bar.Implicit = true
+		b.link(end, bar)
+		return bar
+
+	case *ast.SectionsStmt:
+		begin := b.newNode(KindSectionsBegin, s.SecsPos)
+		begin.RegionID = s.RegionID
+		b.link(prev, begin)
+		end := b.newNode(KindSectionsEnd, s.SecsPos)
+		end.RegionID = s.RegionID
+		end.Nowait = s.Nowait
+		for i, body := range s.Bodies {
+			sb := b.newNode(KindSectionBegin, body.Lbrace)
+			sb.RegionID = s.SectionIDs[i]
+			b.link(begin, sb)
+			bodyEnd := b.buildBlock(body, sb)
+			se := b.newNode(KindSectionEnd, body.Lbrace)
+			se.RegionID = s.SectionIDs[i]
+			if bodyEnd != nil {
+				b.link(bodyEnd, se)
+			}
+			b.link(se, end)
+		}
+		b.link(begin, end) // threads with no section assigned
+		if s.Nowait {
+			return end
+		}
+		bar := b.newNode(KindBarrier, s.SecsPos)
+		bar.Implicit = true
+		b.link(end, bar)
+		return bar
+
+	case *ast.InstrCC, *ast.InstrCCReturn, *ast.InstrMonoCheck,
+		*ast.InstrPhaseCount, *ast.InstrConcNote:
+		// Instrumentation nodes are transparent to the CFG: they are
+		// executed where they stand but do not alter control flow.
+		return b.appendSimple(s, prev, nil)
+	}
+	panic(fmt.Sprintf("cfg: unhandled statement %T", s))
+}
+
+func stmtCalls(s ast.Stmt) []string { return ast.Calls(s) }
+
+func exprCalls(e ast.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	return ast.Calls(e)
+}

@@ -1,0 +1,445 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/parser"
+)
+
+func buildMain(t *testing.T, body string) *Graph {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", "func main() {\n"+body+"\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(prog.Func("main"))
+}
+
+func countKind(g *Graph, k NodeKind) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// reachable collects ids reachable from entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var dfs func(*Node)
+	dfs = func(n *Node) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			dfs(s)
+		}
+	}
+	dfs(g.Entry)
+	return seen
+}
+
+func TestStraightLineMerging(t *testing.T) {
+	g := buildMain(t, "var x = 1\nx = 2\nx += 3\nprint(x)")
+	if n := countKind(g, KindNormal); n != 1 {
+		t.Errorf("straight-line statements must merge into one node, got %d", n)
+	}
+	if g.Entry.Kind != KindEntry || g.Exit.Kind != KindExit {
+		t.Error("entry/exit kinds wrong")
+	}
+	// Entry -> normal -> exit.
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].Kind != KindNormal {
+		t.Error("entry must link to the merged normal node")
+	}
+}
+
+func TestCollectiveGetsOwnNode(t *testing.T) {
+	g := buildMain(t, "var x = 0\nMPI_Barrier()\nMPI_Bcast(x)\nx = 1")
+	colls := g.Collectives()
+	if len(colls) != 2 {
+		t.Fatalf("want 2 collective nodes, got %d", len(colls))
+	}
+	if colls[0].Coll.Kind != ast.MPIBarrier || colls[1].Coll.Kind != ast.MPIBcast {
+		t.Error("collective kinds wrong")
+	}
+	for _, c := range colls {
+		if len(c.Stmts) != 1 {
+			t.Error("collective node must hold exactly its statement")
+		}
+	}
+}
+
+func TestNonCollectiveMPIMerges(t *testing.T) {
+	g := buildMain(t, "var x = 0\nMPI_Init()\nMPI_Send(x, 0)\nMPI_Finalize()")
+	if n := countKind(g, KindCollective); n != 0 {
+		t.Errorf("init/send/finalize are not collective nodes, got %d", n)
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { x = 1 } else { x = 2 }\nx = 3")
+	if n := countKind(g, KindBranch); n != 1 {
+		t.Fatalf("want 1 branch, got %d", n)
+	}
+	var branch *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+	}
+	if len(branch.Succs) != 2 {
+		t.Errorf("branch must have 2 successors, got %d", len(branch.Succs))
+	}
+	if branch.Cond == nil {
+		t.Error("branch must carry its condition")
+	}
+}
+
+func TestIfWithoutElseHasFallthrough(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { x = 1 }\nx = 3")
+	var branch *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+	}
+	if len(branch.Succs) != 2 {
+		t.Errorf("if-without-else branch needs then+merge successors, got %d", len(branch.Succs))
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := buildMain(t, "var x = 0\nfor i = 0 .. 10 { x += i }\nwhile x > 0 { x -= 1 }")
+	if n := countKind(g, KindBranch); n != 2 {
+		t.Fatalf("want 2 loop headers, got %d", n)
+	}
+	// Each header must be its own predecessor transitively (back edge).
+	for _, n := range g.Nodes {
+		if n.Kind != KindBranch {
+			continue
+		}
+		hasBack := false
+		for _, p := range n.Preds {
+			for _, pp := range p.Preds {
+				_ = pp
+			}
+		}
+		// Simpler: one of the header's transitive successors links back.
+		seen := map[int]bool{}
+		var dfs func(*Node) bool
+		dfs = func(m *Node) bool {
+			if seen[m.ID] {
+				return false
+			}
+			seen[m.ID] = true
+			for _, s := range m.Succs {
+				if s == n || dfs(s) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, s := range n.Succs {
+			if dfs(s) {
+				hasBack = true
+			}
+		}
+		if !hasBack {
+			t.Errorf("loop header %s has no back edge", n)
+		}
+	}
+}
+
+func TestReturnLinksToExit(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { return }\nx = 1")
+	found := false
+	for _, p := range g.Exit.Preds {
+		for _, s := range p.Stmts {
+			if _, ok := s.(*ast.Return); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("return node must be a predecessor of exit")
+	}
+}
+
+func TestUnreachableAfterReturnStillBuilt(t *testing.T) {
+	g := buildMain(t, "return\nMPI_Barrier()")
+	if countKind(g, KindCollective) != 1 {
+		t.Error("dead collective must still have a node (for diagnostics)")
+	}
+	r := reachable(g)
+	for _, n := range g.Nodes {
+		if n.Kind == KindCollective && r[n.ID] {
+			t.Error("dead collective must be unreachable from entry")
+		}
+	}
+}
+
+func TestParallelRegionShape(t *testing.T) {
+	g := buildMain(t, "parallel { var x = 1 }")
+	if countKind(g, KindParallelBegin) != 1 || countKind(g, KindParallelEnd) != 1 {
+		t.Fatal("parallel begin/end missing")
+	}
+	// Implicit join barrier inside the region.
+	if countKind(g, KindBarrier) != 1 {
+		t.Fatal("parallel join barrier missing")
+	}
+	var end *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindParallelEnd {
+			end = n
+		}
+	}
+	if len(end.Preds) != 1 || end.Preds[0].Kind != KindBarrier || !end.Preds[0].Implicit {
+		t.Error("parallel end must be preceded by the implicit join barrier")
+	}
+}
+
+func TestSingleSkipEdgeAndBarrier(t *testing.T) {
+	g := buildMain(t, "parallel { single { var x = 1 } }")
+	var begin, end *Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindSingleBegin:
+			begin = n
+		case KindSingleEnd:
+			end = n
+		}
+	}
+	if begin == nil || end == nil {
+		t.Fatal("single begin/end missing")
+	}
+	skip := false
+	for _, s := range begin.Succs {
+		if s == end {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Error("single must have a skip edge for non-elected threads")
+	}
+	// single (not nowait) is followed by an implicit barrier.
+	if len(end.Succs) != 1 || end.Succs[0].Kind != KindBarrier || !end.Succs[0].Implicit {
+		t.Error("single end must flow into an implicit barrier")
+	}
+}
+
+func TestSingleNowaitHasNoBarrier(t *testing.T) {
+	g := buildMain(t, "parallel { single nowait { var x = 1 } }")
+	// Only the parallel join barrier remains.
+	if n := countKind(g, KindBarrier); n != 1 {
+		t.Errorf("nowait single must not add a barrier, got %d barriers", n)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == KindSingleEnd && !n.Nowait {
+			t.Error("single end must record nowait")
+		}
+	}
+}
+
+func TestMasterNoBarrier(t *testing.T) {
+	g := buildMain(t, "parallel { master { var x = 1 } }")
+	if n := countKind(g, KindBarrier); n != 1 {
+		t.Errorf("master must not add a barrier, got %d", n)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == KindMasterBegin && !n.IsMaster {
+			t.Error("master begin must be flagged IsMaster")
+		}
+	}
+}
+
+func TestSectionsShape(t *testing.T) {
+	g := buildMain(t, "parallel { sections { section { var x = 1 } section { var y = 2 } } }")
+	if countKind(g, KindSectionBegin) != 2 || countKind(g, KindSectionEnd) != 2 {
+		t.Fatal("per-section begin/end nodes missing")
+	}
+	var begin, end *Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindSectionsBegin:
+			begin = n
+		case KindSectionsEnd:
+			end = n
+		}
+	}
+	// begin fans out to both sections plus the skip edge.
+	if len(begin.Succs) != 3 {
+		t.Errorf("sections begin must have 3 successors (2 sections + skip), got %d", len(begin.Succs))
+	}
+	if len(end.Succs) != 1 || end.Succs[0].Kind != KindBarrier {
+		t.Error("sections end must flow into the implicit barrier")
+	}
+	// Section region ids differ.
+	ids := map[int]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind == KindSectionBegin {
+			ids[n.RegionID] = true
+		}
+	}
+	if len(ids) != 2 {
+		t.Error("section region ids must be distinct")
+	}
+}
+
+func TestPforShape(t *testing.T) {
+	g := buildMain(t, "parallel { pfor i = 0 .. 10 { var x = i } }")
+	var begin *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindPforBegin {
+			begin = n
+		}
+	}
+	if begin == nil {
+		t.Fatal("pfor begin missing")
+	}
+	if len(begin.Stmts) != 1 {
+		t.Error("pfor begin must carry its statement for bound analysis")
+	}
+	// pfor (not nowait): barrier follows the end node.
+	var end *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindPforEnd {
+			end = n
+		}
+	}
+	if len(end.Succs) != 1 || end.Succs[0].Kind != KindBarrier {
+		t.Error("pfor end must flow into implicit barrier")
+	}
+	// Loop back edge to begin.
+	back := false
+	for _, p := range begin.Preds {
+		if p != g.Entry && p.Kind != KindParallelBegin {
+			back = true
+		}
+	}
+	if !back {
+		t.Error("pfor body must loop back to begin")
+	}
+}
+
+func TestCallNodes(t *testing.T) {
+	prog, err := parser.Parse("t.mh", `
+func helper() { MPI_Barrier() }
+func main() {
+	var x = 0
+	helper()
+	if helper() > 0 { x = 1 }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(prog.Func("main"))
+	callNodes := 0
+	for _, n := range g.Nodes {
+		if len(n.Calls) > 0 {
+			callNodes++
+			if n.Calls[0] != "helper" {
+				t.Errorf("call name = %q", n.Calls[0])
+			}
+		}
+	}
+	if callNodes != 2 {
+		t.Errorf("want 2 nodes with calls (stmt + branch cond), got %d", callNodes)
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	prog, err := parser.Parse("t.mh", "func a() { }\nfunc b() { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := BuildAll(prog)
+	if len(gs) != 2 || gs["a"] == nil || gs["b"] == nil {
+		t.Error("BuildAll must build each function")
+	}
+}
+
+func TestNodeIDsAreDense(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { MPI_Barrier() }\nparallel { single { x = 1 } }")
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			t.Fatalf("node ids must be dense and ordered: Nodes[%d].ID = %d", i, n.ID)
+		}
+		if g.NodeByID(i) != n {
+			t.Fatalf("NodeByID(%d) mismatch", i)
+		}
+	}
+	if g.NodeByID(-1) != nil || g.NodeByID(len(g.Nodes)) != nil {
+		t.Error("NodeByID out of range must be nil")
+	}
+}
+
+func TestSizeAndString(t *testing.T) {
+	g := buildMain(t, "var x = 0\nMPI_Barrier()")
+	nodes, edges := g.Size()
+	if nodes != len(g.Nodes) || edges <= 0 {
+		t.Errorf("Size() = %d,%d", nodes, edges)
+	}
+	for _, n := range g.Nodes {
+		if n.String() == "" {
+			t.Error("empty node String()")
+		}
+	}
+	if !strings.Contains(g.Collectives()[0].String(), "MPI_Barrier") {
+		t.Error("collective String must name the operation")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := buildMain(t, "parallel { single { MPI_Barrier() } }")
+	var b strings.Builder
+	g.WriteDot(&b)
+	out := b.String()
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("dot output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "lightsalmon") {
+		t.Error("collective nodes must be highlighted in dot output")
+	}
+}
+
+func TestEdgeSymmetry(t *testing.T) {
+	g := buildMain(t, `
+var x = 0
+if x > 0 { MPI_Barrier() } else { x = 2 }
+parallel {
+	pfor i = 0 .. 4 { x += i }
+	sections { section { x = 1 } section { x = 2 } }
+	single nowait { x = 3 }
+	master { x = 4 }
+}
+while x > 0 { x -= 1 }`)
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %s->%s missing from Preds", n, s)
+			}
+		}
+		for _, p := range n.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %s->%s missing from Succs", p, n)
+			}
+		}
+	}
+}

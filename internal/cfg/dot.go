@@ -1,0 +1,39 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the graph in Graphviz DOT syntax; cmd/parcoach exposes it
+// behind -dot for visual debugging of the analysed CFGs.
+func (g *Graph) WriteDot(w io.Writer) {
+	fmt.Fprintf(w, "digraph %q {\n", g.Func.Name)
+	fmt.Fprintf(w, "  node [shape=box, fontname=monospace];\n")
+	for _, n := range g.Nodes {
+		label := n.String()
+		var attrs []string
+		switch n.Kind {
+		case KindCollective:
+			attrs = append(attrs, "style=filled", "fillcolor=lightsalmon")
+		case KindBarrier:
+			attrs = append(attrs, "style=filled", "fillcolor=lightblue")
+		case KindParallelBegin, KindParallelEnd:
+			attrs = append(attrs, "style=filled", "fillcolor=palegreen")
+		case KindSingleBegin, KindSingleEnd, KindMasterBegin, KindMasterEnd,
+			KindSectionBegin, KindSectionEnd:
+			attrs = append(attrs, "style=filled", "fillcolor=khaki")
+		case KindEntry, KindExit:
+			attrs = append(attrs, "shape=ellipse")
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		fmt.Fprintf(w, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fmt.Fprintf(w, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+	}
+	fmt.Fprintf(w, "}\n")
+}

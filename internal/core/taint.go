@@ -1,0 +1,175 @@
+package core
+
+import (
+	"parcoach/internal/ast"
+)
+
+// rankTaint holds, for one function, the set of variables whose value may
+// differ between MPI processes (flow-insensitive fixpoint). Phase 3 uses
+// it to separate genuine divergence conditionals (rank-dependent branches,
+// receive-dependent loop bounds, ...) from process-invariant control flow
+// such as literal-bound time-step loops, which every process executes
+// identically. The RawPDF ablation disables the filter to expose the
+// unrefined Algorithm 1 output.
+//
+// Sources of process variance:
+//   - the rank() intrinsic (size() is identical everywhere and stays clean)
+//   - user-call results (unknown, conservative)
+//   - parameters bound to tainted arguments at some call site — resolved
+//     by the interprocedural fixpoint in computeProgramTaint, so passing a
+//     literal repetition count around does not poison every callee
+//   - MPI_Recv destinations and per-rank collective outputs
+//     (Reduce at non-root is undefined, Scatter/Alltoall/Scan differ by
+//     construction; Bcast/Allreduce/Allgather produce identical values and
+//     add no taint)
+//
+// tid() and nthreads() vary between threads, not processes, and stay clean
+// here: phase 3 reasons about inter-process divergence only. Taint through
+// control dependence (x assigned a literal under a rank branch) is not
+// modelled; the dynamic CC checks cover that residue.
+type rankTaint struct {
+	vars map[string]bool
+}
+
+// computeProgramTaint resolves parameter taint across the call graph and
+// returns the per-function taint sets. The fixpoint is demand-driven: a
+// function is re-analysed only when one of its parameter assumptions was
+// widened by a caller, so large call graphs (HERA-sized) settle in a
+// handful of per-function passes instead of whole-program sweeps.
+func computeProgramTaint(prog *ast.Program) map[string]*rankTaint {
+	paramTaint := make(map[string][]bool, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		paramTaint[f.Name] = make([]bool, len(f.Params))
+	}
+	taints := make(map[string]*rankTaint, len(prog.Funcs))
+	work := make([]*ast.FuncDecl, len(prog.Funcs))
+	copy(work, prog.Funcs)
+	queued := make(map[string]bool, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		queued[f.Name] = true
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[f.Name] = false
+		t := computeRankTaint(f, paramTaint[f.Name])
+		taints[f.Name] = t
+		ast.Inspect(f.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pt, known := paramTaint[c.Name]
+			if !known {
+				return true // intrinsic or undefined
+			}
+			for i, a := range c.Args {
+				if i < len(pt) && !pt[i] && t.exprTainted(a) {
+					pt[i] = true
+					if callee := prog.Func(c.Name); callee != nil && !queued[c.Name] {
+						queued[c.Name] = true
+						work = append(work, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taints
+}
+
+// computeRankTaint runs the intraprocedural fixpoint with the given
+// parameter assumptions (nil means all parameters clean).
+func computeRankTaint(f *ast.FuncDecl, params []bool) *rankTaint {
+	t := &rankTaint{vars: make(map[string]bool)}
+	for i, p := range f.Params {
+		if i < len(params) && params[i] {
+			t.vars[p] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.VarDecl:
+				if n.Init != nil && t.exprTainted(n.Init) {
+					changed = t.mark(n.Name) || changed
+				}
+			case *ast.Assign:
+				if t.exprTainted(n.Value) {
+					changed = t.mark(lvalueName(n.Target)) || changed
+				}
+			case *ast.AtomicStmt:
+				if t.exprTainted(n.Value) {
+					changed = t.mark(lvalueName(n.Target)) || changed
+				}
+			case *ast.For:
+				if t.exprTainted(n.From) || t.exprTainted(n.To) {
+					changed = t.mark(n.Var) || changed
+				}
+			case *ast.MPIStmt:
+				if dst := n.Dst; dst != nil {
+					switch n.Kind {
+					case ast.MPIRecv, ast.MPIReduce, ast.MPIGather,
+						ast.MPIScatter, ast.MPIAlltoall, ast.MPIScan:
+						changed = t.mark(lvalueName(dst)) || changed
+					}
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+func (t *rankTaint) mark(name string) bool {
+	if name == "" || t.vars[name] {
+		return false
+	}
+	t.vars[name] = true
+	return true
+}
+
+func lvalueName(lv ast.LValue) string {
+	switch lv := lv.(type) {
+	case *ast.VarRef:
+		return lv.Name
+	case *ast.IndexExpr:
+		return lv.Name
+	}
+	return ""
+}
+
+// exprTainted reports whether e may evaluate differently on different
+// processes.
+func (t *rankTaint) exprTainted(e ast.Expr) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.VarRef:
+			if t.vars[n.Name] {
+				tainted = true
+			}
+		case *ast.IndexExpr:
+			if t.vars[n.Name] {
+				tainted = true
+			}
+		case *ast.CallExpr:
+			switch n.Name {
+			case "rank":
+				tainted = true
+			case "size", "tid", "nthreads", "len", "abs", "min", "max":
+				// process-invariant by themselves; arguments are still
+				// traversed by Inspect
+			default:
+				// User call: unknown result, conservative.
+				tainted = true
+			}
+		}
+		return !tainted
+	})
+	return tainted
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"parcoach/internal/parser"
+)
+
+// taintOf computes the program taint and returns the named function's set.
+func taintOf(t *testing.T, src, fn string) *rankTaint {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taints := computeProgramTaint(prog)
+	if taints[fn] == nil {
+		t.Fatalf("no taint for %q", fn)
+	}
+	return taints[fn]
+}
+
+func TestTaintSources(t *testing.T) {
+	rt := taintOf(t, `
+func main() {
+	var r = rank()
+	var s = size()
+	var lit = 42
+	var recvd = 0
+	MPI_Recv(recvd, 0)
+	var red = 0
+	MPI_Reduce(red, lit, sum, 0)
+	var all = 0
+	MPI_Allreduce(all, r, sum)
+	var bc = r
+	MPI_Bcast(bc, 0)
+	var sc = 0
+	MPI_Scan(sc, lit, sum)
+}`, "main")
+	want := map[string]bool{
+		"r": true, "recvd": true, "red": true, "sc": true,
+		"s": false, "lit": false, "all": false,
+	}
+	for name, tainted := range want {
+		if rt.vars[name] != tainted {
+			t.Errorf("taint(%s) = %v, want %v", name, rt.vars[name], tainted)
+		}
+	}
+	// bc was assigned from r before the bcast; flow-insensitively it stays
+	// tainted (conservative).
+	if !rt.vars["bc"] {
+		t.Error("bc must stay tainted (flow-insensitive)")
+	}
+}
+
+func TestTaintPropagatesThroughExpressions(t *testing.T) {
+	rt := taintOf(t, `
+func main() {
+	var r = rank()
+	var a = r * 2 + 1
+	var b = a % 7
+	var c = 5 + 3
+	var loop = 0
+	for i = 0 .. r {
+		loop = i
+	}
+}`, "main")
+	for _, name := range []string{"a", "b", "loop", "i"} {
+		_ = name
+	}
+	if !rt.vars["a"] || !rt.vars["b"] {
+		t.Error("arithmetic over tainted values must taint")
+	}
+	if rt.vars["c"] {
+		t.Error("pure literals must stay clean")
+	}
+	if !rt.vars["loop"] {
+		t.Error("loop variable with tainted bound taints its uses")
+	}
+}
+
+func TestTaintThreadIntrinsicsClean(t *testing.T) {
+	rt := taintOf(t, `
+func main() {
+	var t = tid()
+	var n = nthreads()
+	var s = size()
+}`, "main")
+	for _, name := range []string{"t", "n", "s"} {
+		if rt.vars[name] {
+			t.Errorf("%s varies across threads, not processes; must be clean", name)
+		}
+	}
+}
+
+func TestInterproceduralArgumentTaint(t *testing.T) {
+	src := `
+func helper(n) {
+	var x = n + 1
+	return x
+}
+func cleanCaller() {
+	var v = helper(10)
+	return v
+}
+func dirtyCaller() {
+	var v = helper(rank())
+	return v
+}
+func main() {
+	var a = cleanCaller()
+	var b = dirtyCaller()
+}`
+	rt := taintOf(t, src, "helper")
+	// dirtyCaller passes rank(): the parameter is tainted program-wide.
+	if !rt.vars["n"] || !rt.vars["x"] {
+		t.Error("parameter bound to a tainted argument at any call site must taint")
+	}
+}
+
+func TestParameterCleanWhenAllCallSitesClean(t *testing.T) {
+	src := `
+func kernel(reps) {
+	var acc = 0
+	for r = 0 .. reps {
+		acc += r
+	}
+	return acc
+}
+func main() {
+	var total = kernel(100)
+}`
+	rt := taintOf(t, src, "kernel")
+	if rt.vars["reps"] || rt.vars["r"] {
+		t.Error("literal arguments must leave the parameter clean (the EPCC bench_barrier case)")
+	}
+	// But the call RESULT is conservatively tainted in the caller.
+	mt := taintOf(t, src, "main")
+	if !mt.vars["total"] {
+		t.Error("user-call results stay conservatively tainted")
+	}
+}
+
+func TestTaintChainsThroughCallGraph(t *testing.T) {
+	src := `
+func level2(v) { return v }
+func level1(v) { return level2(v) }
+func main() {
+	var x = level1(rank())
+}`
+	rt := taintOf(t, src, "level2")
+	if !rt.vars["v"] {
+		t.Error("argument taint must chain caller → callee → callee")
+	}
+}
+
+func TestRecursiveTaintTerminates(t *testing.T) {
+	src := `
+func rec(n) {
+	if n > 0 {
+		return rec(n - 1)
+	}
+	return 0
+}
+func main() {
+	var x = rec(rank())
+}`
+	rt := taintOf(t, src, "rec")
+	if !rt.vars["n"] {
+		t.Error("recursive argument taint must converge and mark the parameter")
+	}
+}

@@ -1,0 +1,242 @@
+// Package dom computes dominator and postdominator trees, dominance
+// frontiers and iterated postdominance frontiers over internal/cfg graphs.
+//
+// PARCOACH's Algorithm 1 (inherited by this paper as its third compile-time
+// phase) rests on the iterated postdominance frontier PDF+: for the set O_c
+// of nodes calling collective c, PDF+(O_c) is exactly the set of
+// conditionals whose outcome decides whether a process executes c — the
+// places where control flow can desynchronize the collective sequence
+// across MPI processes.
+//
+// The implementation is the Cooper–Harvey–Kennedy iterative algorithm on a
+// reverse-postorder numbering, run forward for dominators and on the edge-
+// reversed graph for postdominators, with Cytron-style frontiers.
+package dom
+
+import (
+	"sort"
+
+	"parcoach/internal/cfg"
+)
+
+// Tree is a (post)dominator tree over one CFG.
+type Tree struct {
+	root *cfg.Node
+	// idom[n.ID] is the immediate (post)dominator; the root maps to itself.
+	// Nodes unreachable from the root map to nil.
+	idom []*cfg.Node
+	// order[n.ID] is the reverse-postorder number used for Dominates.
+	order []int
+	post  bool
+}
+
+// Root returns the tree root (entry for dominators, exit for postdominators).
+func (t *Tree) Root() *cfg.Node { return t.root }
+
+// IDom returns the immediate (post)dominator of n, or nil for the root and
+// for nodes unreachable from the root.
+func (t *Tree) IDom(n *cfg.Node) *cfg.Node {
+	if n == t.root {
+		return nil
+	}
+	return t.idom[n.ID]
+}
+
+// Reachable reports whether n participates in the tree.
+func (t *Tree) Reachable(n *cfg.Node) bool { return n == t.root || t.idom[n.ID] != nil }
+
+// Dominates reports whether a (post)dominates b (reflexively).
+func (t *Tree) Dominates(a, b *cfg.Node) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		if b == t.root {
+			return false
+		}
+		b = t.idom[b.ID]
+	}
+	return false
+}
+
+// graphView abstracts edge direction so one algorithm serves both trees.
+type graphView struct {
+	root  *cfg.Node
+	succs func(*cfg.Node) []*cfg.Node
+	preds func(*cfg.Node) []*cfg.Node
+}
+
+func forward(g *cfg.Graph) graphView {
+	return graphView{
+		root:  g.Entry,
+		succs: func(n *cfg.Node) []*cfg.Node { return n.Succs },
+		preds: func(n *cfg.Node) []*cfg.Node { return n.Preds },
+	}
+}
+
+func backward(g *cfg.Graph) graphView {
+	return graphView{
+		root:  g.Exit,
+		succs: func(n *cfg.Node) []*cfg.Node { return n.Preds },
+		preds: func(n *cfg.Node) []*cfg.Node { return n.Succs },
+	}
+}
+
+// Dominators computes the dominator tree rooted at the entry node.
+func Dominators(g *cfg.Graph) *Tree { return build(g, forward(g), false) }
+
+// PostDominators computes the postdominator tree rooted at the exit node.
+func PostDominators(g *cfg.Graph) *Tree { return build(g, backward(g), true) }
+
+func build(g *cfg.Graph, view graphView, post bool) *Tree {
+	n := len(g.Nodes)
+	t := &Tree{root: view.root, idom: make([]*cfg.Node, n), order: make([]int, n), post: post}
+
+	// Reverse postorder over the view.
+	rpo := make([]*cfg.Node, 0, n)
+	visited := make([]bool, n)
+	var dfs func(u *cfg.Node)
+	dfs = func(u *cfg.Node) {
+		visited[u.ID] = true
+		for _, v := range view.succs(u) {
+			if !visited[v.ID] {
+				dfs(v)
+			}
+		}
+		rpo = append(rpo, u)
+	}
+	dfs(view.root)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	for i, u := range rpo {
+		t.order[u.ID] = i
+	}
+
+	intersect := func(a, b *cfg.Node) *cfg.Node {
+		for a != b {
+			for t.order[a.ID] > t.order[b.ID] {
+				a = t.idom[a.ID]
+			}
+			for t.order[b.ID] > t.order[a.ID] {
+				b = t.idom[b.ID]
+			}
+		}
+		return a
+	}
+
+	t.idom[view.root.ID] = view.root
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo {
+			if u == view.root {
+				continue
+			}
+			var newIdom *cfg.Node
+			for _, p := range view.preds(u) {
+				if !visited[p.ID] || t.idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[u.ID] != newIdom {
+				t.idom[u.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	// The root's conventional self-idom is cleared in the accessor; keep the
+	// array self-referential for intersect correctness, but report nil.
+	return t
+}
+
+// Frontier computes the (post)dominance frontier of every node under t.
+// For a dominator tree this is Cytron's DF; for a postdominator tree it is
+// the postdominance frontier (control dependence).
+func Frontier(g *cfg.Graph, t *Tree) map[*cfg.Node][]*cfg.Node {
+	df := make(map[*cfg.Node]map[*cfg.Node]bool)
+	preds := func(n *cfg.Node) []*cfg.Node { return n.Preds }
+	if t.post {
+		preds = func(n *cfg.Node) []*cfg.Node { return n.Succs }
+	}
+	for _, n := range g.Nodes {
+		if !t.Reachable(n) {
+			continue
+		}
+		ps := preds(n)
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			if !t.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != t.IDom(n) && runner != n {
+				set := df[runner]
+				if set == nil {
+					set = make(map[*cfg.Node]bool)
+					df[runner] = set
+				}
+				set[n] = true
+				next := t.IDom(runner)
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	out := make(map[*cfg.Node][]*cfg.Node, len(df))
+	for n, set := range df {
+		out[n] = sortedNodes(set)
+	}
+	return out
+}
+
+// PostDominanceFrontier is a convenience wrapper computing PDF directly
+// from the graph.
+func PostDominanceFrontier(g *cfg.Graph) map[*cfg.Node][]*cfg.Node {
+	return Frontier(g, PostDominators(g))
+}
+
+// Iterated computes the iterated frontier DF+/PDF+ of a node set: the
+// least fixed point of repeatedly applying the frontier map.
+func Iterated(frontier map[*cfg.Node][]*cfg.Node, set []*cfg.Node) []*cfg.Node {
+	inResult := make(map[*cfg.Node]bool)
+	work := append([]*cfg.Node(nil), set...)
+	onWork := make(map[*cfg.Node]bool, len(set))
+	for _, n := range set {
+		onWork[n] = true
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range frontier[n] {
+			if !inResult[m] {
+				inResult[m] = true
+				if !onWork[m] {
+					onWork[m] = true
+					work = append(work, m)
+				}
+			}
+		}
+	}
+	return sortedNodes(inResult)
+}
+
+func sortedNodes(set map[*cfg.Node]bool) []*cfg.Node {
+	out := make([]*cfg.Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,278 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcoach/internal/cfg"
+	"parcoach/internal/parser"
+)
+
+func buildMain(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", "func main() {\n"+body+"\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.Build(prog.Func("main"))
+}
+
+func findBranch(g *cfg.Graph) *cfg.Node {
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.KindBranch {
+			return n
+		}
+	}
+	return nil
+}
+
+func TestDominatorsLinear(t *testing.T) {
+	g := buildMain(t, "var x = 0\nMPI_Barrier()\nx = 1")
+	d := Dominators(g)
+	if d.Root() != g.Entry {
+		t.Fatal("dominator root must be entry")
+	}
+	// Entry dominates everything reachable.
+	for _, n := range g.Nodes {
+		if d.Reachable(n) && !d.Dominates(g.Entry, n) {
+			t.Errorf("entry must dominate %s", n)
+		}
+	}
+	// Every node dominates itself.
+	for _, n := range g.Nodes {
+		if d.Reachable(n) && !d.Dominates(n, n) {
+			t.Errorf("%s must dominate itself", n)
+		}
+	}
+	if d.IDom(g.Entry) != nil {
+		t.Error("IDom(root) must be nil")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { x = 1 } else { x = 2 }\nMPI_Barrier()")
+	d := Dominators(g)
+	branch := findBranch(g)
+	coll := g.Collectives()[0]
+	if !d.Dominates(branch, coll) {
+		t.Error("branch must dominate the post-merge collective")
+	}
+	// Neither arm dominates the collective.
+	for _, arm := range branch.Succs {
+		if d.Dominates(arm, coll) {
+			t.Errorf("branch arm %s must not dominate the merge collective", arm)
+		}
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := buildMain(t, "var x = 0\nif x > 0 { x = 1 } else { x = 2 }\nMPI_Barrier()")
+	pd := PostDominators(g)
+	if pd.Root() != g.Exit {
+		t.Fatal("postdominator root must be exit")
+	}
+	branch := findBranch(g)
+	coll := g.Collectives()[0]
+	if !pd.Dominates(coll, branch) {
+		t.Error("the collective after the merge must postdominate the branch")
+	}
+	if !pd.Dominates(g.Exit, branch) {
+		t.Error("exit must postdominate everything reachable")
+	}
+	// An arm does not postdominate the branch.
+	for _, arm := range branch.Succs {
+		if pd.Dominates(arm, branch) {
+			t.Errorf("arm %s must not postdominate the branch", arm)
+		}
+	}
+}
+
+func TestPostDominanceFrontierIfCollective(t *testing.T) {
+	// Collective only in the then-branch: the branch node must be in the
+	// PDF of the collective — that is exactly PARCOACH's divergence point.
+	g := buildMain(t, "var x = 0\nif rank() == 0 { MPI_Barrier() }\nx = 1")
+	pdf := PostDominanceFrontier(g)
+	branch := findBranch(g)
+	coll := g.Collectives()[0]
+	found := false
+	for _, n := range pdf[coll] {
+		if n == branch {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PDF(collective) must contain the branch; got %v", pdf[coll])
+	}
+}
+
+func TestPDFCollectiveOnBothArms(t *testing.T) {
+	// A collective called on both sides does not make the *merge* diverge,
+	// but each occurrence is still control-dependent on the branch.
+	g := buildMain(t, "if rank() == 0 { MPI_Barrier() } else { MPI_Barrier() }")
+	pdf := PostDominanceFrontier(g)
+	branch := findBranch(g)
+	for _, coll := range g.Collectives() {
+		found := false
+		for _, n := range pdf[coll] {
+			if n == branch {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("each arm's collective is control-dependent on the branch")
+		}
+	}
+}
+
+func TestIteratedPDFNestedIf(t *testing.T) {
+	g := buildMain(t, `
+var x = 0
+if rank() > 0 {
+	if rank() > 1 {
+		MPI_Barrier()
+	}
+}
+x = 1`)
+	pdf := PostDominanceFrontier(g)
+	coll := g.Collectives()[0]
+	iter := Iterated(pdf, []*cfg.Node{coll})
+	branches := 0
+	for _, n := range iter {
+		if n.Kind == cfg.KindBranch {
+			branches++
+		}
+	}
+	if branches != 2 {
+		t.Errorf("iterated PDF must reach both nesting branches, got %d (%v)", branches, iter)
+	}
+}
+
+func TestIteratedEmptySet(t *testing.T) {
+	g := buildMain(t, "var x = 0")
+	pdf := PostDominanceFrontier(g)
+	if out := Iterated(pdf, nil); len(out) != 0 {
+		t.Errorf("Iterated(∅) = %v", out)
+	}
+}
+
+func TestLoopHeaderInPDF(t *testing.T) {
+	// A collective inside a loop is control-dependent on the loop header.
+	g := buildMain(t, "var n = rank()\nfor i = 0 .. n { MPI_Barrier() }")
+	pdf := PostDominanceFrontier(g)
+	coll := g.Collectives()[0]
+	header := findBranch(g)
+	found := false
+	for _, n := range Iterated(pdf, []*cfg.Node{coll}) {
+		if n == header {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop header must be in PDF+ of the loop-body collective")
+	}
+}
+
+func TestUnreachableNodesHandled(t *testing.T) {
+	g := buildMain(t, "return\nMPI_Barrier()")
+	d := Dominators(g)
+	pd := PostDominators(g)
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.KindCollective {
+			if d.Reachable(n) {
+				t.Error("dead node must be unreachable in dominator tree")
+			}
+			if d.Dominates(g.Entry, n) || pd.Dominates(g.Exit, n) && pd.Reachable(n) && false {
+				t.Error("dominance over dead nodes must be false")
+			}
+		}
+	}
+	// Frontier computation must not panic with unreachable nodes present.
+	_ = PostDominanceFrontier(g)
+	_ = Frontier(g, d)
+}
+
+func TestDominatesAntisymmetry(t *testing.T) {
+	g := buildMain(t, `
+var x = 0
+if x > 0 { x = 1 } else { x = 2 }
+while x > 0 { x -= 1 }
+parallel { single { MPI_Barrier() } }`)
+	d := Dominators(g)
+	for _, a := range g.Nodes {
+		for _, b := range g.Nodes {
+			if a == b || !d.Reachable(a) || !d.Reachable(b) {
+				continue
+			}
+			if d.Dominates(a, b) && d.Dominates(b, a) {
+				t.Errorf("dominance must be antisymmetric: %s <-> %s", a, b)
+			}
+		}
+	}
+}
+
+// Property: for random structured programs, (1) entry dominates all
+// reachable nodes, (2) exit postdominates all nodes that reach it, (3) the
+// idom of every non-root reachable node strictly dominates it.
+func TestDominatorPropertiesRandomPrograms(t *testing.T) {
+	gen := func(seed int64) string {
+		// Build a random structured body from a small grammar.
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := (rng >> 33) % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		var build func(depth int) string
+		build = func(depth int) string {
+			if depth > 3 {
+				return "x += 1\n"
+			}
+			switch next(6) {
+			case 0:
+				return "x += 1\n"
+			case 1:
+				return "MPI_Barrier()\n"
+			case 2:
+				return "if x > 0 {\n" + build(depth+1) + "}\n"
+			case 3:
+				return "if x > 0 {\n" + build(depth+1) + "} else {\n" + build(depth+1) + "}\n"
+			case 4:
+				return "while x > 3 {\n" + build(depth+1) + "x -= 1\n}\n"
+			default:
+				return "for i = 0 .. 3 {\n" + build(depth+1) + "}\n"
+			}
+		}
+		return "var x = 1\n" + build(0) + build(0) + build(0)
+	}
+	check := func(seed int64) bool {
+		src := gen(seed)
+		prog, err := parser.Parse("r.mh", "func main() {\n"+src+"\n}")
+		if err != nil {
+			return false
+		}
+		g := cfg.Build(prog.Func("main"))
+		d := Dominators(g)
+		pd := PostDominators(g)
+		for _, n := range g.Nodes {
+			if d.Reachable(n) && !d.Dominates(g.Entry, n) {
+				return false
+			}
+			if pd.Reachable(n) && !pd.Dominates(g.Exit, n) {
+				return false
+			}
+			if d.Reachable(n) && n != g.Entry {
+				id := d.IDom(n)
+				if id == nil || !d.Dominates(id, n) || d.Dominates(n, id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

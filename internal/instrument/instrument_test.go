@@ -1,0 +1,233 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/core"
+	"parcoach/internal/parser"
+)
+
+func run(t *testing.T, src string, opts core.Options) (*ast.Program, *ast.Program, *core.Result) {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := core.Analyze(prog, opts)
+	inst := Program(prog, res)
+	return prog, inst, res
+}
+
+func TestCleanProgramUntouched(t *testing.T) {
+	src := `
+func main() {
+	MPI_Init()
+	var x = 0
+	parallel { single { MPI_Allreduce(x, x, sum) } }
+	MPI_Finalize()
+}`
+	prog, inst, _ := run(t, src, core.Options{})
+	if ast.String(prog) != ast.String(inst) {
+		t.Error("clean program must be instrumented to an identical copy")
+	}
+	if st := Count(inst); st != (Stats{}) {
+		t.Errorf("clean program got instrumentation: %+v", st)
+	}
+}
+
+func TestCCInsertedBeforeCollectivesAndReturns(t *testing.T) {
+	src := `
+func main() {
+	var x = 0
+	if rank() == 0 {
+		MPI_Bcast(x)
+	}
+	MPI_Barrier()
+}`
+	_, inst, res := run(t, src, core.Options{})
+	if !res.Funcs["main"].NeedsCC {
+		t.Fatal("phase 3 must fire")
+	}
+	st := Count(inst)
+	if st.CCChecks != 2 {
+		t.Errorf("want CC before both collectives, got %d", st.CCChecks)
+	}
+	if st.ReturnChecks != 1 {
+		t.Errorf("want 1 end-of-function check, got %d", st.ReturnChecks)
+	}
+	// The CC for Bcast must precede the Bcast statement.
+	text := ast.String(inst)
+	ccIdx := strings.Index(text, "__cc(MPI_Bcast)")
+	bcastIdx := strings.Index(text, "MPI_Bcast(x)")
+	if ccIdx == -1 || bcastIdx == -1 || ccIdx > bcastIdx {
+		t.Errorf("CC must precede the collective:\n%s", text)
+	}
+}
+
+func TestCCBeforeExplicitReturn(t *testing.T) {
+	src := `
+func main() {
+	if rank() % 2 == 0 {
+		return
+	}
+	MPI_Barrier()
+}`
+	_, inst, _ := run(t, src, core.Options{})
+	st := Count(inst)
+	// One before the early return, one at the function end.
+	if st.ReturnChecks != 2 {
+		t.Errorf("want 2 return checks, got %d", st.ReturnChecks)
+	}
+}
+
+func TestNoDuplicateEndCheckAfterTrailingReturn(t *testing.T) {
+	src := `
+func f() {
+	if rank() == 0 { MPI_Barrier() }
+	return 1
+}
+func main() { var x = f() }`
+	_, inst, _ := run(t, src, core.Options{})
+	f := inst.Func("f")
+	last := f.Body.Stmts[len(f.Body.Stmts)-1]
+	if _, ok := last.(*ast.Return); !ok {
+		t.Error("trailing return must stay last (no dead end-check after it)")
+	}
+}
+
+func TestPhaseCountForMultithreadedCollective(t *testing.T) {
+	src := "func main() { parallel { MPI_Barrier() } }"
+	_, inst, res := run(t, src, core.Options{})
+	st := Count(inst)
+	if st.PhaseCounts != 1 {
+		t.Errorf("want 1 phase count, got %d", st.PhaseCounts)
+	}
+	if st.MonoChecks != 1 {
+		t.Errorf("want 1 mono check at the parallel begin, got %d", st.MonoChecks)
+	}
+	if len(res.Funcs["main"].Sipw) != 1 {
+		t.Error("Sipw must be recorded")
+	}
+	text := ast.String(inst)
+	if !strings.Contains(text, "__phase_count") || !strings.Contains(text, "__mono_check") {
+		t.Errorf("missing markers:\n%s", text)
+	}
+	// Mono check must be the first statement of the parallel body.
+	idxMono := strings.Index(text, "__mono_check")
+	idxPar := strings.Index(text, "parallel {")
+	if idxPar == -1 || idxMono < idxPar {
+		t.Error("mono check must sit inside the parallel body")
+	}
+}
+
+func TestConcurrentRegionsBracketed(t *testing.T) {
+	src := `
+func main() {
+	var x = 0
+	var y = 0
+	parallel {
+		single nowait { MPI_Bcast(x) }
+		single { MPI_Reduce(y, y) }
+	}
+}`
+	_, inst, _ := run(t, src, core.Options{})
+	st := Count(inst)
+	if st.ConcNotes != 4 {
+		t.Errorf("want enter/exit notes on both singles, got %d", st.ConcNotes)
+	}
+	if st.PhaseCounts != 2 {
+		t.Errorf("both collectives of the pair must be counted, got %d", st.PhaseCounts)
+	}
+}
+
+func TestSectionsBracketed(t *testing.T) {
+	src := `
+func main() {
+	var x = 0
+	var y = 0
+	parallel {
+		sections {
+			section { MPI_Bcast(x) }
+			section { MPI_Reduce(y, y) }
+		}
+	}
+}`
+	_, inst, _ := run(t, src, core.Options{})
+	st := Count(inst)
+	if st.ConcNotes != 4 {
+		t.Errorf("want both sections bracketed, got %d notes", st.ConcNotes)
+	}
+}
+
+func TestCallToCollectiveBearingFunctionGetsCC(t *testing.T) {
+	src := `
+func doColl() { MPI_Allreduce(x, x, sum) }
+func main() {
+	if rank() == 0 { doColl() }
+}`
+	_, inst, _ := run(t, src, core.Options{})
+	text := ast.String(inst)
+	if !strings.Contains(text, "__cc(call:doColl)") {
+		t.Errorf("call site must get a CC with the callee id:\n%s", text)
+	}
+}
+
+func TestOriginalProgramUnchanged(t *testing.T) {
+	src := `
+func main() {
+	var x = 0
+	if rank() == 0 { MPI_Bcast(x) }
+}`
+	prog, _, res := run(t, src, core.Options{})
+	_ = res
+	before := ast.String(prog)
+	// Instrument again to be sure repeated use is safe.
+	_ = Program(prog, res)
+	if ast.String(prog) != before {
+		t.Error("instrumentation must not mutate the analysed program")
+	}
+}
+
+func TestSelectiveInstrumentationSkipsCleanFunctions(t *testing.T) {
+	src := `
+func cleanWork() {
+	var x = 0
+	MPI_Allreduce(x, x, sum)
+}
+func dirty() {
+	if rank() == 0 { MPI_Barrier() }
+}
+func main() {
+	cleanWork()
+	dirty()
+}`
+	prog, inst, _ := run(t, src, core.Options{})
+	// cleanWork carries no checks...
+	cleanBefore := ast.String(prog.Func("cleanWork"))
+	cleanAfter := ast.String(inst.Func("cleanWork"))
+	if cleanBefore != cleanAfter {
+		t.Error("selective instrumentation must leave clean functions alone")
+	}
+	// ...while dirty does.
+	if !strings.Contains(ast.String(inst.Func("dirty")), "__cc(") {
+		t.Error("flagged function must be instrumented")
+	}
+}
+
+func TestInstrumentedProgramStillAnalyzable(t *testing.T) {
+	// The instrumented tree must survive CFG building and re-analysis
+	// (instr nodes are CFG-transparent).
+	src := `
+func main() {
+	var x = 0
+	parallel { MPI_Barrier() }
+	if rank() == 0 { MPI_Bcast(x) }
+}`
+	_, inst, _ := run(t, src, core.Options{})
+	res2 := core.Analyze(inst, core.Options{})
+	if len(res2.Errors()) == 0 {
+		t.Error("re-analysis of the instrumented tree must still see the bugs")
+	}
+}

@@ -1,0 +1,955 @@
+// Package interp executes MiniHybrid programs — pristine or instrumented —
+// on the simulated MPI world (internal/mpi) and per-process fork/join
+// threading runtime (internal/omp), dispatching the instrumentation
+// statements to the runtime verifier (internal/verifier).
+//
+// Each MPI process is a goroutine; each parallel region forks further
+// goroutines into a team. Variables declared outside a threading construct
+// are shared between the threads of the region (as in the OpenMP default);
+// declarations inside a construct are thread-private. Arrays pass to
+// functions and MPI vector operations by reference.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+	"parcoach/internal/source"
+	"parcoach/internal/token"
+	"parcoach/internal/verifier"
+)
+
+// Options configures a run.
+type Options struct {
+	// Procs is the number of MPI processes (default 2).
+	Procs int
+	// Threads is the default team size of parallel regions (default 2).
+	Threads int
+	// Level is the MPI thread support to simulate (default MPI_THREAD_MULTIPLE,
+	// so the verifier, not the usage police, reports hybrid bugs).
+	Level mpi.ThreadLevel
+	// LevelSet marks Level as explicitly chosen (so ThreadSingle is usable).
+	LevelSet bool
+	// Policy selects single-construct election (default FirstArrival;
+	// RoundRobin makes concurrency bugs deterministic).
+	Policy omp.Policy
+	// Stdout, when non-nil, additionally receives program output.
+	Stdout io.Writer
+	// MaxSteps bounds the total statements executed across all threads
+	// (default 50 million) so runaway loops terminate with an error.
+	MaxSteps int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Collectives int64
+	P2PMessages int64
+	Barriers    int64
+	Steps       int64
+	CCChecks    int
+	PhaseChecks int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Err is nil for a clean run; otherwise the verification error,
+	// runtime mismatch, deadlock report, or execution error.
+	Err error
+	// Output is the captured print output ("r<rank>: ..." lines).
+	Output string
+	// ExitValues holds each rank's return value from main.
+	ExitValues []int64
+	Stats      Stats
+}
+
+// RuntimeError is a located execution error (bad index, division by zero,
+// missing function, step-limit overrun, ...).
+type RuntimeError struct {
+	Rank int
+	Pos  source.Pos
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error on rank %d at %s: %s", e.Rank, e.Pos, e.Msg)
+}
+
+// Run executes prog's main function on every rank.
+func Run(prog *ast.Program, opts Options) *Result {
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	if !opts.LevelSet {
+		opts.Level = mpi.ThreadMultiple
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	res := &Result{ExitValues: make([]int64, opts.Procs)}
+	mainFn := prog.Func("main")
+	if mainFn == nil {
+		res.Err = &RuntimeError{Pos: prog.Pos(), Msg: "program has no main function"}
+		return res
+	}
+	world, err := mpi.NewWorld(mpi.Config{Procs: opts.Procs, Level: opts.Level})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	r := &runner{
+		prog:  prog,
+		opts:  opts,
+		world: world,
+		ver:   verifier.New(world.Monitor(), opts.Procs),
+	}
+	err = world.Run(func(p *mpi.Proc) error {
+		rt := omp.New(world.Monitor(), opts.Threads, opts.Policy)
+		th := rt.InitialThread()
+		c := &thctx{r: r, p: p, rt: rt, th: th, fn: mainFn.Name}
+		ret, err := c.callFunction(mainFn, nil, mainFn.NamePos)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		res.ExitValues[p.Rank()] = ret
+		r.mu.Unlock()
+		return nil
+	})
+	res.Err = err
+	res.Output = r.output.String()
+	res.Stats = Stats{
+		Collectives: atomic.LoadInt64(&r.collectives),
+		P2PMessages: atomic.LoadInt64(&r.p2p),
+		Barriers:    atomic.LoadInt64(&r.barriers),
+		Steps:       atomic.LoadInt64(&r.steps),
+	}
+	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
+	return res
+}
+
+type runner struct {
+	prog  *ast.Program
+	opts  Options
+	world *mpi.World
+	ver   *verifier.Verifier
+
+	mu     sync.Mutex
+	output strings.Builder
+
+	steps       int64
+	collectives int64
+	p2p         int64
+	barriers    int64
+}
+
+func (r *runner) printLine(rank int, line string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(&r.output, "r%d: %s\n", rank, line)
+	if r.opts.Stdout != nil {
+		fmt.Fprintf(r.opts.Stdout, "r%d: %s\n", rank, line)
+	}
+}
+
+//
+// Values and environments
+//
+
+type value struct {
+	arr []int64 // non-nil means array
+	i   int64
+}
+
+func scalar(i int64) value { return value{i: i} }
+
+type cell struct{ v value }
+
+type env struct {
+	parent *env
+	vars   map[string]*cell
+}
+
+func newEnv(parent *env) *env { return &env{parent: parent, vars: make(map[string]*cell)} }
+
+func (e *env) lookup(name string) *cell {
+	for sc := e; sc != nil; sc = sc.parent {
+		if c, ok := sc.vars[name]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (e *env) declare(name string, v value) { e.vars[name] = &cell{v: v} }
+
+//
+// Per-thread execution context
+//
+
+type thctx struct {
+	r  *runner
+	p  *mpi.Proc
+	rt *omp.Runtime
+	th *omp.Thread
+	fn string // current function name (for return:<fn> CC ids)
+}
+
+func (c *thctx) fork(th *omp.Thread) *thctx {
+	return &thctx{r: c.r, p: c.p, rt: c.rt, th: th, fn: c.fn}
+}
+
+func (c *thctx) errf(pos source.Pos, format string, args ...any) error {
+	return &RuntimeError{Rank: c.p.Rank(), Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// step counts one executed statement and polls the abort flag.
+func (c *thctx) step(pos source.Pos) error {
+	n := atomic.AddInt64(&c.r.steps, 1)
+	if n > c.r.opts.MaxSteps {
+		err := c.errf(pos, "step limit exceeded (%d statements executed; infinite loop?)", c.r.opts.MaxSteps)
+		c.r.world.Monitor().Abort(err)
+		return err
+	}
+	if c.r.world.Monitor().Aborted() {
+		return c.r.world.Monitor().Err()
+	}
+	return nil
+}
+
+func (c *thctx) callFunction(fn *ast.FuncDecl, args []value, at source.Pos) (int64, error) {
+	if len(args) != len(fn.Params) {
+		return 0, c.errf(at, "function %q expects %d argument(s), got %d", fn.Name, len(fn.Params), len(args))
+	}
+	e := newEnv(nil)
+	for i, p := range fn.Params {
+		e.declare(p, args[i])
+	}
+	saved := c.fn
+	c.fn = fn.Name
+	defer func() { c.fn = saved }()
+	returned, ret, err := c.execBlock(fn.Body, e)
+	if err != nil {
+		return 0, err
+	}
+	if !returned {
+		ret = 0
+	}
+	return ret, nil
+}
+
+// execBlock runs a block in a fresh child scope.
+func (c *thctx) execBlock(b *ast.Block, e *env) (returned bool, ret int64, err error) {
+	inner := newEnv(e)
+	return c.execStmts(b.Stmts, inner)
+}
+
+func (c *thctx) execStmts(stmts []ast.Stmt, e *env) (bool, int64, error) {
+	for _, s := range stmts {
+		returned, ret, err := c.execStmt(s, e)
+		if err != nil || returned {
+			return returned, ret, err
+		}
+	}
+	return false, 0, nil
+}
+
+func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
+	if err := c.step(s.Pos()); err != nil {
+		return false, 0, err
+	}
+	switch s := s.(type) {
+	case *ast.Block:
+		return c.execBlock(s, e)
+
+	case *ast.VarDecl:
+		if s.ArraySize != nil {
+			n, err := c.evalInt(s.ArraySize, e)
+			if err != nil {
+				return false, 0, err
+			}
+			if n < 0 || n > 1<<28 {
+				return false, 0, c.errf(s.VarPos, "invalid array size %d for %q", n, s.Name)
+			}
+			e.declare(s.Name, value{arr: make([]int64, n)})
+			return false, 0, nil
+		}
+		v := int64(0)
+		if s.Init != nil {
+			var err error
+			v, err = c.evalInt(s.Init, e)
+			if err != nil {
+				return false, 0, err
+			}
+		}
+		e.declare(s.Name, scalar(v))
+		return false, 0, nil
+
+	case *ast.Assign:
+		v, err := c.evalInt(s.Value, e)
+		if err != nil {
+			return false, 0, err
+		}
+		return false, 0, c.assign(s.Target, s.Op, v, e)
+
+	case *ast.CallStmt:
+		_, err := c.evalExpr(s.Call, e)
+		return false, 0, err
+
+	case *ast.If:
+		cond, err := c.evalInt(s.Cond, e)
+		if err != nil {
+			return false, 0, err
+		}
+		if cond != 0 {
+			return c.execBlock(s.Then, e)
+		}
+		if s.Else != nil {
+			return c.execStmt(s.Else, e)
+		}
+		return false, 0, nil
+
+	case *ast.For:
+		from, err := c.evalInt(s.From, e)
+		if err != nil {
+			return false, 0, err
+		}
+		to, err := c.evalInt(s.To, e)
+		if err != nil {
+			return false, 0, err
+		}
+		loopEnv := newEnv(e)
+		loopEnv.declare(s.Var, scalar(from))
+		cellVar := loopEnv.lookup(s.Var)
+		for i := from; i < to; i++ {
+			cellVar.v = scalar(i)
+			returned, ret, err := c.execBlock(s.Body, loopEnv)
+			if err != nil || returned {
+				return returned, ret, err
+			}
+			if err := c.step(s.ForPos); err != nil {
+				return false, 0, err
+			}
+		}
+		return false, 0, nil
+
+	case *ast.While:
+		for {
+			cond, err := c.evalInt(s.Cond, e)
+			if err != nil {
+				return false, 0, err
+			}
+			if cond == 0 {
+				return false, 0, nil
+			}
+			returned, ret, err := c.execBlock(s.Body, e)
+			if err != nil || returned {
+				return returned, ret, err
+			}
+			if err := c.step(s.WhilePos); err != nil {
+				return false, 0, err
+			}
+		}
+
+	case *ast.Return:
+		if s.Value != nil {
+			v, err := c.evalInt(s.Value, e)
+			return true, v, err
+		}
+		return true, 0, nil
+
+	case *ast.Print:
+		parts := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			v, err := c.evalExpr(a, e)
+			if err != nil {
+				return false, 0, err
+			}
+			if v.arr != nil {
+				parts[i] = fmt.Sprint(v.arr)
+			} else {
+				parts[i] = fmt.Sprint(v.i)
+			}
+		}
+		c.r.printLine(c.p.Rank(), strings.Join(parts, " "))
+		return false, 0, nil
+
+	case *ast.MPIStmt:
+		return false, 0, c.execMPI(s, e)
+
+	case *ast.ParallelStmt:
+		n := 0
+		if s.NumThreads != nil {
+			nv, err := c.evalInt(s.NumThreads, e)
+			if err != nil {
+				return false, 0, err
+			}
+			n = int(nv)
+		}
+		err := c.rt.Parallel(c.th, n, func(th *omp.Thread) error {
+			child := c.fork(th)
+			_, _, err := child.execBlock(s.Body, e)
+			return err
+		})
+		return false, 0, err
+
+	case *ast.SingleStmt:
+		if c.th.Single(s.RegionID) {
+			if _, _, err := c.execBlock(s.Body, e); err != nil {
+				return false, 0, err
+			}
+		}
+		if !s.Nowait {
+			atomic.AddInt64(&c.r.barriers, 1)
+			return false, 0, c.th.Barrier()
+		}
+		return false, 0, nil
+
+	case *ast.MasterStmt:
+		if c.th.Master() {
+			if _, _, err := c.execBlock(s.Body, e); err != nil {
+				return false, 0, err
+			}
+		}
+		return false, 0, nil
+
+	case *ast.CriticalStmt:
+		if err := c.rt.CriticalEnter(c.th, s.Name); err != nil {
+			return false, 0, err
+		}
+		_, _, err := c.execBlock(s.Body, e)
+		c.rt.CriticalExit(c.th, s.Name)
+		return false, 0, err
+
+	case *ast.BarrierStmt:
+		atomic.AddInt64(&c.r.barriers, 1)
+		return false, 0, c.th.Barrier()
+
+	case *ast.AtomicStmt:
+		v, err := c.evalInt(s.Value, e)
+		if err != nil {
+			return false, 0, err
+		}
+		// The monitor lock serializes atomic updates process-wide; they
+		// never block so this cannot deadlock.
+		c.r.world.Monitor().Lock()
+		err = c.assign(s.Target, s.Op, v, e)
+		c.r.world.Monitor().Unlock()
+		return false, 0, err
+
+	case *ast.PforStmt:
+		from, err := c.evalInt(s.From, e)
+		if err != nil {
+			return false, 0, err
+		}
+		to, err := c.evalInt(s.To, e)
+		if err != nil {
+			return false, 0, err
+		}
+		var loop *omp.ForLoop
+		if s.Sched == ast.ScheduleDynamic {
+			loop = c.th.DynamicFor(s.RegionID, from, to)
+		} else {
+			loop = c.th.StaticFor(s.RegionID, from, to)
+		}
+		loopEnv := newEnv(e)
+		loopEnv.declare(s.Var, scalar(0))
+		cellVar := loopEnv.lookup(s.Var)
+		for {
+			i, ok := loop.Next()
+			if !ok {
+				break
+			}
+			cellVar.v = scalar(i)
+			if _, _, err := c.execBlock(s.Body, loopEnv); err != nil {
+				return false, 0, err
+			}
+			if err := c.step(s.PforPos); err != nil {
+				return false, 0, err
+			}
+		}
+		if !s.Nowait {
+			atomic.AddInt64(&c.r.barriers, 1)
+			return false, 0, c.th.Barrier()
+		}
+		return false, 0, nil
+
+	case *ast.SectionsStmt:
+		for _, idx := range c.th.Sections(s.RegionID, len(s.Bodies)) {
+			if _, _, err := c.execBlock(s.Bodies[idx], e); err != nil {
+				return false, 0, err
+			}
+		}
+		if !s.Nowait {
+			atomic.AddInt64(&c.r.barriers, 1)
+			return false, 0, c.th.Barrier()
+		}
+		return false, 0, nil
+
+	case *ast.InstrCC:
+		return false, 0, c.execCC(s.OpName(), s.At, s.Once)
+
+	case *ast.InstrCCReturn:
+		return false, 0, c.execCC("return:"+c.fn, s.At, s.Once)
+
+	case *ast.InstrPhaseCount:
+		return false, 0, c.r.ver.PhaseCount(c.p, c.th, s.NodeID, s.CollKind.String(), s.At)
+
+	case *ast.InstrMonoCheck:
+		c.r.ver.MonoCheck(c.th, s.RegionID)
+		return false, 0, nil
+
+	case *ast.InstrConcNote:
+		if s.Enter {
+			c.r.ver.ConcEnter(c.p, c.th, s.RegionID)
+		} else {
+			c.r.ver.ConcExit(c.p, c.th, s.RegionID)
+		}
+		return false, 0, nil
+	}
+	return false, 0, c.errf(s.Pos(), "unhandled statement %T", s)
+}
+
+// execCC runs a process-level CC agreement. At sites every team thread
+// reaches (once == true) only the master announces — the execute-once
+// semantics standing in for the paper's single-wrapped check. Sites inside
+// single/master/section bodies are executed by exactly one thread already
+// and must not be filtered (the elected thread need not be the master).
+func (c *thctx) execCC(op string, at source.Pos, once bool) error {
+	if once && c.th.Team().Size() > 1 && !c.th.Master() {
+		return nil
+	}
+	return c.r.ver.CC(c.p, op, at)
+}
+
+func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
+	apply := func(old int64) int64 {
+		switch op {
+		case ast.AssignAdd:
+			return old + v
+		case ast.AssignSub:
+			return old - v
+		}
+		return v
+	}
+	switch lv := lv.(type) {
+	case *ast.VarRef:
+		cl := e.lookup(lv.Name)
+		if cl == nil {
+			return c.errf(lv.NamePos, "undefined variable %q", lv.Name)
+		}
+		if cl.v.arr != nil {
+			return c.errf(lv.NamePos, "array %q used as a scalar", lv.Name)
+		}
+		cl.v = scalar(apply(cl.v.i))
+		return nil
+	case *ast.IndexExpr:
+		cl := e.lookup(lv.Name)
+		if cl == nil {
+			return c.errf(lv.NamePos, "undefined variable %q", lv.Name)
+		}
+		if cl.v.arr == nil {
+			return c.errf(lv.NamePos, "scalar %q indexed like an array", lv.Name)
+		}
+		idx, err := c.evalInt(lv.Index, e)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || idx >= int64(len(cl.v.arr)) {
+			return c.errf(lv.NamePos, "index %d out of range for %q (len %d)", idx, lv.Name, len(cl.v.arr))
+		}
+		cl.v.arr[idx] = apply(cl.v.arr[idx])
+		return nil
+	}
+	return c.errf(lv.Pos(), "bad assignment target")
+}
+
+//
+// Expressions
+//
+
+func (c *thctx) evalInt(ex ast.Expr, e *env) (int64, error) {
+	v, err := c.evalExpr(ex, e)
+	if err != nil {
+		return 0, err
+	}
+	if v.arr != nil {
+		return 0, c.errf(ex.Pos(), "array used as a scalar value")
+	}
+	return v.i, nil
+}
+
+func (c *thctx) evalExpr(ex ast.Expr, e *env) (value, error) {
+	switch ex := ex.(type) {
+	case *ast.IntLit:
+		return scalar(ex.Value), nil
+	case *ast.BoolLit:
+		if ex.Value {
+			return scalar(1), nil
+		}
+		return scalar(0), nil
+	case *ast.VarRef:
+		cl := e.lookup(ex.Name)
+		if cl == nil {
+			return value{}, c.errf(ex.NamePos, "undefined variable %q", ex.Name)
+		}
+		return cl.v, nil
+	case *ast.IndexExpr:
+		cl := e.lookup(ex.Name)
+		if cl == nil {
+			return value{}, c.errf(ex.NamePos, "undefined variable %q", ex.Name)
+		}
+		if cl.v.arr == nil {
+			return value{}, c.errf(ex.NamePos, "scalar %q indexed like an array", ex.Name)
+		}
+		idx, err := c.evalInt(ex.Index, e)
+		if err != nil {
+			return value{}, err
+		}
+		if idx < 0 || idx >= int64(len(cl.v.arr)) {
+			return value{}, c.errf(ex.NamePos, "index %d out of range for %q (len %d)", idx, ex.Name, len(cl.v.arr))
+		}
+		return scalar(cl.v.arr[idx]), nil
+	case *ast.UnaryExpr:
+		v, err := c.evalInt(ex.X, e)
+		if err != nil {
+			return value{}, err
+		}
+		if ex.Op == token.Not {
+			if v == 0 {
+				return scalar(1), nil
+			}
+			return scalar(0), nil
+		}
+		return scalar(-v), nil
+	case *ast.BinaryExpr:
+		return c.evalBinary(ex, e)
+	case *ast.CallExpr:
+		return c.evalCall(ex, e)
+	}
+	return value{}, c.errf(ex.Pos(), "unhandled expression %T", ex)
+}
+
+func boolVal(b bool) value {
+	if b {
+		return scalar(1)
+	}
+	return scalar(0)
+}
+
+func (c *thctx) evalBinary(ex *ast.BinaryExpr, e *env) (value, error) {
+	// Short-circuit logical operators.
+	if ex.Op == token.AndAnd || ex.Op == token.OrOr {
+		x, err := c.evalInt(ex.X, e)
+		if err != nil {
+			return value{}, err
+		}
+		if ex.Op == token.AndAnd && x == 0 {
+			return scalar(0), nil
+		}
+		if ex.Op == token.OrOr && x != 0 {
+			return scalar(1), nil
+		}
+		y, err := c.evalInt(ex.Y, e)
+		if err != nil {
+			return value{}, err
+		}
+		return boolVal(y != 0), nil
+	}
+	x, err := c.evalInt(ex.X, e)
+	if err != nil {
+		return value{}, err
+	}
+	y, err := c.evalInt(ex.Y, e)
+	if err != nil {
+		return value{}, err
+	}
+	switch ex.Op {
+	case token.Plus:
+		return scalar(x + y), nil
+	case token.Minus:
+		return scalar(x - y), nil
+	case token.Star:
+		return scalar(x * y), nil
+	case token.Slash:
+		if y == 0 {
+			return value{}, c.errf(ex.OpPos, "division by zero")
+		}
+		return scalar(x / y), nil
+	case token.Percent:
+		if y == 0 {
+			return value{}, c.errf(ex.OpPos, "modulo by zero")
+		}
+		return scalar(x % y), nil
+	case token.Eq:
+		return boolVal(x == y), nil
+	case token.NotEq:
+		return boolVal(x != y), nil
+	case token.Lt:
+		return boolVal(x < y), nil
+	case token.LtEq:
+		return boolVal(x <= y), nil
+	case token.Gt:
+		return boolVal(x > y), nil
+	case token.GtEq:
+		return boolVal(x >= y), nil
+	}
+	return value{}, c.errf(ex.OpPos, "unhandled operator %s", ex.Op)
+}
+
+func (c *thctx) evalCall(ex *ast.CallExpr, e *env) (value, error) {
+	switch ex.Name {
+	case "rank":
+		return scalar(int64(c.p.Rank())), nil
+	case "size":
+		return scalar(int64(c.p.Size())), nil
+	case "tid":
+		return scalar(int64(c.th.TID())), nil
+	case "nthreads":
+		return scalar(int64(c.th.Team().Size())), nil
+	case "len":
+		if len(ex.Args) != 1 {
+			return value{}, c.errf(ex.NamePos, "len expects 1 argument")
+		}
+		v, err := c.evalExpr(ex.Args[0], e)
+		if err != nil {
+			return value{}, err
+		}
+		if v.arr == nil {
+			return value{}, c.errf(ex.NamePos, "len of a non-array")
+		}
+		return scalar(int64(len(v.arr))), nil
+	case "abs":
+		v, err := c.evalInt(ex.Args[0], e)
+		if err != nil {
+			return value{}, err
+		}
+		if v < 0 {
+			v = -v
+		}
+		return scalar(v), nil
+	case "min", "max":
+		if len(ex.Args) != 2 {
+			return value{}, c.errf(ex.NamePos, "%s expects 2 arguments", ex.Name)
+		}
+		a, err := c.evalInt(ex.Args[0], e)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := c.evalInt(ex.Args[1], e)
+		if err != nil {
+			return value{}, err
+		}
+		if (ex.Name == "min") == (a < b) {
+			return scalar(a), nil
+		}
+		return scalar(b), nil
+	}
+	fn := c.r.prog.Func(ex.Name)
+	if fn == nil {
+		return value{}, c.errf(ex.NamePos, "call to undefined function %q", ex.Name)
+	}
+	args := make([]value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := c.evalExpr(a, e)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	ret, err := c.callFunction(fn, args, ex.NamePos)
+	return scalar(ret), err
+}
+
+//
+// MPI statement execution
+//
+
+func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
+	loc := s.KindPos.String()
+	tid := c.th.ID()
+
+	evalOr := func(ex ast.Expr, def int64) (int64, error) {
+		if ex == nil {
+			return def, nil
+		}
+		return c.evalInt(ex, e)
+	}
+
+	switch s.Kind {
+	case ast.MPIInit:
+		return c.p.Init(tid)
+	case ast.MPIFinalize:
+		return c.p.Finalize(tid)
+	case ast.MPISend:
+		v, err := c.evalInt(s.Src, e)
+		if err != nil {
+			return err
+		}
+		dest, err := c.evalInt(s.Dest, e)
+		if err != nil {
+			return err
+		}
+		tag, err := evalOr(s.Tag, 0)
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(&c.r.p2p, 1)
+		return c.p.Send(tid, v, int(dest), int(tag), loc)
+	case ast.MPIRecv:
+		src, err := c.evalInt(s.Dest, e)
+		if err != nil {
+			return err
+		}
+		tag, err := evalOr(s.Tag, 0)
+		if err != nil {
+			return err
+		}
+		atomic.AddInt64(&c.r.p2p, 1)
+		v, err := c.p.Recv(tid, int(src), int(tag), loc)
+		if err != nil {
+			return err
+		}
+		return c.assign(s.Dst, ast.AssignSet, v, e)
+	}
+
+	// Collectives.
+	op, err := collOp(s.Kind)
+	if err != nil {
+		return c.errf(s.KindPos, "%v", err)
+	}
+	red, err := mpi.ParseRedOp(s.OpName)
+	if err != nil {
+		return c.errf(s.KindPos, "%v", err)
+	}
+	root64, err := evalOr(s.Root, 0)
+	if err != nil {
+		return err
+	}
+	root := int(root64)
+
+	var contribValue int64
+	var contribVector []int64
+	switch s.Kind {
+	case ast.MPIBarrier:
+	case ast.MPIBcast:
+		v, err := c.lvalueValue(s.Dst, e)
+		if err != nil {
+			return err
+		}
+		contribValue = v
+	case ast.MPIReduce, ast.MPIAllreduce, ast.MPIScan, ast.MPIGather, ast.MPIAllgather:
+		v, err := c.evalInt(s.Src, e)
+		if err != nil {
+			return err
+		}
+		contribValue = v
+	case ast.MPIScatter, ast.MPIAlltoall:
+		arr, err := c.arrayValue(s.Src, e)
+		if err != nil {
+			return err
+		}
+		contribVector = arr
+	}
+
+	atomic.AddInt64(&c.r.collectives, 1)
+	outV, outVec, err := c.p.Collective(tid, op, red, root, contribValue, contribVector, loc)
+	if err != nil {
+		return err
+	}
+
+	switch s.Kind {
+	case ast.MPIBarrier:
+		return nil
+	case ast.MPIBcast, ast.MPIAllreduce, ast.MPIScan, ast.MPIScatter:
+		return c.assign(s.Dst, ast.AssignSet, outV, e)
+	case ast.MPIReduce:
+		if c.p.Rank() == root {
+			return c.assign(s.Dst, ast.AssignSet, outV, e)
+		}
+		return nil
+	case ast.MPIGather:
+		if c.p.Rank() == root {
+			return c.storeVector(s.Dst, outVec, e)
+		}
+		return nil
+	case ast.MPIAllgather, ast.MPIAlltoall:
+		return c.storeVector(s.Dst, outVec, e)
+	}
+	return nil
+}
+
+func collOp(k ast.MPIKind) (mpi.Op, error) {
+	switch k {
+	case ast.MPIBarrier:
+		return mpi.OpBarrier, nil
+	case ast.MPIBcast:
+		return mpi.OpBcast, nil
+	case ast.MPIReduce:
+		return mpi.OpReduce, nil
+	case ast.MPIAllreduce:
+		return mpi.OpAllreduce, nil
+	case ast.MPIGather:
+		return mpi.OpGather, nil
+	case ast.MPIAllgather:
+		return mpi.OpAllgather, nil
+	case ast.MPIScatter:
+		return mpi.OpScatter, nil
+	case ast.MPIAlltoall:
+		return mpi.OpAlltoall, nil
+	case ast.MPIScan:
+		return mpi.OpScan, nil
+	}
+	return 0, fmt.Errorf("not a collective: %v", k)
+}
+
+// lvalueValue reads the current scalar value of an lvalue (Bcast source).
+func (c *thctx) lvalueValue(lv ast.LValue, e *env) (int64, error) {
+	v, err := c.evalExpr(lv, e)
+	if err != nil {
+		return 0, err
+	}
+	if v.arr != nil {
+		return 0, c.errf(lv.Pos(), "array used where a scalar is needed")
+	}
+	return v.i, nil
+}
+
+// arrayValue snapshots the named array (Scatter/Alltoall contribution).
+func (c *thctx) arrayValue(ex ast.Expr, e *env) ([]int64, error) {
+	v, err := c.evalExpr(ex, e)
+	if err != nil {
+		return nil, err
+	}
+	if v.arr == nil {
+		return nil, c.errf(ex.Pos(), "array expected")
+	}
+	return v.arr, nil
+}
+
+// storeVector copies a collective's vector result into the destination
+// array (up to its length).
+func (c *thctx) storeVector(lv ast.LValue, vec []int64, e *env) error {
+	ref, ok := lv.(*ast.VarRef)
+	if !ok {
+		return c.errf(lv.Pos(), "vector destination must be an array variable")
+	}
+	cl := e.lookup(ref.Name)
+	if cl == nil {
+		return c.errf(ref.NamePos, "undefined variable %q", ref.Name)
+	}
+	if cl.v.arr == nil {
+		return c.errf(ref.NamePos, "vector destination %q must be an array", ref.Name)
+	}
+	n := copy(cl.v.arr, vec)
+	_ = n
+	return nil
+}

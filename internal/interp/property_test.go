@@ -1,0 +1,120 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parcoach/internal/core"
+	"parcoach/internal/instrument"
+	"parcoach/internal/parser"
+	"parcoach/internal/sem"
+)
+
+// genCleanHybrid deterministically generates a correct hybrid program from
+// a seed: collectives appear only at sequential level or inside
+// single/master regions, all control flow around collectives is
+// process-invariant, so the program must run cleanly with and without
+// instrumentation and produce identical results.
+func genCleanHybrid(seed int64) string {
+	rng := seed
+	next := func(n int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := (rng >> 33) % n
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	var b strings.Builder
+	b.WriteString("func main() {\nMPI_Init()\nvar x = rank() + 1\nvar acc = 0\n")
+	blocks := 2 + next(3)
+	for i := int64(0); i < blocks; i++ {
+		switch next(5) {
+		case 0:
+			fmt.Fprintf(&b, "for i = 0 .. %d {\nacc += i * %d\n}\n", 2+next(5), 1+next(3))
+		case 1:
+			b.WriteString("parallel num_threads(2) {\n")
+			b.WriteString(fmt.Sprintf("pfor i = 0 .. %d {\natomic acc += 1\n}\n", 4+next(8)))
+			if next(2) == 0 {
+				b.WriteString("single {\nMPI_Allreduce(x, x, sum)\n}\n")
+			} else {
+				b.WriteString("master {\nMPI_Bcast(x, 0)\n}\nbarrier\n")
+			}
+			b.WriteString("}\n")
+		case 2:
+			b.WriteString("MPI_Barrier()\n")
+		case 3:
+			fmt.Fprintf(&b, "var v%d = 0\nMPI_Allreduce(v%d, acc + %d, sum)\nacc += v%d %% 13\n", i, i, next(9), i)
+		default:
+			fmt.Fprintf(&b, "if acc %% 2 == 0 {\nacc += %d\n} else {\nacc -= %d\n}\n", 1+next(4), next(3))
+		}
+	}
+	b.WriteString("var final = 0\nMPI_Reduce(final, acc + x, sum, 0)\n")
+	b.WriteString("if rank() == 0 {\nprint(final)\n}\nMPI_Finalize()\n}\n")
+	return b.String()
+}
+
+// Property: for random clean hybrid programs, (1) the analysis reports no
+// threading warnings, (2) plain and instrumented execution both succeed,
+// (3) their outputs agree.
+func TestInstrumentationPreservesCleanPrograms(t *testing.T) {
+	check := func(seed int64) bool {
+		src := genCleanHybrid(seed)
+		prog, err := parser.Parse("gen.mh", src)
+		if err != nil {
+			t.Logf("seed %d: parse error %v\n%s", seed, err, src)
+			return false
+		}
+		if err := sem.Check(prog); err != nil {
+			t.Logf("seed %d: sem error %v\n%s", seed, err, src)
+			return false
+		}
+		res := core.Analyze(prog, core.Options{})
+		counts := core.CountByKind(res.Errors())
+		if counts[core.DiagMultithreadedCollective] != 0 || counts[core.DiagConcurrentCollectives] != 0 {
+			t.Logf("seed %d: unexpected threading warnings: %v\n%s", seed, res.Errors(), src)
+			return false
+		}
+		inst := instrument.Program(prog, res)
+		plain := Run(prog, Options{Procs: 2, Threads: 2})
+		wired := Run(inst, Options{Procs: 2, Threads: 2})
+		if plain.Err != nil || wired.Err != nil {
+			t.Logf("seed %d: run errors %v / %v\n%s", seed, plain.Err, wired.Err, src)
+			return false
+		}
+		if plain.Output != wired.Output {
+			t.Logf("seed %d: outputs differ %q vs %q", seed, plain.Output, wired.Output)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: seeding a rank-divergent exit into any generated program makes
+// the instrumented run abort (never hang, never silently pass).
+func TestInstrumentationCatchesSeededDivergence(t *testing.T) {
+	check := func(seed int64) bool {
+		base := genCleanHybrid(seed)
+		// Inject an early return for odd ranks right after MPI_Init.
+		src := strings.Replace(base, "var acc = 0\n",
+			"var acc = 0\nif rank() % 2 == 1 {\nMPI_Finalize()\nreturn 1\n}\n", 1)
+		prog, err := parser.Parse("gen.mh", src)
+		if err != nil {
+			return false
+		}
+		res := core.Analyze(prog, core.Options{})
+		inst := instrument.Program(prog, res)
+		out := Run(inst, Options{Procs: 2, Threads: 2})
+		// The base program always has at least the final Reduce, so the
+		// divergence must be caught.
+		return out.Err != nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

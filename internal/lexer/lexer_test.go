@@ -1,0 +1,188 @@
+package lexer
+
+import (
+	"testing"
+
+	"parcoach/internal/source"
+	"parcoach/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]token.Token, source.ErrorList) {
+	t.Helper()
+	l := New(source.NewFile("t.mh", src))
+	return l.Scan(), l.Errors()
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := scan(t, src)
+	if len(errs) > 0 {
+		t.Fatalf("scan(%q) errors: %v", src, errs)
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("scan(%q) = %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan(%q)[%d] = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "= == ! != < <= > >= && || + += - -= * / % .. ; ,",
+		token.Assign, token.Eq, token.Not, token.NotEq, token.Lt, token.LtEq,
+		token.Gt, token.GtEq, token.AndAnd, token.OrOr, token.Plus, token.PlusEq,
+		token.Minus, token.MinusEq, token.Star, token.Slash, token.Percent,
+		token.DotDot, token.Semi, token.Comma)
+}
+
+func TestDelimiters(t *testing.T) {
+	expectKinds(t, "( ) { } [ ]",
+		token.LParen, token.RParen, token.LBrace, token.RBrace,
+		token.LBracket, token.RBracket)
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "func foo parallel single MPI_Barrier x_1",
+		token.Func, token.Ident, token.Parallel, token.Single, token.Ident, token.Ident)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := scan(t, "0 7 12345")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantLits := []string{"0", "7", "12345"}
+	for i, want := range wantLits {
+		if toks[i].Kind != token.Int || toks[i].Lit != want {
+			t.Errorf("token %d = %v, want Int %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	toks, errs := scan(t, "12abc")
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	if toks[0].Kind != token.Illegal || toks[0].Lit != "12abc" {
+		t.Errorf("token = %v, want Illegal \"12abc\"", toks[0])
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "x // trailing comment with symbols +-*/\ny",
+		token.Ident, token.Ident)
+	// A whole-file comment yields only EOF.
+	expectKinds(t, "// whole file is comment")
+}
+
+func TestCommentAtEOFWithoutNewline(t *testing.T) {
+	expectKinds(t, "a // no newline", token.Ident)
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "^", "~", "?", "`", "\"", "'"} {
+		toks, errs := scan(t, src)
+		if len(errs) != 1 {
+			t.Errorf("scan(%q): want 1 error, got %v", src, errs)
+		}
+		if toks[0].Kind != token.Illegal {
+			t.Errorf("scan(%q)[0] = %v, want Illegal", src, toks[0])
+		}
+	}
+}
+
+func TestSingleAmpersandAndPipe(t *testing.T) {
+	for _, src := range []string{"&", "|"} {
+		toks, errs := scan(t, src)
+		if len(errs) != 1 || toks[0].Kind != token.Illegal {
+			t.Errorf("scan(%q) = %v errs=%v, want Illegal with hint", src, toks, errs)
+		}
+	}
+}
+
+func TestLoneDot(t *testing.T) {
+	toks, errs := scan(t, ".")
+	if len(errs) != 1 || toks[0].Kind != token.Illegal {
+		t.Errorf("lone dot: toks=%v errs=%v", toks, errs)
+	}
+}
+
+func TestOffsetsResolveToPositions(t *testing.T) {
+	file := source.NewFile("pos.mh", "func f() {\n  x = 1\n}\n")
+	l := New(file)
+	toks := l.Scan()
+	// Token "x" should be at line 2 col 3.
+	var xTok *token.Token
+	for i := range toks {
+		if toks[i].Kind == token.Ident && toks[i].Lit == "x" {
+			xTok = &toks[i]
+		}
+	}
+	if xTok == nil {
+		t.Fatal("x token not found")
+	}
+	pos := file.Pos(xTok.Offset)
+	if pos.Line != 2 || pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", pos)
+	}
+}
+
+func TestScanAlwaysEndsWithEOF(t *testing.T) {
+	for _, src := range []string{"", "   ", "\n\n", "x", "@@@@", "// c"} {
+		toks, _ := scan(t, src)
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			t.Errorf("scan(%q) must end with EOF, got %v", src, toks)
+		}
+	}
+}
+
+func TestRealisticSnippet(t *testing.T) {
+	src := `
+func main() {
+	MPI_Init()
+	var x = 0
+	parallel num_threads(4) {
+		pfor schedule(dynamic) i = 0 .. 10 {
+			atomic x += i
+		}
+		single {
+			MPI_Allreduce(x, x, sum)
+		}
+	}
+	MPI_Finalize()
+}`
+	toks, errs := scan(t, src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// Spot-check a few structural tokens.
+	var sawPfor, sawSchedule, sawAtomic, sawSingle bool
+	for _, tok := range toks {
+		switch tok.Kind {
+		case token.Pfor:
+			sawPfor = true
+		case token.Schedule:
+			sawSchedule = true
+		case token.Atomic:
+			sawAtomic = true
+		case token.Single:
+			sawSingle = true
+		}
+	}
+	if !sawPfor || !sawSchedule || !sawAtomic || !sawSingle {
+		t.Error("missing construct keywords in realistic snippet")
+	}
+}

@@ -1,0 +1,197 @@
+// Package monitor is the blocking kernel shared by the simulated MPI and
+// OpenMP runtimes: a single global monitor through which every blocking
+// operation (collective wait, message rendezvous, team barrier, single
+// election wait, critical acquisition, CC agreement) must pass.
+//
+// Because all thread liveness transitions and all waits are registered
+// here under one mutex, the monitor detects deadlock deterministically and
+// without timeouts: the instant every live thread is blocked, no further
+// progress is possible, and the monitor aborts the run with a report
+// listing what every thread was waiting for. This replaces the "job hangs
+// on the cluster until the batch limit" experience the paper's tool is
+// designed to prevent — and gives the test suite an exact oracle for the
+// error programs the validator must catch before this point.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Monitor coordinates all blocking in one run.
+type Monitor struct {
+	mu       sync.Mutex
+	live     int
+	blocked  int
+	waiters  map[*Waiter]bool
+	aborted  atomic.Bool
+	err      error
+	analyzer []func() []string
+}
+
+// New returns an empty monitor.
+func New() *Monitor {
+	return &Monitor{waiters: make(map[*Waiter]bool)}
+}
+
+// Waiter represents one blocked thread.
+type Waiter struct {
+	// Reason is the operation class ("MPI collective", "team barrier", ...).
+	Reason string
+	// Detail describes the instance ("rank 2: MPI_Bcast (call #14)").
+	Detail string
+	ch     chan struct{}
+	err    error
+}
+
+// Lock acquires the global monitor mutex. Subsystems hold it while
+// inspecting or updating their shared state and while creating or waking
+// waiters, which is what makes the quiescence check exact.
+func (m *Monitor) Lock() { m.mu.Lock() }
+
+// Unlock releases the global monitor mutex.
+func (m *Monitor) Unlock() { m.mu.Unlock() }
+
+// AddAnalyzer registers a callback that contributes context lines to the
+// deadlock report (e.g. the MPI matcher describing which ranks already
+// finalized). Must be called before the run starts.
+func (m *Monitor) AddAnalyzer(f func() []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.analyzer = append(m.analyzer, f)
+}
+
+// ThreadStarted registers a new live thread (lock taken internally).
+func (m *Monitor) ThreadStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live++
+}
+
+// ThreadExited unregisters a live thread and re-checks for quiescence:
+// a thread exiting while every other one is blocked is a deadlock (e.g. a
+// process returning from main while its peers wait in a collective).
+func (m *Monitor) ThreadExited() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live--
+	m.checkQuiescenceLocked()
+}
+
+// NewWaiterLocked registers the calling thread as blocked. The caller must
+// hold the monitor lock, release it, then Await outside the lock.
+func (m *Monitor) NewWaiterLocked(reason, detail string) *Waiter {
+	w := &Waiter{Reason: reason, Detail: detail, ch: make(chan struct{}, 1)}
+	if m.aborted.Load() {
+		// The run already failed; never park new arrivals.
+		w.err = m.err
+		w.ch <- struct{}{}
+		return w
+	}
+	m.waiters[w] = true
+	m.blocked++
+	m.checkQuiescenceLocked()
+	return w
+}
+
+// WakeLocked releases a waiter. Wakes are precise: the waker has already
+// established the condition the waiter was blocked on. The caller must
+// hold the monitor lock.
+func (m *Monitor) WakeLocked(w *Waiter) {
+	if !m.waiters[w] {
+		return
+	}
+	delete(m.waiters, w)
+	m.blocked--
+	w.err = m.err
+	w.ch <- struct{}{}
+}
+
+// Await blocks until woken or aborted, returning the abort error if the
+// run failed. Must be called without the lock held.
+func (w *Waiter) Await() error {
+	<-w.ch
+	return w.err
+}
+
+// Abort fails the run: the first error wins, every current waiter is woken
+// with it, and Aborted flips so running threads stop at their next check.
+func (m *Monitor) Abort(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.AbortLocked(err)
+}
+
+// AbortLocked is Abort for callers already holding the lock.
+func (m *Monitor) AbortLocked(err error) {
+	if m.aborted.Load() {
+		return
+	}
+	m.err = err
+	m.aborted.Store(true)
+	for w := range m.waiters {
+		delete(m.waiters, w)
+		m.blocked--
+		w.err = err
+		w.ch <- struct{}{}
+	}
+}
+
+// Aborted reports whether the run failed; lock-free so interpreters can
+// poll it on every statement.
+func (m *Monitor) Aborted() bool { return m.aborted.Load() }
+
+// Err returns the abort error, if any.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// ErrLocked is Err for callers already holding the (non-reentrant) lock.
+func (m *Monitor) ErrLocked() error { return m.err }
+
+// Stats reports the current liveness counters (for tests).
+func (m *Monitor) Stats() (live, blocked int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live, m.blocked
+}
+
+// checkQuiescenceLocked fires the deadlock detection: every live thread is
+// blocked, so nothing can ever wake them.
+func (m *Monitor) checkQuiescenceLocked() {
+	if m.aborted.Load() || m.live == 0 || m.blocked != m.live {
+		return
+	}
+	var lines []string
+	for w := range m.waiters {
+		lines = append(lines, fmt.Sprintf("  %s: %s", w.Reason, w.Detail))
+	}
+	sort.Strings(lines)
+	for _, f := range m.analyzer {
+		for _, l := range f() {
+			lines = append(lines, "  "+l)
+		}
+	}
+	m.AbortLocked(&DeadlockError{Details: lines})
+}
+
+// DeadlockError reports that every live thread was blocked.
+type DeadlockError struct {
+	Details []string
+}
+
+// Error renders the full report.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	b.WriteString("deadlock: every live thread is blocked")
+	if len(e.Details) > 0 {
+		b.WriteString("\n")
+		b.WriteString(strings.Join(e.Details, "\n"))
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWakeBeforeAwait(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	m.Lock()
+	w := m.NewWaiterLocked("test", "w1")
+	m.WakeLocked(w)
+	m.Unlock()
+	if err := w.Await(); err != nil {
+		t.Errorf("Await after wake = %v", err)
+	}
+}
+
+func TestAwaitBlocksUntilWake(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	m.Lock()
+	w := m.NewWaiterLocked("test", "w1")
+	m.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- w.Await() }()
+	select {
+	case <-done:
+		t.Fatal("Await returned before wake")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Lock()
+	m.WakeLocked(w)
+	m.Unlock()
+	if err := <-done; err != nil {
+		t.Errorf("Await = %v", err)
+	}
+}
+
+func TestAbortWakesAllWithError(t *testing.T) {
+	m := New()
+	for i := 0; i < 3; i++ {
+		m.ThreadStarted()
+	}
+	boom := errors.New("boom")
+	var ws []*Waiter
+	m.Lock()
+	for i := 0; i < 2; i++ {
+		ws = append(ws, m.NewWaiterLocked("test", "w"))
+	}
+	m.Unlock()
+	m.Abort(boom)
+	for _, w := range ws {
+		if err := w.Await(); err != boom {
+			t.Errorf("Await after abort = %v, want boom", err)
+		}
+	}
+	if !m.Aborted() || m.Err() != boom {
+		t.Error("abort state not recorded")
+	}
+}
+
+func TestFirstAbortWins(t *testing.T) {
+	m := New()
+	e1, e2 := errors.New("first"), errors.New("second")
+	m.Abort(e1)
+	m.Abort(e2)
+	if m.Err() != e1 {
+		t.Errorf("Err = %v, want first", m.Err())
+	}
+}
+
+func TestWaiterAfterAbortWakesImmediately(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	boom := errors.New("boom")
+	m.Abort(boom)
+	m.Lock()
+	w := m.NewWaiterLocked("test", "late")
+	m.Unlock()
+	if err := w.Await(); err != boom {
+		t.Errorf("late waiter error = %v", err)
+	}
+}
+
+func TestQuiescenceDetectsAllBlocked(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Lock()
+			w := m.NewWaiterLocked("test wait", "thread blocked forever")
+			m.Unlock()
+			errs[i] = w.Await()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		var d *DeadlockError
+		if !errors.As(err, &d) {
+			t.Fatalf("want DeadlockError, got %v", err)
+		}
+		if !strings.Contains(d.Error(), "thread blocked forever") {
+			t.Errorf("report must include waiter details: %v", d)
+		}
+	}
+}
+
+func TestQuiescenceOnThreadExit(t *testing.T) {
+	m := New()
+	m.ThreadStarted() // blocker
+	m.ThreadStarted() // exiter
+	m.Lock()
+	w := m.NewWaiterLocked("MPI collective", "rank 0: MPI_Barrier")
+	m.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- w.Await() }()
+	// The second thread exits without ever waking the first.
+	m.ThreadExited()
+	err := <-done
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("want DeadlockError after exit, got %v", err)
+	}
+}
+
+func TestNoFalseQuiescenceWhileRunnable(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	m.Lock()
+	w := m.NewWaiterLocked("test", "one blocked")
+	m.Unlock()
+	// One thread blocked, one running: no deadlock.
+	if m.Aborted() {
+		t.Fatal("false quiescence")
+	}
+	m.Lock()
+	m.WakeLocked(w)
+	m.Unlock()
+	if err := w.Await(); err != nil {
+		t.Errorf("Await = %v", err)
+	}
+}
+
+func TestAllThreadsExitedIsNotDeadlock(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadExited()
+	if m.Aborted() {
+		t.Error("clean exit treated as deadlock")
+	}
+}
+
+func TestAnalyzerContributesToReport(t *testing.T) {
+	m := New()
+	m.AddAnalyzer(func() []string { return []string{"rank 1: finalized"} })
+	m.ThreadStarted()
+	m.Lock()
+	w := m.NewWaiterLocked("MPI collective", "rank 0 waiting")
+	m.Unlock()
+	err := w.Await()
+	if err == nil || !strings.Contains(err.Error(), "rank 1: finalized") {
+		t.Errorf("analyzer lines missing from report: %v", err)
+	}
+}
+
+func TestWakeLockedIdempotent(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	m.Lock()
+	w := m.NewWaiterLocked("test", "w")
+	m.WakeLocked(w)
+	m.WakeLocked(w) // second wake must be a no-op
+	m.Unlock()
+	if err := w.Await(); err != nil {
+		t.Errorf("Await = %v", err)
+	}
+	if _, blocked := m.Stats(); blocked != 0 {
+		t.Errorf("blocked count corrupted: %d", blocked)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New()
+	m.ThreadStarted()
+	m.ThreadStarted()
+	if live, blocked := m.Stats(); live != 2 || blocked != 0 {
+		t.Errorf("Stats = %d,%d", live, blocked)
+	}
+}

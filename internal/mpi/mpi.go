@@ -1,0 +1,243 @@
+// Package mpi simulates the MPI substrate the paper's tool runs against:
+// a fixed set of processes (goroutines) joined by a world communicator
+// with matched blocking collectives, synchronous point-to-point messages,
+// and the four MPI threading-support levels.
+//
+// Unlike a production MPI, the simulator is also an oracle: the central
+// matcher observes every call, so a run that would deadlock or corrupt on
+// a cluster instead terminates deterministically with a precise error —
+// mismatched collective kinds once all ranks arrive, concurrent collective
+// calls from one process, or a quiescence deadlock report from the shared
+// monitor when some ranks exit while others wait. The validator
+// (internal/verifier) is expected to abort *earlier* with a better
+// message; these runtime errors are the ground truth the test suite and
+// the detection-matrix experiment compare against.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"parcoach/internal/monitor"
+)
+
+// Op identifies a collective operation.
+type Op int
+
+// Collective operations.
+const (
+	OpBarrier Op = iota
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpGather
+	OpAllgather
+	OpScatter
+	OpAlltoall
+	OpScan
+)
+
+var opNames = [...]string{
+	OpBarrier: "MPI_Barrier", OpBcast: "MPI_Bcast", OpReduce: "MPI_Reduce",
+	OpAllreduce: "MPI_Allreduce", OpGather: "MPI_Gather",
+	OpAllgather: "MPI_Allgather", OpScatter: "MPI_Scatter",
+	OpAlltoall: "MPI_Alltoall", OpScan: "MPI_Scan",
+}
+
+// String returns the MPI_* name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "MPI_?"
+}
+
+// RedOp is a reduction operator.
+type RedOp int
+
+// Reduction operators.
+const (
+	RedSum RedOp = iota
+	RedMin
+	RedMax
+	RedProd
+)
+
+// ParseRedOp maps the surface names; the empty string defaults to sum.
+func ParseRedOp(name string) (RedOp, error) {
+	switch name {
+	case "", "sum":
+		return RedSum, nil
+	case "min":
+		return RedMin, nil
+	case "max":
+		return RedMax, nil
+	case "prod":
+		return RedProd, nil
+	}
+	return RedSum, fmt.Errorf("mpi: unknown reduction op %q", name)
+}
+
+func (r RedOp) apply(a, b int64) int64 {
+	switch r {
+	case RedMin:
+		if b < a {
+			return b
+		}
+		return a
+	case RedMax:
+		if b > a {
+			return b
+		}
+		return a
+	case RedProd:
+		return a * b
+	}
+	return a + b
+}
+
+func (r RedOp) String() string {
+	switch r {
+	case RedMin:
+		return "min"
+	case RedMax:
+		return "max"
+	case RedProd:
+		return "prod"
+	}
+	return "sum"
+}
+
+// ThreadLevel is the MPI threading support level.
+type ThreadLevel int
+
+// Thread levels, in increasing permissiveness.
+const (
+	ThreadSingle ThreadLevel = iota
+	ThreadFunneled
+	ThreadSerialized
+	ThreadMultiple
+)
+
+var levelNames = [...]string{
+	ThreadSingle:     "MPI_THREAD_SINGLE",
+	ThreadFunneled:   "MPI_THREAD_FUNNELED",
+	ThreadSerialized: "MPI_THREAD_SERIALIZED",
+	ThreadMultiple:   "MPI_THREAD_MULTIPLE",
+}
+
+func (l ThreadLevel) String() string {
+	if int(l) >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "MPI_THREAD_?"
+}
+
+// Config configures a world.
+type Config struct {
+	// Procs is the number of MPI processes (ranks); must be >= 1.
+	Procs int
+	// Level is the threading support the "implementation" was asked for;
+	// stricter levels enforce the standard's calling rules.
+	Level ThreadLevel
+}
+
+// World is one simulated MPI job.
+type World struct {
+	cfg   Config
+	mon   *monitor.Monitor
+	procs []*Proc
+
+	// collective matcher state, guarded by mon's lock
+	arrived map[int]*pendingCall
+	round   int
+
+	// point-to-point state, guarded by mon's lock
+	sends map[p2pKey][]*pendingSend
+	recvs map[p2pKey][]*pendingRecv
+}
+
+// NewWorld creates a world with its own monitor.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("mpi: world needs at least 1 process, got %d", cfg.Procs)
+	}
+	w := &World{
+		cfg:     cfg,
+		mon:     monitor.New(),
+		arrived: make(map[int]*pendingCall),
+		sends:   make(map[p2pKey][]*pendingSend),
+		recvs:   make(map[p2pKey][]*pendingRecv),
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		w.procs = append(w.procs, &Proc{world: w, rank: r})
+	}
+	w.mon.AddAnalyzer(w.describeState)
+	return w, nil
+}
+
+// Monitor exposes the shared blocking kernel so the threading runtime and
+// the verifier integrate with the same deadlock detection.
+func (w *World) Monitor() *monitor.Monitor { return w.mon }
+
+// Size returns the number of processes.
+func (w *World) Size() int { return w.cfg.Procs }
+
+// Level returns the configured thread level.
+func (w *World) Level() ThreadLevel { return w.cfg.Level }
+
+// Proc returns the process with the given rank.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Run executes body once per rank, each on its own goroutine registered
+// with the monitor, and returns the first error (abort, deadlock, or a
+// body error). A nil return means every process completed.
+func (w *World) Run(body func(p *Proc) error) error {
+	var wg sync.WaitGroup
+	// Register every rank as live before launching any: otherwise the
+	// first process to block could trip the quiescence check while its
+	// peers have not started yet.
+	for range w.procs {
+		w.mon.ThreadStarted()
+	}
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			err := body(p)
+			if err != nil && !w.mon.Aborted() {
+				w.mon.Abort(err)
+			}
+			w.mon.Lock()
+			p.exited = true
+			w.mon.Unlock()
+			w.mon.ThreadExited()
+		}(p)
+	}
+	wg.Wait()
+	return w.mon.Err()
+}
+
+// describeState contributes matcher context to deadlock reports.
+func (w *World) describeState() []string {
+	var lines []string
+	for _, p := range w.procs {
+		switch {
+		case p.finalized:
+			lines = append(lines, fmt.Sprintf("rank %d: finalized", p.rank))
+		case p.exited:
+			lines = append(lines, fmt.Sprintf("rank %d: exited without MPI_Finalize", p.rank))
+		}
+	}
+	if len(w.arrived) > 0 {
+		var parts []string
+		for r, pc := range w.arrived {
+			parts = append(parts, fmt.Sprintf("rank %d in %s", r, pc.op))
+		}
+		sort.Strings(parts)
+		lines = append(lines, "collective round "+fmt.Sprint(w.round)+": "+strings.Join(parts, ", "))
+	}
+	return lines
+}

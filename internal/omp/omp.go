@@ -1,0 +1,406 @@
+// Package omp simulates the explicit fork/join threading model the paper
+// assumes ("perfectly nested regions"; OpenMP is the reference model): a
+// per-process runtime that forks thread teams for parallel regions —
+// nested regions fork nested teams — and provides team barriers, single
+// and master constructs, sections, static/dynamic worksharing loops and
+// named critical sections.
+//
+// All blocking goes through the shared monitor (internal/monitor), so a
+// thread stuck on a team barrier while a sibling waits in an MPI
+// collective is detected as a deadlock with a full report, and the team
+// barrier phase counter gives the runtime verifier the exact "barrier
+// phase" notion the paper's dynamic checks count in.
+package omp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parcoach/internal/monitor"
+)
+
+// Policy selects how single constructs elect their executing thread.
+type Policy int
+
+// Election policies.
+const (
+	// FirstArrival mimics real runtimes: the first thread to reach the
+	// construct executes it. Bug manifestation is schedule-dependent.
+	FirstArrival Policy = iota
+	// RoundRobin deterministically rotates the winner with the encounter
+	// index, making concurrency bugs reproducible in tests.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "round-robin"
+	}
+	return "first-arrival"
+}
+
+// Runtime is the threading runtime of one process.
+type Runtime struct {
+	mon            *monitor.Monitor
+	defaultThreads int
+	policy         Policy
+
+	nextThreadID int64
+	nextTeamID   int64
+
+	// crit maps critical-section names to process-wide locks
+	// (guarded by the monitor's lock).
+	crit map[string]*critLock
+}
+
+// New creates a runtime whose parallel regions default to defaultThreads
+// threads (minimum 1).
+func New(mon *monitor.Monitor, defaultThreads int, policy Policy) *Runtime {
+	if defaultThreads < 1 {
+		defaultThreads = 1
+	}
+	return &Runtime{
+		mon:            mon,
+		defaultThreads: defaultThreads,
+		policy:         policy,
+		crit:           make(map[string]*critLock),
+	}
+}
+
+// Monitor returns the shared blocking kernel.
+func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
+
+// DefaultThreads returns the default team size.
+func (rt *Runtime) DefaultThreads() int { return rt.defaultThreads }
+
+// Team is one thread team.
+type Team struct {
+	rt    *Runtime
+	id    int64
+	size  int
+	level int
+
+	// Barrier state, guarded by the monitor's lock.
+	arrived int
+	phase   int
+	waiters []*monitor.Waiter
+
+	// claimed tracks single elections under FirstArrival.
+	claimed map[encKey]bool
+	// dyn holds the shared iteration counters of dynamic worksharing loops.
+	dyn map[encKey]*int64
+}
+
+// ID returns a runtime-unique team id.
+func (t *Team) ID() int64 { return t.id }
+
+// Size returns the team size.
+func (t *Team) Size() int { return t.size }
+
+// Level returns the nesting depth (0 for the initial implicit team).
+func (t *Team) Level() int { return t.level }
+
+// Phase returns the team's barrier phase: the number of completed team
+// barriers (implicit or explicit). The verifier counts collective
+// executions per phase.
+func (t *Team) Phase() int {
+	t.rt.mon.Lock()
+	defer t.rt.mon.Unlock()
+	return t.phase
+}
+
+// PhaseLocked returns the barrier phase; the caller must already hold the
+// monitor lock (non-reentrant).
+func (t *Team) PhaseLocked() int { return t.phase }
+
+// encKey identifies the k-th encounter of a threading construct by a team.
+type encKey struct {
+	region    int
+	encounter int
+}
+
+// Thread is one thread of a team.
+type Thread struct {
+	team *Team
+	tid  int
+	id   int64
+	// encounters counts how many times this thread has reached each
+	// construct (region id), aligning construct instances across the team.
+	encounters map[int]int
+}
+
+// Team returns the innermost team.
+func (th *Thread) Team() *Team { return th.team }
+
+// TID returns the thread number within its team (0 = master).
+func (th *Thread) TID() int { return th.tid }
+
+// ID returns the process-wide unique thread id.
+func (th *Thread) ID() int64 { return th.id }
+
+// String renders "team#T.thread#N".
+func (th *Thread) String() string {
+	return fmt.Sprintf("team%d.t%d", th.team.id, th.tid)
+}
+
+func (rt *Runtime) newTeam(size, level int) *Team {
+	return &Team{
+		rt:      rt,
+		id:      atomic.AddInt64(&rt.nextTeamID, 1),
+		size:    size,
+		level:   level,
+		claimed: make(map[encKey]bool),
+		dyn:     make(map[encKey]*int64),
+	}
+}
+
+func (rt *Runtime) newThread(team *Team, tid int, reuseID int64) *Thread {
+	id := reuseID
+	if id == 0 {
+		id = atomic.AddInt64(&rt.nextThreadID, 1)
+	}
+	return &Thread{team: team, tid: tid, id: id, encounters: make(map[int]int)}
+}
+
+// InitialThread returns the process's implicit initial team of size 1 and
+// its single thread (the thread that calls MPI_Init).
+func (rt *Runtime) InitialThread() *Thread {
+	team := rt.newTeam(1, 0)
+	return rt.newThread(team, 0, 0)
+}
+
+// Parallel forks a team of n threads (rt default if n <= 0) that each run
+// body, then joins them with the implicit end-of-region barrier. The
+// encountering thread becomes thread 0 of the new team, keeping its
+// process-wide id (so MPI_THREAD_FUNNELED still recognizes the main
+// thread inside a region). The first body error aborts the whole run.
+func (rt *Runtime) Parallel(cur *Thread, n int, body func(*Thread) error) error {
+	if n <= 0 {
+		n = rt.defaultThreads
+	}
+	team := rt.newTeam(n, cur.team.level+1)
+	master := rt.newThread(team, 0, cur.id)
+
+	// Register workers as live before starting any so the quiescence
+	// check cannot fire spuriously during spawn.
+	for i := 1; i < n; i++ {
+		rt.mon.ThreadStarted()
+	}
+	for i := 1; i < n; i++ {
+		worker := rt.newThread(team, i, 0)
+		go func(th *Thread) {
+			defer rt.mon.ThreadExited()
+			rt.runMember(th, body)
+		}(worker)
+	}
+	rt.runMember(master, body)
+	if rt.mon.Aborted() {
+		return rt.mon.Err()
+	}
+	return nil
+}
+
+// runMember executes body then the join barrier.
+func (rt *Runtime) runMember(th *Thread, body func(*Thread) error) {
+	if err := body(th); err != nil && !rt.mon.Aborted() {
+		rt.mon.Abort(err)
+	}
+	// Implicit join barrier; returns immediately (with the abort error)
+	// when the run has failed, so no thread hangs on a dead team.
+	_ = th.Barrier()
+}
+
+// Barrier blocks until all team threads arrive, then advances the team's
+// barrier phase. Returns the abort error if the run failed.
+func (th *Thread) Barrier() error {
+	t := th.team
+	m := t.rt.mon
+	m.Lock()
+	if m.Aborted() {
+		err := m.ErrLocked()
+		m.Unlock()
+		return err
+	}
+	t.arrived++
+	if t.arrived == t.size {
+		t.arrived = 0
+		t.phase++
+		for _, w := range t.waiters {
+			m.WakeLocked(w)
+		}
+		t.waiters = nil
+		m.Unlock()
+		return nil
+	}
+	w := m.NewWaiterLocked("team barrier",
+		fmt.Sprintf("%s waiting at barrier (phase %d, %d/%d arrived)", th, t.phase, t.arrived, t.size))
+	t.waiters = append(t.waiters, w)
+	m.Unlock()
+	return w.Await()
+}
+
+// encounter advances this thread's per-construct encounter counter and
+// returns the instance index.
+func (th *Thread) encounter(regionID int) int {
+	k := th.encounters[regionID]
+	th.encounters[regionID] = k + 1
+	return k
+}
+
+// Single reports whether this thread executes the single construct
+// instance. The caller runs the body if true, then calls Barrier unless
+// the construct is nowait.
+func (th *Thread) Single(regionID int) bool {
+	idx := th.encounter(regionID)
+	t := th.team
+	if t.size == 1 {
+		return true
+	}
+	if t.rt.policy == RoundRobin {
+		// Rotate with both the region and the encounter so two different
+		// single constructs in the same phase get different winners —
+		// the schedule that makes concurrent-single bugs manifest.
+		return th.tid == (regionID+idx)%t.size
+	}
+	m := t.rt.mon
+	m.Lock()
+	defer m.Unlock()
+	key := encKey{region: regionID, encounter: idx}
+	if t.claimed[key] {
+		return false
+	}
+	t.claimed[key] = true
+	return true
+}
+
+// Master reports whether this thread is the team master.
+func (th *Thread) Master() bool { return th.tid == 0 }
+
+// Sections returns the indices of the construct's section bodies this
+// thread executes (deterministic round-robin distribution). The caller
+// runs them in order, then calls Barrier unless nowait.
+func (th *Thread) Sections(regionID, count int) []int {
+	th.encounter(regionID)
+	var mine []int
+	for i := 0; i < count; i++ {
+		if i%th.team.size == th.tid {
+			mine = append(mine, i)
+		}
+	}
+	return mine
+}
+
+// ForLoop describes this thread's share of a worksharing loop.
+type ForLoop struct {
+	th       *Thread
+	from, to int64
+	static   bool
+	next     int64 // static: next index for this thread
+	counter  *int64
+}
+
+// StaticFor returns a round-robin (cyclic) static schedule over [from,to).
+func (th *Thread) StaticFor(regionID int, from, to int64) *ForLoop {
+	th.encounter(regionID)
+	return &ForLoop{th: th, from: from, to: to, static: true, next: from + int64(th.tid)}
+}
+
+// DynamicFor returns a dynamic schedule with chunk size 1 over [from,to):
+// threads race on a shared counter, so iteration ownership is
+// schedule-dependent (as in real OpenMP).
+func (th *Thread) DynamicFor(regionID int, from, to int64) *ForLoop {
+	idx := th.encounter(regionID)
+	t := th.team
+	m := t.rt.mon
+	m.Lock()
+	key := encKey{region: regionID, encounter: idx}
+	c, ok := t.dyn[key]
+	if !ok {
+		v := from
+		c = &v
+		t.dyn[key] = c
+	}
+	m.Unlock()
+	return &ForLoop{th: th, from: from, to: to, counter: c}
+}
+
+// Next returns the next iteration index owned by this thread, or false
+// when its share is exhausted.
+func (l *ForLoop) Next() (int64, bool) {
+	if l.static {
+		i := l.next
+		if i >= l.to {
+			return 0, false
+		}
+		l.next += int64(l.th.team.size)
+		return i, true
+	}
+	i := atomic.AddInt64(l.counter, 1) - 1
+	if i >= l.to {
+		return 0, false
+	}
+	return i, true
+}
+
+//
+// Critical sections
+//
+
+type critLock struct {
+	held  bool
+	queue []*monitor.Waiter
+}
+
+// CriticalEnter acquires the process-wide named critical lock ("" is the
+// anonymous one), blocking through the monitor so a stuck holder is
+// visible in deadlock reports.
+func (rt *Runtime) CriticalEnter(th *Thread, name string) error {
+	m := rt.mon
+	m.Lock()
+	if m.Aborted() {
+		err := m.ErrLocked()
+		m.Unlock()
+		return err
+	}
+	l := rt.crit[name]
+	if l == nil {
+		l = &critLock{}
+		rt.crit[name] = l
+	}
+	if !l.held {
+		l.held = true
+		m.Unlock()
+		return nil
+	}
+	w := m.NewWaiterLocked("critical section",
+		fmt.Sprintf("%s waiting for critical(%s)", th, critName(name)))
+	l.queue = append(l.queue, w)
+	m.Unlock()
+	return w.Await()
+}
+
+// CriticalExit releases the lock, handing it to the first queued waiter.
+func (rt *Runtime) CriticalExit(th *Thread, name string) {
+	m := rt.mon
+	m.Lock()
+	defer m.Unlock()
+	l := rt.crit[name]
+	if l == nil {
+		return
+	}
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		// Ownership transfers directly to the woken waiter.
+		m.WakeLocked(w)
+		return
+	}
+	l.held = false
+}
+
+func critName(name string) string {
+	if name == "" {
+		return "<anonymous>"
+	}
+	return name
+}

@@ -1,0 +1,586 @@
+// Package parser builds MiniHybrid ASTs from source text with a
+// recursive-descent parser. Parse errors do not abort at the first
+// problem: the parser resynchronizes at statement boundaries so that one
+// malformed statement still yields diagnostics for the rest of the file.
+//
+// Grammar sketch (statements are newline-insensitive, `;` optional):
+//
+//	program   = { "func" IDENT "(" [params] ")" block }
+//	block     = "{" { stmt } "}"
+//	stmt      = "var" IDENT [ "[" expr "]" | "=" expr ]
+//	          | lvalue ("=" | "+=" | "-=") expr
+//	          | IDENT "(" args ")"
+//	          | "if" expr block [ "else" (if | block) ]
+//	          | "for" IDENT "=" expr ".." expr block
+//	          | "while" expr block
+//	          | "return" [ expr ] | "print" "(" args ")"
+//	          | MPI_* "(" ... ")"
+//	          | "parallel" [clauses] block | "single" ["nowait"] block
+//	          | "master" block | "critical" ["(" IDENT ")"] block
+//	          | "barrier" | "atomic" lvalue ("+="|"-=") expr
+//	          | "pfor" [clauses] IDENT "=" expr ".." expr block
+//	          | "sections" ["nowait"] "{" { "section" block } "}"
+package parser
+
+import (
+	"strconv"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/lexer"
+	"parcoach/internal/source"
+	"parcoach/internal/token"
+)
+
+// Parse scans and parses the named source text.
+func Parse(filename, src string) (*ast.Program, error) {
+	file := source.NewFile(filename, src)
+	lex := lexer.New(file)
+	toks := lex.Scan()
+	p := &parser{file: file, toks: toks, errs: lex.Errors()}
+	prog := p.parseProgram()
+	p.errs.Sort()
+	if err := p.errs.Err(); err != nil {
+		return prog, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and generators whose
+// input is known-good by construction.
+func MustParse(filename, src string) *ast.Program {
+	prog, err := Parse(filename, src)
+	if err != nil {
+		panic("parser.MustParse: " + err.Error())
+	}
+	return prog
+}
+
+type parser struct {
+	file    *source.File
+	toks    []token.Token
+	pos     int
+	errs    source.ErrorList
+	regions int
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) kind() token.Kind     { return p.toks[p.pos].Kind }
+func (p *parser) at(k token.Kind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *parser) posOf(t token.Token) source.Pos { return p.file.Pos(t.Offset) }
+func (p *parser) curPos() source.Pos             { return p.posOf(p.cur()) }
+
+func (p *parser) advance() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Offset: p.cur().Offset}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs.Add(p.curPos(), "parse", format, args...)
+}
+
+// sync skips tokens until a plausible statement start or block delimiter,
+// so one error does not cascade.
+func (p *parser) sync() {
+	for {
+		switch p.kind() {
+		case token.EOF, token.RBrace, token.Func, token.Var, token.If, token.For,
+			token.While, token.Return, token.Print, token.Parallel, token.Single,
+			token.Master, token.Critical, token.Barrier, token.Atomic, token.Pfor,
+			token.Sections:
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) newRegion() int {
+	id := p.regions
+	p.regions++
+	return id
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file, ByName: make(map[string]*ast.FuncDecl)}
+	for !p.at(token.EOF) {
+		if !p.at(token.Func) {
+			p.errorf("expected func declaration, found %s", p.cur())
+			p.advance()
+			p.sync()
+			continue
+		}
+		f := p.parseFunc()
+		if f != nil {
+			prog.Funcs = append(prog.Funcs, f)
+			if _, dup := prog.ByName[f.Name]; dup {
+				p.errs.Add(f.NamePos, "parse", "function %q redeclared", f.Name)
+			} else {
+				prog.ByName[f.Name] = f
+			}
+		}
+	}
+	prog.Regions = p.regions
+	return prog
+}
+
+func (p *parser) parseFunc() *ast.FuncDecl {
+	p.expect(token.Func)
+	nameTok := p.expect(token.Ident)
+	f := &ast.FuncDecl{NamePos: p.posOf(nameTok), Name: nameTok.Lit}
+	p.expect(token.LParen)
+	if !p.at(token.RParen) {
+		for {
+			id := p.expect(token.Ident)
+			f.Params = append(f.Params, id.Lit)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	p.expect(token.RParen)
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBrace)
+	b := &ast.Block{Lbrace: p.posOf(lb)}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		p.accept(token.Semi)
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.kind() {
+	case token.Var:
+		return p.parseVarDecl()
+	case token.Ident:
+		return p.parseSimpleStmt()
+	case token.If:
+		return p.parseIf()
+	case token.For:
+		return p.parseFor()
+	case token.While:
+		return p.parseWhile()
+	case token.Return:
+		t := p.advance()
+		r := &ast.Return{RetPos: p.posOf(t)}
+		// The value must start on the same line as `return`; otherwise the
+		// next statement (which may begin with an identifier) would be
+		// swallowed as the return value.
+		if p.startsExpr() && p.curPos().Line == r.RetPos.Line {
+			r.Value = p.parseExpr()
+		}
+		return r
+	case token.Print:
+		t := p.advance()
+		p.expect(token.LParen)
+		pr := &ast.Print{PrintPos: p.posOf(t)}
+		if !p.at(token.RParen) {
+			for {
+				pr.Args = append(pr.Args, p.parseExpr())
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+		}
+		p.expect(token.RParen)
+		return pr
+	case token.Parallel:
+		t := p.advance()
+		s := &ast.ParallelStmt{ParPos: p.posOf(t), RegionID: p.newRegion()}
+		for p.at(token.NumThreads) {
+			p.advance()
+			p.expect(token.LParen)
+			s.NumThreads = p.parseExpr()
+			p.expect(token.RParen)
+		}
+		s.Body = p.parseBlock()
+		return s
+	case token.Single:
+		t := p.advance()
+		s := &ast.SingleStmt{SingPos: p.posOf(t), RegionID: p.newRegion()}
+		s.Nowait = p.accept(token.Nowait)
+		s.Body = p.parseBlock()
+		return s
+	case token.Master:
+		t := p.advance()
+		return &ast.MasterStmt{MastPos: p.posOf(t), RegionID: p.newRegion(), Body: p.parseBlock()}
+	case token.Critical:
+		t := p.advance()
+		s := &ast.CriticalStmt{CritPos: p.posOf(t)}
+		if p.accept(token.LParen) {
+			s.Name = p.expect(token.Ident).Lit
+			p.expect(token.RParen)
+		}
+		s.Body = p.parseBlock()
+		return s
+	case token.Barrier:
+		t := p.advance()
+		return &ast.BarrierStmt{BarPos: p.posOf(t)}
+	case token.Atomic:
+		t := p.advance()
+		lv := p.parseLValue()
+		var op ast.AssignOp
+		switch {
+		case p.accept(token.PlusEq):
+			op = ast.AssignAdd
+		case p.accept(token.MinusEq):
+			op = ast.AssignSub
+		default:
+			p.errorf("atomic requires += or -=, found %s", p.cur())
+			p.sync()
+			return nil
+		}
+		return &ast.AtomicStmt{AtomPos: p.posOf(t), Target: lv, Op: op, Value: p.parseExpr()}
+	case token.Pfor:
+		return p.parsePfor()
+	case token.Sections:
+		return p.parseSections()
+	}
+	p.errorf("unexpected %s at statement start", p.cur())
+	p.advance()
+	p.sync()
+	return nil
+}
+
+func (p *parser) parseVarDecl() ast.Stmt {
+	t := p.advance()
+	name := p.expect(token.Ident)
+	d := &ast.VarDecl{VarPos: p.posOf(t), Name: name.Lit}
+	switch {
+	case p.accept(token.LBracket):
+		d.ArraySize = p.parseExpr()
+		p.expect(token.RBracket)
+	case p.accept(token.Assign):
+		d.Init = p.parseExpr()
+	}
+	return d
+}
+
+// parseSimpleStmt handles assignment, compound assignment, call statements
+// and MPI statements (whose names lex as identifiers).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	if kind, isMPI := mpiKinds[p.cur().Lit]; isMPI {
+		return p.parseMPI(kind)
+	}
+	nameTok := p.advance()
+	namePos := p.posOf(nameTok)
+	switch p.kind() {
+	case token.LParen:
+		call := p.parseCallTail(nameTok.Lit, namePos)
+		return &ast.CallStmt{Call: call}
+	case token.LBracket:
+		p.advance()
+		idx := p.parseExpr()
+		p.expect(token.RBracket)
+		lv := &ast.IndexExpr{NamePos: namePos, Name: nameTok.Lit, Index: idx}
+		return p.parseAssignTail(lv)
+	default:
+		lv := &ast.VarRef{NamePos: namePos, Name: nameTok.Lit}
+		return p.parseAssignTail(lv)
+	}
+}
+
+func (p *parser) parseAssignTail(lv ast.LValue) ast.Stmt {
+	var op ast.AssignOp
+	switch {
+	case p.accept(token.Assign):
+		op = ast.AssignSet
+	case p.accept(token.PlusEq):
+		op = ast.AssignAdd
+	case p.accept(token.MinusEq):
+		op = ast.AssignSub
+	default:
+		p.errorf("expected assignment operator, found %s", p.cur())
+		p.sync()
+		return nil
+	}
+	return &ast.Assign{Target: lv, Op: op, Value: p.parseExpr()}
+}
+
+var mpiKinds = map[string]ast.MPIKind{
+	"MPI_Init":      ast.MPIInit,
+	"MPI_Finalize":  ast.MPIFinalize,
+	"MPI_Barrier":   ast.MPIBarrier,
+	"MPI_Bcast":     ast.MPIBcast,
+	"MPI_Reduce":    ast.MPIReduce,
+	"MPI_Allreduce": ast.MPIAllreduce,
+	"MPI_Gather":    ast.MPIGather,
+	"MPI_Allgather": ast.MPIAllgather,
+	"MPI_Scatter":   ast.MPIScatter,
+	"MPI_Alltoall":  ast.MPIAlltoall,
+	"MPI_Scan":      ast.MPIScan,
+	"MPI_Send":      ast.MPISend,
+	"MPI_Recv":      ast.MPIRecv,
+}
+
+var reduceOps = map[string]bool{"sum": true, "min": true, "max": true, "prod": true}
+
+func (p *parser) parseMPI(kind ast.MPIKind) ast.Stmt {
+	nameTok := p.advance()
+	s := &ast.MPIStmt{KindPos: p.posOf(nameTok), Kind: kind}
+	p.expect(token.LParen)
+	switch kind {
+	case ast.MPIInit, ast.MPIFinalize, ast.MPIBarrier:
+		// no arguments
+	case ast.MPIBcast:
+		s.Dst = p.parseLValue()
+		if p.accept(token.Comma) {
+			s.Root = p.parseExpr()
+		}
+	case ast.MPIReduce, ast.MPIAllreduce, ast.MPIScan:
+		s.Dst = p.parseLValue()
+		p.expect(token.Comma)
+		s.Src = p.parseExpr()
+		if p.accept(token.Comma) {
+			if p.at(token.Ident) && reduceOps[p.cur().Lit] {
+				s.OpName = p.advance().Lit
+				if p.accept(token.Comma) {
+					s.Root = p.parseExpr()
+				}
+			} else {
+				s.Root = p.parseExpr()
+			}
+		}
+		if kind != ast.MPIReduce && s.Root != nil {
+			p.errorf("%s takes no root argument", kind)
+		}
+	case ast.MPIGather, ast.MPIScatter:
+		s.Dst = p.parseLValue()
+		p.expect(token.Comma)
+		s.Src = p.parseExpr()
+		if p.accept(token.Comma) {
+			s.Root = p.parseExpr()
+		}
+	case ast.MPIAllgather, ast.MPIAlltoall:
+		s.Dst = p.parseLValue()
+		p.expect(token.Comma)
+		s.Src = p.parseExpr()
+	case ast.MPISend:
+		s.Src = p.parseExpr()
+		p.expect(token.Comma)
+		s.Dest = p.parseExpr()
+		if p.accept(token.Comma) {
+			s.Tag = p.parseExpr()
+		}
+	case ast.MPIRecv:
+		s.Dst = p.parseLValue()
+		p.expect(token.Comma)
+		s.Dest = p.parseExpr()
+		if p.accept(token.Comma) {
+			s.Tag = p.parseExpr()
+		}
+	}
+	p.expect(token.RParen)
+	return s
+}
+
+func (p *parser) parsePfor() ast.Stmt {
+	t := p.advance()
+	s := &ast.PforStmt{PforPos: p.posOf(t), RegionID: p.newRegion()}
+	for {
+		switch {
+		case p.at(token.Schedule):
+			p.advance()
+			p.expect(token.LParen)
+			id := p.expect(token.Ident)
+			switch id.Lit {
+			case "static":
+				s.Sched = ast.ScheduleStatic
+			case "dynamic":
+				s.Sched = ast.ScheduleDynamic
+			default:
+				p.errs.Add(p.posOf(id), "parse", "unknown schedule %q", id.Lit)
+			}
+			p.expect(token.RParen)
+			continue
+		case p.at(token.Nowait):
+			p.advance()
+			s.Nowait = true
+			continue
+		}
+		break
+	}
+	s.Var = p.expect(token.Ident).Lit
+	p.expect(token.Assign)
+	s.From = p.parseExpr()
+	p.expect(token.DotDot)
+	s.To = p.parseExpr()
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *parser) parseSections() ast.Stmt {
+	t := p.advance()
+	s := &ast.SectionsStmt{SecsPos: p.posOf(t), RegionID: p.newRegion()}
+	s.Nowait = p.accept(token.Nowait)
+	p.expect(token.LBrace)
+	for p.at(token.Section) {
+		p.advance()
+		s.SectionIDs = append(s.SectionIDs, p.newRegion())
+		s.Bodies = append(s.Bodies, p.parseBlock())
+	}
+	p.expect(token.RBrace)
+	if len(s.Bodies) == 0 {
+		p.errs.Add(s.SecsPos, "parse", "sections construct has no section blocks")
+	}
+	return s
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	t := p.advance()
+	s := &ast.If{IfPos: p.posOf(t), Cond: p.parseExpr(), Then: p.parseBlock()}
+	if p.accept(token.Else) {
+		if p.at(token.If) {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	t := p.advance()
+	s := &ast.For{ForPos: p.posOf(t)}
+	s.Var = p.expect(token.Ident).Lit
+	p.expect(token.Assign)
+	s.From = p.parseExpr()
+	p.expect(token.DotDot)
+	s.To = p.parseExpr()
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	t := p.advance()
+	return &ast.While{WhilePos: p.posOf(t), Cond: p.parseExpr(), Body: p.parseBlock()}
+}
+
+func (p *parser) parseLValue() ast.LValue {
+	nameTok := p.expect(token.Ident)
+	namePos := p.posOf(nameTok)
+	if p.accept(token.LBracket) {
+		idx := p.parseExpr()
+		p.expect(token.RBracket)
+		return &ast.IndexExpr{NamePos: namePos, Name: nameTok.Lit, Index: idx}
+	}
+	return &ast.VarRef{NamePos: namePos, Name: nameTok.Lit}
+}
+
+func (p *parser) startsExpr() bool {
+	switch p.kind() {
+	case token.Ident, token.Int, token.True, token.False, token.LParen,
+		token.Not, token.Minus:
+		return true
+	}
+	return false
+}
+
+//
+// Expressions (precedence climbing)
+//
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := p.kind().Precedence()
+		if prec < minPrec {
+			return x
+		}
+		opTok := p.advance()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{OpPos: p.posOf(opTok), Op: opTok.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.kind() {
+	case token.Not, token.Minus:
+		t := p.advance()
+		return &ast.UnaryExpr{OpPos: p.posOf(t), Op: t.Kind, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.kind() {
+	case token.Int:
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errs.Add(p.posOf(t), "parse", "integer literal %q out of range", t.Lit)
+		}
+		return &ast.IntLit{LitPos: p.posOf(t), Value: v}
+	case token.True, token.False:
+		t := p.advance()
+		return &ast.BoolLit{LitPos: p.posOf(t), Value: t.Kind == token.True}
+	case token.LParen:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	case token.Ident:
+		t := p.advance()
+		pos := p.posOf(t)
+		switch p.kind() {
+		case token.LParen:
+			return p.parseCallTail(t.Lit, pos)
+		case token.LBracket:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			return &ast.IndexExpr{NamePos: pos, Name: t.Lit, Index: idx}
+		}
+		return &ast.VarRef{NamePos: pos, Name: t.Lit}
+	}
+	p.errorf("expected expression, found %s", p.cur())
+	t := p.cur()
+	if !p.at(token.EOF) && !p.at(token.RBrace) && !p.at(token.RParen) {
+		p.advance()
+	}
+	return &ast.IntLit{LitPos: p.posOf(t), Value: 0}
+}
+
+func (p *parser) parseCallTail(name string, pos source.Pos) *ast.CallExpr {
+	p.expect(token.LParen)
+	c := &ast.CallExpr{NamePos: pos, Name: name}
+	if !p.at(token.RParen) {
+		for {
+			c.Args = append(c.Args, p.parseExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	p.expect(token.RParen)
+	return c
+}

@@ -1,0 +1,423 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("t.mh", src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return prog
+}
+
+func mainBody(t *testing.T, src string) []ast.Stmt {
+	t.Helper()
+	prog := parseOK(t, "func main() {\n"+src+"\n}")
+	return prog.Func("main").Body.Stmts
+}
+
+func TestEmptyProgram(t *testing.T) {
+	prog := parseOK(t, "")
+	if len(prog.Funcs) != 0 {
+		t.Errorf("want no funcs, got %d", len(prog.Funcs))
+	}
+}
+
+func TestFuncDecl(t *testing.T) {
+	prog := parseOK(t, "func add(a, b) { return a + b }\nfunc main() { }")
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("want 2 funcs, got %d", len(prog.Funcs))
+	}
+	add := prog.Func("add")
+	if add == nil || len(add.Params) != 2 || add.Params[0] != "a" || add.Params[1] != "b" {
+		t.Fatalf("add not parsed correctly: %+v", add)
+	}
+	if prog.Func("missing") != nil {
+		t.Error("Func(missing) must be nil")
+	}
+}
+
+func TestDuplicateFunc(t *testing.T) {
+	_, err := Parse("t.mh", "func f() {}\nfunc f() {}")
+	if err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("want redeclared error, got %v", err)
+	}
+}
+
+func TestVarDeclForms(t *testing.T) {
+	stmts := mainBody(t, "var x\nvar y = 3\nvar a[10]")
+	if len(stmts) != 3 {
+		t.Fatalf("want 3 stmts, got %d", len(stmts))
+	}
+	x := stmts[0].(*ast.VarDecl)
+	if x.Name != "x" || x.Init != nil || x.ArraySize != nil {
+		t.Errorf("var x parsed wrong: %+v", x)
+	}
+	y := stmts[1].(*ast.VarDecl)
+	if y.Init == nil || y.Init.(*ast.IntLit).Value != 3 {
+		t.Errorf("var y = 3 parsed wrong: %+v", y)
+	}
+	a := stmts[2].(*ast.VarDecl)
+	if a.ArraySize == nil || a.ArraySize.(*ast.IntLit).Value != 10 {
+		t.Errorf("var a[10] parsed wrong: %+v", a)
+	}
+}
+
+func TestAssignForms(t *testing.T) {
+	stmts := mainBody(t, "var x\nvar a[4]\nx = 1\nx += 2\nx -= 3\na[1] = 5")
+	as := stmts[2].(*ast.Assign)
+	if as.Op != ast.AssignSet {
+		t.Errorf("x = 1 op = %v", as.Op)
+	}
+	if stmts[3].(*ast.Assign).Op != ast.AssignAdd {
+		t.Error("+= not parsed")
+	}
+	if stmts[4].(*ast.Assign).Op != ast.AssignSub {
+		t.Error("-= not parsed")
+	}
+	idx := stmts[5].(*ast.Assign).Target.(*ast.IndexExpr)
+	if idx.Name != "a" {
+		t.Errorf("a[1] target = %+v", idx)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	stmts := mainBody(t, `
+if x == 0 {
+	x = 1
+} else if x == 1 {
+	x = 2
+} else {
+	x = 3
+}`)
+	s := stmts[0].(*ast.If)
+	elif, ok := s.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else-if not chained: %T", s.Else)
+	}
+	if _, ok := elif.Else.(*ast.Block); !ok {
+		t.Fatalf("final else not a block: %T", elif.Else)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	stmts := mainBody(t, "for i = 0 .. 10 { x = i }\nwhile x < 5 { x += 1 }")
+	f := stmts[0].(*ast.For)
+	if f.Var != "i" || f.From.(*ast.IntLit).Value != 0 || f.To.(*ast.IntLit).Value != 10 {
+		t.Errorf("for parsed wrong: %+v", f)
+	}
+	w := stmts[1].(*ast.While)
+	if w.Cond == nil || len(w.Body.Stmts) != 1 {
+		t.Errorf("while parsed wrong: %+v", w)
+	}
+}
+
+func TestMPIStatements(t *testing.T) {
+	stmts := mainBody(t, `
+MPI_Init()
+MPI_Barrier()
+MPI_Bcast(x)
+MPI_Bcast(x, 2)
+MPI_Reduce(r, x)
+MPI_Reduce(r, x, max)
+MPI_Reduce(r, x, max, 1)
+MPI_Allreduce(r, x, min)
+MPI_Gather(buf, x, 0)
+MPI_Allgather(buf, x)
+MPI_Scatter(x, buf)
+MPI_Alltoall(dst, src)
+MPI_Scan(r, x, prod)
+MPI_Send(x, 1, 7)
+MPI_Recv(x, 0)
+MPI_Finalize()`)
+	kinds := []ast.MPIKind{
+		ast.MPIInit, ast.MPIBarrier, ast.MPIBcast, ast.MPIBcast, ast.MPIReduce,
+		ast.MPIReduce, ast.MPIReduce, ast.MPIAllreduce, ast.MPIGather,
+		ast.MPIAllgather, ast.MPIScatter, ast.MPIAlltoall, ast.MPIScan,
+		ast.MPISend, ast.MPIRecv, ast.MPIFinalize,
+	}
+	if len(stmts) != len(kinds) {
+		t.Fatalf("want %d stmts, got %d", len(kinds), len(stmts))
+	}
+	for i, want := range kinds {
+		s := stmts[i].(*ast.MPIStmt)
+		if s.Kind != want {
+			t.Errorf("stmt %d kind = %v, want %v", i, s.Kind, want)
+		}
+	}
+	// MPI_Reduce(r, x, max, 1): op and root both present.
+	red := stmts[6].(*ast.MPIStmt)
+	if red.OpName != "max" || red.Root == nil {
+		t.Errorf("reduce with op+root parsed wrong: %+v", red)
+	}
+	// MPI_Bcast(x, 2): root present.
+	if stmts[3].(*ast.MPIStmt).Root == nil {
+		t.Error("bcast root missing")
+	}
+	// MPI_Send(x, 1, 7): tag present.
+	if stmts[13].(*ast.MPIStmt).Tag == nil {
+		t.Error("send tag missing")
+	}
+}
+
+func TestAllreduceRejectsRoot(t *testing.T) {
+	_, err := Parse("t.mh", "func main() { MPI_Allreduce(r, x, sum, 3) }")
+	if err == nil || !strings.Contains(err.Error(), "no root") {
+		t.Errorf("want root rejection, got %v", err)
+	}
+}
+
+func TestParallelConstructs(t *testing.T) {
+	stmts := mainBody(t, `
+parallel {
+	barrier
+	single { x = 1 }
+	single nowait { x = 2 }
+	master { x = 3 }
+	critical { x = 4 }
+	critical(lk) { x = 5 }
+	atomic x += 1
+	pfor i = 0 .. 8 { x = i }
+	pfor schedule(dynamic) nowait i = 0 .. 8 { x = i }
+	sections {
+		section { x = 6 }
+		section { x = 7 }
+	}
+}
+parallel num_threads(4) { x = 0 }`)
+	par := stmts[0].(*ast.ParallelStmt)
+	body := par.Body.Stmts
+	if _, ok := body[0].(*ast.BarrierStmt); !ok {
+		t.Error("barrier not parsed")
+	}
+	if s := body[1].(*ast.SingleStmt); s.Nowait {
+		t.Error("single must not be nowait")
+	}
+	if s := body[2].(*ast.SingleStmt); !s.Nowait {
+		t.Error("single nowait flag lost")
+	}
+	if _, ok := body[3].(*ast.MasterStmt); !ok {
+		t.Error("master not parsed")
+	}
+	if c := body[5].(*ast.CriticalStmt); c.Name != "lk" {
+		t.Errorf("critical name = %q", c.Name)
+	}
+	if a := body[6].(*ast.AtomicStmt); a.Op != ast.AssignAdd {
+		t.Error("atomic op wrong")
+	}
+	pf := body[8].(*ast.PforStmt)
+	if pf.Sched != ast.ScheduleDynamic || !pf.Nowait {
+		t.Errorf("pfor clauses wrong: %+v", pf)
+	}
+	if body[7].(*ast.PforStmt).Sched != ast.ScheduleStatic {
+		t.Error("default schedule must be static")
+	}
+	secs := body[9].(*ast.SectionsStmt)
+	if len(secs.Bodies) != 2 || len(secs.SectionIDs) != 2 {
+		t.Errorf("sections parsed wrong: %+v", secs)
+	}
+	par2 := stmts[1].(*ast.ParallelStmt)
+	if par2.NumThreads == nil {
+		t.Error("num_threads clause lost")
+	}
+}
+
+func TestRegionIDsAreUnique(t *testing.T) {
+	prog := parseOK(t, `
+func a() { parallel { single { } master { } } }
+func b() { parallel { sections { section { } section { } } } }`)
+	seen := map[int]bool{}
+	count := 0
+	for _, f := range prog.Funcs {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ids []int
+			switch n := n.(type) {
+			case *ast.ParallelStmt:
+				ids = []int{n.RegionID}
+			case *ast.SingleStmt:
+				ids = []int{n.RegionID}
+			case *ast.MasterStmt:
+				ids = []int{n.RegionID}
+			case *ast.SectionsStmt:
+				ids = append([]int{n.RegionID}, n.SectionIDs...)
+			}
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("region id %d reused", id)
+				}
+				seen[id] = true
+				count++
+			}
+			return true
+		})
+	}
+	if count == 0 {
+		t.Fatal("no regions found")
+	}
+	if prog.Regions < count {
+		t.Errorf("Program.Regions = %d < %d distinct ids", prog.Regions, count)
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	stmts := mainBody(t, "x = 1 + 2 * 3\ny = (1 + 2) * 3\nz = a < b && c < d || e == f")
+	x := stmts[0].(*ast.Assign).Value.(*ast.BinaryExpr)
+	if x.Op.String() != "+" {
+		t.Errorf("1+2*3 root op = %v, want +", x.Op)
+	}
+	y := stmts[1].(*ast.Assign).Value.(*ast.BinaryExpr)
+	if y.Op.String() != "*" {
+		t.Errorf("(1+2)*3 root op = %v, want *", y.Op)
+	}
+	z := stmts[2].(*ast.Assign).Value.(*ast.BinaryExpr)
+	if z.Op.String() != "||" {
+		t.Errorf("root of && || chain = %v, want ||", z.Op)
+	}
+}
+
+func TestUnaryExpressions(t *testing.T) {
+	stmts := mainBody(t, "x = -y\nb = !c\nz = -(-1)")
+	if u := stmts[0].(*ast.Assign).Value.(*ast.UnaryExpr); u.Op.String() != "-" {
+		t.Error("unary minus lost")
+	}
+	if u := stmts[1].(*ast.Assign).Value.(*ast.UnaryExpr); u.Op.String() != "!" {
+		t.Error("not lost")
+	}
+}
+
+func TestCallsAndIntrinsics(t *testing.T) {
+	stmts := mainBody(t, "x = rank() + size()\ny = max(tid(), 3)\ncompute(x, y)")
+	call := stmts[2].(*ast.CallStmt).Call
+	if call.Name != "compute" || len(call.Args) != 2 {
+		t.Errorf("call stmt parsed wrong: %+v", call)
+	}
+}
+
+func TestReturnForms(t *testing.T) {
+	prog := parseOK(t, "func a() { return }\nfunc b() { return 42 }")
+	ra := prog.Func("a").Body.Stmts[0].(*ast.Return)
+	if ra.Value != nil {
+		t.Error("bare return must have nil value")
+	}
+	rb := prog.Func("b").Body.Stmts[0].(*ast.Return)
+	if rb.Value == nil {
+		t.Error("return 42 lost its value")
+	}
+}
+
+func TestParseErrorsRecover(t *testing.T) {
+	// The first statement is malformed; the parser must still see the rest.
+	prog, err := Parse("t.mh", `
+func main() {
+	var = 3
+	x = 1
+}
+func helper() { return 1 }`)
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if prog.Func("helper") == nil {
+		t.Error("parser did not recover to parse helper()")
+	}
+}
+
+func TestEmptySectionsRejected(t *testing.T) {
+	_, err := Parse("t.mh", "func main() { sections { } }")
+	if err == nil || !strings.Contains(err.Error(), "no section") {
+		t.Errorf("want empty-sections error, got %v", err)
+	}
+}
+
+func TestAtomicRequiresCompound(t *testing.T) {
+	_, err := Parse("t.mh", "func main() { atomic x = 3 }")
+	if err == nil {
+		t.Error("atomic with plain = must be rejected")
+	}
+}
+
+func TestIntLiteralOverflow(t *testing.T) {
+	_, err := Parse("t.mh", "func main() { x = 99999999999999999999999999 }")
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("want out-of-range error, got %v", err)
+	}
+}
+
+func TestMustParsePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("t.mh", "func { }")
+}
+
+// Round trip: printing a parsed program and reparsing it yields the same
+// rendering. This pins the printer and parser against each other.
+func TestPrintParseRoundTrip(t *testing.T) {
+	src := `
+func worker(n, a) {
+	var local = n * 2
+	if local > 10 && n != 0 {
+		local = local % 7
+	} else if local == 4 {
+		return local
+	} else {
+		local += 1
+	}
+	for i = 0 .. n {
+		a[i] = i - 1
+	}
+	while local < 100 {
+		local += max(local, 3)
+	}
+	return local
+}
+
+func main() {
+	MPI_Init()
+	var x = rank()
+	var buf[8]
+	parallel num_threads(4) {
+		pfor schedule(dynamic) i = 0 .. 64 {
+			atomic x += i
+		}
+		barrier
+		single {
+			MPI_Allreduce(x, x, sum)
+		}
+		sections nowait {
+			section {
+				x = worker(1, buf)
+			}
+			section {
+				x = worker(2, buf)
+			}
+		}
+		master {
+			print(x)
+		}
+		critical(upd) {
+			x -= 1
+		}
+	}
+	MPI_Gather(buf, x, 0)
+	MPI_Send(x, 0, 9)
+	MPI_Finalize()
+}`
+	p1 := parseOK(t, src)
+	text1 := ast.String(p1)
+	p2, err := Parse("t.mh", text1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, text1)
+	}
+	text2 := ast.String(p2)
+	if text1 != text2 {
+		t.Errorf("round trip mismatch:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}

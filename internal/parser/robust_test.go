@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics, whatever bytes it is fed — it either
+// produces a program or a located error list.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", raw, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz.mh", string(raw))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: near-miss programs (valid programs with one byte flipped)
+// never panic and never lose the rest of the file when they still parse.
+func TestParseMutatedPrograms(t *testing.T) {
+	base := `
+func helper(n) {
+	if n > 0 {
+		MPI_Barrier()
+	}
+	return n * 2
+}
+func main() {
+	MPI_Init()
+	var x = helper(rank())
+	parallel num_threads(2) {
+		single {
+			MPI_Allreduce(x, x, sum)
+		}
+	}
+	MPI_Finalize()
+}`
+	for i := 0; i < len(base); i += 3 {
+		mutated := []byte(base)
+		mutated[i] = '@'
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic with mutation at %d: %v", i, r)
+				}
+			}()
+			_, _ = Parse("mut.mh", string(mutated))
+		}()
+	}
+}

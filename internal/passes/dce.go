@@ -1,0 +1,61 @@
+package passes
+
+import "parcoach/internal/cfg"
+
+// EliminateDead removes CFG nodes unreachable from the entry (code after
+// returns, arms of folded-away branches) and returns how many were
+// removed. Edges from removed nodes are unlinked so downstream analyses
+// see a clean graph.
+func EliminateDead(g *cfg.Graph) int {
+	reachable := make([]bool, len(g.Nodes))
+	var stack []*cfg.Node
+	stack = append(stack, g.Entry)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[n.ID] {
+			continue
+		}
+		reachable[n.ID] = true
+		for _, s := range n.Succs {
+			if !reachable[s.ID] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	// The virtual exit stays even when no return reaches it.
+	reachable[g.Exit.ID] = true
+
+	removed := 0
+	var kept []*cfg.Node
+	for _, n := range g.Nodes {
+		if !reachable[n.ID] {
+			removed++
+			continue
+		}
+		kept = append(kept, n)
+	}
+	if removed == 0 {
+		return 0
+	}
+	for _, n := range kept {
+		n.Preds = filterNodes(n.Preds, reachable)
+		n.Succs = filterNodes(n.Succs, reachable)
+	}
+	// Renumber densely so NodeByID stays an index lookup.
+	for i, n := range kept {
+		n.ID = i
+	}
+	g.Nodes = kept
+	return removed
+}
+
+func filterNodes(list []*cfg.Node, keep []bool) []*cfg.Node {
+	out := list[:0]
+	for _, n := range list {
+		if keep[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

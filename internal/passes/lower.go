@@ -1,0 +1,437 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/source"
+	"parcoach/internal/token"
+)
+
+// OpCode enumerates linear-IR instructions.
+type OpCode int
+
+// IR opcodes.
+const (
+	OpConst    OpCode = iota // Dst <- Imm
+	OpMove                   // Dst <- A
+	OpBin                    // Dst <- A <Sym> B (Sym is the operator name)
+	OpNot                    // Dst <- !A
+	OpNeg                    // Dst <- -A
+	OpNewArr                 // Dst becomes an array of length reg A
+	OpLoadIdx                // Dst <- arr[A][B]
+	OpStoreIdx               // arr[Dst][A] <- B
+	OpCall                   // Dst <- call Sym(Args...)
+	OpIntr                   // Dst <- intrinsic Sym(Args...)
+	OpPrint                  // print Args...
+	OpJump                   // goto Imm
+	OpJumpZ                  // if A == 0 goto Imm
+	OpRet                    // return A (A < 0: return 0)
+	OpMPI                    // MPI op Sym with Args (register operands)
+	OpRegion                 // threading construct marker Sym [r Imm]
+	OpCheck                  // verification check Sym (from instrumentation)
+	OpAtomic                 // atomic Dst <Sym>= A
+)
+
+var opNames = map[OpCode]string{
+	OpConst: "const", OpMove: "move", OpBin: "bin", OpNot: "not", OpNeg: "neg",
+	OpNewArr: "newarr", OpLoadIdx: "loadidx", OpStoreIdx: "storeidx",
+	OpCall: "call", OpIntr: "intr", OpPrint: "print", OpJump: "jump",
+	OpJumpZ: "jumpz", OpRet: "ret", OpMPI: "mpi", OpRegion: "region",
+	OpCheck: "check", OpAtomic: "atomic",
+}
+
+func (o OpCode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Inst is one IR instruction.
+type Inst struct {
+	Op   OpCode
+	Dst  int
+	A, B int
+	Imm  int64
+	Sym  string
+	Args []int
+	Pos  source.Pos
+}
+
+// String renders the instruction for dumps and tests.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = %d", in.Dst, in.Imm)
+	case OpMove:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case OpBin:
+		return fmt.Sprintf("r%d = r%d %s r%d", in.Dst, in.A, in.Sym, in.B)
+	case OpJump:
+		return fmt.Sprintf("jump @%d", in.Imm)
+	case OpJumpZ:
+		return fmt.Sprintf("jumpz r%d @%d", in.A, in.Imm)
+	case OpRet:
+		if in.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpCall, OpIntr:
+		return fmt.Sprintf("r%d = %s(%s)", in.Dst, in.Sym, regList(in.Args))
+	case OpMPI:
+		return fmt.Sprintf("%s(%s)", in.Sym, regList(in.Args))
+	case OpRegion:
+		return fmt.Sprintf("#%s r%d", in.Sym, in.Imm)
+	case OpCheck:
+		return "check " + in.Sym
+	}
+	return fmt.Sprintf("%s d=%d a=%d b=%d", in.Op, in.Dst, in.A, in.B)
+}
+
+func regList(regs []int) string {
+	parts := make([]string, len(regs))
+	for i, r := range regs {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FuncIR is the lowered form of one function.
+type FuncIR struct {
+	Name    string
+	Params  int
+	NumRegs int
+	Insts   []Inst
+}
+
+// String dumps the function IR.
+func (f *FuncIR) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (params=%d, regs=%d)\n", f.Name, f.Params, f.NumRegs)
+	for i, in := range f.Insts {
+		fmt.Fprintf(&b, "  %3d: %s\n", i, in.String())
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: jump targets in range and
+// register operands within NumRegs. Tests and the CLI run it after
+// lowering.
+func (f *FuncIR) Validate() error {
+	checkReg := func(r int, what string, i int) error {
+		if r >= f.NumRegs {
+			return fmt.Errorf("ir %s: inst %d: %s register r%d out of range (%d regs)", f.Name, i, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	for i, in := range f.Insts {
+		switch in.Op {
+		case OpJump, OpJumpZ:
+			if in.Imm < 0 || in.Imm > int64(len(f.Insts)) {
+				return fmt.Errorf("ir %s: inst %d: jump target %d out of range", f.Name, i, in.Imm)
+			}
+		}
+		if in.Dst > 0 {
+			if err := checkReg(in.Dst, "dst", i); err != nil {
+				return err
+			}
+		}
+		for _, r := range in.Args {
+			if err := checkReg(r, "arg", i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LowerProgram lowers every function.
+func LowerProgram(prog *ast.Program) map[string]*FuncIR {
+	out := make(map[string]*FuncIR, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		out[fn.Name] = Lower(fn)
+	}
+	return out
+}
+
+// Lower flattens one function into linear IR.
+func Lower(fn *ast.FuncDecl) *FuncIR {
+	l := &lowerer{
+		ir:   &FuncIR{Name: fn.Name, Params: len(fn.Params)},
+		vars: make(map[string]int),
+	}
+	for _, p := range fn.Params {
+		l.vars[p] = l.newReg()
+	}
+	l.block(fn.Body)
+	l.emit(Inst{Op: OpRet, A: -1, Pos: fn.NamePos})
+	l.ir.NumRegs = l.nextReg
+	return l.ir
+}
+
+type lowerer struct {
+	ir      *FuncIR
+	vars    map[string]int
+	nextReg int
+}
+
+func (l *lowerer) newReg() int {
+	r := l.nextReg
+	l.nextReg++
+	return r
+}
+
+func (l *lowerer) emit(in Inst) int {
+	l.ir.Insts = append(l.ir.Insts, in)
+	return len(l.ir.Insts) - 1
+}
+
+func (l *lowerer) here() int64 { return int64(len(l.ir.Insts)) }
+
+// patch sets the jump target of instruction idx to the current position.
+func (l *lowerer) patch(idx int) { l.ir.Insts[idx].Imm = l.here() }
+
+func (l *lowerer) varReg(name string) int {
+	if r, ok := l.vars[name]; ok {
+		return r
+	}
+	r := l.newReg()
+	l.vars[name] = r
+	return r
+}
+
+func (l *lowerer) block(b *ast.Block) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		l.stmt(s)
+	}
+}
+
+func (l *lowerer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		l.block(s)
+	case *ast.VarDecl:
+		dst := l.varReg(s.Name)
+		if s.ArraySize != nil {
+			size := l.expr(s.ArraySize)
+			l.emit(Inst{Op: OpNewArr, Dst: dst, A: size, Pos: s.VarPos})
+			return
+		}
+		if s.Init != nil {
+			src := l.expr(s.Init)
+			l.emit(Inst{Op: OpMove, Dst: dst, A: src, Pos: s.VarPos})
+			return
+		}
+		l.emit(Inst{Op: OpConst, Dst: dst, Imm: 0, Pos: s.VarPos})
+	case *ast.Assign:
+		l.assign(s.Target, s.Op, l.expr(s.Value), s.Pos())
+	case *ast.CallStmt:
+		l.expr(s.Call)
+	case *ast.If:
+		cond := l.expr(s.Cond)
+		jz := l.emit(Inst{Op: OpJumpZ, A: cond, Pos: s.IfPos})
+		l.block(s.Then)
+		if s.Else != nil {
+			jend := l.emit(Inst{Op: OpJump, Pos: s.IfPos})
+			l.patch(jz)
+			l.stmt(s.Else)
+			l.patch(jend)
+		} else {
+			l.patch(jz)
+		}
+	case *ast.For:
+		v := l.varReg(s.Var)
+		from := l.expr(s.From)
+		l.emit(Inst{Op: OpMove, Dst: v, A: from, Pos: s.ForPos})
+		to := l.expr(s.To)
+		top := l.here()
+		cond := l.newReg()
+		l.emit(Inst{Op: OpBin, Dst: cond, A: v, B: to, Sym: "<", Pos: s.ForPos})
+		jz := l.emit(Inst{Op: OpJumpZ, A: cond, Pos: s.ForPos})
+		l.block(s.Body)
+		one := l.newReg()
+		l.emit(Inst{Op: OpConst, Dst: one, Imm: 1, Pos: s.ForPos})
+		l.emit(Inst{Op: OpBin, Dst: v, A: v, B: one, Sym: "+", Pos: s.ForPos})
+		l.emit(Inst{Op: OpJump, Imm: top, Pos: s.ForPos})
+		l.patch(jz)
+	case *ast.While:
+		top := l.here()
+		cond := l.expr(s.Cond)
+		jz := l.emit(Inst{Op: OpJumpZ, A: cond, Pos: s.WhilePos})
+		l.block(s.Body)
+		l.emit(Inst{Op: OpJump, Imm: top, Pos: s.WhilePos})
+		l.patch(jz)
+	case *ast.Return:
+		a := -1
+		if s.Value != nil {
+			a = l.expr(s.Value)
+		}
+		l.emit(Inst{Op: OpRet, A: a, Pos: s.RetPos})
+	case *ast.Print:
+		args := make([]int, len(s.Args))
+		for i, e := range s.Args {
+			args[i] = l.expr(e)
+		}
+		l.emit(Inst{Op: OpPrint, Args: args, Pos: s.PrintPos})
+	case *ast.MPIStmt:
+		var args []int
+		for _, e := range []ast.Expr{s.Dst, s.Src, s.Root, s.Dest, s.Tag} {
+			if e != nil {
+				args = append(args, l.expr(e))
+			}
+		}
+		l.emit(Inst{Op: OpMPI, Sym: s.Kind.String(), Args: args, Pos: s.KindPos})
+	case *ast.ParallelStmt:
+		if s.NumThreads != nil {
+			l.expr(s.NumThreads)
+		}
+		l.emit(Inst{Op: OpRegion, Sym: "parallel.begin", Imm: int64(s.RegionID), Pos: s.ParPos})
+		l.block(s.Body)
+		l.emit(Inst{Op: OpRegion, Sym: "parallel.end", Imm: int64(s.RegionID), Pos: s.ParPos})
+	case *ast.SingleStmt:
+		l.emit(Inst{Op: OpRegion, Sym: "single.begin", Imm: int64(s.RegionID), Pos: s.SingPos})
+		l.block(s.Body)
+		l.emit(Inst{Op: OpRegion, Sym: "single.end", Imm: int64(s.RegionID), Pos: s.SingPos})
+	case *ast.MasterStmt:
+		l.emit(Inst{Op: OpRegion, Sym: "master.begin", Imm: int64(s.RegionID), Pos: s.MastPos})
+		l.block(s.Body)
+		l.emit(Inst{Op: OpRegion, Sym: "master.end", Imm: int64(s.RegionID), Pos: s.MastPos})
+	case *ast.CriticalStmt:
+		l.emit(Inst{Op: OpRegion, Sym: "critical.begin", Pos: s.CritPos})
+		l.block(s.Body)
+		l.emit(Inst{Op: OpRegion, Sym: "critical.end", Pos: s.CritPos})
+	case *ast.BarrierStmt:
+		l.emit(Inst{Op: OpRegion, Sym: "barrier", Pos: s.BarPos})
+	case *ast.AtomicStmt:
+		v := l.expr(s.Value)
+		dst := l.lvalueReg(s.Target)
+		l.emit(Inst{Op: OpAtomic, Dst: dst, A: v, Sym: s.Op.String(), Pos: s.AtomPos})
+	case *ast.PforStmt:
+		l.expr(s.From)
+		l.expr(s.To)
+		l.emit(Inst{Op: OpRegion, Sym: "pfor.begin", Imm: int64(s.RegionID), Pos: s.PforPos})
+		l.varReg(s.Var)
+		l.block(s.Body)
+		l.emit(Inst{Op: OpRegion, Sym: "pfor.end", Imm: int64(s.RegionID), Pos: s.PforPos})
+	case *ast.SectionsStmt:
+		l.emit(Inst{Op: OpRegion, Sym: "sections.begin", Imm: int64(s.RegionID), Pos: s.SecsPos})
+		for i, b := range s.Bodies {
+			l.emit(Inst{Op: OpRegion, Sym: "section.begin", Imm: int64(s.SectionIDs[i]), Pos: b.Lbrace})
+			l.block(b)
+			l.emit(Inst{Op: OpRegion, Sym: "section.end", Imm: int64(s.SectionIDs[i]), Pos: b.Lbrace})
+		}
+		l.emit(Inst{Op: OpRegion, Sym: "sections.end", Imm: int64(s.RegionID), Pos: s.SecsPos})
+	case *ast.InstrCC:
+		l.emit(Inst{Op: OpCheck, Sym: "cc:" + s.OpName(), Pos: s.At})
+	case *ast.InstrCCReturn:
+		l.emit(Inst{Op: OpCheck, Sym: "cc:return", Pos: s.At})
+	case *ast.InstrMonoCheck:
+		l.emit(Inst{Op: OpCheck, Sym: fmt.Sprintf("mono:%d", s.RegionID), Pos: s.At})
+	case *ast.InstrPhaseCount:
+		l.emit(Inst{Op: OpCheck, Sym: fmt.Sprintf("phase:%d", s.NodeID), Pos: s.At})
+	case *ast.InstrConcNote:
+		side := "exit"
+		if s.Enter {
+			side = "enter"
+		}
+		l.emit(Inst{Op: OpCheck, Sym: fmt.Sprintf("conc:%s:%d", side, s.RegionID), Pos: s.At})
+	}
+}
+
+func (l *lowerer) assign(lv ast.LValue, op ast.AssignOp, src int, pos source.Pos) {
+	switch lv := lv.(type) {
+	case *ast.VarRef:
+		dst := l.varReg(lv.Name)
+		if op == ast.AssignSet {
+			l.emit(Inst{Op: OpMove, Dst: dst, A: src, Pos: pos})
+			return
+		}
+		sym := "+"
+		if op == ast.AssignSub {
+			sym = "-"
+		}
+		l.emit(Inst{Op: OpBin, Dst: dst, A: dst, B: src, Sym: sym, Pos: pos})
+	case *ast.IndexExpr:
+		arr := l.varReg(lv.Name)
+		idx := l.expr(lv.Index)
+		if op != ast.AssignSet {
+			cur := l.newReg()
+			l.emit(Inst{Op: OpLoadIdx, Dst: cur, A: arr, B: idx, Pos: pos})
+			sym := "+"
+			if op == ast.AssignSub {
+				sym = "-"
+			}
+			l.emit(Inst{Op: OpBin, Dst: cur, A: cur, B: src, Sym: sym, Pos: pos})
+			src = cur
+		}
+		l.emit(Inst{Op: OpStoreIdx, Dst: arr, A: idx, B: src, Pos: pos})
+	}
+}
+
+func (l *lowerer) lvalueReg(lv ast.LValue) int {
+	switch lv := lv.(type) {
+	case *ast.VarRef:
+		return l.varReg(lv.Name)
+	case *ast.IndexExpr:
+		return l.varReg(lv.Name)
+	}
+	return l.newReg()
+}
+
+func (l *lowerer) expr(e ast.Expr) int {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := l.newReg()
+		l.emit(Inst{Op: OpConst, Dst: r, Imm: e.Value, Pos: e.LitPos})
+		return r
+	case *ast.BoolLit:
+		r := l.newReg()
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		l.emit(Inst{Op: OpConst, Dst: r, Imm: v, Pos: e.LitPos})
+		return r
+	case *ast.VarRef:
+		return l.varReg(e.Name)
+	case *ast.IndexExpr:
+		arr := l.varReg(e.Name)
+		idx := l.expr(e.Index)
+		r := l.newReg()
+		l.emit(Inst{Op: OpLoadIdx, Dst: r, A: arr, B: idx, Pos: e.NamePos})
+		return r
+	case *ast.UnaryExpr:
+		x := l.expr(e.X)
+		r := l.newReg()
+		op := OpNeg
+		if e.Op == token.Not {
+			op = OpNot
+		}
+		l.emit(Inst{Op: op, Dst: r, A: x, Pos: e.OpPos})
+		return r
+	case *ast.BinaryExpr:
+		x := l.expr(e.X)
+		y := l.expr(e.Y)
+		r := l.newReg()
+		l.emit(Inst{Op: OpBin, Dst: r, A: x, B: y, Sym: e.Op.String(), Pos: e.OpPos})
+		return r
+	case *ast.CallExpr:
+		args := make([]int, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = l.expr(a)
+		}
+		r := l.newReg()
+		op := OpCall
+		if _, ok := ast.Intrinsics[e.Name]; ok {
+			op = OpIntr
+		}
+		l.emit(Inst{Op: op, Dst: r, Sym: e.Name, Args: args, Pos: e.NamePos})
+		return r
+	}
+	return l.newReg()
+}

@@ -1,0 +1,112 @@
+package passes
+
+// Local value numbering: within each straight-line span of the linear IR
+// (between jumps and jump targets), repeated pure computations over the
+// same operand values are replaced by register moves from the first
+// result — the classic local CSE every production backend performs.
+// Rewrites preserve instruction indices, so jump targets stay valid.
+
+// exprKey identifies a pure computation by opcode, operator and the value
+// numbers of its operands.
+type exprKey struct {
+	op  OpCode
+	sym string
+	vnA int
+	vnB int
+}
+
+// cached records which register held a computation and the value number
+// it had then; the entry is stale once the register is redefined.
+type cached struct {
+	reg int
+	vn  int
+}
+
+// ValueNumber performs local CSE on f and returns the number of
+// computations replaced by moves.
+func ValueNumber(f *FuncIR) int {
+	boundary := make([]bool, len(f.Insts)+1)
+	for _, in := range f.Insts {
+		switch in.Op {
+		case OpJump, OpJumpZ:
+			if in.Imm >= 0 && int(in.Imm) < len(boundary) {
+				boundary[in.Imm] = true
+			}
+		}
+	}
+
+	replaced := 0
+	vn := make(map[int]int) // register -> current value number
+	nextVN := 1
+	table := make(map[exprKey]cached)
+	reset := func() {
+		vn = make(map[int]int)
+		table = make(map[exprKey]cached)
+	}
+	number := func(r int) int {
+		if n, ok := vn[r]; ok {
+			return n
+		}
+		n := nextVN
+		nextVN++
+		vn[r] = n
+		return n
+	}
+	define := func(r int) int {
+		n := nextVN
+		nextVN++
+		vn[r] = n
+		return n
+	}
+	lookup := func(key exprKey) (cached, bool) {
+		c, ok := table[key]
+		if !ok || vn[c.reg] != c.vn {
+			return cached{}, false
+		}
+		return c, true
+	}
+
+	for i := range f.Insts {
+		if boundary[i] {
+			reset()
+		}
+		in := &f.Insts[i]
+		switch in.Op {
+		case OpBin, OpNot, OpNeg:
+			key := exprKey{op: in.Op, sym: in.Sym, vnA: number(in.A)}
+			if in.Op == OpBin {
+				key.vnB = number(in.B)
+			}
+			if c, ok := lookup(key); ok && c.reg != in.Dst {
+				*in = Inst{Op: OpMove, Dst: in.Dst, A: c.reg, Pos: in.Pos}
+				vn[in.Dst] = c.vn
+				replaced++
+				continue
+			}
+			n := define(in.Dst)
+			table[key] = cached{reg: in.Dst, vn: n}
+		case OpMove:
+			vn[in.Dst] = number(in.A)
+		case OpConst:
+			key := exprKey{op: OpConst, vnA: int(in.Imm)}
+			if c, ok := lookup(key); ok {
+				// No rewrite needed (const loads are cheap); just share
+				// the value number so downstream computations unify.
+				vn[in.Dst] = c.vn
+				continue
+			}
+			n := define(in.Dst)
+			table[key] = cached{reg: in.Dst, vn: n}
+		case OpJump, OpJumpZ:
+			reset()
+		default:
+			// Calls, loads, MPI operations and checks define fresh,
+			// unshareable values; stores and effects do not invalidate
+			// register computations (arrays are never value-numbered).
+			if _, def := usesDefs(*in); def >= 0 {
+				define(def)
+			}
+		}
+	}
+	return replaced
+}

@@ -1,0 +1,433 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file completes the baseline backend with the standard low-level
+// passes a production compiler runs after lowering: peephole
+// simplification, virtual-register liveness, and linear-scan register
+// allocation onto a fixed machine register file (spilling to stack slots).
+// Besides making the Figure 1 baseline honest — PARCOACH's 6% overhead is
+// measured against all of GCC, not against a parser — the allocation
+// result is part of the object code the CLI can dump.
+
+// MachineRegs is the size of the simulated machine register file.
+const MachineRegs = 16
+
+// Allocation is the result of register allocation for one function.
+type Allocation struct {
+	// Assign maps each virtual register to a machine register (>= 0) or a
+	// spill slot (encoded as -(slot+1)).
+	Assign []int
+	// Spills is the number of stack slots used.
+	Spills int
+	// MaxLive is the peak number of simultaneously live virtual registers.
+	MaxLive int
+}
+
+// Loc renders the location of virtual register v.
+func (a *Allocation) Loc(v int) string {
+	if v >= len(a.Assign) {
+		return "?"
+	}
+	x := a.Assign[v]
+	if x >= 0 {
+		return fmt.Sprintf("m%d", x)
+	}
+	return fmt.Sprintf("stack[%d]", -x-1)
+}
+
+// Peephole simplifies the instruction stream in place and returns the
+// number of rewrites: self-moves are dropped and binary operations on two
+// constants whose operands are known const-defined registers are folded
+// into a single constant load (a small, honest peephole — folding across
+// control flow is the AST folder's job).
+func Peephole(f *FuncIR) int {
+	rewrites := 0
+	constVal := make(map[int]int64)
+	constKnown := make(map[int]bool)
+	kill := func(r int) {
+		delete(constVal, r)
+		delete(constKnown, r)
+	}
+	var out []Inst
+	for _, in := range f.Insts {
+		switch in.Op {
+		case OpConst:
+			constVal[in.Dst] = in.Imm
+			constKnown[in.Dst] = true
+		case OpMove:
+			if in.Dst == in.A {
+				rewrites++
+				continue // drop self-move
+			}
+			if constKnown[in.A] {
+				rewrites++
+				in = Inst{Op: OpConst, Dst: in.Dst, Imm: constVal[in.A], Pos: in.Pos}
+				constVal[in.Dst] = in.Imm
+				constKnown[in.Dst] = true
+			} else {
+				kill(in.Dst)
+			}
+		case OpBin:
+			if constKnown[in.A] && constKnown[in.B] {
+				if v, ok := foldBinarySym(in.Sym, constVal[in.A], constVal[in.B]); ok {
+					rewrites++
+					in = Inst{Op: OpConst, Dst: in.Dst, Imm: v, Pos: in.Pos}
+					constVal[in.Dst] = v
+					constKnown[in.Dst] = true
+					out = append(out, in)
+					continue
+				}
+			}
+			kill(in.Dst)
+		case OpJump, OpJumpZ:
+			// Control flow merges invalidate local constant knowledge.
+			constVal = make(map[int]int64)
+			constKnown = make(map[int]bool)
+		default:
+			if _, def := usesDefs(in); def >= 0 {
+				kill(def)
+			}
+		}
+		out = append(out, in)
+	}
+	if rewrites > 0 {
+		// Dropping instructions shifts jump targets; the simple fix that
+		// keeps this a peephole: only apply instruction-dropping rewrites
+		// when the function has no jumps, otherwise keep length by
+		// replacing dropped instructions with cheap const loads.
+		if len(out) != len(f.Insts) && hasJumps(f) {
+			return Peepholes_keepLength(f)
+		}
+		f.Insts = out
+	}
+	return rewrites
+}
+
+func hasJumps(f *FuncIR) bool {
+	for _, in := range f.Insts {
+		if in.Op == OpJump || in.Op == OpJumpZ {
+			return true
+		}
+	}
+	return false
+}
+
+// Peepholes_keepLength is the jump-safe variant: rewrites in place without
+// changing instruction indices.
+func Peepholes_keepLength(f *FuncIR) int {
+	rewrites := 0
+	constVal := make(map[int]int64)
+	constKnown := make(map[int]bool)
+	kill := func(r int) {
+		delete(constVal, r)
+		delete(constKnown, r)
+	}
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		switch in.Op {
+		case OpConst:
+			constVal[in.Dst] = in.Imm
+			constKnown[in.Dst] = true
+		case OpMove:
+			if constKnown[in.A] {
+				rewrites++
+				*in = Inst{Op: OpConst, Dst: in.Dst, Imm: constVal[in.A], Pos: in.Pos}
+				constVal[in.Dst] = in.Imm
+				constKnown[in.Dst] = true
+			} else {
+				kill(in.Dst)
+			}
+		case OpBin:
+			if constKnown[in.A] && constKnown[in.B] {
+				if v, ok := foldBinarySym(in.Sym, constVal[in.A], constVal[in.B]); ok {
+					rewrites++
+					*in = Inst{Op: OpConst, Dst: in.Dst, Imm: v, Pos: in.Pos}
+					constVal[in.Dst] = v
+					constKnown[in.Dst] = true
+					continue
+				}
+			}
+			kill(in.Dst)
+		case OpJump, OpJumpZ:
+			constVal = make(map[int]int64)
+			constKnown = make(map[int]bool)
+		default:
+			if _, def := usesDefs(*in); def >= 0 {
+				kill(def)
+			}
+		}
+	}
+	return rewrites
+}
+
+func foldBinarySym(sym string, x, y int64) (int64, bool) {
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch sym {
+	case "+":
+		return x + y, true
+	case "-":
+		return x - y, true
+	case "*":
+		return x * y, true
+	case "/":
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case "%":
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case "==":
+		return b(x == y), true
+	case "!=":
+		return b(x != y), true
+	case "<":
+		return b(x < y), true
+	case "<=":
+		return b(x <= y), true
+	case ">":
+		return b(x > y), true
+	case ">=":
+		return b(x >= y), true
+	}
+	return 0, false
+}
+
+// Liveness computes, per instruction index, the set of virtual registers
+// live after it, with an iterated backward dataflow over the linear code
+// (jump targets induce the loop-carried flows).
+func Liveness(f *FuncIR) [][]int {
+	n := len(f.Insts)
+	liveOut := make([]map[int]bool, n)
+	for i := range liveOut {
+		liveOut[i] = make(map[int]bool)
+	}
+	succs := func(i int) []int {
+		in := f.Insts[i]
+		switch in.Op {
+		case OpJump:
+			return []int{int(in.Imm)}
+		case OpJumpZ:
+			return []int{i + 1, int(in.Imm)}
+		case OpRet:
+			return nil
+		}
+		return []int{i + 1}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := make(map[int]bool)
+			for _, s := range succs(i) {
+				if s >= n {
+					continue
+				}
+				sIn := f.Insts[s]
+				uses, def := usesDefs(sIn)
+				// live-in(s) = uses(s) ∪ (live-out(s) − def(s))
+				for _, u := range uses {
+					out[u] = true
+				}
+				for r := range liveOut[s] {
+					if r != def {
+						out[r] = true
+					}
+				}
+			}
+			if len(out) != len(liveOut[i]) {
+				liveOut[i] = out
+				changed = true
+				continue
+			}
+			for r := range out {
+				if !liveOut[i][r] {
+					liveOut[i] = out
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	result := make([][]int, n)
+	for i, m := range liveOut {
+		for r := range m {
+			result[i] = append(result[i], r)
+		}
+		sort.Ints(result[i])
+	}
+	return result
+}
+
+// usesDefs returns the registers an instruction reads and the one it
+// defines (-1 for none). Array registers are treated as used by stores.
+func usesDefs(in Inst) (uses []int, def int) {
+	def = -1
+	switch in.Op {
+	case OpConst:
+		def = in.Dst
+	case OpMove, OpNot, OpNeg:
+		uses = []int{in.A}
+		def = in.Dst
+	case OpBin:
+		uses = []int{in.A, in.B}
+		def = in.Dst
+	case OpNewArr:
+		uses = []int{in.A}
+		def = in.Dst
+	case OpLoadIdx:
+		uses = []int{in.A, in.B}
+		def = in.Dst
+	case OpStoreIdx:
+		uses = []int{in.Dst, in.A, in.B}
+	case OpCall, OpIntr:
+		uses = append(uses, in.Args...)
+		def = in.Dst
+	case OpPrint, OpMPI:
+		uses = append(uses, in.Args...)
+	case OpJumpZ:
+		uses = []int{in.A}
+	case OpRet:
+		if in.A >= 0 {
+			uses = []int{in.A}
+		}
+	case OpAtomic:
+		uses = []int{in.Dst, in.A}
+		def = in.Dst
+	}
+	return uses, def
+}
+
+// Allocate performs linear-scan register allocation over the liveness
+// intervals, spilling the longest-lived intervals when pressure exceeds
+// MachineRegs.
+func Allocate(f *FuncIR) *Allocation {
+	live := Liveness(f)
+	n := len(f.Insts)
+	// Build [start,end] intervals per virtual register.
+	type interval struct {
+		reg, start, end int
+	}
+	starts := make(map[int]int)
+	ends := make(map[int]int)
+	note := func(r, i int) {
+		if _, ok := starts[r]; !ok {
+			starts[r] = i
+		}
+		ends[r] = i
+	}
+	for i := 0; i < n; i++ {
+		uses, def := usesDefs(f.Insts[i])
+		for _, u := range uses {
+			note(u, i)
+		}
+		if def >= 0 {
+			note(def, i)
+		}
+		for _, r := range live[i] {
+			note(r, i)
+		}
+	}
+	intervals := make([]interval, 0, len(starts))
+	for r, s := range starts {
+		intervals = append(intervals, interval{reg: r, start: s, end: ends[r]})
+	}
+	sort.Slice(intervals, func(i, j int) bool {
+		if intervals[i].start != intervals[j].start {
+			return intervals[i].start < intervals[j].start
+		}
+		return intervals[i].reg < intervals[j].reg
+	})
+
+	alloc := &Allocation{Assign: make([]int, f.NumRegs)}
+	for i := range alloc.Assign {
+		alloc.Assign[i] = -1 // default: first spill slot semantics fixed below
+	}
+	type active struct {
+		interval
+		machine int
+	}
+	var actives []active
+	free := make([]int, 0, MachineRegs)
+	for i := MachineRegs - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	expire := func(pos int) {
+		kept := actives[:0]
+		for _, a := range actives {
+			if a.end < pos {
+				free = append(free, a.machine)
+				continue
+			}
+			kept = append(kept, a)
+		}
+		actives = kept
+	}
+	spillSlot := 0
+	for _, iv := range intervals {
+		expire(iv.start)
+		if len(actives) > alloc.MaxLive {
+			alloc.MaxLive = len(actives)
+		}
+		if len(free) > 0 {
+			m := free[len(free)-1]
+			free = free[:len(free)-1]
+			alloc.Assign[iv.reg] = m
+			actives = append(actives, active{interval: iv, machine: m})
+			continue
+		}
+		// Spill the active interval with the farthest end.
+		far := -1
+		for idx, a := range actives {
+			if far < 0 || a.end > actives[far].end {
+				far = idx
+			}
+		}
+		if far >= 0 && actives[far].end > iv.end {
+			// Steal its machine register; the victim spills.
+			victim := actives[far]
+			alloc.Assign[iv.reg] = victim.machine
+			alloc.Assign[victim.reg] = -(spillSlot + 1)
+			spillSlot++
+			actives[far] = active{interval: iv, machine: victim.machine}
+		} else {
+			alloc.Assign[iv.reg] = -(spillSlot + 1)
+			spillSlot++
+		}
+	}
+	alloc.Spills = spillSlot
+	// Registers never touched by any instruction stay unassigned; give
+	// them machine register 0 for a total mapping.
+	for r, m := range alloc.Assign {
+		if m == -1 && !used(starts, r) {
+			alloc.Assign[r] = 0
+		}
+	}
+	return alloc
+}
+
+func used(starts map[int]int, r int) bool {
+	_, ok := starts[r]
+	return ok
+}
+
+// Optimize runs the whole low-level pipeline on one function and returns
+// the allocation: peephole constant propagation, local value numbering,
+// a second peephole to clean the moves LVN introduced, then liveness and
+// linear-scan register allocation.
+func Optimize(f *FuncIR) *Allocation {
+	Peephole(f)
+	ValueNumber(f)
+	Peephole(f)
+	return Allocate(f)
+}

@@ -1,0 +1,480 @@
+// Package pword implements the paper's parallelism words.
+//
+// A parallelism word pw[n] for a CFG node n is the sequence of threading
+// constructs and barriers traversed from the beginning of the function to
+// n: parallel regions contribute P_i, single-threaded regions (single,
+// master, one section of a sections construct) contribute S_i, and
+// barriers — explicit or implicit — contribute B. When a region ends, the
+// word is simplified: the region's letter and everything after it are
+// removed (the paper's simplification for perfectly nested parallelism).
+//
+// A node is in a monothreaded context iff its word belongs to
+//
+//	L = (S | P B* S)*
+//
+// with B letters transparent elsewhere ("Bs are ignored as barriers do not
+// influence the level of thread parallelism"): every open P must be
+// covered by an immediately-nested S, and two P with no S in between mean
+// nested parallelism, which the paper conservatively treats as
+// multithreaded even if the word ends with S.
+//
+// Two nodes in monothreaded regions may still execute simultaneously: the
+// paper calls n1, n2 concurrent monothreaded regions when
+// pw[n1] = w·S_j·u and pw[n2] = w·S_k·v with j ≠ k — same prefix
+// (in particular the same number of barriers, hence the same barrier
+// phase) but different single regions.
+package pword
+
+import (
+	"fmt"
+	"strings"
+
+	"parcoach/internal/cfg"
+	"parcoach/internal/dom"
+	"parcoach/internal/source"
+)
+
+// LetterKind is P, S, B, or B* (an indeterminate number of barriers,
+// produced when a loop body contains implicit or explicit barriers: the
+// barrier count after the loop depends on the trip count, which the
+// analysis does not track — all such counts join to B*).
+type LetterKind byte
+
+// Letter kinds.
+const (
+	P     LetterKind = 'P'
+	S     LetterKind = 'S'
+	B     LetterKind = 'B'
+	BStar LetterKind = '*'
+)
+
+// isBarrier reports whether the kind denotes barrier letters.
+func isBarrier(k LetterKind) bool { return k == B || k == BStar }
+
+// Letter is one element of a parallelism word. ID is the region id for
+// P/S letters and is ignored for B. Master marks S letters coming from a
+// master construct (always executed by thread 0, no single election).
+type Letter struct {
+	Kind   LetterKind
+	ID     int
+	Master bool
+}
+
+// Word is an immutable parallelism word; operations return new words.
+type Word struct {
+	letters []Letter
+}
+
+// MakeWord builds a word from letters; used for initial prefixes and tests.
+func MakeWord(letters ...Letter) Word {
+	return Word{letters: append([]Letter(nil), letters...)}
+}
+
+// Empty is the initial word at a function entry in a monothreaded context.
+var Empty = Word{}
+
+// Unknown multithreaded prefix used when the analysis is told the function
+// may be entered inside a parallel region (the paper's compile-time option
+// for the initial thread level). The region id -1 never collides with real
+// regions.
+var MultithreadedPrefix = MakeWord(Letter{Kind: P, ID: -1})
+
+// Len returns the number of letters.
+func (w Word) Len() int { return len(w.letters) }
+
+// At returns the i-th letter.
+func (w Word) At(i int) Letter { return w.letters[i] }
+
+// Append returns w with l appended.
+func (w Word) Append(l Letter) Word {
+	out := make([]Letter, len(w.letters)+1)
+	copy(out, w.letters)
+	out[len(w.letters)] = l
+	return Word{letters: out}
+}
+
+// AppendBarrier appends a B, absorbing into a trailing B* (an unknown
+// number of barriers plus one more is still unknown).
+func (w Word) AppendBarrier() Word {
+	if n := len(w.letters); n > 0 && w.letters[n-1].Kind == BStar {
+		return w
+	}
+	return w.Append(Letter{Kind: B})
+}
+
+// PopRegion returns w truncated at the last occurrence of the region
+// letter with the given id (the paper's simplification at region end).
+// Popping a region that is not open returns w unchanged.
+func (w Word) PopRegion(id int) Word {
+	for i := len(w.letters) - 1; i >= 0; i-- {
+		l := w.letters[i]
+		if (l.Kind == P || l.Kind == S) && l.ID == id {
+			out := make([]Letter, i)
+			copy(out, w.letters[:i])
+			return Word{letters: out}
+		}
+	}
+	return w
+}
+
+// Equal reports letter-wise equality. B letters compare equal to each
+// other regardless of origin; P/S letters compare by kind and id; B* only
+// equals B*.
+func (w Word) Equal(v Word) bool {
+	if len(w.letters) != len(v.letters) {
+		return false
+	}
+	for i := range w.letters {
+		if !sameLetter(w.letters[i], v.letters[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameLetter(a, b Letter) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if isBarrier(a.Kind) {
+		return true
+	}
+	return a.ID == b.ID
+}
+
+// String renders the word compactly, e.g. "P0 B S3"; the empty word is ε.
+func (w Word) String() string {
+	if len(w.letters) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(w.letters))
+	for i, l := range w.letters {
+		switch l.Kind {
+		case B:
+			parts[i] = "B"
+		case BStar:
+			parts[i] = "B*"
+		default:
+			parts[i] = fmt.Sprintf("%c%d", l.Kind, l.ID)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// InL reports membership in L = (S|PB*S)*, with B transparent: after
+// stripping barriers, every P must be immediately followed by an S and the
+// word must not end in an uncovered P.
+func (w Word) InL() bool {
+	stripped := make([]LetterKind, 0, len(w.letters))
+	for _, l := range w.letters {
+		if !isBarrier(l.Kind) {
+			stripped = append(stripped, l.Kind)
+		}
+	}
+	for i := 0; i < len(stripped); {
+		switch {
+		case stripped[i] == S:
+			i++
+		case stripped[i] == P && i+1 < len(stripped) && stripped[i+1] == S:
+			i += 2
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Monothreaded is the paper's phase-1 test: the node executes on at most
+// one thread per process for any team sizes and schedules.
+func (w Word) Monothreaded() bool { return w.InL() }
+
+// MonoUnderParallelPrefix reports whether P·w ∈ L, i.e. whether the node
+// stays monothreaded when the function is entered from an unknown
+// multithreaded context. Because the unknown prefix region is never
+// closed inside the function, the word under that context is exactly the
+// mono-context word with a P prepended — so the analysis never needs a
+// second fixpoint per function.
+func (w Word) MonoUnderParallelPrefix() bool {
+	stripped := make([]LetterKind, 0, len(w.letters))
+	for _, l := range w.letters {
+		if !isBarrier(l.Kind) {
+			stripped = append(stripped, l.Kind)
+		}
+	}
+	// The leading virtual P must be covered by an S...
+	if len(stripped) == 0 || stripped[0] != S {
+		return false
+	}
+	// ...and the rest must be in L on its own.
+	for i := 1; i < len(stripped); {
+		switch {
+		case stripped[i] == S:
+			i++
+		case stripped[i] == P && i+1 < len(stripped) && stripped[i+1] == S:
+			i += 2
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// InnermostS returns the last S letter of the word and true when the word
+// ends in a single-threaded region (ignoring trailing barriers cannot
+// occur: a barrier may not be closely nested in a single region).
+func (w Word) InnermostS() (Letter, bool) {
+	if n := len(w.letters); n > 0 && w.letters[n-1].Kind == S {
+		return w.letters[n-1], true
+	}
+	return Letter{}, false
+}
+
+// Concurrent implements the paper's phase-2 relation: it reports whether
+// two monothreaded nodes with words w and v can execute simultaneously,
+// i.e. w = x·S_j·u, v = x·S_k·v' with j ≠ k for the longest common prefix
+// x. Both words must individually be monothreaded for the relation to be
+// meaningful; callers check that first.
+func Concurrent(w, v Word) bool {
+	ws, vs := segments(w), segments(v)
+	for i := 0; i < len(ws) && i < len(vs); i++ {
+		if !gapCompatible(ws[i], vs[i]) {
+			return false // provably different barrier phases
+		}
+		if !sameLetter(ws[i].letter, vs[i].letter) {
+			a, b := ws[i].letter, vs[i].letter
+			return a.Kind == S && b.Kind == S && a.ID != b.ID
+		}
+	}
+	return false // one word prefixes the other: same thread, ordered
+}
+
+// seg is a non-barrier letter together with the barrier gap preceding it:
+// bCount barriers, or an indeterminate count when star is set.
+type seg struct {
+	bCount int
+	star   bool
+	letter Letter
+}
+
+func segments(w Word) []seg {
+	var out []seg
+	cur := seg{}
+	for _, l := range w.letters {
+		switch l.Kind {
+		case B:
+			cur.bCount++
+		case BStar:
+			cur.star = true
+		default:
+			cur.letter = l
+			out = append(out, cur)
+			cur = seg{}
+		}
+	}
+	return out
+}
+
+// gapCompatible reports whether two barrier gaps may denote the same
+// phase: indeterminate counts (B*) match anything.
+func gapCompatible(a, b seg) bool {
+	return a.star || b.star || a.bCount == b.bCount
+}
+
+// Result is the outcome of computing parallelism words over a CFG.
+type Result struct {
+	// Words maps node id to the word at node entry.
+	Words []Word
+	// Ambiguous marks nodes whose word differs between two incoming paths
+	// (non-conforming barrier/region placement, e.g. a barrier under a
+	// branch or in a loop body). The paper's model assumes this cannot
+	// happen; we detect it, keep the first word, and let callers treat
+	// such nodes conservatively.
+	Ambiguous []bool
+	// Conflicts records one located message per ambiguous node.
+	Conflicts []Conflict
+}
+
+// Conflict describes an inconsistent-word detection.
+type Conflict struct {
+	Node *cfg.Node
+	Pos  source.Pos
+	A, B Word
+}
+
+// Word returns the word of node n.
+func (r *Result) Word(n *cfg.Node) Word { return r.Words[n.ID] }
+
+// IsAmbiguous reports whether n had conflicting incoming words.
+func (r *Result) IsAmbiguous(n *cfg.Node) bool { return r.Ambiguous[n.ID] }
+
+// Compute propagates parallelism words over g to a fixpoint, starting
+// from the initial word at the entry node (Empty for a monothreaded
+// start, or MultithreadedPrefix when the surrounding context is unknown).
+//
+// The word attached to a node is the word *at* the node (used to judge its
+// collectives); the node's effect (region push/pop, barrier append) applies
+// to its out-edges. When two paths reach a node with words that differ
+// only in barrier letters, the words join to a common prefix plus B*: on
+// loop back edges this is the normal loop-carried-barrier case (a single
+// or worksharing construct inside a sequential loop) and is silent; on
+// forward edges it means barrier counts diverge between branch arms —
+// non-conforming placement, reported as a Conflict but still joined so
+// the analysis can continue conservatively. Structurally different words
+// (different open regions) are reported and the first word is kept.
+func Compute(g *cfg.Graph, initial Word) *Result {
+	return ComputeWithDom(g, initial, nil)
+}
+
+// ComputeWithDom is Compute with a pre-built dominator tree of g (used by
+// the analyzer to share one tree across both initial contexts and the
+// other passes); a nil tree is computed on the spot.
+func ComputeWithDom(g *cfg.Graph, initial Word, domTree *dom.Tree) *Result {
+	res := &Result{
+		Words:     make([]Word, len(g.Nodes)),
+		Ambiguous: make([]bool, len(g.Nodes)),
+	}
+	// The dominator tree is only consulted to classify joins as
+	// back-edge (loop-carried) or forward (conditional barrier); most
+	// functions never join at all, so build it lazily.
+	domOf := func() *dom.Tree {
+		if domTree == nil {
+			domTree = dom.Dominators(g)
+		}
+		return domTree
+	}
+	has := make([]bool, len(g.Nodes))
+	type item struct {
+		from *cfg.Node // nil for the entry seed
+		n    *cfg.Node
+		w    Word
+	}
+	work := []item{{nil, g.Entry, initial}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		n, w := it.n, it.w
+		if has[n.ID] {
+			old := res.Words[n.ID]
+			if old.Equal(w) {
+				continue
+			}
+			joined, certain, ok := join(old, w)
+			if !ok {
+				if !res.Ambiguous[n.ID] {
+					res.Ambiguous[n.ID] = true
+					res.Conflicts = append(res.Conflicts, Conflict{Node: n, Pos: n.Pos, A: old, B: w})
+				}
+				continue
+			}
+			backEdge := it.from != nil && domOf().Dominates(n, it.from)
+			if certain && !backEdge && !res.Ambiguous[n.ID] {
+				// Two certain barrier counts differ between forward
+				// paths: a barrier conditionally executed by some
+				// threads — non-conforming placement. Loop-carried
+				// indeterminacy (a B* in either word) is the normal
+				// "single/pfor inside a sequential loop" case and stays
+				// silent, as do back-edge joins.
+				res.Ambiguous[n.ID] = true
+				res.Conflicts = append(res.Conflicts, Conflict{Node: n, Pos: n.Pos, A: old, B: w})
+			}
+			if joined.Equal(old) {
+				continue
+			}
+			res.Words[n.ID] = joined
+			w = joined
+		} else {
+			has[n.ID] = true
+			res.Words[n.ID] = w
+		}
+		out := transfer(n, w)
+		for _, s := range n.Succs {
+			work = append(work, item{n, s, out})
+		}
+	}
+	return res
+}
+
+// gap is a run of barrier letters between two region letters.
+type gap struct {
+	count int
+	star  bool
+}
+
+// split decomposes a word into its region letters and the barrier gaps
+// around them; len(gaps) == len(letters)+1.
+func split(w Word) (gaps []gap, letters []Letter) {
+	g := gap{}
+	for _, l := range w.letters {
+		switch l.Kind {
+		case B:
+			g.count++
+		case BStar:
+			g.star = true
+		default:
+			gaps = append(gaps, g)
+			g = gap{}
+			letters = append(letters, l)
+		}
+	}
+	gaps = append(gaps, g)
+	return gaps, letters
+}
+
+// join merges two words whose region-letter structure agrees, widening
+// every disagreeing barrier gap to B*. ok is false when the open regions
+// themselves disagree (a structural conflict). certain reports whether
+// some disagreeing gap had exact counts on both sides — that is a
+// conditionally executed barrier (non-conforming placement), as opposed
+// to loop-carried indeterminacy where a B* is already involved.
+func join(a, b Word) (joined Word, certain, ok bool) {
+	ga, la := split(a)
+	gb, lb := split(b)
+	if len(la) != len(lb) {
+		return Word{}, false, false
+	}
+	for i := range la {
+		if !sameLetter(la[i], lb[i]) {
+			return Word{}, false, false
+		}
+	}
+	var out []Letter
+	emitGap := func(x, y gap) {
+		if x == y && !x.star {
+			for k := 0; k < x.count; k++ {
+				out = append(out, Letter{Kind: B})
+			}
+			return
+		}
+		if !x.star && !y.star {
+			// Both counts are exact yet different: a barrier executed on
+			// one path but not the other — certain divergence.
+			certain = true
+		}
+		out = append(out, Letter{Kind: BStar})
+	}
+	for i := range la {
+		emitGap(ga[i], gb[i])
+		out = append(out, la[i])
+	}
+	emitGap(ga[len(la)], gb[len(lb)])
+	return Word{letters: out}, certain, true
+}
+
+// transfer applies a node's effect to the incoming word.
+func transfer(n *cfg.Node, w Word) Word {
+	switch n.Kind {
+	case cfg.KindParallelBegin:
+		return w.Append(Letter{Kind: P, ID: n.RegionID})
+	case cfg.KindParallelEnd:
+		return w.PopRegion(n.RegionID)
+	case cfg.KindSingleBegin, cfg.KindSectionBegin:
+		return w.Append(Letter{Kind: S, ID: n.RegionID})
+	case cfg.KindMasterBegin:
+		return w.Append(Letter{Kind: S, ID: n.RegionID, Master: true})
+	case cfg.KindSingleEnd, cfg.KindMasterEnd, cfg.KindSectionEnd:
+		return w.PopRegion(n.RegionID)
+	case cfg.KindBarrier:
+		return w.AppendBarrier()
+	}
+	return w
+}

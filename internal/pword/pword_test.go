@@ -1,0 +1,458 @@
+package pword
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcoach/internal/cfg"
+	"parcoach/internal/parser"
+)
+
+func w(kinds ...Letter) Word { return MakeWord(kinds...) }
+
+func p(id int) Letter { return Letter{Kind: P, ID: id} }
+func s(id int) Letter { return Letter{Kind: S, ID: id} }
+func bb() Letter      { return Letter{Kind: B} }
+
+func TestInL(t *testing.T) {
+	tests := []struct {
+		word Word
+		want bool
+	}{
+		{Empty, true},                     // function top level, monothreaded start
+		{w(s(1)), true},                   // inside single at top level
+		{w(p(0)), false},                  // inside parallel, no single
+		{w(p(0), s(1)), true},             // paper: PS
+		{w(p(0), bb(), s(1)), true},       // paper: PBS
+		{w(p(0), bb(), bb(), s(1)), true}, // PB*S
+		{w(p(0), p(1)), false},            // nested parallel
+		{w(p(0), p(1), s(2)), false},      // paper: PP…S still rejected
+		{w(p(0), s(1), s(2)), true},       // master inside single
+		{w(s(0), p(1), s(2)), true},       // single{parallel{single{}}}
+		{w(p(0), s(1), p(2)), false},      // parallel inside single: multithreaded again
+		{w(p(0), s(1), p(2), s(3)), true}, // …covered by inner single
+		{w(bb()), true},                   // barrier at top level: still initial thread
+		{w(bb(), s(1)), true},             // B then single
+		{w(p(0), bb()), false},            // still inside parallel
+	}
+	for _, tt := range tests {
+		if got := tt.word.InL(); got != tt.want {
+			t.Errorf("InL(%s) = %v, want %v", tt.word, got, tt.want)
+		}
+		if tt.word.Monothreaded() != tt.want {
+			t.Errorf("Monothreaded(%s) mismatch", tt.word)
+		}
+	}
+}
+
+func TestPopRegion(t *testing.T) {
+	word := w(p(0), bb(), s(1))
+	popped := word.PopRegion(1)
+	if !popped.Equal(w(p(0), bb())) {
+		t.Errorf("PopRegion(1) = %s", popped)
+	}
+	// Popping the parallel region drops everything after it too.
+	deep := w(p(0), bb(), s(1))
+	if got := deep.PopRegion(0); got.Len() != 0 {
+		t.Errorf("PopRegion(0) = %s, want ε", got)
+	}
+	// Popping an unopened region is a no-op.
+	if got := word.PopRegion(42); !got.Equal(word) {
+		t.Errorf("PopRegion(42) changed the word: %s", got)
+	}
+	// Original word must be unchanged (immutability).
+	if !word.Equal(w(p(0), bb(), s(1))) {
+		t.Error("PopRegion mutated its receiver")
+	}
+}
+
+func TestAppendImmutable(t *testing.T) {
+	base := w(p(0))
+	w1 := base.Append(s(1))
+	w2 := base.Append(s(2))
+	if !w1.Equal(w(p(0), s(1))) || !w2.Equal(w(p(0), s(2))) {
+		t.Error("Append results wrong")
+	}
+	if !base.Equal(w(p(0))) {
+		t.Error("Append mutated the base word")
+	}
+}
+
+func TestEqualTreatsBarriersAlike(t *testing.T) {
+	a := w(p(0), Letter{Kind: B, ID: 7}, s(1))
+	b := w(p(0), Letter{Kind: B, ID: 9}, s(1))
+	if !a.Equal(b) {
+		t.Error("B letters must compare equal regardless of id")
+	}
+	if a.Equal(w(p(0), s(1))) {
+		t.Error("words of different length must differ")
+	}
+	if a.Equal(w(p(1), bb(), s(1))) {
+		t.Error("P ids must be compared")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tests := []struct {
+		a, b Word
+		want bool
+	}{
+		// Two singles, no barrier between: concurrent.
+		{w(p(0), s(1)), w(p(0), s(2)), true},
+		// Barrier separates the phases: not concurrent.
+		{w(p(0), s(1)), w(p(0), bb(), s(2)), false},
+		// Same region: ordered by the single thread.
+		{w(p(0), s(1)), w(p(0), s(1)), false},
+		// One word prefixes the other (nested region): same thread.
+		{w(p(0), s(1)), w(p(0), s(1), s(2)), false},
+		// Two sections of a sections construct: concurrent.
+		{w(p(0), s(3)), w(p(0), s(4)), true},
+		// Divergence at a P letter, not S: not a phase-2 case.
+		{w(p(0)), w(p(1)), false},
+		// Same prefix with equal barrier counts then different singles.
+		{w(p(0), bb(), s(1)), w(p(0), bb(), s(2)), true},
+		// Different barrier counts: different phases.
+		{w(p(0), bb(), bb(), s(1)), w(p(0), bb(), s(2)), false},
+		// Master vs single with different ids: still concurrent statically
+		// (dynamic check clears it when the same thread runs both).
+		{w(p(0), Letter{Kind: S, ID: 1, Master: true}), w(p(0), s(2)), true},
+	}
+	for _, tt := range tests {
+		if got := Concurrent(tt.a, tt.b); got != tt.want {
+			t.Errorf("Concurrent(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		// Symmetry.
+		if got := Concurrent(tt.b, tt.a); got != tt.want {
+			t.Errorf("Concurrent(%s, %s) not symmetric", tt.b, tt.a)
+		}
+	}
+}
+
+func TestInnermostS(t *testing.T) {
+	if _, ok := Empty.InnermostS(); ok {
+		t.Error("empty word has no S")
+	}
+	if _, ok := w(p(0)).InnermostS(); ok {
+		t.Error("P word has no trailing S")
+	}
+	l, ok := w(p(0), Letter{Kind: S, ID: 5, Master: true}).InnermostS()
+	if !ok || l.ID != 5 || !l.Master {
+		t.Errorf("InnermostS = %+v, %v", l, ok)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Empty.String() != "ε" {
+		t.Errorf("empty word renders %q", Empty.String())
+	}
+	if got := w(p(0), bb(), s(3)).String(); got != "P0 B S3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+//
+// Compute over real CFGs
+//
+
+func computeMain(t *testing.T, body string, initial Word) (*cfg.Graph, *Result) {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", "func main() {\n"+body+"\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.Build(prog.Func("main"))
+	return g, Compute(g, initial)
+}
+
+func collWords(g *cfg.Graph, r *Result) []Word {
+	var out []Word
+	for _, n := range g.Collectives() {
+		out = append(out, r.Word(n))
+	}
+	return out
+}
+
+func TestComputeTopLevelCollective(t *testing.T) {
+	g, r := computeMain(t, "MPI_Barrier()", Empty)
+	ws := collWords(g, r)
+	if len(ws) != 1 || !ws[0].Equal(Empty) {
+		t.Errorf("top-level collective word = %v", ws)
+	}
+	if !ws[0].Monothreaded() {
+		t.Error("top-level collective must be monothreaded")
+	}
+}
+
+func TestComputeParallelCollective(t *testing.T) {
+	g, r := computeMain(t, "parallel { MPI_Barrier() }", Empty)
+	ws := collWords(g, r)
+	if len(ws) != 1 || ws[0].Monothreaded() {
+		t.Errorf("collective in parallel must be multithreaded, word %v", ws)
+	}
+	if ws[0].Len() != 1 || ws[0].At(0).Kind != P {
+		t.Errorf("word must be a single P, got %s", ws[0])
+	}
+}
+
+func TestComputeSingleProtects(t *testing.T) {
+	g, r := computeMain(t, "parallel { single { MPI_Bcast(x) } }", Empty)
+	ws := collWords(g, r)
+	if len(ws) != 1 || !ws[0].Monothreaded() {
+		t.Errorf("collective in single must be monothreaded, got %s", ws[0])
+	}
+}
+
+func TestComputeWordAfterRegionSimplifies(t *testing.T) {
+	g, r := computeMain(t, "parallel { single { var x = 1 } }\nMPI_Barrier()", Empty)
+	ws := collWords(g, r)
+	if len(ws) != 1 || !ws[0].Equal(Empty) {
+		t.Errorf("after the parallel region the word must simplify to ε, got %s", ws[0])
+	}
+}
+
+func TestComputeBarrierPhases(t *testing.T) {
+	// Two singles separated by the first single's implicit barrier.
+	g, r := computeMain(t, `
+parallel {
+	single { MPI_Bcast(x) }
+	single { MPI_Reduce(y, y) }
+}`, Empty)
+	ws := collWords(g, r)
+	if len(ws) != 2 {
+		t.Fatalf("want 2 collectives, got %d", len(ws))
+	}
+	if Concurrent(ws[0], ws[1]) {
+		t.Errorf("implicit barrier separates the singles: %s vs %s", ws[0], ws[1])
+	}
+	// With nowait they become concurrent.
+	g2, r2 := computeMain(t, `
+parallel {
+	single nowait { MPI_Bcast(x) }
+	single { MPI_Reduce(y, y) }
+}`, Empty)
+	ws2 := collWords(g2, r2)
+	if !Concurrent(ws2[0], ws2[1]) {
+		t.Errorf("nowait singles must be concurrent: %s vs %s", ws2[0], ws2[1])
+	}
+}
+
+func TestComputeSectionsConcurrent(t *testing.T) {
+	g, r := computeMain(t, `
+parallel {
+	sections {
+		section { MPI_Bcast(x) }
+		section { MPI_Reduce(y, y) }
+	}
+}`, Empty)
+	ws := collWords(g, r)
+	if len(ws) != 2 {
+		t.Fatalf("want 2 collectives, got %d", len(ws))
+	}
+	for _, word := range ws {
+		if !word.Monothreaded() {
+			t.Errorf("section body must be monothreaded: %s", word)
+		}
+	}
+	if !Concurrent(ws[0], ws[1]) {
+		t.Errorf("two sections must be concurrent monothreaded regions: %s vs %s", ws[0], ws[1])
+	}
+}
+
+func TestComputeNestedParallel(t *testing.T) {
+	g, r := computeMain(t, "parallel { parallel { single { MPI_Barrier() } } }", Empty)
+	ws := collWords(g, r)
+	if ws[0].Monothreaded() {
+		t.Errorf("single under nested parallel is still multithreaded (one per team): %s", ws[0])
+	}
+}
+
+func TestComputeMasterWord(t *testing.T) {
+	g, r := computeMain(t, "parallel { master { MPI_Bcast(x) } }", Empty)
+	ws := collWords(g, r)
+	if !ws[0].Monothreaded() {
+		t.Errorf("master must be monothreaded: %s", ws[0])
+	}
+	l, ok := ws[0].InnermostS()
+	if !ok || !l.Master {
+		t.Error("master letter must be flagged")
+	}
+}
+
+func TestComputeCriticalIsNotMonothreaded(t *testing.T) {
+	g, r := computeMain(t, "parallel { critical { MPI_Barrier() } }", Empty)
+	ws := collWords(g, r)
+	if ws[0].Monothreaded() {
+		t.Errorf("critical serializes but does not single-thread: %s", ws[0])
+	}
+}
+
+func TestComputePforBodyMultithreaded(t *testing.T) {
+	g, r := computeMain(t, "parallel { pfor i = 0 .. 4 { MPI_Barrier() } }", Empty)
+	ws := collWords(g, r)
+	if ws[0].Monothreaded() {
+		t.Errorf("pfor body is multithreaded: %s", ws[0])
+	}
+}
+
+func TestComputeInitialPrefix(t *testing.T) {
+	g, r := computeMain(t, "MPI_Barrier()", MultithreadedPrefix)
+	ws := collWords(g, r)
+	if ws[0].Monothreaded() {
+		t.Error("with unknown multithreaded prefix a bare collective is unsafe")
+	}
+	g2, r2 := computeMain(t, "single { MPI_Barrier() }", MultithreadedPrefix)
+	ws2 := collWords(g2, r2)
+	if !ws2[0].Monothreaded() {
+		t.Error("orphaned single protects the collective under the unknown prefix")
+	}
+}
+
+func TestComputeAmbiguousBarrierInBranch(t *testing.T) {
+	// A barrier under a rank-dependent branch inside parallel makes the
+	// word of the merge node path-dependent: flagged, not silently wrong.
+	_, r := computeMain(t, `
+parallel {
+	if tid() == 0 {
+		barrier
+	}
+	single { MPI_Bcast(x) }
+}`, Empty)
+	if len(r.Conflicts) == 0 {
+		t.Error("conflicting words must be reported")
+	}
+	amb := false
+	for _, flag := range r.Ambiguous {
+		if flag {
+			amb = true
+		}
+	}
+	if !amb {
+		t.Error("ambiguous nodes must be marked")
+	}
+}
+
+func TestComputeLoopKeepsWordStable(t *testing.T) {
+	_, r := computeMain(t, `
+parallel {
+	pfor i = 0 .. 8 { var x = i }
+	single { MPI_Bcast(y) }
+}
+for it = 0 .. 10 {
+	MPI_Allreduce(z, z)
+}`, Empty)
+	if len(r.Conflicts) != 0 {
+		t.Errorf("balanced loops must not create conflicts: %+v", r.Conflicts)
+	}
+}
+
+func TestComputeBarrierInLoopJoinsToStar(t *testing.T) {
+	// A barrier in a sequential loop inside parallel is conforming (all
+	// threads iterate alike); the barrier count is loop-carried, so the
+	// word after the loop joins to P B* without a conflict.
+	g, r := computeMain(t, `
+parallel {
+	for i = 0 .. 4 {
+		barrier
+	}
+	single { MPI_Bcast(x) }
+}`, Empty)
+	if len(r.Conflicts) != 0 {
+		t.Errorf("loop-carried barriers must join silently: %+v", r.Conflicts)
+	}
+	ws := collWords(g, r)
+	if len(ws) != 1 || !ws[0].Monothreaded() {
+		t.Fatalf("collective after loop must stay monothreaded: %v", ws)
+	}
+	star := false
+	for i := 0; i < ws[0].Len(); i++ {
+		if ws[0].At(i).Kind == BStar {
+			star = true
+		}
+	}
+	if !star {
+		t.Errorf("word after barrier loop must contain B*: %s", ws[0])
+	}
+}
+
+func TestConcurrentWithStar(t *testing.T) {
+	// P B* S1 may share a phase with P B B S2: concurrent candidate.
+	a := MakeWord(p(0), Letter{Kind: BStar}, s(1))
+	b := MakeWord(p(0), bb(), bb(), s(2))
+	if !Concurrent(a, b) {
+		t.Error("B* must match any barrier count in the concurrency relation")
+	}
+	// Same region after stars: not concurrent.
+	c := MakeWord(p(0), Letter{Kind: BStar}, s(1))
+	if Concurrent(a, c) {
+		t.Error("identical starred words are not concurrent")
+	}
+}
+
+// Property: InL is invariant under inserting B letters anywhere.
+func TestInLBarrierInsensitive(t *testing.T) {
+	check := func(raw []byte, positions []uint8) bool {
+		base := make([]Letter, 0, len(raw))
+		id := 0
+		for _, r := range raw {
+			switch r % 3 {
+			case 0:
+				base = append(base, Letter{Kind: P, ID: id})
+			case 1:
+				base = append(base, Letter{Kind: S, ID: id})
+			case 2:
+				base = append(base, Letter{Kind: B})
+			}
+			id++
+			if len(base) > 12 {
+				break
+			}
+		}
+		word := MakeWord(base...)
+		want := word.InL()
+		for _, pos := range positions {
+			if len(base) == 0 {
+				break
+			}
+			i := int(pos) % (len(base) + 1)
+			withB := append(append(append([]Letter{}, base[:i]...), Letter{Kind: B}), base[i:]...)
+			if MakeWord(withB...).InL() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concurrent is irreflexive and symmetric for random words.
+func TestConcurrentProperties(t *testing.T) {
+	mk := func(raw []byte) Word {
+		letters := make([]Letter, 0, len(raw))
+		for _, r := range raw {
+			switch r % 3 {
+			case 0:
+				letters = append(letters, Letter{Kind: P, ID: int(r % 5)})
+			case 1:
+				letters = append(letters, Letter{Kind: S, ID: int(r % 7)})
+			default:
+				letters = append(letters, Letter{Kind: B})
+			}
+			if len(letters) > 10 {
+				break
+			}
+		}
+		return MakeWord(letters...)
+	}
+	check := func(a, b []byte) bool {
+		wa, wb := mk(a), mk(b)
+		if Concurrent(wa, wa) || Concurrent(wb, wb) {
+			return false
+		}
+		return Concurrent(wa, wb) == Concurrent(wb, wa)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

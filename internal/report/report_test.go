@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/workload"
+)
+
+func TestFigure1Table(t *testing.T) {
+	out, err := Figure1(workload.ScaleS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BT-MZ", "SP-MZ", "LU-MZ", "EPCC", "HERA", "ovh-warn%", "ovh-code%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureCompileOrdering(t *testing.T) {
+	ct, err := MeasureCompile(workload.BTMZ(workload.ScaleS, workload.BugNone), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By construction the modes nest: baseline ⊆ analyze ⊆ full.
+	if ct.Baseline <= 0 || ct.Analyze < ct.Baseline || ct.Full < ct.Analyze {
+		t.Errorf("mode times must nest: %+v", ct)
+	}
+	if ct.OverheadAnalyze() < 0 || ct.OverheadFull() < ct.OverheadAnalyze() {
+		t.Errorf("overheads must be ordered: %f %f", ct.OverheadAnalyze(), ct.OverheadFull())
+	}
+}
+
+func TestWarningInventoryTable(t *testing.T) {
+	out, err := WarningInventory(workload.ScaleS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rank-dependent-collective") || !strings.Contains(out, "HERA") {
+		t.Errorf("inventory incomplete:\n%s", out)
+	}
+	// Seeded threading bugs must show their kinds.
+	if !strings.Contains(out, "multithreaded-collective") {
+		t.Errorf("inventory missing threading kinds:\n%s", out)
+	}
+}
+
+func TestDetectionMatrixTable(t *testing.T) {
+	out, err := DetectionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"none", "completes",
+		"verifier: multithreaded-collective",
+		"verifier: concurrent-collectives",
+		"verifier: collective-mismatch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detection matrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRuntimeOverheadTable(t *testing.T) {
+	out, err := RuntimeOverhead(workload.ScaleS, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "selective") || !strings.Contains(out, "full-instr") {
+		t.Errorf("overhead table incomplete:\n%s", out)
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	out, err := Ablation(workload.ScaleS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "warns sel/raw") {
+		t.Errorf("ablation table incomplete:\n%s", out)
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	out, err := Run(workload.Micro(workload.BugNone), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "err=<nil>") {
+		t.Errorf("clean micro summary: %s", out)
+	}
+}

@@ -1,0 +1,412 @@
+// Package sem performs the semantic checks a conforming MiniHybrid program
+// must pass before the paper's analyses run: lexical scoping, call arity,
+// scalar/array shape checks on MPI buffers, and the OpenMP-style nesting
+// restrictions the paper's model assumes (perfectly nested regions, no
+// branching out of a structured block, no barrier closely nested inside a
+// worksharing or single-threaded construct).
+package sem
+
+import (
+	"parcoach/internal/ast"
+	"parcoach/internal/source"
+)
+
+// VarKind classifies a name in scope.
+type VarKind int
+
+// Variable kinds. Parameters are Unknown because MiniHybrid parameters are
+// untyped: they accept scalars or arrays and are refined by use.
+const (
+	Unknown VarKind = iota
+	Scalar
+	Array
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case Scalar:
+		return "scalar"
+	case Array:
+		return "array"
+	}
+	return "unknown"
+}
+
+// Check validates the program and returns the accumulated errors, or nil.
+func Check(prog *ast.Program) error {
+	c := &checker{prog: prog}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	c.errs.Sort()
+	return c.errs.Err()
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]VarKind
+}
+
+func (s *scope) lookup(name string) (VarKind, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if k, ok := sc.vars[name]; ok {
+			return k, ok
+		}
+	}
+	return Unknown, false
+}
+
+func (s *scope) declare(name string, k VarKind) { s.vars[name] = k }
+
+func (s *scope) child() *scope { return &scope{parent: s, vars: make(map[string]VarKind)} }
+
+// construct identifies the innermost enclosing threading construct for
+// nesting checks.
+type construct int
+
+const (
+	ctxNone construct = iota
+	ctxParallel
+	ctxSingle
+	ctxMaster
+	ctxCritical
+	ctxPfor
+	ctxSections
+)
+
+func (c construct) String() string {
+	switch c {
+	case ctxParallel:
+		return "parallel"
+	case ctxSingle:
+		return "single"
+	case ctxMaster:
+		return "master"
+	case ctxCritical:
+		return "critical"
+	case ctxPfor:
+		return "pfor"
+	case ctxSections:
+		return "sections"
+	}
+	return "function body"
+}
+
+type checker struct {
+	prog *ast.Program
+	errs source.ErrorList
+	// nesting is the stack of enclosing threading constructs within the
+	// current function (innermost last).
+	nesting []construct
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Add(pos, "sem", format, args...)
+}
+
+func (c *checker) inConstruct() bool { return len(c.nesting) > 0 }
+
+func (c *checker) innermost() construct {
+	if len(c.nesting) == 0 {
+		return ctxNone
+	}
+	return c.nesting[len(c.nesting)-1]
+}
+
+// worksharingBarred reports whether a worksharing or single-threaded
+// construct may not appear here (closely nested inside another worksharing,
+// single, master or critical construct).
+func (c *checker) worksharingBarred() bool {
+	switch c.innermost() {
+	case ctxSingle, ctxMaster, ctxCritical, ctxPfor, ctxSections:
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkFunc(f *ast.FuncDecl) {
+	sc := &scope{vars: make(map[string]VarKind)}
+	seen := make(map[string]bool)
+	for _, p := range f.Params {
+		if seen[p] {
+			c.errorf(f.NamePos, "duplicate parameter %q in function %q", p, f.Name)
+		}
+		seen[p] = true
+		sc.declare(p, Unknown)
+	}
+	c.nesting = c.nesting[:0]
+	c.checkBlock(f.Body, sc)
+}
+
+func (c *checker) checkBlock(b *ast.Block, sc *scope) {
+	inner := sc.child()
+	for _, s := range b.Stmts {
+		c.checkStmt(s, inner)
+	}
+}
+
+func (c *checker) push(k construct) { c.nesting = append(c.nesting, k) }
+func (c *checker) pop()             { c.nesting = c.nesting[:len(c.nesting)-1] }
+
+func (c *checker) checkStmt(s ast.Stmt, sc *scope) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s, sc)
+	case *ast.VarDecl:
+		kind := Scalar
+		if s.ArraySize != nil {
+			kind = Array
+			c.checkExpr(s.ArraySize, sc, Scalar)
+		}
+		if s.Init != nil {
+			c.checkExpr(s.Init, sc, Scalar)
+		}
+		if _, exists := sc.vars[s.Name]; exists {
+			c.errorf(s.VarPos, "variable %q redeclared in this block", s.Name)
+		}
+		sc.declare(s.Name, kind)
+	case *ast.Assign:
+		c.checkLValue(s.Target, sc)
+		c.checkExpr(s.Value, sc, Scalar)
+	case *ast.CallStmt:
+		c.checkCall(s.Call, sc)
+	case *ast.If:
+		c.checkExpr(s.Cond, sc, Scalar)
+		c.checkBlock(s.Then, sc)
+		if s.Else != nil {
+			c.checkStmt(s.Else, sc)
+		}
+	case *ast.For:
+		c.checkExpr(s.From, sc, Scalar)
+		c.checkExpr(s.To, sc, Scalar)
+		body := sc.child()
+		body.declare(s.Var, Scalar)
+		c.checkBlock(s.Body, body)
+	case *ast.While:
+		c.checkExpr(s.Cond, sc, Scalar)
+		c.checkBlock(s.Body, sc)
+	case *ast.Return:
+		if s.Value != nil {
+			c.checkExpr(s.Value, sc, Scalar)
+		}
+		if c.inConstruct() {
+			c.errorf(s.RetPos, "return may not branch out of a %s construct", c.innermost())
+		}
+	case *ast.Print:
+		for _, a := range s.Args {
+			c.checkExpr(a, sc, Unknown)
+		}
+	case *ast.MPIStmt:
+		c.checkMPI(s, sc)
+	case *ast.ParallelStmt:
+		if s.NumThreads != nil {
+			c.checkExpr(s.NumThreads, sc, Scalar)
+		}
+		c.push(ctxParallel)
+		c.checkBlock(s.Body, sc)
+		c.pop()
+	case *ast.SingleStmt:
+		if c.worksharingBarred() {
+			c.errorf(s.SingPos, "single may not be closely nested inside a %s construct", c.innermost())
+		}
+		c.push(ctxSingle)
+		c.checkBlock(s.Body, sc)
+		c.pop()
+	case *ast.MasterStmt:
+		c.push(ctxMaster)
+		c.checkBlock(s.Body, sc)
+		c.pop()
+	case *ast.CriticalStmt:
+		c.push(ctxCritical)
+		c.checkBlock(s.Body, sc)
+		c.pop()
+	case *ast.BarrierStmt:
+		switch c.innermost() {
+		case ctxNone, ctxParallel:
+			// fine: binds to the innermost team
+		default:
+			c.errorf(s.BarPos, "barrier may not be closely nested inside a %s construct", c.innermost())
+		}
+	case *ast.AtomicStmt:
+		c.checkLValue(s.Target, sc)
+		c.checkExpr(s.Value, sc, Scalar)
+	case *ast.PforStmt:
+		if c.worksharingBarred() {
+			c.errorf(s.PforPos, "pfor may not be closely nested inside a %s construct", c.innermost())
+		}
+		c.checkExpr(s.From, sc, Scalar)
+		c.checkExpr(s.To, sc, Scalar)
+		body := sc.child()
+		body.declare(s.Var, Scalar)
+		c.push(ctxPfor)
+		c.checkBlock(s.Body, body)
+		c.pop()
+	case *ast.SectionsStmt:
+		if c.worksharingBarred() {
+			c.errorf(s.SecsPos, "sections may not be closely nested inside a %s construct", c.innermost())
+		}
+		c.push(ctxSections)
+		for _, b := range s.Bodies {
+			c.checkBlock(b, sc)
+		}
+		c.pop()
+	case *ast.InstrCC, *ast.InstrCCReturn, *ast.InstrMonoCheck,
+		*ast.InstrPhaseCount, *ast.InstrConcNote:
+		// Instrumentation nodes are inserted after checking.
+	}
+}
+
+func (c *checker) checkLValue(lv ast.LValue, sc *scope) {
+	switch lv := lv.(type) {
+	case *ast.VarRef:
+		kind, ok := sc.lookup(lv.Name)
+		if !ok {
+			c.errorf(lv.NamePos, "undefined variable %q", lv.Name)
+			return
+		}
+		if kind == Array {
+			c.errorf(lv.NamePos, "array %q used as a scalar", lv.Name)
+		}
+	case *ast.IndexExpr:
+		kind, ok := sc.lookup(lv.Name)
+		if !ok {
+			c.errorf(lv.NamePos, "undefined variable %q", lv.Name)
+			return
+		}
+		if kind == Scalar {
+			c.errorf(lv.NamePos, "scalar %q indexed like an array", lv.Name)
+		}
+		c.checkExpr(lv.Index, sc, Scalar)
+	}
+}
+
+// checkBuffer validates an MPI buffer operand that must be an array.
+func (c *checker) checkArrayOperand(e ast.Expr, what string, sc *scope) {
+	ref, ok := e.(*ast.VarRef)
+	if !ok {
+		c.errorf(e.Pos(), "%s must be an array variable", what)
+		return
+	}
+	kind, declared := sc.lookup(ref.Name)
+	if !declared {
+		c.errorf(ref.NamePos, "undefined variable %q", ref.Name)
+		return
+	}
+	if kind == Scalar {
+		c.errorf(ref.NamePos, "%s must be an array, but %q is a scalar", what, ref.Name)
+	}
+}
+
+func (c *checker) checkMPI(s *ast.MPIStmt, sc *scope) {
+	scalarLV := func(lv ast.LValue) {
+		if lv != nil {
+			c.checkLValue(lv, sc)
+		}
+	}
+	scalar := func(e ast.Expr) {
+		if e != nil {
+			c.checkExpr(e, sc, Scalar)
+		}
+	}
+	switch s.Kind {
+	case ast.MPIInit, ast.MPIFinalize, ast.MPIBarrier:
+	case ast.MPIBcast:
+		scalarLV(s.Dst)
+		scalar(s.Root)
+	case ast.MPIReduce, ast.MPIAllreduce, ast.MPIScan:
+		scalarLV(s.Dst)
+		scalar(s.Src)
+		scalar(s.Root)
+	case ast.MPIGather, ast.MPIAllgather:
+		if ref, ok := s.Dst.(*ast.VarRef); ok {
+			c.checkArrayOperand(ref, s.Kind.String()+" destination", sc)
+		} else {
+			c.errorf(s.Dst.Pos(), "%s destination must be an array variable", s.Kind)
+		}
+		scalar(s.Src)
+	case ast.MPIScatter:
+		scalarLV(s.Dst)
+		c.checkArrayOperand(s.Src, "MPI_Scatter source", sc)
+	case ast.MPIAlltoall:
+		if ref, ok := s.Dst.(*ast.VarRef); ok {
+			c.checkArrayOperand(ref, "MPI_Alltoall destination", sc)
+		} else {
+			c.errorf(s.Dst.Pos(), "MPI_Alltoall destination must be an array variable")
+		}
+		c.checkArrayOperand(s.Src, "MPI_Alltoall source", sc)
+	case ast.MPISend:
+		scalar(s.Src)
+		scalar(s.Dest)
+		scalar(s.Tag)
+	case ast.MPIRecv:
+		scalarLV(s.Dst)
+		scalar(s.Dest)
+		scalar(s.Tag)
+	}
+}
+
+// checkExpr validates e; want is the kind required by the context (Unknown
+// accepts anything, used by print).
+func (c *checker) checkExpr(e ast.Expr, sc *scope, want VarKind) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.IntLit, *ast.BoolLit:
+	case *ast.VarRef:
+		kind, ok := sc.lookup(e.Name)
+		if !ok {
+			c.errorf(e.NamePos, "undefined variable %q", e.Name)
+			return
+		}
+		if want == Scalar && kind == Array {
+			c.errorf(e.NamePos, "array %q used as a scalar", e.Name)
+		}
+	case *ast.IndexExpr:
+		kind, ok := sc.lookup(e.Name)
+		if !ok {
+			c.errorf(e.NamePos, "undefined variable %q", e.Name)
+			return
+		}
+		if kind == Scalar {
+			c.errorf(e.NamePos, "scalar %q indexed like an array", e.Name)
+		}
+		c.checkExpr(e.Index, sc, Scalar)
+	case *ast.BinaryExpr:
+		c.checkExpr(e.X, sc, Scalar)
+		c.checkExpr(e.Y, sc, Scalar)
+	case *ast.UnaryExpr:
+		c.checkExpr(e.X, sc, Scalar)
+	case *ast.CallExpr:
+		c.checkCall(e, sc)
+	}
+}
+
+func (c *checker) checkCall(e *ast.CallExpr, sc *scope) {
+	if arity, ok := ast.Intrinsics[e.Name]; ok {
+		if len(e.Args) != arity {
+			c.errorf(e.NamePos, "intrinsic %s expects %d argument(s), got %d", e.Name, arity, len(e.Args))
+		}
+		for i, a := range e.Args {
+			// len(a) takes an array; other intrinsic args are scalars.
+			if e.Name == "len" && i == 0 {
+				c.checkArrayOperand(a, "len argument", sc)
+				continue
+			}
+			c.checkExpr(a, sc, Scalar)
+		}
+		return
+	}
+	callee := c.prog.Func(e.Name)
+	if callee == nil {
+		c.errorf(e.NamePos, "call to undefined function %q", e.Name)
+		return
+	}
+	if len(e.Args) != len(callee.Params) {
+		c.errorf(e.NamePos, "function %q expects %d argument(s), got %d",
+			e.Name, len(callee.Params), len(e.Args))
+	}
+	for _, a := range e.Args {
+		// Arguments may be scalars or arrays (arrays pass by reference);
+		// only resolve names and index shapes here.
+		c.checkExpr(a, sc, Unknown)
+	}
+}

@@ -1,0 +1,197 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/parser"
+)
+
+// checkSrc parses and checks a full program.
+func checkSrc(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse("t.mh", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+// checkMain wraps src in func main.
+func checkMain(t *testing.T, src string) error {
+	t.Helper()
+	return checkSrc(t, "func main() {\n"+src+"\n}")
+}
+
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("want error containing %q, got %v", substr, err)
+	}
+}
+
+func TestValidProgram(t *testing.T) {
+	err := checkSrc(t, `
+func compute(n, buf) {
+	var acc = 0
+	for i = 0 .. n {
+		acc += buf[i]
+	}
+	return acc
+}
+func main() {
+	MPI_Init()
+	var data[16]
+	var total = 0
+	parallel num_threads(4) {
+		pfor i = 0 .. 16 {
+			data[i] = i * rank()
+		}
+		single {
+			total = compute(16, data)
+			MPI_Allreduce(total, total, sum)
+		}
+	}
+	print(total)
+	MPI_Finalize()
+}`)
+	if err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	wantErr(t, checkMain(t, "x = 1"), `undefined variable "x"`)
+}
+
+func TestUseBeforeDeclaration(t *testing.T) {
+	wantErr(t, checkMain(t, "var y\ny = x\nvar x = 1"), `undefined variable "x"`)
+}
+
+func TestRedeclarationInSameBlock(t *testing.T) {
+	wantErr(t, checkMain(t, "var x\nvar x"), "redeclared")
+}
+
+func TestShadowingInNestedBlockAllowed(t *testing.T) {
+	err := checkMain(t, "var x = 1\nif x > 0 {\n var x = 2\n x = 3\n}")
+	if err != nil {
+		t.Errorf("shadowing must be allowed: %v", err)
+	}
+}
+
+func TestLoopVariableScope(t *testing.T) {
+	// Loop variable is visible in the body...
+	if err := checkMain(t, "for i = 0 .. 3 { var y = i }"); err != nil {
+		t.Errorf("loop var must be in scope: %v", err)
+	}
+	// ...but not after the loop.
+	wantErr(t, checkMain(t, "for i = 0 .. 3 { }\nvar y = i"), `undefined variable "i"`)
+}
+
+func TestArrayScalarMismatch(t *testing.T) {
+	wantErr(t, checkMain(t, "var a[4]\na = 3"), "array \"a\" used as a scalar")
+	wantErr(t, checkMain(t, "var x = 0\nx[2] = 3"), "scalar \"x\" indexed")
+	wantErr(t, checkMain(t, "var a[4]\nvar y = a + 1"), "used as a scalar")
+}
+
+func TestParamsAcceptBothShapes(t *testing.T) {
+	err := checkSrc(t, `
+func f(p) {
+	p = p + 1
+	return p[0]
+}
+func main() { var z = f(1) }`)
+	if err != nil {
+		t.Errorf("untyped params must accept both uses: %v", err)
+	}
+}
+
+func TestCallChecks(t *testing.T) {
+	wantErr(t, checkMain(t, "missing()"), `undefined function "missing"`)
+	wantErr(t, checkSrc(t, "func f(a, b) { return 0 }\nfunc main() { f(1) }"), "expects 2 argument(s), got 1")
+}
+
+func TestIntrinsicArity(t *testing.T) {
+	wantErr(t, checkMain(t, "var x = rank(3)"), "expects 0 argument(s)")
+	wantErr(t, checkMain(t, "var x = max(1)"), "expects 2 argument(s)")
+	if err := checkMain(t, "var a[4]\nvar n = len(a)\nvar m = min(n, abs(-2))"); err != nil {
+		t.Errorf("intrinsics rejected: %v", err)
+	}
+	wantErr(t, checkMain(t, "var x = 1\nvar n = len(x)"), "must be an array")
+}
+
+func TestMPIBufferShapes(t *testing.T) {
+	wantErr(t, checkMain(t, "var d = 0\nvar s = 0\nMPI_Gather(d, s)"), "must be an array")
+	wantErr(t, checkMain(t, "var d = 0\nvar s = 0\nMPI_Scatter(d, s)"), "must be an array")
+	wantErr(t, checkMain(t, "var d[4]\nvar s = 0\nMPI_Alltoall(d, s)"), "must be an array")
+	if err := checkMain(t, "var d[4]\nvar s = 0\nMPI_Gather(d, s, 0)\nMPI_Scatter(s, d)\nMPI_Allgather(d, s)"); err != nil {
+		t.Errorf("valid buffer shapes rejected: %v", err)
+	}
+}
+
+func TestMPIUndefinedOperands(t *testing.T) {
+	wantErr(t, checkMain(t, "MPI_Bcast(x)"), `undefined variable "x"`)
+	wantErr(t, checkMain(t, "var x = 0\nMPI_Reduce(x, y)"), `undefined variable "y"`)
+}
+
+func TestReturnInsideConstructRejected(t *testing.T) {
+	wantErr(t, checkMain(t, "parallel { return }"), "branch out of a parallel")
+	wantErr(t, checkMain(t, "parallel { single { return } }"), "branch out of a single")
+	wantErr(t, checkMain(t, "parallel { pfor i = 0 .. 3 { return } }"), "branch out of a pfor")
+}
+
+func TestBarrierNesting(t *testing.T) {
+	// Legal: directly inside parallel, or orphaned at function level.
+	if err := checkMain(t, "barrier\nparallel { barrier }"); err != nil {
+		t.Errorf("legal barrier rejected: %v", err)
+	}
+	// Illegal: closely nested in single/master/critical/pfor/sections.
+	wantErr(t, checkMain(t, "parallel { single { barrier } }"), "barrier may not be closely nested inside a single")
+	wantErr(t, checkMain(t, "parallel { master { barrier } }"), "inside a master")
+	wantErr(t, checkMain(t, "parallel { critical { barrier } }"), "inside a critical")
+	wantErr(t, checkMain(t, "parallel { pfor i = 0 .. 2 { barrier } }"), "inside a pfor")
+	wantErr(t, checkMain(t, "parallel { sections { section { barrier } } }"), "inside a sections")
+	// Barrier in an if directly inside parallel is still "closely nested" in
+	// parallel for our purposes (the if is not a threading construct).
+	if err := checkMain(t, "parallel { if rank() == 0 { barrier } }"); err != nil {
+		t.Errorf("barrier under if must pass nesting check (flagged later by pword consistency): %v", err)
+	}
+}
+
+func TestWorksharingNesting(t *testing.T) {
+	wantErr(t, checkMain(t, "parallel { single { single { } } }"), "single may not be closely nested inside a single")
+	wantErr(t, checkMain(t, "parallel { pfor i = 0 .. 2 { single { } } }"), "single may not be closely nested inside a pfor")
+	wantErr(t, checkMain(t, "parallel { master { pfor i = 0 .. 2 { } } }"), "pfor may not be closely nested inside a master")
+	wantErr(t, checkMain(t, "parallel { critical { sections { section { } } } }"), "sections may not be closely nested inside a critical")
+	// Nested parallel resets the context: a single inside a nested parallel
+	// inside a single is legal.
+	if err := checkMain(t, "parallel { single { parallel { single { } } } }"); err != nil {
+		t.Errorf("nested parallel must reset nesting context: %v", err)
+	}
+}
+
+func TestDuplicateParams(t *testing.T) {
+	wantErr(t, checkSrc(t, "func f(a, a) { return 0 }\nfunc main() { }"), "duplicate parameter")
+}
+
+func TestNestingStateResetsBetweenFunctions(t *testing.T) {
+	// If the construct stack leaked across functions, the return in g would
+	// be rejected.
+	err := checkSrc(t, `
+func f() { parallel { var x = 1 } }
+func g() { return 3 }
+func main() { }`)
+	if err != nil {
+		t.Errorf("construct nesting leaked across functions: %v", err)
+	}
+}
+
+func TestErrorsAreLocated(t *testing.T) {
+	err := checkMain(t, "x = 1")
+	if err == nil || !strings.Contains(err.Error(), "t.mh:2") {
+		t.Errorf("error must carry position, got %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package source provides source-file bookkeeping shared by the whole
+// tool chain: positions, spans, and located diagnostics. Every warning the
+// static analysis emits and every runtime abort the verifier raises carries
+// a Pos so users can navigate back to the offending construct, mirroring
+// the paper's requirement that errors report "the names and lines in the
+// source code of MPI collective calls involved".
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position inside a named source file. Line and Col are 1-based;
+// the zero Pos is "no position".
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p denotes a real location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders file:line:col, omitting missing parts.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	file := p.File
+	if file == "" {
+		file = "<input>"
+	}
+	if p.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// Before reports whether p occurs strictly before q in the same file.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Span is a half-open region of source text from Start to End.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// String renders the span as its start position.
+func (s Span) String() string { return s.Start.String() }
+
+// File holds the contents of one source file and resolves byte offsets to
+// positions. The lexer feeds offsets; everything downstream works with Pos.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line
+}
+
+// NewFile records the line table for content.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Pos converts a byte offset into a Pos. Offsets past the end clamp to the
+// final position.
+func (f *File) Pos(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	line := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > offset }) - 1
+	return Pos{File: f.Name, Line: line + 1, Col: offset - f.lines[line] + 1}
+}
+
+// NumLines reports how many lines the file has.
+func (f *File) NumLines() int { return len(f.lines) }
+
+// Line returns the text of the 1-based line number n without its newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1
+	}
+	return strings.TrimSuffix(f.Content[start:end], "\r")
+}
+
+// Error is a located error with a short classification Code. It is used for
+// lexical, syntactic and semantic failures; analysis warnings use the richer
+// report types layered on top.
+type Error struct {
+	Pos  Pos
+	Code string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("%s: %s: %s", e.Pos, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// ErrorList accumulates located errors while keeping scanning/parsing going
+// so users see more than the first problem.
+type ErrorList []*Error
+
+// Add appends a new error.
+func (l *ErrorList) Add(pos Pos, code, format string, args ...any) {
+	*l = append(*l, &Error{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface by joining all messages.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (and %d more errors)", l[0].Error(), len(l)-1)
+	return b.String()
+}
+
+// Sort orders errors by position for stable output.
+func (l ErrorList) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i].Pos, l[j].Pos
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Before(b)
+	})
+}

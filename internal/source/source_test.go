@@ -1,0 +1,140 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosString(t *testing.T) {
+	tests := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, "-"},
+		{Pos{File: "a.mh", Line: 3, Col: 7}, "a.mh:3:7"},
+		{Pos{File: "a.mh", Line: 3}, "a.mh:3"},
+		{Pos{Line: 2, Col: 1}, "<input>:2:1"},
+	}
+	for _, tt := range tests {
+		if got := tt.pos.String(); got != tt.want {
+			t.Errorf("Pos%+v.String() = %q, want %q", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := Pos{Line: 1, Col: 5}
+	b := Pos{Line: 1, Col: 9}
+	c := Pos{Line: 2, Col: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) {
+		t.Error("expected a < b < c")
+	}
+	if b.Before(a) || c.Before(a) || a.Before(a) {
+		t.Error("Before must be a strict order")
+	}
+}
+
+func TestFilePos(t *testing.T) {
+	f := NewFile("t.mh", "ab\ncde\n\nf")
+	tests := []struct {
+		offset    int
+		line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, // "ab" then newline
+		{3, 2, 1}, {5, 2, 3}, // "cde"
+		{7, 3, 1},   // empty line
+		{8, 4, 1},   // "f"
+		{9, 4, 2},   // EOF
+		{-5, 1, 1},  // clamped
+		{100, 4, 2}, // clamped
+	}
+	for _, tt := range tests {
+		p := f.Pos(tt.offset)
+		if p.Line != tt.line || p.Col != tt.col {
+			t.Errorf("Pos(%d) = %d:%d, want %d:%d", tt.offset, p.Line, p.Col, tt.line, tt.col)
+		}
+		if p.File != "t.mh" {
+			t.Errorf("Pos(%d).File = %q", tt.offset, p.File)
+		}
+	}
+}
+
+func TestFileLine(t *testing.T) {
+	f := NewFile("t.mh", "first\nsecond\r\nthird")
+	if got := f.Line(1); got != "first" {
+		t.Errorf("Line(1) = %q", got)
+	}
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q (CR must be trimmed)", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q, want empty", got)
+	}
+	if got := f.Line(4); got != "" {
+		t.Errorf("Line(4) = %q, want empty", got)
+	}
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d, want 3", f.NumLines())
+	}
+}
+
+// Property: for any content and any valid offset, Pos is internally
+// consistent: the computed line's start offset plus col-1 equals the offset.
+func TestFilePosRoundTrip(t *testing.T) {
+	check := func(raw []byte) bool {
+		content := strings.ToValidUTF8(string(raw), "?")
+		f := NewFile("p.mh", content)
+		for off := 0; off <= len(content); off += 1 + len(content)/17 {
+			p := f.Pos(off)
+			if p.Line < 1 || p.Col < 1 {
+				return false
+			}
+			// Rebuild the offset from the line table.
+			lineStart := 0
+			for i, line := 1, 0; i < p.Line; i++ {
+				for line = lineStart; line < len(content) && content[line] != '\n'; line++ {
+				}
+				lineStart = line + 1
+			}
+			if lineStart+p.Col-1 != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.Err() != nil {
+		t.Error("empty list must yield nil error")
+	}
+	l.Add(Pos{File: "b.mh", Line: 2, Col: 1}, "parse", "bad %s", "token")
+	l.Add(Pos{File: "a.mh", Line: 9, Col: 4}, "lex", "oops")
+	l.Add(Pos{File: "a.mh", Line: 1, Col: 1}, "lex", "first")
+	if l.Err() == nil {
+		t.Fatal("non-empty list must yield an error")
+	}
+	l.Sort()
+	if l[0].Msg != "first" || l[1].Msg != "oops" || l[2].Msg != "bad token" {
+		t.Errorf("sort order wrong: %v", l)
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "a.mh:1:1") || !strings.Contains(msg, "2 more errors") {
+		t.Errorf("Error() = %q", msg)
+	}
+	single := ErrorList{l[0]}
+	if strings.Contains(single.Error(), "more errors") {
+		t.Errorf("single error must not mention more errors: %q", single.Error())
+	}
+	if got := (&Error{Pos: Pos{Line: 1}, Msg: "m"}).Error(); !strings.Contains(got, "m") {
+		t.Errorf("Error without code = %q", got)
+	}
+}

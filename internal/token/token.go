@@ -1,0 +1,198 @@
+// Package token defines the lexical tokens of the MiniHybrid language, the
+// small MPI+OpenMP-shaped language this repository analyses. MiniHybrid
+// stands in for the C/Fortran + pragma input of the original PARCOACH tool:
+// it has functions, structured control flow, MPI collective and
+// point-to-point statements, and fork/join threading constructs with
+// perfectly nested regions, which is exactly the model the paper assumes.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds occupy the range (keywordBeg, keywordEnd).
+const (
+	Illegal Kind = iota
+	EOF
+	Comment
+
+	// Literals and identifiers.
+	Ident // x, compute_rhs
+	Int   // 12345
+
+	// Operators and delimiters.
+	Assign   // =
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Eq       // ==
+	NotEq    // !=
+	Lt       // <
+	LtEq     // <=
+	Gt       // >
+	GtEq     // >=
+	AndAnd   // &&
+	OrOr     // ||
+	Not      // !
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	DotDot   // ..
+	PlusEq   // +=
+	MinusEq  // -=
+
+	keywordBeg
+	// Declarations and control flow.
+	Func
+	Var
+	If
+	Else
+	For
+	While
+	Return
+	Print
+	True
+	False
+
+	// OpenMP-like constructs (explicit fork/join, perfectly nested).
+	Parallel
+	Single
+	Master
+	Critical
+	Barrier
+	Atomic
+	Pfor
+	Sections
+	Section
+	Nowait
+	NumThreads
+	Schedule
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	Illegal:    "illegal",
+	EOF:        "eof",
+	Comment:    "comment",
+	Ident:      "identifier",
+	Int:        "int literal",
+	Assign:     "=",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Eq:         "==",
+	NotEq:      "!=",
+	Lt:         "<",
+	LtEq:       "<=",
+	Gt:         ">",
+	GtEq:       ">=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	DotDot:     "..",
+	PlusEq:     "+=",
+	MinusEq:    "-=",
+	Func:       "func",
+	Var:        "var",
+	If:         "if",
+	Else:       "else",
+	For:        "for",
+	While:      "while",
+	Return:     "return",
+	Print:      "print",
+	True:       "true",
+	False:      "false",
+	Parallel:   "parallel",
+	Single:     "single",
+	Master:     "master",
+	Critical:   "critical",
+	Barrier:    "barrier",
+	Atomic:     "atomic",
+	Pfor:       "pfor",
+	Sections:   "sections",
+	Section:    "section",
+	Nowait:     "nowait",
+	NumThreads: "num_threads",
+	Schedule:   "schedule",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier to its keyword kind, or Ident.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Token is one lexical token with its source offset (resolved to a position
+// by the enclosing source.File).
+type Token struct {
+	Kind   Kind
+	Lit    string // literal text for Ident, Int, Comment and Illegal
+	Offset int    // byte offset of the first character
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Illegal:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Precedence returns the binary operator precedence for the kind
+// (higher binds tighter), or 0 if the kind is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Eq, NotEq, Lt, LtEq, Gt, GtEq:
+		return 3
+	case Plus, Minus:
+		return 4
+	case Star, Slash, Percent:
+		return 5
+	}
+	return 0
+}

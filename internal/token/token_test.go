@@ -1,0 +1,70 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	tests := map[string]Kind{
+		"func": Func, "var": Var, "if": If, "else": Else, "for": For,
+		"while": While, "return": Return, "print": Print,
+		"parallel": Parallel, "single": Single, "master": Master,
+		"critical": Critical, "barrier": Barrier, "atomic": Atomic,
+		"pfor": Pfor, "sections": Sections, "section": Section,
+		"nowait": Nowait, "num_threads": NumThreads, "schedule": Schedule,
+		"true": True, "false": False,
+		"x": Ident, "MPI_Barrier": Ident, "funcs": Ident, "Parallel": Ident,
+	}
+	for lit, want := range tests {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, k := range []Kind{Func, Var, Parallel, Schedule} {
+		if !k.IsKeyword() {
+			t.Errorf("%v.IsKeyword() = false", k)
+		}
+	}
+	for _, k := range []Kind{Ident, Int, Plus, EOF, Illegal} {
+		if k.IsKeyword() {
+			t.Errorf("%v.IsKeyword() = true", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Plus.String() != "+" || Func.String() != "func" || EOF.String() != "eof" {
+		t.Error("Kind.String mismatches")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{Kind: Ident, Lit: "abc"}).String(); got != `identifier "abc"` {
+		t.Errorf("Token.String = %q", got)
+	}
+	if got := (Token{Kind: Plus}).String(); got != "+" {
+		t.Errorf("Token.String = %q", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	ordered := [][]Kind{
+		{OrOr}, {AndAnd}, {Eq, NotEq, Lt, LtEq, Gt, GtEq}, {Plus, Minus}, {Star, Slash, Percent},
+	}
+	for level, ks := range ordered {
+		for _, k := range ks {
+			if got := k.Precedence(); got != level+1 {
+				t.Errorf("%v.Precedence() = %d, want %d", k, got, level+1)
+			}
+		}
+	}
+	for _, k := range []Kind{Assign, LParen, Ident, Not} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v.Precedence() must be 0", k)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package verifier implements the execution-time half of the paper: the
+// checks that the static instrumentation (internal/instrument) plants in
+// the program and that stop execution "as soon as this situation is
+// unavoidable", with an error message naming the collectives and source
+// lines involved.
+//
+//   - CC is PARCOACH's collective check: before each (possibly divergent)
+//     collective and before leaving a flagged function, every process
+//     announces the id of its next operation; the round completes only if
+//     all ids agree, otherwise the run aborts with the per-rank ids —
+//     before the real collective can deadlock.
+//   - PhaseCount implements the dynamic validation of the paper's sets S
+//     and Scc: collective executions are counted per (process, team,
+//     barrier phase); two executions by different threads in the same
+//     phase are unordered and abort the run (multithreaded execution of
+//     one collective node, or concurrent monothreaded regions). Runs that
+//     stay single-threaded — team of one, tid-guarded calls, master-only
+//     sequences — pass, clearing the static phase-1/2 false positives.
+//   - MonoCheck records the actual team size at a flagged parallel entry
+//     (set Sipw) to enrich error messages.
+//   - ConcEnter/ConcExit attribute executions to the Scc source regions.
+package verifier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parcoach/internal/monitor"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+	"parcoach/internal/source"
+)
+
+// ErrKind classifies verification failures.
+type ErrKind int
+
+// Verification error kinds.
+const (
+	// ErrCollectiveMismatch: processes disagreed on the next collective.
+	ErrCollectiveMismatch ErrKind = iota
+	// ErrMultithreadedCollective: one collective node executed by several
+	// threads of a process in the same barrier phase.
+	ErrMultithreadedCollective
+	// ErrConcurrentCollectives: collectives of concurrent monothreaded
+	// regions executed by different threads in the same barrier phase.
+	ErrConcurrentCollectives
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrCollectiveMismatch:
+		return "collective-mismatch"
+	case ErrMultithreadedCollective:
+		return "multithreaded-collective"
+	case ErrConcurrentCollectives:
+		return "concurrent-collectives"
+	}
+	return "verifier-error"
+}
+
+// Error is a verification failure.
+type Error struct {
+	Kind    ErrKind
+	Msg     string
+	Pos     source.Pos
+	Related []source.Pos
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verification error (%s)", e.Kind)
+	if e.Pos.IsValid() {
+		fmt.Fprintf(&b, " at %s", e.Pos)
+	}
+	fmt.Fprintf(&b, ": %s", e.Msg)
+	return b.String()
+}
+
+// Verifier holds the dynamic-check state of one run.
+type Verifier struct {
+	mon    *monitor.Monitor
+	nprocs int
+
+	// CC agreement state (guarded by the monitor's lock).
+	ccArrived map[int]*ccEntry
+	ccRound   int
+
+	// Phase counting: executions per (process, team, phase).
+	phases map[phaseKey][]*phaseEntry
+
+	// Region attribution per thread (Scc bracketing); key is (proc, thread id).
+	regions map[threadKey][]int
+
+	// MonoCheck recordings: region id -> last observed team size.
+	teamSizes map[int]int
+
+	// Stats.
+	ccChecks    int
+	phaseChecks int
+}
+
+type ccEntry struct {
+	op     string
+	pos    source.Pos
+	waiter *monitor.Waiter
+}
+
+type phaseKey struct {
+	proc  int
+	team  int64
+	phase int
+}
+
+type phaseEntry struct {
+	thread   int64
+	tid      int
+	nodeID   int
+	kind     string
+	pos      source.Pos
+	regionID int // innermost Scc region at execution time, or -1
+}
+
+type threadKey struct {
+	proc   int
+	thread int64
+}
+
+// New creates a verifier for a world of nprocs processes sharing mon.
+func New(mon *monitor.Monitor, nprocs int) *Verifier {
+	v := &Verifier{
+		mon:       mon,
+		nprocs:    nprocs,
+		ccArrived: make(map[int]*ccEntry),
+		phases:    make(map[phaseKey][]*phaseEntry),
+		regions:   make(map[threadKey][]int),
+		teamSizes: make(map[int]int),
+	}
+	mon.AddAnalyzer(v.describeState)
+	return v
+}
+
+// Stats reports how many checks executed (for the overhead experiments).
+func (v *Verifier) Stats() (ccChecks, phaseChecks int) {
+	v.mon.Lock()
+	defer v.mon.Unlock()
+	return v.ccChecks, v.phaseChecks
+}
+
+func (v *Verifier) describeState() []string {
+	var lines []string
+	if len(v.ccArrived) > 0 {
+		var parts []string
+		for r, e := range v.ccArrived {
+			parts = append(parts, fmt.Sprintf("rank %d announced %s", r, e.op))
+		}
+		sort.Strings(parts)
+		lines = append(lines, "CC round "+fmt.Sprint(v.ccRound)+": "+strings.Join(parts, ", "))
+	}
+	return lines
+}
+
+// CC performs the collective check: proc announces op (an MPI_* name,
+// "call:<fn>", or "return:<fn>") and blocks until every non-finalized
+// process has announced. Disagreement aborts the run.
+func (v *Verifier) CC(p *mpi.Proc, op string, pos source.Pos) error {
+	m := v.mon
+	m.Lock()
+	if m.Aborted() {
+		err := m.ErrLocked()
+		m.Unlock()
+		return err
+	}
+	if p.FinalizedLocked() {
+		// End-of-main check after MPI_Finalize: nothing to verify.
+		m.Unlock()
+		return nil
+	}
+	v.ccChecks++
+	if prev, dup := v.ccArrived[p.Rank()]; dup {
+		err := &Error{
+			Kind: ErrConcurrentCollectives,
+			Pos:  pos,
+			Msg: fmt.Sprintf("rank %d entered CC for %s while its CC for %s is still pending: collectives issued concurrently",
+				p.Rank(), op, prev.op),
+			Related: []source.Pos{prev.pos},
+		}
+		m.AbortLocked(err)
+		m.Unlock()
+		return err
+	}
+	entry := &ccEntry{op: op, pos: pos}
+	v.ccArrived[p.Rank()] = entry
+
+	if len(v.ccArrived) == v.nprocs {
+		err := v.completeCCLocked()
+		m.Unlock()
+		return err
+	}
+	entry.waiter = m.NewWaiterLocked("CC check",
+		fmt.Sprintf("rank %d announced %s%s", p.Rank(), op, posSuffix(pos)))
+	m.Unlock()
+	return entry.waiter.Await()
+}
+
+func posSuffix(pos source.Pos) string {
+	if !pos.IsValid() {
+		return ""
+	}
+	return " at " + pos.String()
+}
+
+// completeCCLocked validates the full round and wakes the waiters.
+func (v *Verifier) completeCCLocked() error {
+	first := ""
+	agree := true
+	for _, e := range v.ccArrived {
+		if first == "" {
+			first = e.op
+		} else if e.op != first {
+			agree = false
+		}
+	}
+	if !agree {
+		var parts []string
+		var related []source.Pos
+		var pos source.Pos
+		for r := 0; r < v.nprocs; r++ {
+			if e, ok := v.ccArrived[r]; ok {
+				parts = append(parts, fmt.Sprintf("rank %d: %s%s", r, e.op, posSuffix(e.pos)))
+				if !pos.IsValid() {
+					pos = e.pos
+				} else {
+					related = append(related, e.pos)
+				}
+			}
+		}
+		err := &Error{
+			Kind:    ErrCollectiveMismatch,
+			Pos:     pos,
+			Related: related,
+			Msg: "processes are about to execute different collective sequences: " +
+				strings.Join(parts, ", "),
+		}
+		v.mon.AbortLocked(err)
+		return err
+	}
+	for _, e := range v.ccArrived {
+		if e.waiter != nil {
+			v.mon.WakeLocked(e.waiter)
+		}
+	}
+	v.ccArrived = make(map[int]*ccEntry)
+	v.ccRound++
+	return nil
+}
+
+// PhaseCount records the execution of a flagged collective node by th in
+// its current barrier phase and aborts when a second thread executes a
+// counted collective in the same phase.
+func (v *Verifier) PhaseCount(p *mpi.Proc, th *omp.Thread, nodeID int, kind string, pos source.Pos) error {
+	m := v.mon
+	m.Lock()
+	defer m.Unlock()
+	if m.Aborted() {
+		return m.ErrLocked()
+	}
+	v.phaseChecks++
+	team := th.Team()
+	key := phaseKey{proc: p.Rank(), team: team.ID(), phase: teamPhaseLocked(team)}
+	tk := threadKey{proc: p.Rank(), thread: th.ID()}
+	regionID := -1
+	if stack := v.regions[tk]; len(stack) > 0 {
+		regionID = stack[len(stack)-1]
+	}
+	entry := &phaseEntry{thread: th.ID(), tid: th.TID(), nodeID: nodeID, kind: kind, pos: pos, regionID: regionID}
+	for _, prev := range v.phases[key] {
+		if prev.thread == entry.thread {
+			continue // same thread: ordered by program order
+		}
+		kindErr := ErrConcurrentCollectives
+		msg := fmt.Sprintf(
+			"collectives %s and %s executed by different threads (t%d and t%d) of rank %d in the same barrier phase, with no ordering between them",
+			prev.kind, entry.kind, prev.tid, entry.tid, p.Rank())
+		if prev.nodeID == entry.nodeID {
+			kindErr = ErrMultithreadedCollective
+			size := team.Size()
+			msg = fmt.Sprintf(
+				"%s executed by multiple threads (t%d and t%d) of rank %d in the same barrier phase (team of %d)",
+				entry.kind, prev.tid, entry.tid, p.Rank(), size)
+		}
+		err := &Error{Kind: kindErr, Pos: pos, Related: []source.Pos{prev.pos}, Msg: msg}
+		m.AbortLocked(err)
+		return err
+	}
+	v.phases[key] = append(v.phases[key], entry)
+	return nil
+}
+
+// teamPhaseLocked reads the team phase; the caller already holds the
+// monitor lock (Team.Phase would deadlock re-acquiring it).
+func teamPhaseLocked(t *omp.Team) int { return t.PhaseLocked() }
+
+// MonoCheck records the observed team size of a flagged parallel region
+// (the paper's Sipw dynamic check).
+func (v *Verifier) MonoCheck(th *omp.Thread, regionID int) {
+	v.mon.Lock()
+	defer v.mon.Unlock()
+	v.teamSizes[regionID] = th.Team().Size()
+}
+
+// TeamSize returns the recorded team size of a region, or 0.
+func (v *Verifier) TeamSize(regionID int) int {
+	v.mon.Lock()
+	defer v.mon.Unlock()
+	return v.teamSizes[regionID]
+}
+
+// ConcEnter pushes an Scc region onto the thread's attribution stack.
+func (v *Verifier) ConcEnter(p *mpi.Proc, th *omp.Thread, regionID int) {
+	v.mon.Lock()
+	defer v.mon.Unlock()
+	tk := threadKey{proc: p.Rank(), thread: th.ID()}
+	v.regions[tk] = append(v.regions[tk], regionID)
+}
+
+// ConcExit pops the thread's attribution stack.
+func (v *Verifier) ConcExit(p *mpi.Proc, th *omp.Thread, regionID int) {
+	v.mon.Lock()
+	defer v.mon.Unlock()
+	tk := threadKey{proc: p.Rank(), thread: th.ID()}
+	if stack := v.regions[tk]; len(stack) > 0 && stack[len(stack)-1] == regionID {
+		v.regions[tk] = stack[:len(stack)-1]
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+// Micro returns the minimal program exhibiting one bug class — the
+// textbook examples from the paper's problem statement, used by the
+// examples, the detection-matrix experiment and the test suite. BugNone
+// yields a minimal correct hybrid program.
+func Micro(bug Bug) Workload {
+	e := &emitter{}
+	e.line("// micro: %s", bug)
+	e.open("func main() {")
+	e.line("MPI_Init()")
+	e.line("var x = rank() + 1")
+	switch bug {
+	case BugNone:
+		e.open("parallel {")
+		e.open("single {")
+		e.line("MPI_Allreduce(x, x, sum)")
+		e.close()
+		e.close()
+	case BugMultithreadedCollective:
+		e.bugComment(bug)
+		e.open("parallel {")
+		e.line("MPI_Allreduce(x, x, sum)")
+		e.close()
+	case BugConcurrentSingles:
+		e.bugComment(bug)
+		e.open("parallel {")
+		e.open("single nowait {")
+		e.line("MPI_Bcast(x)")
+		e.close()
+		e.open("single {")
+		e.line("MPI_Reduce(x, x, sum)")
+		e.close()
+		e.close()
+	case BugSectionsCollectives:
+		e.bugComment(bug)
+		e.open("parallel {")
+		e.open("sections {")
+		e.open("section {")
+		e.line("MPI_Bcast(x)")
+		e.close()
+		e.open("section {")
+		e.line("MPI_Reduce(x, x, sum)")
+		e.close()
+		e.close()
+		e.close()
+	case BugRankDependentCollective:
+		e.bugComment(bug)
+		e.open("if rank() == 0 {")
+		e.line("MPI_Barrier()")
+		e.close()
+	case BugEarlyReturn:
+		e.bugComment(bug)
+		e.open("if rank() %% 2 == 1 {")
+		e.line("MPI_Finalize()")
+		e.line("return 1")
+		e.close()
+		e.line("MPI_Allreduce(x, x, sum)")
+	case BugMismatchedKinds:
+		e.bugComment(bug)
+		e.open("if rank() == 0 {")
+		e.line("MPI_Bcast(x)")
+		e.elseOpen()
+		e.line("MPI_Reduce(x, x, sum)")
+		e.close()
+	}
+	e.line("print(x)")
+	e.line("MPI_Finalize()")
+	e.close()
+	return Workload{Name: "micro-" + bug.String(), Source: e.String(), Procs: 2, Threads: 2, Bug: bug}
+}

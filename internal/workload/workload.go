@@ -1,0 +1,212 @@
+// Package workload generates the synthetic MiniHybrid equivalents of the
+// benchmarks the paper evaluates on: the NAS multi-zone benchmarks BT-MZ,
+// SP-MZ and LU-MZ (NPB-MZ v3.2 class B in the paper), the EPCC
+// mixed-mode OpenMP/MPI micro-benchmark suite, and HERA, a large
+// multi-physics AMR hydrocode platform.
+//
+// What matters for reproducing the paper's experiments is the structural
+// signature of each code — function counts, call depth, branching around
+// collectives, threading constructs, halo exchanges — not its numerics:
+// Figure 1 measures compile-time overhead, which scales with code shape,
+// and the runtime experiments measure check overhead, which scales with
+// collective and region counts. Each generator is deterministic in its
+// Scale and can optionally seed one of the paper's bug classes to produce
+// the detection-matrix corpus.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale sizes a generated benchmark, loosely playing the role of the NPB
+// class (S, W, A, B ...).
+type Scale struct {
+	// Zones is the number of zones (multi-zone benchmarks).
+	Zones int
+	// Steps is the number of time steps the main loop runs.
+	Steps int
+	// Points is the per-zone working-array length.
+	Points int
+	// Modules is the number of physics modules (HERA).
+	Modules int
+	// Reps is the repetition count of micro-kernels (EPCC).
+	Reps int
+}
+
+// ScaleS is a tiny smoke-test scale (fast runs in unit tests).
+var ScaleS = Scale{Zones: 2, Steps: 3, Points: 8, Modules: 4, Reps: 3}
+
+// ScaleA is a small benchmarking scale.
+var ScaleA = Scale{Zones: 4, Steps: 10, Points: 32, Modules: 16, Reps: 10}
+
+// ScaleB approximates the paper's class-B-sized inputs (large code for
+// HERA, longer loops for the MZ codes).
+var ScaleB = Scale{Zones: 8, Steps: 20, Points: 64, Modules: 40, Reps: 20}
+
+// Bug enumerates the error classes seeded into benchmarks for the
+// detection-matrix experiment; they are the bug patterns from the paper's
+// problem statement.
+type Bug int
+
+// Bug classes.
+const (
+	// BugNone generates the correct benchmark.
+	BugNone Bug = iota
+	// BugMultithreadedCollective places a collective directly in a
+	// parallel region (phase-1 error: executed by every thread).
+	BugMultithreadedCollective
+	// BugConcurrentSingles puts two collectives in nowait-single regions
+	// of the same barrier phase (phase-2 error).
+	BugConcurrentSingles
+	// BugSectionsCollectives puts collectives in two sections of one
+	// sections construct (phase-2 error).
+	BugSectionsCollectives
+	// BugRankDependentCollective guards a collective by rank (phase-3
+	// error: not all processes call it).
+	BugRankDependentCollective
+	// BugEarlyReturn returns from the compute routine on odd ranks before
+	// a collective (phase-3 error).
+	BugEarlyReturn
+	// BugMismatchedKinds makes rank 0 call a different collective than
+	// the others (phase-3 error).
+	BugMismatchedKinds
+)
+
+var bugNames = map[Bug]string{
+	BugNone:                    "none",
+	BugMultithreadedCollective: "multithreaded-collective",
+	BugConcurrentSingles:       "concurrent-singles",
+	BugSectionsCollectives:     "sections-collectives",
+	BugRankDependentCollective: "rank-dependent-collective",
+	BugEarlyReturn:             "early-return",
+	BugMismatchedKinds:         "mismatched-kinds",
+}
+
+func (b Bug) String() string {
+	if s, ok := bugNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("bug(%d)", int(b))
+}
+
+// AllBugs lists the seedable error classes (excluding BugNone).
+var AllBugs = []Bug{
+	BugMultithreadedCollective, BugConcurrentSingles, BugSectionsCollectives,
+	BugRankDependentCollective, BugEarlyReturn, BugMismatchedKinds,
+}
+
+// Workload is one generated benchmark program.
+type Workload struct {
+	Name   string
+	Source string
+	// Procs/Threads are the recommended run parameters.
+	Procs   int
+	Threads int
+	// Bug records the seeded error class (BugNone for correct programs).
+	Bug Bug
+}
+
+// Figure1Set returns the five benchmarks of the paper's Figure 1 at the
+// given scale: BT-MZ, SP-MZ, LU-MZ, the EPCC suite and HERA.
+func Figure1Set(sc Scale) []Workload {
+	return []Workload{
+		BTMZ(sc, BugNone),
+		SPMZ(sc, BugNone),
+		LUMZ(sc, BugNone),
+		EPCC(sc, BugNone),
+		HERA(sc, BugNone),
+	}
+}
+
+// emitter builds MiniHybrid source with indentation tracking.
+type emitter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (e *emitter) line(format string, args ...any) {
+	e.b.WriteString(strings.Repeat("\t", e.indent))
+	fmt.Fprintf(&e.b, format, args...)
+	e.b.WriteByte('\n')
+}
+
+func (e *emitter) open(format string, args ...any) {
+	e.line(format, args...)
+	e.indent++
+}
+
+func (e *emitter) close() {
+	e.indent--
+	e.line("}")
+}
+
+// elseOpen closes the current branch and opens its else block.
+func (e *emitter) elseOpen() {
+	e.indent--
+	e.line("} else {")
+	e.indent++
+}
+
+func (e *emitter) String() string { return e.b.String() }
+
+// bugComment renders a marker comment so seeded sources are greppable.
+func (e *emitter) bugComment(b Bug) {
+	if b != BugNone {
+		e.line("// seeded bug: %s", b)
+	}
+}
+
+// seedPhase1or2 emits the threading-level bug patterns inside a parallel
+// region body; returns true if it handled the bug.
+func (e *emitter) seedThreadingBug(b Bug, varName string) bool {
+	switch b {
+	case BugMultithreadedCollective:
+		e.bugComment(b)
+		e.line("MPI_Allreduce(%s, %s, sum)", varName, varName)
+		return true
+	case BugConcurrentSingles:
+		e.bugComment(b)
+		e.open("single nowait {")
+		e.line("MPI_Bcast(%s)", varName)
+		e.close()
+		e.open("single {")
+		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.close()
+		return true
+	case BugSectionsCollectives:
+		e.bugComment(b)
+		e.open("sections {")
+		e.open("section {")
+		e.line("MPI_Bcast(%s)", varName)
+		e.close()
+		e.open("section {")
+		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.close()
+		e.close()
+		return true
+	}
+	return false
+}
+
+// seedProcessBug emits the inter-process bug patterns at sequential level;
+// returns true if it handled the bug.
+func (e *emitter) seedProcessBug(b Bug, varName string) bool {
+	switch b {
+	case BugRankDependentCollective:
+		e.bugComment(b)
+		e.open("if rank() == 0 {")
+		e.line("MPI_Barrier()")
+		e.close()
+		return true
+	case BugMismatchedKinds:
+		e.bugComment(b)
+		e.open("if rank() == 0 {")
+		e.line("MPI_Bcast(%s)", varName)
+		e.elseOpen()
+		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.close()
+		return true
+	}
+	return false
+}

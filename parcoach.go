@@ -1,0 +1,252 @@
+// Package parcoach is a Go reproduction of "Static/Dynamic Validation of
+// MPI Collective Communications in Multi-threaded Context" (Saillard,
+// Carribault, Barthou — PPoPP 2015), the multi-threaded extension of
+// PARCOACH.
+//
+// The package compiles MiniHybrid programs (a small MPI+OpenMP-shaped
+// language, see internal/parser) through a full pipeline:
+//
+//	parse → semantic checks → [compile-time verification] →
+//	constant folding → CFG + dead-node elimination → linear IR
+//	[→ selective instrumentation of flagged functions]
+//
+// and can execute the result on a simulated MPI world with fork/join
+// thread teams, where the planted runtime checks stop erroneous runs with
+// located error messages before they deadlock.
+//
+// Typical use:
+//
+//	prog, err := parcoach.Compile("bench.mh", src, parcoach.Options{Mode: parcoach.ModeFull})
+//	for _, d := range prog.Diagnostics() { fmt.Println(d) }
+//	res := prog.Run(parcoach.RunOptions{Procs: 4, Threads: 4})
+package parcoach
+
+import (
+	"fmt"
+	"time"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/cfg"
+	"parcoach/internal/core"
+	"parcoach/internal/instrument"
+	"parcoach/internal/interp"
+	"parcoach/internal/parser"
+	"parcoach/internal/passes"
+	"parcoach/internal/sem"
+)
+
+// Mode selects how much of the paper's tooling runs during compilation.
+type Mode int
+
+// Compilation modes, matching the bars of the paper's Figure 1.
+const (
+	// ModeBaseline compiles without any verification (the 100% baseline).
+	ModeBaseline Mode = iota
+	// ModeAnalyze adds the compile-time verification (warnings only).
+	ModeAnalyze
+	// ModeFull adds verification-code generation: flagged functions are
+	// instrumented and the instrumented code is what gets lowered and run.
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeAnalyze:
+		return "warnings"
+	case ModeFull:
+		return "warnings+codegen"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Context re-exports the initial-context option.
+type Context = core.Context
+
+// Initial contexts for the analysis.
+const (
+	ContextMonothreaded  = core.ContextMonothreaded
+	ContextMultithreaded = core.ContextMultithreaded
+)
+
+// Diagnostic re-exports the analysis warning type.
+type Diagnostic = core.Diagnostic
+
+// Options configures Compile.
+type Options struct {
+	// Mode selects baseline / warnings / warnings+codegen (default
+	// ModeFull).
+	Mode Mode
+	// Initial is the threading context assumed at program start.
+	Initial Context
+	// RawPDF disables the rank-dependence refinement of phase 3
+	// (ablation: the unrefined PDF+ of PARCOACH Algorithm 1).
+	RawPDF bool
+}
+
+// Timing records where compilation time went; the Figure 1 harness reads
+// it to separate analysis and instrumentation cost from the baseline.
+type Timing struct {
+	Frontend   time.Duration // lex, parse, semantic checks
+	Analysis   time.Duration // the paper's three compile-time phases
+	Instrument time.Duration // verification-code generation
+	Backend    time.Duration // folding, CFG, DCE, lowering
+	Total      time.Duration
+}
+
+// CompileStats summarizes the compiled artifact.
+type CompileStats struct {
+	Functions  int
+	Statements int
+	CFGNodes   int
+	CFGEdges   int
+	Folds      passes.FoldStats
+	DeadNodes  int
+	IRInsts    int
+	Spills     int
+	Checks     instrument.Stats
+}
+
+// Program is a compiled MiniHybrid program.
+type Program struct {
+	Name string
+	// Source is the parsed, analysed program.
+	Source *ast.Program
+	// Instrumented is the verification-instrumented tree (ModeFull with
+	// findings), or nil.
+	Instrumented *ast.Program
+	// Analysis holds the compile-time verification result (nil in
+	// ModeBaseline).
+	Analysis *core.Result
+	// IR is the lowered object code per function (of the instrumented
+	// tree when present, else the folded source).
+	IR map[string]*passes.FuncIR
+	// Allocations holds the per-function register allocation results.
+	Allocations map[string]*passes.Allocation
+	// Timing and Stats describe the compilation itself.
+	Timing Timing
+	Stats  CompileStats
+
+	opts Options
+}
+
+// Compile runs the pipeline on src. Parse and semantic errors abort; the
+// verification phases never fail compilation — they produce Diagnostics.
+//
+// The pipeline mirrors how PARCOACH sits in GCC's middle end: the baseline
+// compiler folds constants and builds the CFG anyway; the analysis is an
+// extra pass over that existing CFG; verification-code generation rewrites
+// only the flagged functions (selective instrumentation) and rebuilds just
+// their graphs before the common DCE + lowering backend finishes the job.
+func Compile(name, src string, opts Options) (*Program, error) {
+	start := time.Now()
+	p := &Program{Name: name, opts: opts}
+
+	// Front end.
+	t0 := time.Now()
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sem.Check(prog); err != nil {
+		return nil, err
+	}
+	p.Source = prog
+	p.Timing.Frontend = time.Since(t0)
+
+	// Backend, first half: fold and build the CFG the analysis will reuse.
+	t0 = time.Now()
+	folded, foldStats := passes.FoldProgram(prog)
+	p.Stats.Folds = foldStats
+	graphs := cfg.BuildAll(folded)
+	backend := time.Since(t0)
+
+	// Compile-time verification (the paper's three phases) on the
+	// compiler's graphs.
+	if opts.Mode >= ModeAnalyze {
+		t0 = time.Now()
+		p.Analysis = core.Analyze(folded, core.Options{
+			Initial: opts.Initial, RawPDF: opts.RawPDF, Graphs: graphs,
+		})
+		p.Timing.Analysis = time.Since(t0)
+	}
+
+	// Verification-code generation: rewrite flagged functions, rebuild
+	// their graphs only.
+	final := folded
+	if opts.Mode >= ModeFull && p.Analysis != nil && p.Analysis.NeedsInstrumentation() {
+		t0 = time.Now()
+		p.Instrumented = instrument.Program(folded, p.Analysis)
+		p.Stats.Checks = instrument.Count(p.Instrumented)
+		for name, fa := range p.Analysis.Funcs {
+			if fa.NeedsInstrumentation {
+				if fn := p.Instrumented.Func(name); fn != nil {
+					graphs[name] = cfg.Build(fn)
+				}
+			}
+		}
+		p.Timing.Instrument = time.Since(t0)
+		final = p.Instrumented
+	}
+
+	// Backend, second half: DCE on the graphs, lower the final tree.
+	t0 = time.Now()
+	for _, g := range graphs {
+		p.Stats.DeadNodes += passes.EliminateDead(g)
+		nodes, edges := g.Size()
+		p.Stats.CFGNodes += nodes
+		p.Stats.CFGEdges += edges
+	}
+	p.IR = passes.LowerProgram(final)
+	p.Allocations = make(map[string]*passes.Allocation, len(p.IR))
+	for name, ir := range p.IR {
+		p.Allocations[name] = passes.Optimize(ir)
+		p.Stats.IRInsts += len(ir.Insts)
+		p.Stats.Spills += p.Allocations[name].Spills
+	}
+	p.Timing.Backend = backend + time.Since(t0)
+
+	p.Stats.Functions = len(prog.Funcs)
+	p.Stats.Statements = ast.CountStmts(prog)
+	p.Timing.Total = time.Since(start)
+	return p, nil
+}
+
+// Diagnostics returns the analysis warnings (empty in ModeBaseline).
+func (p *Program) Diagnostics() []Diagnostic {
+	if p.Analysis == nil {
+		return nil
+	}
+	return p.Analysis.Diags
+}
+
+// Warnings returns only the error-class diagnostics.
+func (p *Program) Warnings() []Diagnostic {
+	if p.Analysis == nil {
+		return nil
+	}
+	return p.Analysis.Errors()
+}
+
+// RunOptions configures execution on the simulated runtime.
+type RunOptions = interp.Options
+
+// RunResult is the outcome of executing a program.
+type RunResult = interp.Result
+
+// Run executes the program: the instrumented tree when codegen produced
+// one, otherwise the pristine source.
+func (p *Program) Run(opts RunOptions) *RunResult {
+	target := p.Source
+	if p.Instrumented != nil {
+		target = p.Instrumented
+	}
+	return interp.Run(target, opts)
+}
+
+// RunUninstrumented executes the pristine source regardless of mode (used
+// by the overhead experiments to compare against instrumented runs).
+func (p *Program) RunUninstrumented(opts RunOptions) *RunResult {
+	return interp.Run(p.Source, opts)
+}
