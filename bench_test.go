@@ -32,6 +32,32 @@ var (
 	runtimeSet = workload.Figure1Set(workload.ScaleS)
 )
 
+// BenchmarkCompileBatch pins the batch-compile speedup: the same
+// multi-program, many-functions-per-program workload compiled on a
+// serial pool (workers-01, the reference) and on widening pools. The
+// bench trajectory tracks the ratio; diagnostics and stats are
+// byte-identical across widths (TestCompileBatchMatchesSerial).
+func BenchmarkCompileBatch(b *testing.B) {
+	var files []parcoach.File
+	for _, w := range workload.Figure1Set(workload.ScaleA) {
+		files = append(files, parcoach.File{Name: w.Name, Source: w.Source})
+	}
+	for _, w := range workload.Figure1Set(workload.ScaleB) {
+		files = append(files, parcoach.File{Name: "b-" + w.Name, Source: w.Source})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parcoach.CompileBatch(files, parcoach.Options{
+					Mode: parcoach.ModeFull, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCompile(b *testing.B) {
 	modes := []struct {
 		name string

@@ -33,6 +33,7 @@ func main() {
 	level := flag.String("level", "multiple", "MPI thread level")
 	policy := flag.String("policy", "first-arrival", "single election policy")
 	maxSteps := flag.Int64("max-steps", 0, "statement budget (0 = default)")
+	workers := flag.Int("workers", 0, "compile worker pool width (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -50,7 +51,7 @@ func main() {
 	if !*instrumented {
 		mode = parcoach.ModeBaseline
 	}
-	prog, err := parcoach.Compile(file, string(src), parcoach.Options{Mode: mode})
+	prog, err := parcoach.Compile(file, string(src), parcoach.Options{Mode: mode, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -7,27 +7,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"parcoach"
 )
 
-const src = `
-func compute(v) {
-	if v % 2 == 0 {
-		MPI_Barrier()
-	}
-	return v + 1
-}
-
-func main() {
-	MPI_Init()
-	var mine = rank()
-	var out = compute(mine)
-	print(out)
-	MPI_Finalize()
-}`
+// The source lives next to this file so the repo's golden tests compile
+// and run every example program in all modes.
+//
+//go:embed deadlock.mh
+var src string
 
 func main() {
 	prog, err := parcoach.Compile("deadlock.mh", src, parcoach.Options{Mode: parcoach.ModeFull})

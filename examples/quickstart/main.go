@@ -5,37 +5,21 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"parcoach"
 )
 
-const clean = `
-func main() {
-	MPI_Init()
-	var x = rank() + 1
-	parallel num_threads(4) {
-		pfor i = 0 .. 16 {
-			atomic x += i
-		}
-		single {
-			MPI_Allreduce(x, x, sum)
-		}
-	}
-	print(x)
-	MPI_Finalize()
-}`
+// The sources live next to this file so the repo's golden tests compile
+// and run every example program in all modes.
 
-const buggy = `
-func main() {
-	MPI_Init()
-	var x = 0
-	if rank() == 0 {
-		MPI_Bcast(x)
-	}
-	MPI_Finalize()
-}`
+//go:embed clean.mh
+var clean string
+
+//go:embed buggy.mh
+var buggy string
 
 func main() {
 	fmt.Println("=== correct program ===")

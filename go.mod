@@ -1,0 +1,3 @@
+module parcoach
+
+go 1.24

@@ -21,6 +21,17 @@
 // to a function that (transitively) performs collectives is treated like a
 // collective node in its caller, and the multithreading context propagates
 // along the call graph.
+//
+// The analysis is staged so the compile pipeline can schedule it across a
+// worker pool: Begin sets up the call-graph condensation, Prepare computes
+// the per-function artifacts (dominators, parallelism words, postdominance
+// frontiers — embarrassingly parallel), ComputeTaint/ComputeContexts/
+// ComputeSummaries run the interprocedural fixpoints in SCC order
+// (callees before callers, independent components of one wave in
+// parallel), Check runs the three per-function verification phases in
+// parallel, and Finish merges everything into a deterministic Result.
+// Analyze drives all stages in order and is equivalent to the serial
+// analysis regardless of the runner's parallelism.
 package core
 
 import (
@@ -30,6 +41,7 @@ import (
 	"parcoach/internal/ast"
 	"parcoach/internal/cfg"
 	"parcoach/internal/dom"
+	"parcoach/internal/pipeline"
 	"parcoach/internal/pword"
 	"parcoach/internal/source"
 )
@@ -65,6 +77,14 @@ type Options struct {
 	// the compiler's existing CFG, as PARCOACH does inside GCC; when nil
 	// the analysis builds its own.
 	Graphs map[string]*cfg.Graph
+	// Doms supplies pre-built dominator trees keyed by function name
+	// (cached artifacts from the pipeline's dominator pass); missing
+	// entries are computed on demand during Prepare.
+	Doms map[string]*dom.Tree
+	// Runner schedules the parallel stages (artifact preparation, summary
+	// waves, per-function checking). Nil means a serial pool. The
+	// analysis result is identical for any pool width.
+	Runner *pipeline.Pool
 }
 
 // Summary is the interprocedural collective signature of one function.
@@ -119,7 +139,14 @@ type FuncAnalysis struct {
 	NeedsCC bool
 	// NeedsInstrumentation is true when any phase produced findings.
 	NeedsInstrumentation bool
+
+	// diags buffers this function's diagnostics so Check can run for many
+	// functions in parallel without contending on the Result; Finish
+	// merges the buffers in declaration order and sorts.
+	diags []Diagnostic
 }
+
+func (fa *FuncAnalysis) diag(d Diagnostic) { fa.diags = append(fa.diags, d) }
 
 // Result is the whole-program analysis output.
 type Result struct {
@@ -155,47 +182,39 @@ func (r *Result) NeedsInstrumentation() bool {
 }
 
 // Analyze runs the full compile-time verification on a parsed and
-// semantically valid program.
+// semantically valid program, driving every stage of the staged analyzer
+// on opts.Runner (serial when nil).
 func Analyze(prog *ast.Program, opts Options) *Result {
-	if opts.EntryFunc == "" {
-		opts.EntryFunc = "main"
-	}
-	graphs := opts.Graphs
-	if graphs == nil {
-		graphs = cfg.BuildAll(prog)
-	}
-	a := &analyzer{
-		prog:   prog,
-		opts:   opts,
-		graphs: graphs,
-		res: &Result{
-			Prog:      prog,
-			Summaries: make(map[string]Summary),
-			Funcs:     make(map[string]*FuncAnalysis),
-		},
-	}
-	a.res.Graphs = a.graphs
-	a.computeContexts()
-	a.computeSummaries()
-	for _, f := range prog.Funcs {
-		a.analyzeFunc(f)
-	}
-	a.res.RequiredLevel = a.requiredLevel()
-	a.res.Diags = append(a.res.Diags, Diagnostic{
-		Kind:    DiagThreadLevel,
-		Pos:     prog.Pos(),
-		Func:    opts.EntryFunc,
-		Message: fmt.Sprintf("program requires at least %s", a.res.RequiredLevel),
-	})
-	SortDiagnostics(a.res.Diags)
-	return a.res
+	an := Begin(prog, opts)
+	an.Prepare()
+	an.ComputeTaint()
+	an.ComputeContexts()
+	an.ComputeSummaries()
+	an.Check()
+	return an.Finish()
+}
+
+// Analysis is the staged analyzer. Stages must run in order — Prepare,
+// ComputeTaint, ComputeContexts, ComputeSummaries, Check, Finish — but
+// each stage's per-item entry points (PrepareFunc, ComputeSummarySCC,
+// CheckFunc) are safe to call concurrently for distinct items, which is
+// what the compile pipeline's pass manager does.
+type Analysis struct {
+	a *analyzer
 }
 
 type analyzer struct {
 	prog   *ast.Program
 	opts   Options
+	run    *pipeline.Pool
 	graphs map[string]*cfg.Graph
 	res    *Result
+
+	// funcs/index give every function a dense id; all per-function
+	// artifact caches below are slices indexed by it, so parallel stages
+	// write disjoint slots and never touch a shared map.
+	funcs []*ast.FuncDecl
+	index map[string]int
 
 	// multiCtx[f] is true when f may be entered in a multithreaded context.
 	multiCtx map[string]bool
@@ -203,39 +222,138 @@ type analyzer struct {
 	// from the monothreaded entry word: the unknown-prefix variant is
 	// derived per query via MonoUnderParallelPrefix, since the prefix
 	// region can never be closed inside the function.
-	wordCache map[string]*pword.Result
-	// taints caches the interprocedural rank-taint sets.
+	words []*pword.Result
+	// taints holds the interprocedural rank-taint sets.
 	taints map[string]*rankTaint
-	// doms/pdfs cache per-function dominator trees and postdominance
-	// frontiers — one of each per function regardless of context.
-	doms map[string]*dom.Tree
-	pdfs map[string]map[*cfg.Node][]*cfg.Node
+	// pdfs caches per-function postdominance frontiers — one per function
+	// regardless of context. (Dominator trees are consumed inside
+	// PrepareFunc by the parallelism-word computation and not retained.)
+	pdfs []map[*cfg.Node][]*cfg.Node
+
+	// kinds/exposed are the summary fixpoint state; summaries holds the
+	// finished per-function summaries.
+	kinds     []map[ast.MPIKind]bool
+	exposed   []map[ast.MPIKind]bool
+	summaries []Summary
+
+	// fas holds the per-function check results until Finish builds the
+	// Result maps.
+	fas []*FuncAnalysis
+
+	// sccs is the call-graph condensation in reverse topological order
+	// (callees first); waves groups mutually independent SCC indices.
+	sccs  [][]string
+	waves [][]int
 }
 
-func (a *analyzer) domFor(name string) *dom.Tree {
-	if t, ok := a.doms[name]; ok {
-		return t
+// Begin sets up the analysis: defaults, CFGs (built in parallel when not
+// supplied), and the call-graph condensation that orders the
+// interprocedural stages.
+func Begin(prog *ast.Program, opts Options) *Analysis {
+	if opts.EntryFunc == "" {
+		opts.EntryFunc = "main"
 	}
-	t := dom.Dominators(a.graphs[name])
-	a.doms[name] = t
-	return t
+	run := opts.Runner
+	if run == nil {
+		run = pipeline.NewPool(1) // inline-serial
+	}
+	n := len(prog.Funcs)
+	a := &analyzer{
+		prog:  prog,
+		opts:  opts,
+		run:   run,
+		funcs: prog.Funcs,
+		index: make(map[string]int, n),
+		res: &Result{
+			Prog:      prog,
+			Summaries: make(map[string]Summary, n),
+			Funcs:     make(map[string]*FuncAnalysis, n),
+		},
+		multiCtx:  make(map[string]bool, n),
+		words:     make([]*pword.Result, n),
+		pdfs:      make([]map[*cfg.Node][]*cfg.Node, n),
+		kinds:     make([]map[ast.MPIKind]bool, n),
+		exposed:   make([]map[ast.MPIKind]bool, n),
+		summaries: make([]Summary, n),
+		fas:       make([]*FuncAnalysis, n),
+	}
+	for i, f := range prog.Funcs {
+		a.index[f.Name] = i
+		a.kinds[i] = make(map[ast.MPIKind]bool)
+		a.exposed[i] = make(map[ast.MPIKind]bool)
+	}
+	a.graphs = opts.Graphs
+	if a.graphs == nil {
+		built := make([]*cfg.Graph, n)
+		run.Map(n, func(i int) { built[i] = cfg.Build(prog.Funcs[i]) })
+		a.graphs = make(map[string]*cfg.Graph, n)
+		for i, f := range prog.Funcs {
+			a.graphs[f.Name] = built[i]
+		}
+	}
+	a.res.Graphs = a.graphs
+
+	// Condense the call graph. Edges go caller→callee, so the reverse
+	// topological SCC order yields callees before callers.
+	adj := make(map[string][]string, n)
+	order := make([]string, 0, n)
+	for _, f := range prog.Funcs {
+		order = append(order, f.Name)
+		var callees []string
+		for _, node := range a.graphs[f.Name].Nodes {
+			callees = append(callees, node.Calls...)
+		}
+		adj[f.Name] = callees
+	}
+	a.sccs = pipeline.SCCs(adj, order)
+	// Re-express the string waves as indices into a.sccs.
+	at := make(map[string]int, len(a.sccs))
+	for i, c := range a.sccs {
+		at[c[0]] = i
+	}
+	for _, wave := range pipeline.Waves(adj, a.sccs) {
+		var idx []int
+		for _, comp := range wave {
+			idx = append(idx, at[comp[0]])
+		}
+		a.waves = append(a.waves, idx)
+	}
+	return &Analysis{a: a}
 }
+
+// NumFuncs returns the number of functions (the item count of the
+// per-function parallel stages).
+func (an *Analysis) NumFuncs() int { return len(an.a.funcs) }
+
+// Prepare computes every function's artifacts on the runner.
+func (an *Analysis) Prepare() { an.a.run.Map(an.NumFuncs(), an.PrepareFunc) }
+
+// PrepareFunc computes the per-function artifacts of function i:
+// dominator tree, parallelism words and postdominance frontier. Safe to
+// call concurrently for distinct i.
+func (an *Analysis) PrepareFunc(i int) {
+	a := an.a
+	name := a.funcs[i].Name
+	g := a.graphs[name]
+	t := a.opts.Doms[name]
+	if t == nil {
+		t = dom.Dominators(g)
+	}
+	a.words[i] = pword.ComputeWithDom(g, pword.Empty, t)
+	a.pdfs[i] = dom.PostDominanceFrontier(g)
+}
+
+// ComputeTaint runs the interprocedural rank-taint fixpoint (phase 3's
+// divergence refinement reads it).
+func (an *Analysis) ComputeTaint() { an.a.taints = computeProgramTaint(an.a.prog) }
 
 func (a *analyzer) pdfFor(name string) map[*cfg.Node][]*cfg.Node {
-	if f, ok := a.pdfs[name]; ok {
-		return f
-	}
-	f := dom.PostDominanceFrontier(a.graphs[name])
-	a.pdfs[name] = f
-	return f
+	return a.pdfs[a.index[name]]
 }
 
-// taintFor returns the function's rank-taint set, computing the
-// interprocedural fixpoint on first use.
+// taintFor returns the function's rank-taint set. ComputeTaint must have
+// run; afterwards this is a read-only lookup safe for parallel phases.
 func (a *analyzer) taintFor(name string) *rankTaint {
-	if a.taints == nil {
-		a.taints = computeProgramTaint(a.prog)
-	}
 	if t, ok := a.taints[name]; ok {
 		return t
 	}
@@ -243,12 +361,15 @@ func (a *analyzer) taintFor(name string) *rankTaint {
 }
 
 func (a *analyzer) wordsOf(name string) *pword.Result {
-	if r, ok := a.wordCache[name]; ok {
-		return r
+	return a.words[a.index[name]]
+}
+
+func (a *analyzer) summaryOf(name string) (Summary, bool) {
+	i, ok := a.index[name]
+	if !ok {
+		return Summary{}, false
 	}
-	r := pword.ComputeWithDom(a.graphs[name], pword.Empty, nil)
-	a.wordCache[name] = r
-	return r
+	return a.summaries[i], true
 }
 
 // monoAt is the phase-1 test for a node under the function's entry
@@ -273,89 +394,125 @@ func displayWord(w pword.Word, multi bool) string {
 	return w.String()
 }
 
-// computeContexts propagates the threading context along the call graph:
+// ComputeContexts propagates the threading context along the call graph:
 // a callee is multithreaded-entered if any call site sits at a
 // non-monothreaded word in a caller (given the caller's own context).
-func (a *analyzer) computeContexts() {
-	a.wordCache = make(map[string]*pword.Result)
-	a.multiCtx = make(map[string]bool)
-	a.doms = make(map[string]*dom.Tree)
-	a.pdfs = make(map[string]map[*cfg.Node][]*cfg.Node)
+// Context flows caller→callee, so one walk of the condensation in forward
+// topological order (callers first) suffices, with a local fixpoint
+// inside each SCC for recursion.
+func (an *Analysis) ComputeContexts() {
+	a := an.a
 	if a.opts.Initial == ContextMultithreaded {
 		a.multiCtx[a.opts.EntryFunc] = true
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, f := range a.prog.Funcs {
-			g := a.graphs[f.Name]
-			words := a.wordsOf(f.Name)
-			for _, n := range g.Nodes {
-				if len(n.Calls) == 0 {
-					continue
-				}
-				calleeMulti := !monoAt(words, n, a.multiCtx[f.Name])
-				if !calleeMulti {
-					continue
-				}
-				for _, callee := range n.Calls {
-					if _, ok := a.graphs[callee]; ok && !a.multiCtx[callee] {
-						a.multiCtx[callee] = true
-						changed = true
+	// propagate marks name's callees and reports whether it marked a
+	// member of the current component (which then needs re-iteration).
+	propagate := func(name string, inComp map[string]bool) bool {
+		g := a.graphs[name]
+		words := a.wordsOf(name)
+		markedInComp := false
+		for _, n := range g.Nodes {
+			if len(n.Calls) == 0 {
+				continue
+			}
+			calleeMulti := !monoAt(words, n, a.multiCtx[name])
+			if !calleeMulti {
+				continue
+			}
+			for _, callee := range n.Calls {
+				if _, ok := a.graphs[callee]; ok && !a.multiCtx[callee] {
+					a.multiCtx[callee] = true
+					if inComp[callee] {
+						markedInComp = true
 					}
+				}
+			}
+		}
+		return markedInComp
+	}
+	// a.sccs is callees-first; walk it backwards for callers-first. A
+	// component re-iterates until its own members' contexts are stable
+	// (recursion, including self-loops); marks on functions outside the
+	// component land in later components and need no re-iteration here.
+	for i := len(a.sccs) - 1; i >= 0; i-- {
+		comp := a.sccs[i]
+		inComp := make(map[string]bool, len(comp))
+		for _, name := range comp {
+			inComp[name] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, name := range comp {
+				if propagate(name, inComp) {
+					changed = true
 				}
 			}
 		}
 	}
 }
 
-// computeSummaries runs the interprocedural fixpoint for collective
-// signatures (Kinds and Exposed).
-func (a *analyzer) computeSummaries() {
-	kinds := make(map[string]map[ast.MPIKind]bool)
-	exposed := make(map[string]map[ast.MPIKind]bool)
-	for _, f := range a.prog.Funcs {
-		kinds[f.Name] = make(map[ast.MPIKind]bool)
-		exposed[f.Name] = make(map[ast.MPIKind]bool)
+// ComputeSummaries runs the interprocedural fixpoint for collective
+// signatures (Kinds and Exposed) wave by wave over the call-graph
+// condensation: each wave's SCCs only call into finished waves, so the
+// runner fans the SCCs of one wave across workers.
+func (an *Analysis) ComputeSummaries() {
+	for _, wave := range an.SummaryWaves() {
+		an.a.run.Map(len(wave), func(i int) { an.ComputeSummarySCC(wave[i]) })
 	}
+}
+
+// SummaryWaves returns ordered groups of SCC indices for
+// ComputeSummarySCC: groups must run in order, members of one group may
+// run concurrently.
+func (an *Analysis) SummaryWaves() [][]int { return an.a.waves }
+
+// ComputeSummarySCC computes the collective summaries of the functions in
+// SCC scc (a local fixpoint for recursion); the summaries of every
+// function the SCC calls must already be final. Safe to call concurrently
+// for the SCCs of one wave.
+func (an *Analysis) ComputeSummarySCC(scc int) {
+	a := an.a
+	comp := a.sccs[scc]
 	for changed := true; changed; {
 		changed = false
-		for _, f := range a.prog.Funcs {
-			g := a.graphs[f.Name]
+		for _, name := range comp {
+			fi := a.index[name]
+			g := a.graphs[name]
 			// Exposure is judged with the pessimistic multithreaded prefix:
 			// "would a collective run multithreaded if this function were
 			// entered inside a parallel region".
-			words := a.wordsOf(f.Name)
+			words := a.wordsOf(name)
 			for _, n := range g.Nodes {
 				unsafe := !monoAt(words, n, true)
 				if n.Kind == cfg.KindCollective {
 					k := n.Coll.Kind
-					if !kinds[f.Name][k] {
-						kinds[f.Name][k] = true
+					if !a.kinds[fi][k] {
+						a.kinds[fi][k] = true
 						changed = true
 					}
-					if unsafe && !exposed[f.Name][k] {
-						exposed[f.Name][k] = true
+					if unsafe && !a.exposed[fi][k] {
+						a.exposed[fi][k] = true
 						changed = true
 					}
 					continue
 				}
 				for _, callee := range n.Calls {
-					ck, ok := kinds[callee]
+					ci, ok := a.index[callee]
 					if !ok {
 						continue
 					}
-					for k := range ck {
-						if !kinds[f.Name][k] {
-							kinds[f.Name][k] = true
+					for k := range a.kinds[ci] {
+						if !a.kinds[fi][k] {
+							a.kinds[fi][k] = true
 							changed = true
 						}
 					}
 					// If the call site is unsafe, everything the callee can
 					// expose when entered multithreaded is exposed here too.
 					if unsafe {
-						for k := range exposed[callee] {
-							if !exposed[f.Name][k] {
-								exposed[f.Name][k] = true
+						for k := range a.exposed[ci] {
+							if !a.exposed[fi][k] {
+								a.exposed[fi][k] = true
 								changed = true
 							}
 						}
@@ -364,10 +521,11 @@ func (a *analyzer) computeSummaries() {
 			}
 		}
 	}
-	for name := range kinds {
-		a.res.Summaries[name] = Summary{
-			Kinds:   sortedKinds(kinds[name]),
-			Exposed: sortedKinds(exposed[name]),
+	for _, name := range comp {
+		fi := a.index[name]
+		a.summaries[fi] = Summary{
+			Kinds:   sortedKinds(a.kinds[fi]),
+			Exposed: sortedKinds(a.exposed[fi]),
 		}
 	}
 }
@@ -394,7 +552,7 @@ func (a *analyzer) collNodes(g *cfg.Graph, exposedOnly bool) map[*cfg.Node][]ast
 		}
 		var ks []ast.MPIKind
 		for _, callee := range n.Calls {
-			sum, ok := a.res.Summaries[callee]
+			sum, ok := a.summaryOf(callee)
 			if !ok {
 				continue
 			}
@@ -411,7 +569,17 @@ func (a *analyzer) collNodes(g *cfg.Graph, exposedOnly bool) map[*cfg.Node][]ast
 	return out
 }
 
-func (a *analyzer) analyzeFunc(f *ast.FuncDecl) {
+// Check runs the three verification phases for every function on the
+// runner.
+func (an *Analysis) Check() { an.a.run.Map(an.NumFuncs(), an.CheckFunc) }
+
+// CheckFunc runs phases 1–3 for function i. All interprocedural stages
+// must be finished; the per-function state it writes (the FuncAnalysis
+// and its diagnostic buffer) is private to i, so distinct functions check
+// concurrently.
+func (an *Analysis) CheckFunc(i int) {
+	a := an.a
+	f := a.funcs[i]
 	g := a.graphs[f.Name]
 	multi := a.multiCtx[f.Name]
 	words := a.wordsOf(f.Name)
@@ -422,11 +590,11 @@ func (a *analyzer) analyzeFunc(f *ast.FuncDecl) {
 		Multithreaded: multi,
 		SeqWarn:       make(map[string][]*cfg.Node),
 	}
-	a.res.Funcs[f.Name] = fa
+	a.fas[i] = fa
 
 	// Report word conflicts (non-conforming barrier placement) once per node.
 	for _, c := range words.Conflicts {
-		a.diag(Diagnostic{
+		fa.diag(Diagnostic{
 			Kind: DiagAmbiguousWord,
 			Pos:  c.Pos,
 			Func: f.Name,
@@ -440,6 +608,31 @@ func (a *analyzer) analyzeFunc(f *ast.FuncDecl) {
 	a.phase2(f, fa)
 	a.phase3(f, fa)
 	fa.NeedsInstrumentation = len(fa.MultithreadedColls) > 0 || len(fa.ConcPairs) > 0 || fa.NeedsCC
+}
+
+// Finish assembles the deterministic Result: per-function results and
+// summaries keyed by name, diagnostics merged in declaration order plus
+// the thread-level note, sorted into a canonical order independent of how
+// the parallel stages were scheduled.
+func (an *Analysis) Finish() *Result {
+	a := an.a
+	for i, f := range a.funcs {
+		a.res.Summaries[f.Name] = a.summaries[i]
+		if fa := a.fas[i]; fa != nil {
+			a.res.Funcs[f.Name] = fa
+			a.res.Diags = append(a.res.Diags, fa.diags...)
+			fa.diags = nil
+		}
+	}
+	a.res.RequiredLevel = a.requiredLevel()
+	a.res.Diags = append(a.res.Diags, Diagnostic{
+		Kind:    DiagThreadLevel,
+		Pos:     a.prog.Pos(),
+		Func:    a.opts.EntryFunc,
+		Message: fmt.Sprintf("program requires at least %s", a.res.RequiredLevel),
+	})
+	SortDiagnostics(a.res.Diags)
+	return a.res
 }
 
 // phase1 checks that every collective (or exposed callee collective) sits
@@ -470,7 +663,7 @@ func (a *analyzer) phase1(f *ast.FuncDecl, fa *FuncAnalysis) {
 			if dominator != nil && dominator.Pos.IsValid() {
 				d.Related = append(d.Related, dominator.Pos)
 			}
-			a.diag(d)
+			fa.diag(d)
 		}
 	}
 }
@@ -517,7 +710,7 @@ func (a *analyzer) phase2(f *ast.FuncDecl, fa *FuncAnalysis) {
 					fa.Scc = appendUnique(fa.Scc, begin)
 				}
 			}
-			a.diag(Diagnostic{
+			fa.diag(Diagnostic{
 				Kind:       DiagConcurrentCollectives,
 				Pos:        n1.Pos,
 				Func:       f.Name,
@@ -586,7 +779,7 @@ func (a *analyzer) phase3(f *ast.FuncDecl, fa *FuncAnalysis) {
 			for _, n := range set {
 				rel = append(rel, n.Pos)
 			}
-			a.diag(Diagnostic{
+			fa.diag(Diagnostic{
 				Kind:       DiagCollectiveMismatch,
 				Pos:        d.Pos,
 				Func:       f.Name,
@@ -674,8 +867,6 @@ func (a *analyzer) requiredLevel() ThreadLevel {
 	}
 	return level
 }
-
-func (a *analyzer) diag(d Diagnostic) { a.res.Diags = append(a.res.Diags, d) }
 
 func nodeCollNames(n *cfg.Node, ks []ast.MPIKind) []string {
 	if n.Kind == cfg.KindCollective {

@@ -83,8 +83,10 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// SortDiagnostics orders diagnostics by position then kind for stable
-// output.
+// SortDiagnostics orders diagnostics by file, line, column, then kind,
+// function, collective and message. The ordering is total over distinct
+// diagnostics, so the sorted output is byte-identical no matter how the
+// parallel analysis stages were scheduled.
 func SortDiagnostics(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -94,7 +96,16 @@ func SortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Line != b.Pos.Line || a.Pos.Col != b.Pos.Col {
 			return a.Pos.Before(b.Pos)
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Collective != b.Collective {
+			return a.Collective < b.Collective
+		}
+		return a.Message < b.Message
 	})
 }
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"parcoach/internal/parser"
+	"parcoach/internal/pipeline"
+	"parcoach/internal/workload"
+)
+
+// renderDiags flattens a result's diagnostics for comparison.
+func renderDiags(r *Result) string {
+	out := ""
+	for _, d := range r.Diags {
+		out += d.String() + "\n"
+	}
+	return out
+}
+
+// TestAnalyzeParallelRunnerMatchesSerial drives the staged analyzer with
+// a real worker pool and asserts the result is identical to the serial
+// analysis: same diagnostics bytes, same summaries, same per-function
+// finding counts.
+func TestAnalyzeParallelRunnerMatchesSerial(t *testing.T) {
+	subjects := []workload.Workload{
+		workload.HERA(workload.ScaleS, workload.BugNone),
+		workload.HERA(workload.ScaleS, workload.BugRankDependentCollective),
+		workload.BTMZ(workload.ScaleS, workload.BugEarlyReturn),
+		workload.EPCC(workload.ScaleS, workload.BugMultithreadedCollective),
+		workload.Micro(workload.BugConcurrentSingles),
+	}
+	for _, w := range subjects {
+		prog, err := parser.Parse(w.Name, w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := Analyze(prog, Options{})
+		for _, workers := range []int{2, 8} {
+			par := Analyze(prog, Options{Runner: pipeline.NewPool(workers)})
+			if got, want := renderDiags(par), renderDiags(serial); got != want {
+				t.Errorf("%s workers=%d: diagnostics differ\n--- parallel ---\n%s--- serial ---\n%s",
+					w.Name, workers, got, want)
+			}
+			if par.RequiredLevel != serial.RequiredLevel {
+				t.Errorf("%s workers=%d: required level %v != %v",
+					w.Name, workers, par.RequiredLevel, serial.RequiredLevel)
+			}
+			if len(par.Summaries) != len(serial.Summaries) {
+				t.Fatalf("%s: summary count differs", w.Name)
+			}
+			for name, ss := range serial.Summaries {
+				ps := par.Summaries[name]
+				if fmt.Sprint(ps) != fmt.Sprint(ss) {
+					t.Errorf("%s workers=%d: summary of %s differs: %v != %v",
+						w.Name, workers, name, ps, ss)
+				}
+			}
+			for name, sf := range serial.Funcs {
+				pf := par.Funcs[name]
+				if pf == nil {
+					t.Fatalf("%s: missing func analysis %s", w.Name, name)
+				}
+				if pf.Multithreaded != sf.Multithreaded ||
+					len(pf.MultithreadedColls) != len(sf.MultithreadedColls) ||
+					len(pf.ConcPairs) != len(sf.ConcPairs) ||
+					len(pf.Scc) != len(sf.Scc) ||
+					pf.NeedsCC != sf.NeedsCC ||
+					pf.NeedsInstrumentation != sf.NeedsInstrumentation {
+					t.Errorf("%s workers=%d: func %s findings differ", w.Name, workers, name)
+				}
+			}
+		}
+	}
+}
+
+// TestStagedAnalysisSCCOrder sanity-checks the condensation the summary
+// waves run over: a callee's summary must be final before any caller's
+// wave starts.
+func TestStagedAnalysisSCCOrder(t *testing.T) {
+	src := `
+func leaf() { MPI_Barrier() }
+func mid() { leaf() }
+func recur(n) { if n > 0 { recur(n - 1) } mid() return 0 }
+func main() { MPI_Init() recur(3) MPI_Finalize() }
+`
+	prog, err := parser.Parse("scc.mh", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Begin(prog, Options{})
+	an.Prepare()
+	an.ComputeTaint()
+	an.ComputeContexts()
+	seen := make(map[string]bool)
+	for _, wave := range an.SummaryWaves() {
+		// Every function may only call functions of earlier waves or of
+		// its own SCC — a caller sharing a wave with its callee's SCC is
+		// exactly the ordering violation the summaries pass cannot survive.
+		for _, scc := range wave {
+			own := make(map[string]bool, len(an.a.sccs[scc]))
+			for _, name := range an.a.sccs[scc] {
+				own[name] = true
+			}
+			for _, name := range an.a.sccs[scc] {
+				for _, n := range an.a.graphs[name].Nodes {
+					for _, callee := range n.Calls {
+						if _, ok := an.a.index[callee]; !ok {
+							continue
+						}
+						if !seen[callee] && !own[callee] {
+							t.Errorf("wave order broken: %s calls %s before its summary wave ran", name, callee)
+						}
+					}
+				}
+			}
+			an.ComputeSummarySCC(scc)
+		}
+		for _, scc := range wave {
+			for _, name := range an.a.sccs[scc] {
+				seen[name] = true
+			}
+		}
+	}
+	an.Check()
+	res := an.Finish()
+	if !res.Summaries["main"].HasCollective() {
+		t.Error("main must transitively summarize collectives through recur → mid → leaf")
+	}
+	if len(res.Summaries["recur"].Kinds) == 0 {
+		t.Error("recursive function summary missing callee collectives")
+	}
+}

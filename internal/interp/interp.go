@@ -171,7 +171,43 @@ type value struct {
 
 func scalar(i int64) value { return value{i: i} }
 
-type cell struct{ v value }
+// cell is one shared-memory location. Team threads of a simulated
+// process share cells by design — including deliberately racy benchmark
+// programs — so the interpreter must stay free of *Go* data races while
+// letting simulated races keep their relaxed semantics: scalar cells are
+// guarded by the cell lock, and array elements are always accessed with
+// atomic loads/stores (the array header itself is immutable once
+// declared — whole-array assignment is rejected — so the aliasing that
+// gives MiniHybrid its by-reference arrays stays intact).
+type cell struct {
+	mu sync.Mutex
+	v  value
+}
+
+// load returns the cell's value (the array payload stays aliased).
+func (cl *cell) load() value {
+	cl.mu.Lock()
+	v := cl.v
+	cl.mu.Unlock()
+	return v
+}
+
+// store overwrites the cell's value.
+func (cl *cell) store(v value) {
+	cl.mu.Lock()
+	cl.v = v
+	cl.mu.Unlock()
+}
+
+// snapshotArr copies a (possibly concurrently written) array with atomic
+// element loads.
+func snapshotArr(arr []int64) []int64 {
+	out := make([]int64, len(arr))
+	for i := range arr {
+		out[i] = atomic.LoadInt64(&arr[i])
+	}
+	return out
+}
 
 type env struct {
 	parent *env
@@ -203,8 +239,13 @@ type thctx struct {
 	fn string // current function name (for return:<fn> CC ids)
 }
 
-func (c *thctx) fork(th *omp.Thread) *thctx {
-	return &thctx{r: c.r, p: c.p, rt: c.rt, th: th, fn: c.fn}
+// fork derives a team member's context. The function name is passed by
+// value rather than read from c: after an abort, straggler team
+// goroutines can outlive the Parallel call and the enclosing
+// callFunction, whose deferred restore of c.fn would race with a read
+// here.
+func (c *thctx) fork(th *omp.Thread, fn string) *thctx {
+	return &thctx{r: c.r, p: c.p, rt: c.rt, th: th, fn: fn}
 }
 
 func (c *thctx) errf(pos source.Pos, format string, args ...any) error {
@@ -330,7 +371,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		loopEnv.declare(s.Var, scalar(from))
 		cellVar := loopEnv.lookup(s.Var)
 		for i := from; i < to; i++ {
-			cellVar.v = scalar(i)
+			cellVar.store(scalar(i))
 			returned, ret, err := c.execBlock(s.Body, loopEnv)
 			if err != nil || returned {
 				return returned, ret, err
@@ -374,7 +415,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 				return false, 0, err
 			}
 			if v.arr != nil {
-				parts[i] = fmt.Sprint(v.arr)
+				parts[i] = fmt.Sprint(snapshotArr(v.arr))
 			} else {
 				parts[i] = fmt.Sprint(v.i)
 			}
@@ -394,8 +435,9 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			}
 			n = int(nv)
 		}
+		fnName := c.fn // snapshot: body goroutines may outlive this frame on abort
 		err := c.rt.Parallel(c.th, n, func(th *omp.Thread) error {
-			child := c.fork(th)
+			child := c.fork(th, fnName)
 			_, _, err := child.execBlock(s.Body, e)
 			return err
 		})
@@ -468,7 +510,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			if !ok {
 				break
 			}
-			cellVar.v = scalar(i)
+			cellVar.store(scalar(i))
 			if _, _, err := c.execBlock(s.Body, loopEnv); err != nil {
 				return false, 0, err
 			}
@@ -546,27 +588,31 @@ func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
 		if cl == nil {
 			return c.errf(lv.NamePos, "undefined variable %q", lv.Name)
 		}
+		cl.mu.Lock()
 		if cl.v.arr != nil {
+			cl.mu.Unlock()
 			return c.errf(lv.NamePos, "array %q used as a scalar", lv.Name)
 		}
 		cl.v = scalar(apply(cl.v.i))
+		cl.mu.Unlock()
 		return nil
 	case *ast.IndexExpr:
 		cl := e.lookup(lv.Name)
 		if cl == nil {
 			return c.errf(lv.NamePos, "undefined variable %q", lv.Name)
 		}
-		if cl.v.arr == nil {
-			return c.errf(lv.NamePos, "scalar %q indexed like an array", lv.Name)
-		}
 		idx, err := c.evalInt(lv.Index, e)
 		if err != nil {
 			return err
 		}
-		if idx < 0 || idx >= int64(len(cl.v.arr)) {
-			return c.errf(lv.NamePos, "index %d out of range for %q (len %d)", idx, lv.Name, len(cl.v.arr))
+		v := cl.load()
+		if v.arr == nil {
+			return c.errf(lv.NamePos, "scalar %q indexed like an array", lv.Name)
 		}
-		cl.v.arr[idx] = apply(cl.v.arr[idx])
+		if idx < 0 || idx >= int64(len(v.arr)) {
+			return c.errf(lv.NamePos, "index %d out of range for %q (len %d)", idx, lv.Name, len(v.arr))
+		}
+		atomic.StoreInt64(&v.arr[idx], apply(atomic.LoadInt64(&v.arr[idx])))
 		return nil
 	}
 	return c.errf(lv.Pos(), "bad assignment target")
@@ -601,23 +647,24 @@ func (c *thctx) evalExpr(ex ast.Expr, e *env) (value, error) {
 		if cl == nil {
 			return value{}, c.errf(ex.NamePos, "undefined variable %q", ex.Name)
 		}
-		return cl.v, nil
+		return cl.load(), nil
 	case *ast.IndexExpr:
 		cl := e.lookup(ex.Name)
 		if cl == nil {
 			return value{}, c.errf(ex.NamePos, "undefined variable %q", ex.Name)
 		}
-		if cl.v.arr == nil {
-			return value{}, c.errf(ex.NamePos, "scalar %q indexed like an array", ex.Name)
-		}
 		idx, err := c.evalInt(ex.Index, e)
 		if err != nil {
 			return value{}, err
 		}
-		if idx < 0 || idx >= int64(len(cl.v.arr)) {
-			return value{}, c.errf(ex.NamePos, "index %d out of range for %q (len %d)", idx, ex.Name, len(cl.v.arr))
+		v := cl.load()
+		if v.arr == nil {
+			return value{}, c.errf(ex.NamePos, "scalar %q indexed like an array", ex.Name)
 		}
-		return scalar(cl.v.arr[idx]), nil
+		if idx < 0 || idx >= int64(len(v.arr)) {
+			return value{}, c.errf(ex.NamePos, "index %d out of range for %q (len %d)", idx, ex.Name, len(v.arr))
+		}
+		return scalar(atomic.LoadInt64(&v.arr[idx])), nil
 	case *ast.UnaryExpr:
 		v, err := c.evalInt(ex.X, e)
 		if err != nil {
@@ -932,7 +979,9 @@ func (c *thctx) arrayValue(ex ast.Expr, e *env) ([]int64, error) {
 	if v.arr == nil {
 		return nil, c.errf(ex.Pos(), "array expected")
 	}
-	return v.arr, nil
+	// Snapshot: the MPI layer reads the vector outside any cell lock,
+	// possibly while another simulated thread writes elements.
+	return snapshotArr(v.arr), nil
 }
 
 // storeVector copies a collective's vector result into the destination
@@ -946,10 +995,12 @@ func (c *thctx) storeVector(lv ast.LValue, vec []int64, e *env) error {
 	if cl == nil {
 		return c.errf(ref.NamePos, "undefined variable %q", ref.Name)
 	}
-	if cl.v.arr == nil {
+	v := cl.load()
+	if v.arr == nil {
 		return c.errf(ref.NamePos, "vector destination %q must be an array", ref.Name)
 	}
-	n := copy(cl.v.arr, vec)
-	_ = n
+	for i := 0; i < len(v.arr) && i < len(vec); i++ {
+		atomic.StoreInt64(&v.arr[i], vec[i])
+	}
 	return nil
 }

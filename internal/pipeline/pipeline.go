@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Artifact names a per-function product flowing between passes. The pass
+// manager uses these declarations to validate the pipeline wiring: a pass
+// may only consume artifacts some earlier pass produces.
+type Artifact string
+
+// The artifacts of the MiniHybrid compile path.
+const (
+	ArtAST          Artifact = "ast"          // parsed, semantically checked tree
+	ArtFoldedAST    Artifact = "folded-ast"   // constant-folded clone
+	ArtCFG          Artifact = "cfg"          // per-function control-flow graph
+	ArtDominators   Artifact = "dominators"   // per-function dominator tree
+	ArtCallGraph    Artifact = "callgraph"    // call-graph SCC condensation
+	ArtPWords       Artifact = "pwords"       // per-function parallelism words
+	ArtTaint        Artifact = "taint"        // interprocedural rank-taint sets
+	ArtContexts     Artifact = "contexts"     // per-function entry threading context
+	ArtSummary      Artifact = "summary"      // interprocedural collective summaries
+	ArtAnalysis     Artifact = "analysis"     // phase 1-3 findings + diagnostics
+	ArtInstrumented Artifact = "instrumented" // verification-instrumented bodies
+	ArtIR           Artifact = "ir"           // lowered linear IR
+	ArtAllocation   Artifact = "allocation"   // register allocation
+)
+
+// Pass is one stage of the pipeline. Exactly one of Run and RunItem must
+// be set:
+//
+//   - Run executes the whole pass on the calling goroutine (sequential
+//     passes: parsing, whole-program fixpoints, stat assembly).
+//   - RunItem(i) executes one unit of function-level work; the scheduler
+//     fans indices 0..Items()-1 across the worker pool. When Waves is
+//     also set, the scheduler instead runs the waves in order and fans
+//     only the items inside one wave out concurrently — the mechanism the
+//     summary pass uses to walk the call graph in SCC order.
+//
+// Items and Waves are functions, not values, because a pass's work list
+// usually depends on artifacts produced earlier in the same run (e.g. the
+// instrumenter only rewrites the functions the analysis flagged).
+//
+// Setup and After bracket a fan-out on the calling goroutine: Setup
+// allocates the shared skeleton the items write disjoint slots of (a
+// cloned program's function slice, a result array), After assembles what
+// the fan produced into shared maps and aggregate stats. Both are
+// included in the pass's recorded time.
+type Pass struct {
+	Name     string
+	Produces []Artifact
+	Consumes []Artifact
+
+	Run     func() error
+	RunItem func(i int) error
+	Items   func() int
+	// Waves returns ordered groups of item indices; nil means one flat
+	// fan-out of Items() indices.
+	Waves func() [][]int
+	// Setup/After run sequentially before/after a RunItem fan-out.
+	Setup func() error
+	After func() error
+}
+
+// PassTime records where one pass's wall-clock time went.
+type PassTime struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Manager validates and executes a pipeline of passes on a shared pool.
+type Manager struct {
+	pool     *Pool
+	passes   []Pass
+	produced map[Artifact]string
+	timings  []PassTime
+}
+
+// New returns a Manager executing on pool (nil means a fresh serial pool).
+func New(pool *Pool) *Manager {
+	if pool == nil {
+		pool = NewPool(1)
+	}
+	return &Manager{pool: pool, produced: make(map[Artifact]string)}
+}
+
+// Pool returns the pool the manager schedules on.
+func (m *Manager) Pool() *Pool { return m.pool }
+
+// Add appends a pass, validating its declared dependencies: every
+// consumed artifact must have been declared Produced by an earlier pass.
+// Wiring errors are programming mistakes, so Add panics.
+func (m *Manager) Add(p Pass) {
+	if (p.Run == nil) == (p.RunItem == nil) {
+		panic(fmt.Sprintf("pipeline: pass %q must set exactly one of Run and RunItem", p.Name))
+	}
+	if p.RunItem != nil && p.Items == nil && p.Waves == nil {
+		panic(fmt.Sprintf("pipeline: per-function pass %q needs Items or Waves", p.Name))
+	}
+	if p.Run != nil && (p.Setup != nil || p.After != nil) {
+		panic(fmt.Sprintf("pipeline: sequential pass %q cannot have Setup/After hooks", p.Name))
+	}
+	for _, a := range p.Consumes {
+		if _, ok := m.produced[a]; !ok {
+			panic(fmt.Sprintf("pipeline: pass %q consumes %q which no earlier pass produces", p.Name, a))
+		}
+	}
+	for _, a := range p.Produces {
+		if prev, ok := m.produced[a]; ok {
+			panic(fmt.Sprintf("pipeline: pass %q re-produces %q (already produced by %q)", p.Name, a, prev))
+		}
+		m.produced[a] = p.Name
+	}
+	m.passes = append(m.passes, p)
+}
+
+// Run executes the passes in order, timing each; the first error aborts
+// the pipeline. Per-function passes fan across the pool; the first error
+// of a fan-out (by item order) is reported.
+func (m *Manager) Run() error {
+	m.timings = m.timings[:0]
+	for _, p := range m.passes {
+		start := time.Now()
+		err := m.runPass(p)
+		m.timings = append(m.timings, PassTime{Name: p.Name, Duration: time.Since(start)})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) runPass(p Pass) error {
+	if p.Run != nil {
+		return p.Run()
+	}
+	if p.Setup != nil {
+		if err := p.Setup(); err != nil {
+			return err
+		}
+	}
+	if p.Waves != nil {
+		for _, wave := range p.Waves() {
+			if err := m.fan(len(wave), func(i int) error { return p.RunItem(wave[i]) }); err != nil {
+				return err
+			}
+		}
+	} else if err := m.fan(p.Items(), p.RunItem); err != nil {
+		return err
+	}
+	if p.After != nil {
+		return p.After()
+	}
+	return nil
+}
+
+// fan runs fn over n items on the pool and returns the error of the
+// lowest-indexed failing item (deterministic regardless of scheduling).
+func (m *Manager) fan(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	m.pool.Map(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timings returns the per-pass wall-clock times of the last Run.
+func (m *Manager) Timings() []PassTime {
+	out := make([]PassTime, len(m.timings))
+	copy(out, m.timings)
+	return out
+}

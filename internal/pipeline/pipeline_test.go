@@ -1,0 +1,254 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolMapRunsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		p.Map(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolDefaultsAndSerial(t *testing.T) {
+	if NewPool(0).Workers() <= 0 {
+		t.Error("default pool must have positive width")
+	}
+	if !NewPool(1).Serial() || NewPool(4).Serial() {
+		t.Error("Serial() wrong")
+	}
+	// Serial pool preserves order.
+	var order []int
+	NewPool(1).Map(5, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("serial order wrong: %v", order)
+	}
+}
+
+// Nested Map calls must not deadlock even when the outer fan-out saturates
+// the pool: callers always participate in their own batch.
+func TestPoolNestedMapNoDeadlock(t *testing.T) {
+	p := NewPool(4)
+	var total int64
+	p.Map(16, func(i int) {
+		p.Map(16, func(j int) {
+			atomic.AddInt64(&total, 1)
+		})
+	})
+	if total != 16*16 {
+		t.Fatalf("nested map ran %d of %d items", total, 16*16)
+	}
+}
+
+// A panic on a recruited helper must surface on the caller's goroutine —
+// recover() around Map works identically for any pool width.
+func TestPoolMapPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var got any
+		func() {
+			defer func() { got = recover() }()
+			p.Map(64, func(i int) {
+				if i == 17 {
+					panic("boom-17")
+				}
+			})
+		}()
+		if got != "boom-17" {
+			t.Errorf("workers=%d: recovered %v, want boom-17", workers, got)
+		}
+	}
+}
+
+func TestSCCsOrderAndGrouping(t *testing.T) {
+	// main -> a -> b <-> c, a -> d, d -> d (self loop).
+	adj := map[string][]string{
+		"main": {"a"},
+		"a":    {"b", "d"},
+		"b":    {"c"},
+		"c":    {"b"},
+		"d":    {"d"},
+	}
+	order := []string{"main", "a", "b", "c", "d"}
+	comps := SCCs(adj, order)
+	pos := make(map[string]int)
+	for i, c := range comps {
+		sort.Strings(c)
+		pos[c[0]] = i
+	}
+	if len(comps) != 4 {
+		t.Fatalf("want 4 components, got %v", comps)
+	}
+	// Callees before callers.
+	if !(pos["b"] < pos["a"] && pos["d"] < pos["a"] && pos["a"] < pos["main"]) {
+		t.Errorf("components not in reverse topological order: %v", comps)
+	}
+	for _, c := range comps {
+		if c[0] == "b" && !reflect.DeepEqual(c, []string{"b", "c"}) {
+			t.Errorf("b and c must form one SCC: %v", c)
+		}
+	}
+
+	waves := Waves(adj, comps)
+	level := make(map[string]int)
+	for l, wave := range waves {
+		for _, comp := range wave {
+			for _, v := range comp {
+				level[v] = l
+			}
+		}
+	}
+	if !(level["b"] < level["a"] && level["d"] < level["a"] && level["a"] < level["main"]) {
+		t.Errorf("waves out of order: %v", waves)
+	}
+}
+
+func TestSCCsIgnoresUnknownVertices(t *testing.T) {
+	adj := map[string][]string{"f": {"rank", "g"}, "g": nil}
+	comps := SCCs(adj, []string{"f", "g"})
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components, got %v", comps)
+	}
+}
+
+func TestSCCsDeterministic(t *testing.T) {
+	adj := map[string][]string{}
+	var order []string
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("f%02d", i)
+		order = append(order, name)
+		if i > 0 {
+			adj[name] = []string{fmt.Sprintf("f%02d", i-1)}
+		} else {
+			adj[name] = nil
+		}
+	}
+	first := SCCs(adj, order)
+	for rep := 0; rep < 10; rep++ {
+		if !reflect.DeepEqual(SCCs(adj, order), first) {
+			t.Fatal("SCC order varies between runs")
+		}
+	}
+}
+
+func TestManagerValidatesWiring(t *testing.T) {
+	m := New(NewPool(1))
+	m.Add(Pass{Name: "front", Produces: []Artifact{ArtAST}, Run: func() error { return nil }})
+	mustPanic := func(name string, p Pass) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Add must panic", name)
+			}
+		}()
+		m.Add(p)
+	}
+	mustPanic("missing producer", Pass{
+		Name: "bad", Consumes: []Artifact{ArtIR}, Run: func() error { return nil }})
+	mustPanic("duplicate producer", Pass{
+		Name: "dup", Produces: []Artifact{ArtAST}, Run: func() error { return nil }})
+	mustPanic("both run modes", Pass{
+		Name: "both", Run: func() error { return nil }, RunItem: func(int) error { return nil },
+		Items: func() int { return 0 }})
+	mustPanic("no items", Pass{Name: "noitems", RunItem: func(int) error { return nil }})
+}
+
+func TestManagerRunsPassesInOrderWithTimings(t *testing.T) {
+	m := New(NewPool(4))
+	var mu sync.Mutex
+	var trace []string
+	note := func(s string) {
+		mu.Lock()
+		trace = append(trace, s)
+		mu.Unlock()
+	}
+	m.Add(Pass{Name: "a", Produces: []Artifact{ArtAST}, Run: func() error { note("a"); return nil }})
+	m.Add(Pass{
+		Name: "b", Consumes: []Artifact{ArtAST}, Produces: []Artifact{ArtCFG},
+		Items:   func() int { return 8 },
+		RunItem: func(i int) error { note("b"); return nil },
+	})
+	m.Add(Pass{Name: "c", Consumes: []Artifact{ArtCFG}, Run: func() error { note("c"); return nil }})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 10 || trace[0] != "a" || trace[len(trace)-1] != "c" {
+		t.Errorf("trace wrong: %v", trace)
+	}
+	timings := m.Timings()
+	if len(timings) != 3 || timings[0].Name != "a" || timings[1].Name != "b" || timings[2].Name != "c" {
+		t.Errorf("timings wrong: %+v", timings)
+	}
+}
+
+func TestManagerWavesRunInOrder(t *testing.T) {
+	m := New(NewPool(4))
+	var mu sync.Mutex
+	var got []int
+	m.Add(Pass{
+		Name:  "waves",
+		Waves: func() [][]int { return [][]int{{0, 1, 2}, {3}, {4, 5}} },
+		RunItem: func(i int) error {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("ran %d items", len(got))
+	}
+	idx := make(map[int]int)
+	for pos, v := range got {
+		idx[v] = pos
+	}
+	// Wave barriers: everything in wave 0 before item 3, item 3 before wave 2.
+	for _, v := range []int{0, 1, 2} {
+		if idx[v] > idx[3] {
+			t.Errorf("item %d ran after later wave: %v", v, got)
+		}
+	}
+	for _, v := range []int{4, 5} {
+		if idx[v] < idx[3] {
+			t.Errorf("item %d ran before earlier wave: %v", v, got)
+		}
+	}
+}
+
+func TestManagerReportsDeterministicError(t *testing.T) {
+	m := New(NewPool(8))
+	boom := errors.New("boom")
+	m.Add(Pass{
+		Name:  "fail",
+		Items: func() int { return 64 },
+		RunItem: func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("item %d: %w", i, boom)
+			}
+			return nil
+		},
+	})
+	for rep := 0; rep < 5; rep++ {
+		err := m.Run()
+		if err == nil || err.Error() != "item 3: boom" {
+			t.Fatalf("want lowest-index error, got %v", err)
+		}
+	}
+}

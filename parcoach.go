@@ -14,6 +14,15 @@
 // thread teams, where the planted runtime checks stop erroneous runs with
 // located error messages before they deadlock.
 //
+// The compile path runs on the internal/pipeline pass manager: every pass
+// declares the per-function artifacts it produces and consumes (folded
+// AST, CFG, dominators, parallelism words, summaries, analysis,
+// instrumented bodies, IR, allocations), and function-level work fans out
+// across a worker pool, with the interprocedural summary stage walking
+// the call graph in SCC order so callee summaries exist before their
+// callers are analysed. CompileBatch shares one pool across many
+// programs; diagnostics and stats are identical for any worker count.
+//
 // Typical use:
 //
 //	prog, err := parcoach.Compile("bench.mh", src, parcoach.Options{Mode: parcoach.ModeFull})
@@ -22,16 +31,19 @@
 package parcoach
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"parcoach/internal/ast"
 	"parcoach/internal/cfg"
 	"parcoach/internal/core"
+	"parcoach/internal/dom"
 	"parcoach/internal/instrument"
 	"parcoach/internal/interp"
 	"parcoach/internal/parser"
 	"parcoach/internal/passes"
+	"parcoach/internal/pipeline"
 	"parcoach/internal/sem"
 )
 
@@ -73,7 +85,7 @@ const (
 // Diagnostic re-exports the analysis warning type.
 type Diagnostic = core.Diagnostic
 
-// Options configures Compile.
+// Options configures Compile and CompileBatch.
 type Options struct {
 	// Mode selects baseline / warnings / warnings+codegen (default
 	// ModeFull).
@@ -83,7 +95,18 @@ type Options struct {
 	// RawPDF disables the rank-dependence refinement of phase 3
 	// (ablation: the unrefined PDF+ of PARCOACH Algorithm 1).
 	RawPDF bool
+	// Workers sets the width of the compile worker pool: per-function
+	// pipeline work (folding, CFG and dominator construction, the
+	// parallelism-word and checking phases, instrumentation, lowering and
+	// register allocation) fans across this many workers, and
+	// CompileBatch additionally compiles whole files concurrently on the
+	// same pool. 0 means runtime.GOMAXPROCS(0); 1 means fully serial.
+	// Diagnostics, stats and generated code are identical for any value.
+	Workers int
 }
+
+// PassTime re-exports the pipeline's per-pass timing entry.
+type PassTime = pipeline.PassTime
 
 // Timing records where compilation time went; the Figure 1 harness reads
 // it to separate analysis and instrumentation cost from the baseline.
@@ -93,6 +116,9 @@ type Timing struct {
 	Instrument time.Duration // verification-code generation
 	Backend    time.Duration // folding, CFG, DCE, lowering
 	Total      time.Duration
+	// Passes holds the wall-clock time of every pipeline pass in
+	// execution order (the fine-grained view the buckets above sum up).
+	Passes []PassTime
 }
 
 // CompileStats summarizes the compiled artifact.
@@ -119,6 +145,10 @@ type Program struct {
 	// Analysis holds the compile-time verification result (nil in
 	// ModeBaseline).
 	Analysis *core.Result
+	// Graphs holds the backend's final per-function CFGs (of the
+	// instrumented functions where codegen rewrote them): the cached
+	// artifacts the analysis rode on, after dead-node elimination.
+	Graphs map[string]*cfg.Graph
 	// IR is the lowered object code per function (of the instrumented
 	// tree when present, else the folded source).
 	IR map[string]*passes.FuncIR
@@ -131,89 +161,402 @@ type Program struct {
 	opts Options
 }
 
+// File is one source file of a batch compilation.
+type File struct {
+	Name   string
+	Source string
+}
+
 // Compile runs the pipeline on src. Parse and semantic errors abort; the
 // verification phases never fail compilation — they produce Diagnostics.
 //
 // The pipeline mirrors how PARCOACH sits in GCC's middle end: the baseline
 // compiler folds constants and builds the CFG anyway; the analysis is an
-// extra pass over that existing CFG; verification-code generation rewrites
-// only the flagged functions (selective instrumentation) and rebuilds just
-// their graphs before the common DCE + lowering backend finishes the job.
+// extra pass over those existing graphs; verification-code generation
+// rewrites only the flagged functions (selective instrumentation) and
+// rebuilds just their graphs before the common DCE + lowering backend
+// finishes the job.
 func Compile(name, src string, opts Options) (*Program, error) {
+	return compile(name, src, opts, pipeline.NewPool(opts.Workers))
+}
+
+// CompileBatch compiles many programs on one shared worker pool — the
+// entry point for serving heavy compile traffic. Whole files compile
+// concurrently and each file's per-function pipeline work fans out on the
+// same pool, so the hardware stays busy whether the batch is many small
+// programs or a few large ones.
+//
+// The returned slice is parallel to files; entries whose compilation
+// failed are nil and their errors are joined into the returned error.
+// Every program's diagnostics, stats and code are identical to what a
+// serial Compile of that file produces.
+func CompileBatch(files []File, opts Options) ([]*Program, error) {
+	pool := pipeline.NewPool(opts.Workers)
+	progs := make([]*Program, len(files))
+	errs := make([]error, len(files))
+	pool.Map(len(files), func(i int) {
+		progs[i], errs[i] = compile(files[i].Name, files[i].Source, opts, pool)
+	})
+	return progs, errors.Join(errs...)
+}
+
+// compile builds and runs the pass pipeline for one source file on the
+// given pool.
+func compile(name, src string, opts Options, pool *pipeline.Pool) (*Program, error) {
 	start := time.Now()
 	p := &Program{Name: name, opts: opts}
+	m := pipeline.New(pool)
 
-	// Front end.
-	t0 := time.Now()
-	prog, err := parser.Parse(name, src)
-	if err != nil {
-		return nil, err
-	}
-	if err := sem.Check(prog); err != nil {
-		return nil, err
-	}
-	p.Source = prog
-	p.Timing.Frontend = time.Since(t0)
+	// Artifacts flowing between the passes below. Per-function slices are
+	// indexed by position in Funcs; fan-out passes write disjoint slots.
+	var (
+		prog      *ast.Program // parsed + semantically checked
+		folded    *ast.Program // constant-folded clone (the analysed tree)
+		foldStats []passes.FoldStats
+		graphs    map[string]*cfg.Graph
+		glist     []*cfg.Graph // graphs in function order
+		deadNodes []int
+		doms      map[string]*dom.Tree
+		an        *core.Analysis
+		final     *ast.Program // tree the backend lowers
+		irs       []*passes.FuncIR
+		allocs    []*passes.Allocation
+	)
 
-	// Backend, first half: fold and build the CFG the analysis will reuse.
-	t0 = time.Now()
-	folded, foldStats := passes.FoldProgram(prog)
-	p.Stats.Folds = foldStats
-	graphs := cfg.BuildAll(folded)
-	backend := time.Since(t0)
-
-	// Compile-time verification (the paper's three phases) on the
-	// compiler's graphs.
-	if opts.Mode >= ModeAnalyze {
-		t0 = time.Now()
-		p.Analysis = core.Analyze(folded, core.Options{
-			Initial: opts.Initial, RawPDF: opts.RawPDF, Graphs: graphs,
-		})
-		p.Timing.Analysis = time.Since(t0)
-	}
-
-	// Verification-code generation: rewrite flagged functions, rebuild
-	// their graphs only.
-	final := folded
-	if opts.Mode >= ModeFull && p.Analysis != nil && p.Analysis.NeedsInstrumentation() {
-		t0 = time.Now()
-		p.Instrumented = instrument.Program(folded, p.Analysis)
-		p.Stats.Checks = instrument.Count(p.Instrumented)
-		for name, fa := range p.Analysis.Funcs {
-			if fa.NeedsInstrumentation {
-				if fn := p.Instrumented.Func(name); fn != nil {
-					graphs[name] = cfg.Build(fn)
-				}
+	m.Add(pipeline.Pass{
+		Name:     "frontend",
+		Produces: []pipeline.Artifact{pipeline.ArtAST},
+		Run: func() error {
+			var err error
+			if prog, err = parser.Parse(name, src); err != nil {
+				return err
 			}
+			if err = sem.Check(prog); err != nil {
+				return err
+			}
+			p.Source = prog
+			return nil
+		},
+	})
+
+	m.Add(pipeline.Pass{
+		Name:     "fold",
+		Consumes: []pipeline.Artifact{pipeline.ArtAST},
+		Produces: []pipeline.Artifact{pipeline.ArtFoldedAST},
+		Setup: func() error {
+			folded = &ast.Program{
+				File:    prog.File,
+				Regions: prog.Regions,
+				Funcs:   make([]*ast.FuncDecl, len(prog.Funcs)),
+				ByName:  make(map[string]*ast.FuncDecl, len(prog.Funcs)),
+			}
+			foldStats = make([]passes.FoldStats, len(prog.Funcs))
+			return nil
+		},
+		Items: func() int { return len(prog.Funcs) },
+		RunItem: func(i int) error {
+			fn := ast.CloneFunc(prog.Funcs[i])
+			st := passes.FoldFunc(fn)
+			folded.Funcs[i] = fn
+			foldStats[i] = st
+			return nil
+		},
+		After: func() error {
+			for i, fn := range folded.Funcs {
+				folded.ByName[fn.Name] = fn
+				p.Stats.Folds = p.Stats.Folds.Add(foldStats[i])
+			}
+			final = folded
+			return nil
+		},
+	})
+
+	m.Add(pipeline.Pass{
+		Name:     "cfg",
+		Consumes: []pipeline.Artifact{pipeline.ArtFoldedAST},
+		Produces: []pipeline.Artifact{pipeline.ArtCFG},
+		Setup: func() error {
+			glist = make([]*cfg.Graph, len(folded.Funcs))
+			return nil
+		},
+		Items: func() int { return len(folded.Funcs) },
+		RunItem: func(i int) error {
+			glist[i] = cfg.Build(folded.Funcs[i])
+			return nil
+		},
+		After: func() error {
+			graphs = make(map[string]*cfg.Graph, len(glist))
+			for i, fn := range folded.Funcs {
+				graphs[fn.Name] = glist[i]
+			}
+			return nil
+		},
+	})
+
+	if opts.Mode >= ModeAnalyze {
+		addAnalysisPasses(m, p, opts, &folded, &graphs, &doms, &an)
+	}
+
+	if opts.Mode >= ModeFull {
+		addInstrumentPass(m, p, &folded, &graphs, &final)
+	}
+
+	// The backend reads `final` and the graphs, which the instrument pass
+	// rewrites in ModeFull — declare that, so the manager's wiring
+	// validation catches any registration reorder that would silently
+	// lower the un-instrumented tree.
+	backendInputs := []pipeline.Artifact{pipeline.ArtCFG, pipeline.ArtFoldedAST}
+	if opts.Mode >= ModeFull {
+		backendInputs = append(backendInputs, pipeline.ArtInstrumented)
+	}
+
+	m.Add(pipeline.Pass{
+		Name:     "dce",
+		Consumes: backendInputs,
+		Setup: func() error {
+			// Re-snapshot: instrumentation may have swapped flagged
+			// functions' graphs.
+			glist = glist[:0]
+			for _, fn := range final.Funcs {
+				glist = append(glist, graphs[fn.Name])
+			}
+			deadNodes = make([]int, len(glist))
+			return nil
+		},
+		Items: func() int { return len(glist) },
+		RunItem: func(i int) error {
+			deadNodes[i] = passes.EliminateDead(glist[i])
+			return nil
+		},
+		After: func() error {
+			for i, g := range glist {
+				p.Stats.DeadNodes += deadNodes[i]
+				nodes, edges := g.Size()
+				p.Stats.CFGNodes += nodes
+				p.Stats.CFGEdges += edges
+			}
+			p.Graphs = graphs
+			return nil
+		},
+	})
+
+	m.Add(pipeline.Pass{
+		Name:     "lower",
+		Consumes: backendInputs,
+		Produces: []pipeline.Artifact{pipeline.ArtIR},
+		Setup: func() error {
+			irs = make([]*passes.FuncIR, len(final.Funcs))
+			return nil
+		},
+		Items: func() int { return len(final.Funcs) },
+		RunItem: func(i int) error {
+			irs[i] = passes.Lower(final.Funcs[i])
+			return nil
+		},
+		After: func() error {
+			p.IR = make(map[string]*passes.FuncIR, len(irs))
+			for i, fn := range final.Funcs {
+				p.IR[fn.Name] = irs[i]
+				p.Stats.IRInsts += len(irs[i].Insts)
+			}
+			return nil
+		},
+	})
+
+	m.Add(pipeline.Pass{
+		Name:     "regalloc",
+		Consumes: []pipeline.Artifact{pipeline.ArtIR},
+		Produces: []pipeline.Artifact{pipeline.ArtAllocation},
+		Setup: func() error {
+			allocs = make([]*passes.Allocation, len(irs))
+			return nil
+		},
+		Items: func() int { return len(irs) },
+		RunItem: func(i int) error {
+			allocs[i] = passes.Optimize(irs[i])
+			return nil
+		},
+		After: func() error {
+			p.Allocations = make(map[string]*passes.Allocation, len(irs))
+			for i, fn := range final.Funcs {
+				p.Allocations[fn.Name] = allocs[i]
+				p.Stats.Spills += allocs[i].Spills
+			}
+			return nil
+		},
+	})
+
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+
+	p.Timing.Passes = m.Timings()
+	for _, pt := range p.Timing.Passes {
+		switch pt.Name {
+		case "frontend":
+			p.Timing.Frontend += pt.Duration
+		case "instrument":
+			p.Timing.Instrument += pt.Duration
+		case "dominators", "analysis-begin", "analysis-prepare", "taint",
+			"contexts", "summaries", "check", "analysis-finish":
+			p.Timing.Analysis += pt.Duration
+		default: // fold, cfg, dce, lower, regalloc
+			p.Timing.Backend += pt.Duration
 		}
-		p.Timing.Instrument = time.Since(t0)
-		final = p.Instrumented
 	}
-
-	// Backend, second half: DCE on the graphs, lower the final tree.
-	t0 = time.Now()
-	for _, g := range graphs {
-		p.Stats.DeadNodes += passes.EliminateDead(g)
-		nodes, edges := g.Size()
-		p.Stats.CFGNodes += nodes
-		p.Stats.CFGEdges += edges
-	}
-	p.IR = passes.LowerProgram(final)
-	p.Allocations = make(map[string]*passes.Allocation, len(p.IR))
-	for name, ir := range p.IR {
-		p.Allocations[name] = passes.Optimize(ir)
-		p.Stats.IRInsts += len(ir.Insts)
-		p.Stats.Spills += p.Allocations[name].Spills
-	}
-	p.Timing.Backend = backend + time.Since(t0)
-
 	p.Stats.Functions = len(prog.Funcs)
 	p.Stats.Statements = ast.CountStmts(prog)
 	p.Timing.Total = time.Since(start)
 	return p, nil
 }
 
-// Diagnostics returns the analysis warnings (empty in ModeBaseline).
+// addAnalysisPasses registers the compile-time verification stages: the
+// dominator artifacts, the staged core analyzer (prepare → taint →
+// contexts → SCC-ordered summaries → parallel per-function checking →
+// deterministic merge). Parameters are pointers because the artifacts
+// they read are only assigned when the earlier passes execute.
+func addAnalysisPasses(m *pipeline.Manager, p *Program, opts Options,
+	folded **ast.Program, graphs *map[string]*cfg.Graph, doms *map[string]*dom.Tree, an **core.Analysis) {
+
+	var dlist []*dom.Tree
+	m.Add(pipeline.Pass{
+		Name:     "dominators",
+		Consumes: []pipeline.Artifact{pipeline.ArtCFG},
+		Produces: []pipeline.Artifact{pipeline.ArtDominators},
+		Setup: func() error {
+			dlist = make([]*dom.Tree, len((*folded).Funcs))
+			return nil
+		},
+		Items: func() int { return len((*folded).Funcs) },
+		RunItem: func(i int) error {
+			dlist[i] = dom.Dominators((*graphs)[(*folded).Funcs[i].Name])
+			return nil
+		},
+		After: func() error {
+			*doms = make(map[string]*dom.Tree, len(dlist))
+			for i, fn := range (*folded).Funcs {
+				(*doms)[fn.Name] = dlist[i]
+			}
+			return nil
+		},
+	})
+	m.Add(pipeline.Pass{
+		Name:     "analysis-begin",
+		Consumes: []pipeline.Artifact{pipeline.ArtFoldedAST, pipeline.ArtCFG, pipeline.ArtDominators},
+		Produces: []pipeline.Artifact{pipeline.ArtCallGraph},
+		Run: func() error {
+			*an = core.Begin(*folded, core.Options{
+				Initial: opts.Initial, RawPDF: opts.RawPDF,
+				Graphs: *graphs, Doms: *doms, Runner: m.Pool(),
+			})
+			return nil
+		},
+	})
+	m.Add(pipeline.Pass{
+		Name:     "analysis-prepare",
+		Consumes: []pipeline.Artifact{pipeline.ArtCFG, pipeline.ArtDominators, pipeline.ArtCallGraph},
+		Produces: []pipeline.Artifact{pipeline.ArtPWords},
+		Items:    func() int { return (*an).NumFuncs() },
+		RunItem:  func(i int) error { (*an).PrepareFunc(i); return nil },
+	})
+	m.Add(pipeline.Pass{
+		Name:     "taint",
+		Consumes: []pipeline.Artifact{pipeline.ArtFoldedAST},
+		Produces: []pipeline.Artifact{pipeline.ArtTaint},
+		Run:      func() error { (*an).ComputeTaint(); return nil },
+	})
+	m.Add(pipeline.Pass{
+		Name:     "contexts",
+		Consumes: []pipeline.Artifact{pipeline.ArtPWords, pipeline.ArtCallGraph},
+		Produces: []pipeline.Artifact{pipeline.ArtContexts},
+		Run:      func() error { (*an).ComputeContexts(); return nil },
+	})
+	m.Add(pipeline.Pass{
+		Name:     "summaries",
+		Consumes: []pipeline.Artifact{pipeline.ArtPWords, pipeline.ArtContexts, pipeline.ArtCallGraph},
+		Produces: []pipeline.Artifact{pipeline.ArtSummary},
+		Waves:    func() [][]int { return (*an).SummaryWaves() },
+		RunItem:  func(i int) error { (*an).ComputeSummarySCC(i); return nil },
+	})
+	m.Add(pipeline.Pass{
+		Name: "check",
+		Consumes: []pipeline.Artifact{
+			pipeline.ArtPWords, pipeline.ArtTaint, pipeline.ArtContexts, pipeline.ArtSummary,
+		},
+		Items:   func() int { return (*an).NumFuncs() },
+		RunItem: func(i int) error { (*an).CheckFunc(i); return nil },
+	})
+	m.Add(pipeline.Pass{
+		Name:     "analysis-finish",
+		Consumes: []pipeline.Artifact{pipeline.ArtSummary},
+		Produces: []pipeline.Artifact{pipeline.ArtAnalysis},
+		Run:      func() error { p.Analysis = (*an).Finish(); return nil },
+	})
+}
+
+// addInstrumentPass registers verification-code generation: every
+// function of the folded tree is cloned, flagged functions are rewritten
+// with runtime checks and get fresh CFGs — all fanned per function. When
+// the analysis found nothing the pass degenerates to zero items and the
+// folded tree ships unchanged.
+func addInstrumentPass(m *pipeline.Manager, p *Program,
+	folded **ast.Program, graphs *map[string]*cfg.Graph, final **ast.Program) {
+
+	var inst *ast.Program
+	var newGraphs []*cfg.Graph
+	m.Add(pipeline.Pass{
+		Name:     "instrument",
+		Consumes: []pipeline.Artifact{pipeline.ArtFoldedAST, pipeline.ArtAnalysis},
+		Produces: []pipeline.Artifact{pipeline.ArtInstrumented},
+		Setup: func() error {
+			if p.Analysis == nil || !p.Analysis.NeedsInstrumentation() {
+				inst = nil
+				return nil
+			}
+			inst = &ast.Program{
+				File:    (*folded).File,
+				Regions: (*folded).Regions,
+				Funcs:   make([]*ast.FuncDecl, len((*folded).Funcs)),
+				ByName:  make(map[string]*ast.FuncDecl, len((*folded).Funcs)),
+			}
+			newGraphs = make([]*cfg.Graph, len((*folded).Funcs))
+			return nil
+		},
+		Items: func() int {
+			if inst == nil {
+				return 0
+			}
+			return len((*folded).Funcs)
+		},
+		RunItem: func(i int) error {
+			fn := ast.CloneFunc((*folded).Funcs[i])
+			inst.Funcs[i] = fn
+			if fa := p.Analysis.Funcs[fn.Name]; fa != nil && fa.NeedsInstrumentation {
+				instrument.Func(fn, fa, p.Analysis)
+				newGraphs[i] = cfg.Build(fn)
+			}
+			return nil
+		},
+		After: func() error {
+			if inst == nil {
+				return nil
+			}
+			for i, fn := range inst.Funcs {
+				inst.ByName[fn.Name] = fn
+				if newGraphs[i] != nil {
+					(*graphs)[fn.Name] = newGraphs[i]
+				}
+			}
+			p.Instrumented = inst
+			p.Stats.Checks = instrument.Count(inst)
+			*final = inst
+			return nil
+		},
+	})
+}
+
+// Diagnostics returns the analysis warnings (empty in ModeBaseline),
+// sorted into a canonical order independent of the worker count.
 func (p *Program) Diagnostics() []Diagnostic {
 	if p.Analysis == nil {
 		return nil
