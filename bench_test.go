@@ -19,6 +19,7 @@ import (
 	"parcoach"
 	"parcoach/internal/core"
 	"parcoach/internal/interp"
+	"parcoach/internal/mhgen"
 	"parcoach/internal/omp"
 	"parcoach/internal/parser"
 	"parcoach/internal/workload"
@@ -50,6 +51,43 @@ func BenchmarkCompileBatch(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := parcoach.CompileBatch(files, parcoach.Options{
 					Mode: parcoach.ModeFull, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMhgenCompile puts generator-shaped inputs on the perf
+// trajectory: batches of seeded random programs (internal/mhgen) at
+// small and medium scale through CompileBatch in full mode. Generated
+// programs stress different paths than the structured Figure 1 set —
+// mutual-recursion SCCs, deep construct nesting, planted-bug
+// instrumentation — so a regression specific to those shapes shows here
+// first. Generation happens outside the timed loop.
+func BenchmarkMhgenCompile(b *testing.B) {
+	for _, scale := range []struct {
+		name string
+		size mhgen.Size
+		n    uint64
+	}{
+		{"small-32", mhgen.SizeSmall, 32},
+		{"medium-16", mhgen.SizeMedium, 16},
+	} {
+		var files []parcoach.File
+		for seed := uint64(0); seed < scale.n; seed++ {
+			bug := workload.BugNone
+			if seed%4 == 3 { // a quarter carry instrumentation-heavy bugs
+				bug = workload.AllBugs[seed%uint64(len(workload.AllBugs))]
+			}
+			gp := mhgen.Generate(mhgen.Config{Seed: seed, Bug: bug, Size: scale.size})
+			files = append(files, parcoach.File{Name: gp.Name, Source: gp.Source})
+		}
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parcoach.CompileBatch(files, parcoach.Options{
+					Mode: parcoach.ModeFull, Workers: 4,
 				}); err != nil {
 					b.Fatal(err)
 				}

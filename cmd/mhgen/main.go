@@ -1,0 +1,158 @@
+// Command mhgen emits, replays and evaluates seeded random MiniHybrid
+// programs (internal/mhgen) against the differential static/dynamic
+// validation harness (internal/mhgen/diff).
+//
+//	mhgen -seed 42                   # print the program for seed 42
+//	mhgen -seed 42 -eval             # compile+run it, print the verdict row
+//	mhgen -seed 0 -n 200 -eval       # sweep 200 seeds, print the matrix
+//	mhgen -bug early-return -eval    # force a bug class (with -seed/-size)
+//	mhgen -corpus testdata/fuzz      # (re)write the go-fuzz seed corpus
+//
+// On a soundness violation the failing program is greedily reduced
+// before printing, and the exit status is 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"parcoach/internal/mhgen"
+	"parcoach/internal/mhgen/diff"
+	"parcoach/internal/workload"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 0, "generation seed")
+		n       = flag.Uint64("n", 1, "number of consecutive seeds to process")
+		bugName = flag.String("bug", "", "force a bug class (none, multithreaded-collective, ...); default derives from the seed")
+		size    = flag.String("size", "", "force a size (small, medium); default derives from the seed")
+		eval    = flag.Bool("eval", false, "compile and run under the differential harness")
+		workers = flag.Int("workers", 0, "compile worker-pool width (0 = GOMAXPROCS)")
+		corpus  = flag.String("corpus", "", "write the fuzz seed corpus under this directory and exit")
+	)
+	flag.Parse()
+
+	if *corpus != "" {
+		if err := writeCorpus(*corpus); err != nil {
+			fmt.Fprintln(os.Stderr, "mhgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var m diff.Matrix
+	failed := false
+	for s := *seed; s < *seed+*n; s++ {
+		gp, err := generate(s, *bugName, *size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mhgen:", err)
+			os.Exit(2)
+		}
+		if !*eval {
+			fmt.Printf("// %s (procs=%d threads=%d bugline=%d)\n%s", gp.Name, gp.Procs, gp.Threads, gp.BugLine, gp.Source)
+			continue
+		}
+		row := diff.Evaluate(gp, diff.Options{Workers: *workers})
+		m.Rows = append(m.Rows, row)
+		if len(row.Violations) > 0 {
+			failed = true
+			fmt.Printf("%s\nreduced repro:\n%s\n", row, diff.ReduceFailure(gp, diff.Options{Workers: *workers}))
+		}
+	}
+	if *eval {
+		if *n > 1 {
+			fmt.Print(m.Format())
+		} else if len(m.Rows) == 1 && len(m.Rows[0].Violations) == 0 {
+			// Violating rows were already printed with their reduced repro.
+			fmt.Println(m.Rows[0])
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func generate(seed uint64, bugName, size string) (*mhgen.Program, error) {
+	if bugName == "" && size == "" {
+		return mhgen.FromSeed(seed), nil
+	}
+	derived := mhgen.FromSeed(seed)
+	cfg := mhgen.Config{Seed: seed, Bug: derived.Bug, Size: derived.Size}
+	if bugName != "" {
+		found := bugName == "none"
+		if found {
+			cfg.Bug = workload.BugNone
+		}
+		for _, b := range workload.AllBugs {
+			if b.String() == bugName {
+				cfg.Bug, found = b, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown bug class %q", bugName)
+		}
+	}
+	switch size {
+	case "":
+	case "small":
+		cfg.Size = mhgen.SizeSmall
+	case "medium":
+		cfg.Size = mhgen.SizeMedium
+	default:
+		return nil, fmt.Errorf("unknown size %q", size)
+	}
+	return mhgen.Generate(cfg), nil
+}
+
+// writeCorpus (re)generates the committed go-fuzz seed corpus: three
+// generated programs per bug class (clean included) for both fuzz
+// targets, plus a few malformed inputs for the parser target.
+func writeCorpus(dir string) error {
+	bugs := append([]workload.Bug{workload.BugNone}, workload.AllBugs...)
+	var entries []struct{ name, src string }
+	for _, bug := range bugs {
+		for seed := uint64(0); seed < 3; seed++ {
+			sz := mhgen.SizeSmall
+			if seed == 2 {
+				sz = mhgen.SizeMedium
+			}
+			gp := mhgen.Generate(mhgen.Config{Seed: seed, Bug: bug, Size: sz})
+			entries = append(entries, struct{ name, src string }{
+				fmt.Sprintf("gen-%s-%d", bug, seed), gp.Source,
+			})
+		}
+	}
+	for _, target := range []string{"FuzzParse", "FuzzCompile"} {
+		for _, e := range entries {
+			if err := writeSeed(dir, target, e.name, e.src); err != nil {
+				return err
+			}
+		}
+	}
+	malformed := []struct{ name, src string }{
+		{"truncated", "func main() { MPI_Init()\nparallel { single {"},
+		{"stray-else", "func main() { } else { barrier }"},
+		{"bad-mpi", "func main() { MPI_Bcast() MPI_Reduce(x) }"},
+		{"deep-parens", "func main() { var x = ((((((1)))))) }"},
+		{"empty", ""},
+	}
+	for _, m := range malformed {
+		if err := writeSeed(dir, "FuzzParse", "bad-"+m.name, m.src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeed(dir, target, name, src string) error {
+	path := filepath.Join(dir, target, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	body := "go test fuzz v1\nstring(" + strconv.Quote(src) + ")\n"
+	return os.WriteFile(path, []byte(body), 0o644)
+}

@@ -1,0 +1,135 @@
+package parcoach_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parcoach"
+	"parcoach/internal/ast"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/mhgen/diff"
+	"parcoach/internal/parser"
+	"parcoach/internal/workload"
+)
+
+// The fuzz targets below are seeded from the committed corpus under
+// testdata/fuzz (regenerate with `go run ./cmd/mhgen -corpus testdata/fuzz`)
+// plus the generator itself. CI smoke-runs them with -fuzztime=20s so
+// they cannot rot; run them longer locally with e.g.
+//
+//	go test -run='^$' -fuzz=FuzzParse -fuzztime=2m .
+
+// fuzzSeeds adds generated programs spanning every bug class to f.
+func fuzzSeeds(f *testing.F) {
+	for _, bug := range append([]workload.Bug{workload.BugNone}, workload.AllBugs...) {
+		f.Add(mhgen.Generate(mhgen.Config{Seed: 5, Bug: bug}).Source)
+	}
+	f.Add("func main() { MPI_Init()\nMPI_Finalize() }")
+	f.Add("func f(") // malformed
+}
+
+// FuzzParse: the parser never panics on any input, and accepted programs
+// survive a print→reparse round trip.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.mh", src)
+		if err != nil || prog == nil {
+			return
+		}
+		rendered := ast.String(prog)
+		if _, err := parser.Parse("fuzz2.mh", rendered); err != nil {
+			t.Fatalf("accepted program failed to reparse after printing: %v\noriginal:\n%s\nrendered:\n%s",
+				err, src, rendered)
+		}
+	})
+}
+
+// FuzzCompile: the full ModeFull pipeline never panics on any parseable
+// input, and its diagnostics are identical at any worker count.
+func FuzzCompile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := parcoach.Compile("fuzz.mh", src, parcoach.Options{Mode: parcoach.ModeFull, Workers: 1})
+		if err != nil {
+			return
+		}
+		p4, err := parcoach.Compile("fuzz.mh", src, parcoach.Options{Mode: parcoach.ModeFull, Workers: 4})
+		if err != nil {
+			t.Fatalf("compile succeeded serial but failed with workers: %v", err)
+		}
+		d1, d4 := p1.Diagnostics(), p4.Diagnostics()
+		if len(d1) != len(d4) {
+			t.Fatalf("diagnostic count differs by worker count: %d vs %d", len(d1), len(d4))
+		}
+		for i := range d1 {
+			if d1[i].String() != d4[i].String() {
+				t.Fatalf("diagnostic %d differs by worker count:\n%s\n%s", i, d1[i], d4[i])
+			}
+		}
+	})
+}
+
+// TestDifferentialMatrix is the acceptance harness of the generated
+// corpus: 200 seeded programs — every planted bug class plus clean
+// programs at both sizes — compiled in all three modes and executed
+// under the monitor's deadlock oracle, with the verdicts cross-checked
+// against the ground-truth labels. Any soundness violation fails with a
+// greedily reduced reproducer; the full detection matrix is locked
+// against testdata/golden/mhgen-matrix.golden (regenerate with -update).
+func TestDifferentialMatrix(t *testing.T) {
+	const seeds = 200
+	opts := diff.Options{Workers: 4}
+	var m diff.Matrix
+	for seed := uint64(0); seed < seeds; seed++ {
+		gp := mhgen.FromSeed(seed)
+		row := diff.Evaluate(gp, opts)
+		if len(row.Violations) > 0 {
+			t.Errorf("seed %d (%s): %v\nreduced repro:\n%s",
+				seed, gp.Bug, row.Violations, diff.ReduceFailure(gp, opts))
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	if t.Failed() {
+		return
+	}
+	for _, r := range m.FalseNegatives() {
+		// A false negative is only tolerable when the golden matrix below
+		// acknowledges it; flag it loudly so the diff is a deliberate act.
+		t.Logf("labeled false negative: %s", r)
+	}
+
+	got := m.Format()
+	path := filepath.Join("testdata", "golden", "mhgen-matrix.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden matrix (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("detection matrix changed (rerun with -update if intended):\n--- got ---\n%s", got)
+	}
+}
+
+// TestDifferentialDeterminism pins the acceptance contract that the same
+// seed yields a byte-identical program and an identical verdict at any
+// worker count.
+func TestDifferentialDeterminism(t *testing.T) {
+	for _, seed := range []uint64{0, 3, 10, 41, 87, 123} {
+		a, b := mhgen.FromSeed(seed), mhgen.FromSeed(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: source not byte-identical", seed)
+		}
+		r1 := diff.Evaluate(a, diff.Options{Workers: 1})
+		r8 := diff.Evaluate(b, diff.Options{Workers: 8})
+		if r1.String() != r8.String() {
+			t.Errorf("seed %d: verdicts differ across worker counts:\n%s\n%s", seed, r1, r8)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package interp
+
+import (
+	"errors"
+
+	"parcoach/internal/monitor"
+	"parcoach/internal/mpi"
+	"parcoach/internal/verifier"
+)
+
+// Outcome classifies how a run ended, collapsing the error types of the
+// runtime stack into the categories the differential validation harness
+// (internal/mhgen/diff) and the report tables reason about: did a planted
+// check stop the run, did the simulated MPI library object, did the
+// monitor's deadlock oracle fire, or did plain execution fail.
+type Outcome int
+
+// Run outcome classes, ordered from best to worst for a validator: a
+// check abort is the tool working as designed, a deadlock is the failure
+// mode the tool exists to prevent.
+const (
+	// OutcomeClean: the run completed without error.
+	OutcomeClean Outcome = iota
+	// OutcomeCheckAbort: a planted runtime check (internal/verifier)
+	// stopped the run with a located verification error.
+	OutcomeCheckAbort
+	// OutcomeMPIError: the simulated MPI library itself rejected the run
+	// (collective mismatch, concurrent calls on one communicator, or an
+	// init/finalize/thread-level usage error). On a real machine this
+	// class may hang or corrupt instead of failing cleanly.
+	OutcomeMPIError
+	// OutcomeDeadlock: the monitor's quiescence oracle fired — every live
+	// thread was blocked. This is the outcome the paper's tool must
+	// prevent from being reached uncaught.
+	OutcomeDeadlock
+	// OutcomeRuntimeError: a plain execution error (bad index, division
+	// by zero, step-limit overrun, missing function, ...).
+	OutcomeRuntimeError
+)
+
+var outcomeNames = [...]string{
+	OutcomeClean:        "clean",
+	OutcomeCheckAbort:   "check-abort",
+	OutcomeMPIError:     "mpi-error",
+	OutcomeDeadlock:     "deadlock",
+	OutcomeRuntimeError: "runtime-error",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "outcome(?)"
+}
+
+// ClassifyError maps a run error to its Outcome class (nil means clean).
+func ClassifyError(err error) Outcome {
+	if err == nil {
+		return OutcomeClean
+	}
+	var verr *verifier.Error
+	if errors.As(err, &verr) {
+		return OutcomeCheckAbort
+	}
+	if monitor.IsDeadlock(err) {
+		return OutcomeDeadlock
+	}
+	var mismatch *mpi.MismatchError
+	var conc *mpi.ConcurrentCallError
+	var usage *mpi.UsageError
+	if errors.As(err, &mismatch) || errors.As(err, &conc) || errors.As(err, &usage) {
+		return OutcomeMPIError
+	}
+	return OutcomeRuntimeError
+}
+
+// Outcome classifies the run's error.
+func (r *Result) Outcome() Outcome { return ClassifyError(r.Err) }

@@ -1,0 +1,301 @@
+// Package diff is the differential static/dynamic validation harness
+// over generated MiniHybrid programs (internal/mhgen): each program is
+// compiled in all three modes, executed instrumented and uninstrumented
+// under the monitor's deadlock oracle, and the three verdicts — static
+// diagnostics, runtime check aborts, deadlock reports — are cross-checked
+// against the generator's ground-truth bug label.
+//
+// The harness enforces the paper's soundness contract and turns the rest
+// into a detection matrix like the paper's table:
+//
+//   - a correct-by-construction program must never fail a run, in any
+//     mode (static false positives are fine — the planted checks must
+//     clear them at run time);
+//   - a planted bug must be caught by a static warning or stopped by a
+//     runtime check; reaching the deadlock oracle in ModeFull is a
+//     soundness violation, and escaping undetected is a labeled false
+//     negative that must be acknowledged in the golden matrix;
+//   - ModeAnalyze and ModeFull must agree diagnostic-for-diagnostic, at
+//     any worker count.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parcoach"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/omp"
+	"parcoach/internal/workload"
+)
+
+// Options configures an evaluation.
+type Options struct {
+	// Workers is the compile worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// MaxSteps bounds each run (default 2 million).
+	MaxSteps int64
+}
+
+// Label classifies one program's differential verdict.
+type Label string
+
+// Verdict labels, detection-matrix style.
+const (
+	// LabelTrueNegative: clean program, no static warning, clean runs.
+	LabelTrueNegative Label = "TN"
+	// LabelFalsePositive: clean program with a static warning that the
+	// planted checks cleared at run time (the paper's CC story).
+	LabelFalsePositive Label = "FP"
+	// LabelStatic: planted bug flagged at compile time only.
+	LabelStatic Label = "TP-static"
+	// LabelDynamic: planted bug stopped by a runtime check only.
+	LabelDynamic Label = "TP-dynamic"
+	// LabelBoth: flagged at compile time and stopped by a runtime check.
+	LabelBoth Label = "TP-both"
+	// LabelFalseNegative: planted bug escaped both layers (no warning, no
+	// check abort); it must be acknowledged in the golden matrix.
+	LabelFalseNegative Label = "FN"
+)
+
+// Row is the differential verdict of one generated program.
+type Row struct {
+	Seed uint64
+	Bug  workload.Bug
+	Size mhgen.Size
+	// StaticKinds are the deduplicated error-class warning kinds ("-" if
+	// none).
+	StaticKinds string
+	// Full is the outcome of running the ModeFull (instrumented) program.
+	Full parcoach.RunOutcome
+	// Baseline is the outcome of running the uninstrumented program —
+	// what would happen on a real machine. Recorded for clean programs
+	// only ("-" otherwise): racy bug classes resolve differently run to
+	// run without instrumentation, and golden files must be stable.
+	Baseline string
+	Label    Label
+	// Violations lists soundness-contract breaches (empty = sound).
+	Violations []string
+}
+
+// String renders the row as one stable line of the detection matrix.
+func (r Row) String() string {
+	line := fmt.Sprintf("seed=%-4d %-9s bug=%-26s static=%-47s full=%-11s base=%-6s %s",
+		r.Seed, r.Size, r.Bug, r.StaticKinds, r.Full, r.Baseline, r.Label)
+	if len(r.Violations) > 0 {
+		line += " VIOLATION: " + strings.Join(r.Violations, "; ")
+	}
+	return line
+}
+
+// Evaluate compiles gp in all three modes, runs it with and without
+// instrumentation, and classifies the combined verdict.
+func Evaluate(gp *mhgen.Program, opts Options) Row {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 2_000_000
+	}
+	row := Row{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size, StaticKinds: "-", Baseline: "-"}
+	name := gp.Name + ".mh"
+
+	var progs [3]*parcoach.Program
+	for i, mode := range []parcoach.Mode{parcoach.ModeBaseline, parcoach.ModeAnalyze, parcoach.ModeFull} {
+		p, err := parcoach.Compile(name, gp.Source, parcoach.Options{Mode: mode, Workers: opts.Workers})
+		if err != nil {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("compile (%s) failed: %v", mode, err))
+			row.Label = labelFor(gp.Bug, false, false)
+			return row
+		}
+		progs[i] = p
+	}
+	base, analyze, full := progs[0], progs[1], progs[2]
+
+	// The analyze and full modes must agree on the diagnostics.
+	if a, f := diagString(analyze), diagString(full); a != f {
+		row.Violations = append(row.Violations,
+			fmt.Sprintf("mode verdict divergence: analyze %q vs full %q", a, f))
+	}
+
+	staticCaught := len(full.Warnings()) > 0
+	if kinds := full.WarningKinds(); len(kinds) > 0 {
+		row.StaticKinds = strings.Join(kinds, ",")
+	}
+
+	runOpts := parcoach.RunOptions{
+		Procs:    gp.Procs,
+		Threads:  gp.Threads,
+		Policy:   omp.RoundRobin,
+		MaxSteps: opts.MaxSteps,
+	}
+	fullRes := full.Run(runOpts)
+	row.Full = fullRes.Outcome()
+
+	dynamicCaught := row.Full == parcoach.RunCheckAbort
+	if gp.Bug == workload.BugNone {
+		// The uninstrumented ground-truth run only informs the clean-side
+		// contract; buggy programs skip it (its racy outcome would be
+		// discarded anyway, and the reducer re-evaluates many times).
+		baseRes := base.Run(runOpts)
+		baseOutcome := baseRes.Outcome()
+		row.Baseline = baseOutcome.String()
+		if row.Full != parcoach.RunClean {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("clean program failed instrumented run: %v", fullRes.Err))
+		}
+		if baseOutcome != parcoach.RunClean {
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("clean program failed uninstrumented run: %v", baseRes.Err))
+		}
+	} else {
+		switch row.Full {
+		case parcoach.RunDeadlock:
+			// A deadlock report is acceptable only when the compile phase
+			// already flagged the bug: the checks cannot preempt a rank
+			// blocking in point-to-point traffic while its peers sit in a
+			// CC round (the announcements cover collectives, not P2P).
+			if !staticCaught {
+				row.Violations = append(row.Violations,
+					"planted bug reached the deadlock oracle uncaught in ModeFull")
+			}
+		case parcoach.RunRuntimeError:
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("planted bug caused a plain runtime error in ModeFull: %v", fullRes.Err))
+		}
+	}
+	row.Label = labelFor(gp.Bug, staticCaught, dynamicCaught)
+	return row
+}
+
+func labelFor(bug workload.Bug, staticCaught, dynamicCaught bool) Label {
+	if bug == workload.BugNone {
+		if staticCaught {
+			return LabelFalsePositive
+		}
+		return LabelTrueNegative
+	}
+	switch {
+	case staticCaught && dynamicCaught:
+		return LabelBoth
+	case staticCaught:
+		return LabelStatic
+	case dynamicCaught:
+		return LabelDynamic
+	}
+	return LabelFalseNegative
+}
+
+func diagString(p *parcoach.Program) string {
+	var parts []string
+	for _, d := range p.Diagnostics() {
+		parts = append(parts, d.String())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// signature is the coarse behavior the reducer must preserve: the
+// verdict label, the instrumented outcome, and whether the soundness
+// contract was breached (violation texts carry positions that shift as
+// statements are deleted, so they are not compared verbatim).
+func signature(r Row) string {
+	return fmt.Sprintf("%s|%s|%t", r.Label, r.Full, len(r.Violations) > 0)
+}
+
+// ReduceFailure greedily shrinks gp's source to the smallest program
+// that still evaluates to the same verdict signature — the form in which
+// the harness reports a failing seed.
+func ReduceFailure(gp *mhgen.Program, opts Options) string {
+	want := signature(Evaluate(gp, opts))
+	return mhgen.Reduce(gp.Source, func(src string) bool {
+		probe := *gp
+		probe.Source = src
+		return signature(Evaluate(&probe, opts)) == want
+	})
+}
+
+// Matrix aggregates rows into the per-bug-class detection counts of the
+// paper's table.
+type Matrix struct {
+	Rows []Row
+}
+
+// Violations returns every soundness violation across the rows.
+func (m *Matrix) Violations() []string {
+	var out []string
+	for _, r := range m.Rows {
+		for _, v := range r.Violations {
+			out = append(out, fmt.Sprintf("seed %d (%s): %s", r.Seed, r.Bug, v))
+		}
+	}
+	return out
+}
+
+// FalseNegatives returns the rows whose planted bug escaped both layers.
+func (m *Matrix) FalseNegatives() []Row {
+	var out []Row
+	for _, r := range m.Rows {
+		if r.Label == LabelFalseNegative {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Format renders the aggregate table followed by one line per program,
+// sorted by seed — a stable, golden-file-friendly rendering.
+func (m *Matrix) Format() string {
+	rows := append([]Row(nil), m.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Seed < rows[j].Seed })
+
+	type agg struct {
+		total, static, dynamic, both, fn, tn, fp int
+	}
+	perBug := make(map[workload.Bug]*agg)
+	bugs := append([]workload.Bug{workload.BugNone}, workload.AllBugs...)
+	for _, b := range bugs {
+		perBug[b] = &agg{}
+	}
+	for _, r := range rows {
+		a := perBug[r.Bug]
+		if a == nil {
+			a = &agg{}
+			perBug[r.Bug] = a
+		}
+		a.total++
+		switch r.Label {
+		case LabelStatic:
+			a.static++
+		case LabelDynamic:
+			a.dynamic++
+		case LabelBoth:
+			a.both++
+			a.static++
+			a.dynamic++
+		case LabelFalseNegative:
+			a.fn++
+		case LabelTrueNegative:
+			a.tn++
+		case LabelFalsePositive:
+			a.fp++
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Differential detection matrix — generated MiniHybrid corpus\n\n")
+	fmt.Fprintf(&b, "%-26s %6s %7s %8s %6s %4s %4s %4s\n",
+		"bug class", "progs", "static", "dynamic", "both", "FN", "TN", "FP")
+	for _, bug := range bugs {
+		a := perBug[bug]
+		if a.total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s %6d %7d %8d %6d %4d %4d %4d\n",
+			bug.String(), a.total, a.static, a.dynamic, a.both, a.fn, a.tn, a.fp)
+	}
+	b.WriteString("\nper-seed verdicts:\n")
+	for _, r := range rows {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/workload"
+)
+
+// TestDifferentialSound runs a compact seed sweep and enforces the
+// soundness contract (the big 200-seed sweep with the golden matrix
+// lives in the module root's fuzz_test.go).
+func TestDifferentialSound(t *testing.T) {
+	seen := make(map[Label]int)
+	byBug := make(map[workload.Bug]int)
+	for seed := uint64(0); seed < 70; seed++ {
+		gp := mhgen.FromSeed(seed)
+		row := Evaluate(gp, Options{Workers: 2})
+		if len(row.Violations) > 0 {
+			t.Fatalf("seed %d: %v\nreduced repro:\n%s",
+				seed, row.Violations, ReduceFailure(gp, Options{Workers: 2}))
+		}
+		if row.Label == LabelFalseNegative {
+			t.Fatalf("seed %d (%s): planted bug escaped both layers\n%s",
+				seed, gp.Bug, gp.Source)
+		}
+		seen[row.Label]++
+		byBug[gp.Bug]++
+	}
+	if seen[LabelTrueNegative] == 0 {
+		t.Error("no clean program evaluated")
+	}
+	if seen[LabelBoth]+seen[LabelStatic]+seen[LabelDynamic] == 0 {
+		t.Error("no planted bug evaluated")
+	}
+	for _, bug := range workload.AllBugs {
+		if byBug[bug] == 0 {
+			t.Errorf("bug class %s never generated in the sweep", bug)
+		}
+	}
+}
+
+// TestEvaluateWorkerIndependence: the full differential verdict — not
+// just the compile — is identical at any worker-pool width.
+func TestEvaluateWorkerIndependence(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2, 9, 33, 60} {
+		gp := mhgen.FromSeed(seed)
+		r1 := Evaluate(gp, Options{Workers: 1})
+		r8 := Evaluate(gp, Options{Workers: 8})
+		if r1.String() != r8.String() {
+			t.Errorf("seed %d: verdict differs by worker count:\n  %s\n  %s", seed, r1, r8)
+		}
+	}
+}
+
+func TestEvaluateCleanProgramOutcomes(t *testing.T) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 14, Bug: workload.BugNone})
+	row := Evaluate(gp, Options{})
+	if row.Full != parcoach.RunClean {
+		t.Errorf("clean program full outcome = %s", row.Full)
+	}
+	if row.Baseline != "clean" {
+		t.Errorf("clean program baseline outcome = %s", row.Baseline)
+	}
+}
+
+func TestEvaluateBuggyBaselineNotRecorded(t *testing.T) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 5, Bug: workload.BugMismatchedKinds})
+	row := Evaluate(gp, Options{})
+	if row.Baseline != "-" {
+		t.Errorf("buggy baseline outcome must be masked for golden stability, got %q", row.Baseline)
+	}
+}
+
+func TestReduceFailurePreservesSignature(t *testing.T) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 11, Bug: workload.BugEarlyReturn})
+	opts := Options{Workers: 2}
+	orig := Evaluate(gp, opts)
+	red := ReduceFailure(gp, opts)
+	if lr, lo := strings.Count(red, "\n"), strings.Count(gp.Source, "\n"); lr >= lo {
+		t.Fatalf("no shrink: %d -> %d lines", lo, lr)
+	}
+	probe := *gp
+	probe.Source = red
+	got := Evaluate(&probe, opts)
+	if signature(got) != signature(orig) {
+		t.Fatalf("reduced signature %q != original %q\n%s", signature(got), signature(orig), red)
+	}
+}
+
+func TestMatrixFormat(t *testing.T) {
+	var m Matrix
+	for seed := uint64(0); seed < 21; seed++ { // three full bug cycles
+		m.Rows = append(m.Rows, Evaluate(mhgen.FromSeed(seed), Options{Workers: 2}))
+	}
+	out := m.Format()
+	for _, want := range []string{
+		"bug class", "none", "early-return", "mismatched-kinds", "per-seed verdicts:",
+		"seed=0", "TN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+	if vs := m.Violations(); len(vs) != 0 {
+		t.Errorf("unexpected violations: %v", vs)
+	}
+	if fn := m.FalseNegatives(); len(fn) != 0 {
+		t.Errorf("unexpected false negatives: %+v", fn)
+	}
+}

@@ -1,0 +1,1200 @@
+package mhgen
+
+import (
+	"fmt"
+
+	"parcoach/internal/workload"
+)
+
+// The generator's correctness argument for clean programs rests on a
+// per-variable "uniform" flag: a variable is uniform when its value is
+// guaranteed identical on every process (and, inside a parallel region,
+// on every team thread reading it). The invariants that keep a clean
+// program clean are:
+//
+//   - conditions guarding any collective or team-synchronizing construct
+//     are built only from uniform variables, literals and size();
+//   - inside a parallel region, shared (sequential-level) variables are
+//     never written except the "mutable" set chosen at region entry,
+//     which is permanently demoted to non-uniform — so uniform shared
+//     variables are read-only and race-free for the whole region;
+//   - collectives inside parallel regions appear only in non-nowait
+//     single bodies, with destinations that are either body-local or
+//     mutable shared (a private region variable written by the elected
+//     thread only would silently diverge across the team);
+//   - returns appear only at the sequential tail of a function, and
+//     recursion decreases a uniform counter guarded by `n > 0`.
+//
+// Everything outside those paths — rank-dependent branches, racy shared
+// updates, worksharing loops — is free to be arbitrarily non-uniform,
+// which is what gives the static phase realistic work to filter.
+
+// varInfo is one scalar in scope.
+type varInfo struct {
+	name    string
+	uniform bool
+	locked  bool // loop counters: never picked as a write target
+	idx     int  // owning scope index (stable while in scope)
+}
+
+// arrInfo is one array in scope.
+type arrInfo struct {
+	name    string
+	size    int
+	uniform bool
+	idx     int
+}
+
+type scope struct {
+	scalars []*varInfo
+	arrays  []*arrInfo
+}
+
+// helperSpec describes a generated helper function.
+type helperSpec struct {
+	name   string
+	params int
+	coll   bool // contains collectives (transitively)
+	det    bool // no rank()/tid(): uniform args give a uniform result
+	flat   bool // no omp constructs or barriers: callable from single bodies
+}
+
+type gen struct {
+	*rng
+	e   *workload.Emitter
+	cfg Config
+
+	nv, na, nl, nh int // name counters: scalars, arrays, loop counters, halo bufs
+
+	scopes  []*scope
+	base    int // lookups see scopes[base:] (raised for self-contained bodies)
+	parBase int // scope index where the current parallel region begins; -1 at sequential level
+	inPar   int
+	mutable map[*varInfo]bool // shared scalars writable inside the current region
+	mutArr  map[*arrInfo]bool
+	noRank  bool // emitting a det helper body: no rank()/tid() atoms
+	noOmp   bool // emitting a flat helper: no parallel regions (they are
+	// callable from single bodies, where team constructs would bind to the
+	// caller's team and deadlock it)
+
+	budget   int
+	maxDepth int
+	// condDepth counts enclosing if arms. Loop bodies always execute (all
+	// generated bounds are >= 1 iteration), but an if arm may not, so a
+	// uniform-flag *promotion* inside one would leak out even when the arm
+	// was dynamically skipped and the variable is still divergent.
+	// Promotions are therefore gated on condDepth == 0; demotions are
+	// always safe.
+	condDepth int
+
+	pures []*helperSpec
+	colls []*helperSpec
+
+	planted bool
+}
+
+func newGen(cfg Config) *gen {
+	g := &gen{
+		rng:     newRng(cfg.Seed),
+		e:       &workload.Emitter{},
+		cfg:     cfg,
+		parBase: -1,
+	}
+	if cfg.Size == SizeMedium {
+		g.budget, g.maxDepth = 150, 3
+	} else {
+		g.budget, g.maxDepth = 80, 2
+	}
+	return g
+}
+
+//
+// Scopes and variable pools
+//
+
+func (g *gen) push() { g.scopes = append(g.scopes, &scope{}) }
+func (g *gen) pop()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) top() *scope { return g.scopes[len(g.scopes)-1] }
+
+func (g *gen) newScalar(uniform bool) *varInfo {
+	v := &varInfo{name: fmt.Sprintf("v%d", g.nv), uniform: uniform, idx: len(g.scopes) - 1}
+	g.nv++
+	g.top().scalars = append(g.top().scalars, v)
+	return v
+}
+
+func (g *gen) newArray(size int, uniform bool) *arrInfo {
+	a := &arrInfo{name: fmt.Sprintf("a%d", g.na), size: size, uniform: uniform, idx: len(g.scopes) - 1}
+	g.na++
+	g.top().arrays = append(g.top().arrays, a)
+	return a
+}
+
+// scalars returns the visible scalars matching pred.
+func (g *gen) scalars(pred func(*varInfo) bool) []*varInfo {
+	var out []*varInfo
+	for _, sc := range g.scopes[g.base:] {
+		for _, v := range sc.scalars {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (g *gen) arrays(pred func(*arrInfo) bool) []*arrInfo {
+	var out []*arrInfo
+	for _, sc := range g.scopes[g.base:] {
+		for _, a := range sc.arrays {
+			if pred(a) {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// writableScalars are valid assignment targets here: outside parallel any
+// unlocked visible scalar; inside, region-locals and the mutable set.
+func (g *gen) writableScalars() []*varInfo {
+	return g.scalars(func(v *varInfo) bool {
+		if v.locked {
+			return false
+		}
+		if g.inPar == 0 || v.idx >= g.parBase {
+			return true
+		}
+		return g.mutable[v]
+	})
+}
+
+func (g *gen) writableArrays() []*arrInfo {
+	return g.arrays(func(a *arrInfo) bool {
+		if g.inPar == 0 || a.idx >= g.parBase {
+			return true
+		}
+		return g.mutArr[a]
+	})
+}
+
+//
+// Expressions (emitted as strings)
+//
+
+func (g *gen) lit() string { return fmt.Sprint(g.n(10)) }
+
+// uniformAtom yields a process+team-uniform atom.
+func (g *gen) uniformAtom() string {
+	pool := g.scalars(func(v *varInfo) bool { return v.uniform })
+	switch c := g.n(4 + min(len(pool), 4)); {
+	case c == 0:
+		return "size()"
+	case c < 4 || len(pool) == 0:
+		return g.lit()
+	default:
+		return pick(g.rng, pool).name
+	}
+}
+
+// uniformExpr builds a uniform arithmetic expression.
+func (g *gen) uniformExpr(depth int) string {
+	if depth <= 0 || g.chance(40) {
+		return g.uniformAtom()
+	}
+	x, y := g.uniformExpr(depth-1), g.uniformAtom()
+	switch g.n(5) {
+	case 0:
+		return x + " + " + y
+	case 1:
+		return x + " - " + y
+	case 2:
+		return x + " * " + fmt.Sprint(g.rangeIn(1, 3))
+	case 3:
+		return x + " % " + fmt.Sprint(g.rangeIn(2, 8))
+	default:
+		return fmt.Sprintf("min(%s, %s)", x, y)
+	}
+}
+
+// uniformCond builds a uniform comparison for branches that may guard
+// collectives or team synchronization.
+func (g *gen) uniformCond() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	return fmt.Sprintf("%s %s %s", g.uniformExpr(1), pick(g.rng, ops), g.uniformAtom())
+}
+
+// anyAtom yields an arbitrary (possibly rank- or thread-dependent) atom.
+func (g *gen) anyAtom() string {
+	pool := g.scalars(func(v *varInfo) bool { return true })
+	c := g.n(8)
+	switch {
+	case c == 0 && !g.noRank:
+		return "rank()"
+	case c == 1 && !g.noRank && g.inPar > 0:
+		return "tid()"
+	case c == 2:
+		return "size()"
+	case c <= 4 || len(pool) == 0:
+		return g.lit()
+	default:
+		return pick(g.rng, pool).name
+	}
+}
+
+// anyExpr builds an arbitrary scalar expression; the returned flag is a
+// conservative "this is uniform" judgement (false unless every atom was).
+func (g *gen) anyExpr(depth int) string {
+	if depth <= 0 || g.chance(35) {
+		return g.anyAtom()
+	}
+	x, y := g.anyExpr(depth-1), g.anyAtom()
+	switch g.n(6) {
+	case 0:
+		return x + " + " + y
+	case 1:
+		return x + " - " + y
+	case 2:
+		return x + " * " + fmt.Sprint(g.rangeIn(1, 3))
+	case 3:
+		return x + " / " + fmt.Sprint(g.rangeIn(2, 5))
+	case 4:
+		return x + " % " + fmt.Sprint(g.rangeIn(2, 8))
+	default:
+		if arrs := g.arrays(func(*arrInfo) bool { return true }); len(arrs) > 0 && g.chance(50) {
+			a := pick(g.rng, arrs)
+			return fmt.Sprintf("%s[%s]", a.name, g.indexExpr(a))
+		}
+		return fmt.Sprintf("max(%s, %s)", x, y)
+	}
+}
+
+// nonUniformCond builds a condition that genuinely varies by rank or
+// thread (for branches that must stay free of sync and collectives).
+func (g *gen) nonUniformCond() string {
+	base := "rank()"
+	if g.noRank {
+		base = g.anyAtom()
+	} else if g.inPar > 0 && g.chance(40) {
+		base = "tid()"
+	}
+	switch g.n(3) {
+	case 0:
+		return fmt.Sprintf("%s %% %d == %d", base, g.rangeIn(2, 3), g.n(2))
+	case 1:
+		return fmt.Sprintf("%s > %s", base, g.uniformAtom())
+	default:
+		return fmt.Sprintf("%s + %s < %s", base, g.anyAtom(), g.uniformAtom())
+	}
+}
+
+// indexExpr yields an always-in-bounds index for a.
+func (g *gen) indexExpr(a *arrInfo) string {
+	switch g.n(3) {
+	case 0:
+		return fmt.Sprint(g.n(a.size))
+	case 1:
+		return fmt.Sprintf("abs(%s) %% %d", g.anyAtom(), a.size)
+	default:
+		return fmt.Sprintf("abs(%s + %s) %% %d", g.anyAtom(), g.lit(), a.size)
+	}
+}
+
+//
+// Program structure
+//
+
+// program emits helpers then main, planting cfg.Bug at a labeled site.
+func (g *gen) program() {
+	nPure, nColl := g.rangeIn(1, 2), g.rangeIn(1, 2)
+	wantSCC := g.chance(40)
+	if g.cfg.Size == SizeMedium {
+		nPure, nColl = g.rangeIn(2, 3), g.rangeIn(2, 3)
+		wantSCC = true
+	}
+	for i := 0; i < nPure; i++ {
+		g.emitPureHelper(i)
+	}
+	if wantSCC {
+		g.emitSCCPair()
+	}
+	// The planted bug lives in main, or (for the inter-process classes)
+	// sometimes in a dedicated helper main calls unconditionally.
+	bugInHelper := false
+	switch g.cfg.Bug {
+	case workload.BugRankDependentCollective, workload.BugMismatchedKinds,
+		workload.BugMultithreadedCollective, workload.BugConcurrentSingles,
+		workload.BugSectionsCollectives:
+		bugInHelper = g.chance(35)
+	}
+	for i := 0; i < nColl; i++ {
+		g.emitCollHelper(i, bugInHelper && i == nColl-1)
+	}
+	g.emitMain(!bugInHelper && g.cfg.Bug != workload.BugNone)
+}
+
+// emitPureHelper emits a scalar compute helper (no MPI, no omp), possibly
+// deterministic (no rank/tid) and possibly self-recursive.
+func (g *gen) emitPureHelper(i int) {
+	det := i == 0 || g.chance(40)
+	spec := &helperSpec{name: fmt.Sprintf("calc%d", i), params: 2, det: det, flat: true}
+	g.e.Open("func %s(n, x) {", spec.name)
+	g.push()
+	g.noRank = det
+	n := &varInfo{name: "n", uniform: true, locked: true, idx: len(g.scopes) - 1}
+	x := &varInfo{name: "x", idx: len(g.scopes) - 1}
+	g.top().scalars = append(g.top().scalars, n, x)
+	acc := g.newScalar(false)
+	g.e.Line("var %s = x * %d + n", acc.name, g.rangeIn(1, 3))
+	for k := g.rangeIn(1, 2); k > 0; k-- {
+		g.computeStmt(true)
+	}
+	if g.chance(55) {
+		// Bounded self-recursion on the uniform counter.
+		g.e.Open("if n > 0 {")
+		g.push()
+		g.e.Line("%s = %s + %s(n - 1, %s)", acc.name, acc.name, spec.name, g.anyExpr(1))
+		g.pop()
+		g.e.Close()
+	}
+	g.e.Line("return %s + n", acc.name)
+	g.noRank = false
+	g.pop()
+	g.e.Close()
+	g.e.Line("")
+	g.pures = append(g.pures, spec)
+}
+
+// emitSCCPair emits two mutually recursive collective-bearing helpers, so
+// summary computation walks a non-trivial SCC.
+func (g *gen) emitSCCPair() {
+	a := &helperSpec{name: "stepA", params: 1, coll: true, flat: true}
+	b := &helperSpec{name: "stepB", params: 1, coll: true, flat: true}
+	emit := func(self, other *helperSpec, kind string) {
+		g.e.Open("func %s(n) {", self.name)
+		g.push()
+		g.top().scalars = append(g.top().scalars,
+			&varInfo{name: "n", uniform: true, locked: true, idx: len(g.scopes) - 1})
+		atom := g.anyAtom()
+		acc := g.newScalar(false)
+		g.e.Line("var %s = n * %d + %s", acc.name, g.rangeIn(1, 4), atom)
+		g.e.Open("if n > 0 {")
+		g.push()
+		switch kind {
+		case "allreduce":
+			g.e.Line("MPI_Allreduce(%s, %s + n, sum)", acc.name, acc.name)
+		case "barrier":
+			g.e.Line("MPI_Barrier()")
+		default:
+			g.e.Line("MPI_Bcast(%s)", acc.name)
+		}
+		g.e.Line("%s = %s + %s(n - 1)", acc.name, acc.name, other.name)
+		g.pop()
+		g.e.Close()
+		g.e.Line("return %s", acc.name)
+		g.pop()
+		g.e.Close()
+		g.e.Line("")
+	}
+	kinds := []string{"allreduce", "barrier", "bcast"}
+	emit(a, b, pick(g.rng, kinds))
+	emit(b, a, pick(g.rng, kinds))
+	g.colls = append(g.colls, a) // main calls stepA; stepB is reached through it
+}
+
+// emitCollHelper emits a collective-bearing helper called from main's
+// sequential level; withBug plants the configured bug in its body.
+func (g *gen) emitCollHelper(i int, withBug bool) {
+	spec := &helperSpec{name: fmt.Sprintf("phase%d", i), params: 1, coll: true, flat: true}
+	g.noOmp = true
+	defer func() { g.noOmp = false }()
+	g.e.Open("func %s(n) {", spec.name)
+	g.push()
+	g.top().scalars = append(g.top().scalars,
+		&varInfo{name: "n", uniform: true, locked: true, idx: len(g.scopes) - 1})
+	u := g.newScalar(true)
+	g.e.Line("var %s = n + %d", u.name, g.rangeIn(1, 5))
+	wInit := g.anyExpr(1)
+	w := g.newScalar(false)
+	g.e.Line("var %s = %s", w.name, wInit)
+	segs := g.rangeIn(2, 3)
+	bugAt := -1
+	if withBug {
+		bugAt = g.n(segs + 1)
+	}
+	for s := 0; s <= segs; s++ {
+		if s == bugAt {
+			g.plantBug()
+			continue
+		}
+		if s == segs {
+			break
+		}
+		g.seqSegment(1, true)
+	}
+	g.e.Line("return %s + %s", u.name, w.name)
+	g.pop()
+	g.e.Close()
+	g.e.Line("")
+	if g.planted && withBug {
+		switch g.cfg.Bug {
+		case workload.BugMultithreadedCollective, workload.BugConcurrentSingles,
+			workload.BugSectionsCollectives:
+			spec.flat = false // the wrapped parallel region makes it non-flat
+		}
+	}
+	g.colls = append(g.colls, spec)
+}
+
+// emitMain emits main: MPI_Init, a preamble, the segment sequence with
+// one unconditional call to every collective helper, the planted bug (if
+// hosted here), and the MPI_Finalize tail.
+func (g *gen) emitMain(withBug bool) {
+	g.e.Open("func main() {")
+	g.push()
+	g.e.Line("MPI_Init()")
+	r := g.newScalar(false)
+	g.e.Line("var %s = rank() + 1", r.name)
+	u := g.newScalar(true)
+	g.e.Line("var %s = size() + %d", u.name, g.rangeIn(1, 4))
+	a := g.newArray(pick(g.rng, []int{4, 8}), true)
+	g.e.Line("var %s[%d]", a.name, a.size)
+
+	segs := g.rangeIn(4, 6)
+	if g.cfg.Size == SizeMedium {
+		segs = g.rangeIn(6, 9)
+	}
+	// Reserve one slot per collective helper for its guaranteed call.
+	calls := make([]int, len(g.colls))
+	for i := range calls {
+		calls[i] = g.n(segs)
+	}
+	bugAt := -1
+	if withBug {
+		bugAt = g.n(segs + 1)
+	}
+	for s := 0; s <= segs; s++ {
+		if s == bugAt {
+			g.plantBug()
+		}
+		if s == segs {
+			break
+		}
+		for i, at := range calls {
+			if at == s {
+				g.emitHelperCall(g.colls[i])
+			}
+		}
+		g.seqSegment(g.maxDepth, true)
+	}
+	if g.chance(60) {
+		g.e.Line("print(%s, %s)", r.name, u.name)
+	}
+	g.e.Line("MPI_Finalize()")
+	g.e.Line("return 0")
+	g.pop()
+	g.e.Close()
+}
+
+// emitHelperCall emits the unconditional sequential-level call of a
+// collective helper with a uniform argument.
+func (g *gen) emitHelperCall(h *helperSpec) {
+	v := g.newScalar(false)
+	g.e.Line("var %s = %s(%d)", v.name, h.name, g.rangeIn(1, 3))
+}
+
+// plantBug emits the configured bug class at the current sequential
+// emission point, using the shared workload vocabulary. Threading bugs
+// are wrapped in their own parallel region.
+func (g *gen) plantBug() {
+	bug := g.cfg.Bug
+	v := g.bugVar()
+	switch bug {
+	case workload.BugMultithreadedCollective, workload.BugConcurrentSingles,
+		workload.BugSectionsCollectives:
+		g.e.Open("parallel {")
+		g.e.SeedThreadingBug(bug, v.name)
+		g.e.Close()
+	case workload.BugEarlyReturn:
+		g.e.SeedEarlyReturnBug(bug, v.name)
+	default:
+		g.e.SeedProcessBug(bug, v.name)
+	}
+	v.uniform = false // the buggy collectives write it divergently
+	g.planted = true
+}
+
+// bugVar picks (or declares) a sequential-level scalar for the bug
+// pattern to use.
+func (g *gen) bugVar() *varInfo {
+	if pool := g.writableScalars(); len(pool) > 0 {
+		return pick(g.rng, pool)
+	}
+	v := g.newScalar(false)
+	g.e.Line("var %s = %s", v.name, g.lit())
+	return v
+}
+
+// promote marks v uniform if the current emission point executes
+// unconditionally; an already-uniform variable stays uniform (an if arm
+// with a uniform guard rewrites it on all processes or none).
+func (g *gen) promote(v *varInfo) {
+	v.uniform = v.uniform || g.condDepth == 0
+}
+
+// inArm runs body as a conditionally-executed arm.
+func (g *gen) inArm(body func()) {
+	g.condDepth++
+	g.push()
+	body()
+	g.pop()
+	g.condDepth--
+}
+
+//
+// Sequential-level segments
+//
+
+// seqSegment emits one program segment at sequential (non-parallel)
+// level. collOK gates collectives and parallel regions: it is true only
+// on the uniform unconditional path.
+func (g *gen) seqSegment(depth int, collOK bool) {
+	if g.budget <= 0 {
+		return
+	}
+	g.budget--
+	type choice struct {
+		weight int
+		emit   func()
+	}
+	choices := []choice{
+		{30, func() { g.computeStmt(true) }},
+		{8, func() { g.emitPrint() }},
+	}
+	if collOK {
+		choices = append(choices,
+			choice{22, func() { g.emitCollective(false) }},
+			choice{10, func() { g.emitHalo() }},
+		)
+		if g.inPar == 0 && !g.noOmp {
+			choices = append(choices, choice{16, func() { g.emitParallel(depth) }})
+		}
+		if depth > 0 {
+			choices = append(choices,
+				choice{10, func() { g.emitSeqUniformIf(depth, collOK) }},
+				choice{9, func() { g.emitSeqFor(depth, collOK) }},
+				choice{5, func() { g.emitSeqWhile(depth, collOK) }},
+			)
+		}
+		if g.chance(12) {
+			choices = append(choices, choice{8, func() { g.emitFPPattern() }})
+		}
+	}
+	if depth > 0 {
+		choices = append(choices, choice{8, func() { g.emitSeqNonUniformIf() }})
+	}
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	roll := g.n(total)
+	for _, c := range choices {
+		if roll < c.weight {
+			c.emit()
+			return
+		}
+		roll -= c.weight
+	}
+}
+
+// emitSeqUniformIf branches on a uniform condition; both arms may hold
+// collectives.
+func (g *gen) emitSeqUniformIf(depth int, collOK bool) {
+	g.e.Open("if %s {", g.uniformCond())
+	g.inArm(func() {
+		for k := g.rangeIn(1, 2); k > 0; k-- {
+			g.seqSegment(depth-1, collOK)
+		}
+	})
+	if g.chance(45) {
+		g.e.ElseOpen()
+		g.inArm(func() { g.seqSegment(depth-1, collOK) })
+	}
+	g.e.Close()
+}
+
+// emitSeqNonUniformIf branches on a rank-dependent condition; the arms
+// stay free of collectives and synchronization.
+func (g *gen) emitSeqNonUniformIf() {
+	g.e.Open("if %s {", g.nonUniformCond())
+	g.inArm(func() {
+		for k := g.rangeIn(1, 2); k > 0; k-- {
+			g.computeStmt(false)
+		}
+	})
+	if g.chance(35) {
+		g.e.ElseOpen()
+		g.inArm(func() { g.computeStmt(false) })
+	}
+	g.e.Close()
+}
+
+func (g *gen) emitSeqFor(depth int, collOK bool) {
+	g.e.Open("for i%d = 0 .. %d {", g.nl, g.rangeIn(2, 4))
+	iv := &varInfo{name: fmt.Sprintf("i%d", g.nl), uniform: true, locked: true}
+	g.nl++
+	g.push()
+	iv.idx = len(g.scopes) - 1
+	g.top().scalars = append(g.top().scalars, iv)
+	for k := g.rangeIn(1, 2); k > 0; k-- {
+		g.seqSegment(depth-1, collOK)
+	}
+	g.pop()
+	g.e.Close()
+}
+
+func (g *gen) emitSeqWhile(depth int, collOK bool) {
+	w := &varInfo{name: fmt.Sprintf("w%d", g.nl), uniform: true, locked: true}
+	g.nl++
+	g.e.Line("var %s = %d", w.name, g.rangeIn(1, 3))
+	w.idx = len(g.scopes) - 1
+	g.top().scalars = append(g.top().scalars, w)
+	g.e.Open("while %s > 0 {", w.name)
+	g.push()
+	g.seqSegment(depth-1, collOK)
+	g.e.Line("%s = %s - 1", w.name, w.name)
+	g.pop()
+	g.e.Close()
+}
+
+// emitFPPattern guards a collective by a deterministic helper result:
+// statically tainted (call results are conservative), dynamically
+// uniform — the false positive the planted CC checks clear at run time.
+func (g *gen) emitFPPattern() {
+	det := g.detPure()
+	if det == nil {
+		g.computeStmt(true)
+		return
+	}
+	v := g.newScalar(true) // dynamically uniform: det helper, uniform args
+	g.e.Line("var %s = %s(%d, %d)", v.name, det.name, g.rangeIn(1, 2), g.n(5))
+	g.e.Open("if %s %% 2 == 0 {", v.name)
+	g.inArm(func() { g.emitCollective(false) })
+	g.e.Close()
+}
+
+func (g *gen) detPure() *helperSpec {
+	for _, h := range g.pures {
+		if h.det {
+			return h
+		}
+	}
+	return nil
+}
+
+// emitHalo emits a matched point-to-point exchange between ranks 0 and 1.
+func (g *gen) emitHalo() {
+	h := g.newScalar(false)
+	g.e.Line("var %s = %s", h.name, g.lit())
+	tag := g.n(9)
+	g.e.Open("if size() >= 2 {")
+	g.push()
+	g.e.Open("if rank() == 0 {")
+	g.e.Line("MPI_Send(%s, 1, %d)", g.anyExpr(1), tag)
+	g.e.Close()
+	g.e.Open("if rank() == 1 {")
+	g.e.Line("MPI_Recv(%s, 0, %d)", h.name, tag)
+	g.e.Close()
+	g.pop()
+	g.e.Close()
+}
+
+//
+// Parallel regions (clean)
+//
+
+// emitParallel opens a parallel region and fills it with team segments.
+// Shared scalars/arrays selected into the mutable set become writable
+// inside and permanently non-uniform.
+func (g *gen) emitParallel(depth int) {
+	clause := ""
+	if g.chance(30) {
+		clause = fmt.Sprintf(" num_threads(%d)", g.rangeIn(2, 3))
+	}
+	g.e.Open("parallel%s {", clause)
+	savedPar, savedMut, savedMutArr := g.parBase, g.mutable, g.mutArr
+	g.parBase = len(g.scopes)
+	g.inPar++
+	g.mutable = make(map[*varInfo]bool)
+	g.mutArr = make(map[*arrInfo]bool)
+	for _, v := range g.scalars(func(v *varInfo) bool { return !v.locked }) {
+		if g.chance(35) {
+			g.mutable[v] = true
+			v.uniform = false
+		}
+	}
+	for _, a := range g.arrays(func(*arrInfo) bool { return true }) {
+		if g.chance(35) {
+			g.mutArr[a] = true
+			a.uniform = false
+		}
+	}
+	g.push()
+	for k := g.rangeIn(2, 4); k > 0 && g.budget > 0; k-- {
+		g.parSegment(depth - 1)
+	}
+	g.pop()
+	g.inPar--
+	g.parBase, g.mutable, g.mutArr = savedPar, savedMut, savedMutArr
+	g.e.Close()
+}
+
+// parSegment emits one construct inside a parallel region on the
+// team-uniform path.
+func (g *gen) parSegment(depth int) {
+	if g.budget <= 0 {
+		return
+	}
+	g.budget--
+	type choice struct {
+		weight int
+		emit   func()
+	}
+	choices := []choice{
+		{20, func() { g.emitSingleColl() }},
+		{8, func() { g.emitSingleNowait() }},
+		{7, func() { g.emitMaster() }},
+		{10, func() { g.e.Line("barrier") }},
+		{10, func() { g.emitPfor() }},
+		{7, func() { g.emitSections() }},
+		{8, func() { g.emitCritical() }},
+		{6, func() { g.emitAtomic() }},
+		{14, func() { g.computeStmt(true) }},
+	}
+	if depth > 0 {
+		choices = append(choices,
+			choice{7, func() { g.emitParUniformIf(depth) }},
+			choice{6, func() { g.emitParFor(depth) }},
+			choice{4, func() { g.emitParNonUniformIf() }},
+		)
+		if g.inPar == 1 && g.chance(25) {
+			choices = append(choices, choice{4, func() { g.emitNestedParallel() }})
+		}
+	}
+	total := 0
+	for _, c := range choices {
+		total += c.weight
+	}
+	roll := g.n(total)
+	for _, c := range choices {
+		if roll < c.weight {
+			c.emit()
+			return
+		}
+		roll -= c.weight
+	}
+}
+
+// emitSingleColl emits a non-nowait single whose elected thread runs
+// collectives (and optionally a flat collective helper).
+func (g *gen) emitSingleColl() {
+	g.e.Open("single {")
+	g.push()
+	if g.inPar == 1 {
+		for k := g.rangeIn(1, 2); k > 0; k-- {
+			g.emitCollective(true)
+		}
+		if g.chance(25) {
+			if h := g.flatColl(); h != nil {
+				v := g.newScalar(false)
+				g.e.Line("var %s = %s(%d)", v.name, h.name, g.rangeIn(1, 2))
+			}
+		}
+	} else {
+		// Collectives stay out of nested teams (a single per inner team
+		// would execute once per team, i.e. several times per process).
+		g.computeStmt(true)
+	}
+	if g.chance(30) {
+		g.computeStmt(true)
+	}
+	g.pop()
+	g.e.Close()
+}
+
+func (g *gen) flatColl() *helperSpec {
+	var pool []*helperSpec
+	for _, h := range g.colls {
+		if h.flat {
+			pool = append(pool, h)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pick(g.rng, pool)
+}
+
+// emitSingleNowait emits a nowait single with a self-contained compute
+// body (fresh locals only — stragglers must not race uniform state).
+func (g *gen) emitSingleNowait() {
+	g.e.Open("single nowait {")
+	g.selfContained(func() {
+		init := g.anyExpr(1)
+		v := g.newScalar(false)
+		g.e.Line("var %s = %s", v.name, init)
+		g.computeStmt(true)
+	})
+	g.e.Close()
+}
+
+// emitMaster emits a master block (no implied barrier): plain compute.
+func (g *gen) emitMaster() {
+	g.e.Open("master {")
+	g.push()
+	g.computeStmt(true)
+	g.pop()
+	g.e.Close()
+}
+
+// emitPfor emits a worksharing loop; bodies compute on fresh locals and
+// may scatter into a mutable shared array.
+func (g *gen) emitPfor() {
+	sched := ""
+	if g.chance(35) {
+		sched = " schedule(dynamic)"
+	}
+	nowait := ""
+	if g.chance(25) {
+		nowait = " nowait"
+	}
+	iv := &varInfo{name: fmt.Sprintf("i%d", g.nl)}
+	g.nl++
+	// Pick a mutable shared target before the body scope closes over the
+	// self-contained view (frozen shared state stays untouchable).
+	var target *arrInfo
+	if arrs := g.arrays(func(a *arrInfo) bool { return g.mutArr[a] }); len(arrs) > 0 && g.chance(60) {
+		target = pick(g.rng, arrs)
+	}
+	g.e.Open("pfor%s%s %s = 0 .. %d {", sched, nowait, iv.name, g.rangeIn(2, 6))
+	g.selfContained(func() {
+		iv.idx = len(g.scopes) - 1
+		iv.locked = true
+		g.top().scalars = append(g.top().scalars, iv)
+		atom := g.anyAtom()
+		v := g.newScalar(false)
+		g.e.Line("var %s = %s * %d + %s", v.name, iv.name, g.rangeIn(1, 3), atom)
+		if target != nil {
+			g.e.Line("%s[%s %% %d] = %s", target.name, iv.name, target.size, v.name)
+		}
+	})
+	g.e.Close()
+}
+
+// emitSections distributes compute sections across the team.
+func (g *gen) emitSections() {
+	nowait := ""
+	if g.chance(25) {
+		nowait = " nowait"
+	}
+	g.e.Open("sections%s {", nowait)
+	for k := g.rangeIn(2, 3); k > 0; k-- {
+		g.e.Open("section {")
+		g.selfContained(func() {
+			init := g.anyExpr(1)
+			v := g.newScalar(false)
+			g.e.Line("var %s = %s", v.name, init)
+			g.computeStmt(true)
+		})
+		g.e.Close()
+	}
+	g.e.Close()
+}
+
+// emitCritical emits the classic guarded shared update.
+func (g *gen) emitCritical() {
+	name := ""
+	if g.chance(40) {
+		name = fmt.Sprintf("(c%d)", g.n(2))
+	}
+	g.e.Open("critical%s {", name)
+	g.push()
+	if pool := g.writableScalars(); len(pool) > 0 {
+		v := pick(g.rng, pool)
+		g.e.Line("%s = %s + %s", v.name, v.name, g.anyExpr(1))
+		v.uniform = false
+	} else {
+		g.computeStmt(true)
+	}
+	g.pop()
+	g.e.Close()
+}
+
+func (g *gen) emitAtomic() {
+	pool := g.scalars(func(v *varInfo) bool { return g.mutable[v] })
+	if len(pool) == 0 {
+		g.computeStmt(true)
+		return
+	}
+	op := "+="
+	if g.chance(30) {
+		op = "-="
+	}
+	g.e.Line("atomic %s %s %s", pick(g.rng, pool).name, op, g.anyExpr(1))
+}
+
+// emitParUniformIf branches the whole team together (uniform condition
+// over frozen state), so singles and barriers inside stay safe.
+func (g *gen) emitParUniformIf(depth int) {
+	g.e.Open("if %s {", g.uniformCond())
+	g.inArm(func() {
+		for k := g.rangeIn(1, 2); k > 0; k-- {
+			g.parSegment(depth - 1)
+		}
+	})
+	if g.chance(35) {
+		g.e.ElseOpen()
+		g.inArm(func() { g.parSegment(depth - 1) })
+	}
+	g.e.Close()
+}
+
+// emitParNonUniformIf: threads diverge, so the body is pure compute.
+func (g *gen) emitParNonUniformIf() {
+	g.e.Open("if %s {", g.nonUniformCond())
+	g.inArm(func() { g.computeStmt(false) })
+	g.e.Close()
+}
+
+func (g *gen) emitParFor(depth int) {
+	iv := &varInfo{name: fmt.Sprintf("i%d", g.nl), uniform: true, locked: true}
+	g.nl++
+	g.e.Open("for %s = 0 .. %d {", iv.name, g.rangeIn(2, 3))
+	g.push()
+	iv.idx = len(g.scopes) - 1
+	g.top().scalars = append(g.top().scalars, iv)
+	for k := g.rangeIn(1, 2); k > 0; k-- {
+		g.parSegment(depth - 1)
+	}
+	g.pop()
+	g.e.Close()
+}
+
+// emitNestedParallel forks inner teams with self-contained bodies (no
+// collectives: a single per inner team would run once per team).
+func (g *gen) emitNestedParallel() {
+	g.e.Open("parallel num_threads(2) {")
+	savedPar := g.parBase
+	g.parBase = len(g.scopes)
+	g.inPar++
+	g.selfContained(func() {
+		v := g.newScalar(false)
+		g.e.Line("var %s = tid() + %s", v.name, g.lit())
+		g.computeStmt(true)
+		if g.chance(50) {
+			g.e.Line("barrier")
+			g.computeStmt(true)
+		}
+	})
+	g.inPar--
+	g.parBase = savedPar
+	g.e.Close()
+}
+
+// selfContained runs body in a scope that can only see (and write)
+// variables declared inside it — used for nowait, worksharing and
+// nested-team bodies whose execution overlaps other constructs.
+func (g *gen) selfContained(body func()) {
+	savedBase := g.base
+	g.base = len(g.scopes)
+	g.push()
+	body()
+	g.pop()
+	g.base = savedBase
+}
+
+//
+// Compute statements and collectives
+//
+
+// computeStmt emits one non-synchronizing statement. pathUniform is
+// false under rank- or thread-divergent control flow, where every write
+// target loses its uniform flag regardless of the value written.
+func (g *gen) computeStmt(pathUniform bool) {
+	switch g.n(10) {
+	case 0, 1: // fresh scalar
+		expr := g.anyExpr(2)
+		v := g.newScalar(false)
+		g.e.Line("var %s = %s", v.name, expr)
+	case 2: // fresh array
+		if g.inPar == 0 {
+			a := g.newArray(pick(g.rng, []int{4, 8, 16}), true)
+			g.e.Line("var %s[%d]", a.name, a.size)
+			return
+		}
+		g.emitAssign(pathUniform)
+	case 3: // uniform refresh of a sequential scalar
+		if g.inPar == 0 {
+			if pool := g.writableScalars(); len(pool) > 0 && pathUniform {
+				v := pick(g.rng, pool)
+				g.e.Line("%s = %s", v.name, g.uniformExpr(1))
+				g.promote(v)
+				return
+			}
+		}
+		g.emitAssign(pathUniform)
+	case 4: // array element write
+		if pool := g.writableArrays(); len(pool) > 0 {
+			a := pick(g.rng, pool)
+			g.e.Line("%s[%s] = %s", a.name, g.indexExpr(a), g.anyExpr(1))
+			a.uniform = false
+			return
+		}
+		g.emitAssign(pathUniform)
+	case 5: // pure helper call
+		if len(g.pures) > 0 {
+			h := pick(g.rng, g.pures)
+			if g.noRank && !h.det {
+				g.emitAssign(pathUniform)
+				return
+			}
+			arg := g.anyExpr(1)
+			v := g.newScalar(false)
+			g.e.Line("var %s = %s(%d, %s)", v.name, h.name, g.rangeIn(1, 2), arg)
+			return
+		}
+		g.emitAssign(pathUniform)
+	default:
+		g.emitAssign(pathUniform)
+	}
+}
+
+func (g *gen) emitAssign(pathUniform bool) {
+	pool := g.writableScalars()
+	if len(pool) == 0 {
+		init := g.anyExpr(1)
+		v := g.newScalar(false)
+		g.e.Line("var %s = %s", v.name, init)
+		return
+	}
+	v := pick(g.rng, pool)
+	op := pick(g.rng, []string{"=", "+=", "-="})
+	g.e.Line("%s %s %s", v.name, op, g.anyExpr(2))
+	v.uniform = false
+	_ = pathUniform
+}
+
+func (g *gen) emitPrint() {
+	g.e.Line("print(%s)", g.anyExpr(1))
+}
+
+// collDst picks a destination scalar for a collective. Inside a single
+// body only body-locals and mutable shared scalars qualify (a private
+// region variable written by the elected thread alone would diverge
+// across the team); a fresh local is declared when nothing fits.
+func (g *gen) collDst(inSingle bool) *varInfo {
+	var pool []*varInfo
+	if inSingle {
+		singleBase := len(g.scopes) - 1
+		pool = g.scalars(func(v *varInfo) bool {
+			if v.locked {
+				return false
+			}
+			return v.idx >= singleBase || g.mutable[v]
+		})
+	} else {
+		pool = g.writableScalars()
+	}
+	if len(pool) == 0 {
+		v := g.newScalar(true)
+		g.e.Line("var %s = %s", v.name, g.lit())
+		return v
+	}
+	return pick(g.rng, pool)
+}
+
+// collArr picks (or declares) an array operand the same way.
+func (g *gen) collArr(inSingle bool, writable bool) *arrInfo {
+	var pool []*arrInfo
+	if inSingle && writable {
+		singleBase := len(g.scopes) - 1
+		pool = g.arrays(func(a *arrInfo) bool { return a.idx >= singleBase || g.mutArr[a] })
+	} else if writable {
+		pool = g.writableArrays()
+	} else {
+		pool = g.arrays(func(*arrInfo) bool { return true })
+	}
+	if len(pool) == 0 {
+		a := g.newArray(pick(g.rng, []int{4, 8}), true)
+		g.e.Line("var %s[%d]", a.name, a.size)
+		return a
+	}
+	return pick(g.rng, pool)
+}
+
+var redOps = []string{"sum", "min", "max", "prod"}
+
+// emitCollective emits one MPI collective on the uniform path (at
+// sequential level, or on the elected thread of a single when inSingle).
+func (g *gen) emitCollective(inSingle bool) {
+	root := "0"
+	if g.chance(25) {
+		root = "size() - 1"
+	}
+	op := pick(g.rng, redOps)
+	switch g.n(12) {
+	case 0, 1:
+		g.e.Line("MPI_Barrier()")
+	case 2, 3:
+		v := g.collDst(inSingle)
+		if g.chance(30) {
+			g.e.Line("MPI_Bcast(%s, %s)", v.name, root)
+		} else {
+			g.e.Line("MPI_Bcast(%s)", v.name)
+		}
+		if !g.mutable[v] {
+			g.promote(v)
+		}
+	case 4, 5, 6:
+		v := g.collDst(inSingle)
+		g.e.Line("MPI_Allreduce(%s, %s, %s)", v.name, g.anyExpr(1), op)
+		if !g.mutable[v] {
+			g.promote(v)
+		}
+	case 7:
+		v := g.collDst(inSingle)
+		if g.chance(40) {
+			g.e.Line("MPI_Reduce(%s, %s, %s, %s)", v.name, g.anyExpr(1), op, root)
+		} else {
+			g.e.Line("MPI_Reduce(%s, %s, %s)", v.name, g.anyExpr(1), op)
+		}
+		v.uniform = false
+	case 8:
+		v := g.collDst(inSingle)
+		g.e.Line("MPI_Scan(%s, %s, %s)", v.name, g.anyExpr(1), op)
+		v.uniform = false
+	case 9:
+		a := g.collArr(inSingle, true)
+		if g.chance(50) {
+			g.e.Line("MPI_Allgather(%s, %s)", a.name, g.anyExpr(1))
+		} else {
+			g.e.Line("MPI_Gather(%s, %s, %s)", a.name, g.anyExpr(1), root)
+			a.uniform = false
+		}
+	case 10:
+		v := g.collDst(inSingle)
+		src := g.collArr(inSingle, false)
+		g.e.Line("MPI_Scatter(%s, %s, %s)", v.name, src.name, root)
+		v.uniform = false
+	default:
+		dst := g.collArr(inSingle, true)
+		src := g.collArr(inSingle, false)
+		if dst == src {
+			g.e.Line("MPI_Barrier()")
+			return
+		}
+		g.e.Line("MPI_Alltoall(%s, %s)", dst.name, src.name)
+		dst.uniform = false
+	}
+}

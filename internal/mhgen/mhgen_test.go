@@ -1,0 +1,118 @@
+package mhgen
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach/internal/parser"
+	"parcoach/internal/sem"
+	"parcoach/internal/workload"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ", seed)
+		}
+		if a.Name != b.Name || a.BugLine != b.BugLine || a.Bug != b.Bug {
+			t.Fatalf("seed %d: metadata differs: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreWellFormed(t *testing.T) {
+	for seed := uint64(0); seed < 120; seed++ {
+		gp := FromSeed(seed)
+		prog, err := parser.Parse(gp.Name+".mh", gp.Source)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if err := sem.Check(prog); err != nil {
+			t.Fatalf("seed %d: sem: %v\n%s", seed, err, gp.Source)
+		}
+	}
+}
+
+func TestBugSiteIsLabeled(t *testing.T) {
+	for _, bug := range workload.AllBugs {
+		for seed := uint64(0); seed < 8; seed++ {
+			gp := Generate(Config{Seed: seed, Bug: bug, Size: SizeSmall})
+			if gp.BugLine == 0 {
+				t.Fatalf("%s seed %d: no bug line recorded", bug, seed)
+			}
+			lines := strings.Split(gp.Source, "\n")
+			marker := lines[gp.BugLine-1]
+			if !strings.Contains(marker, "// seeded bug: "+bug.String()) {
+				t.Fatalf("%s seed %d: line %d is %q, not the bug marker",
+					bug, seed, gp.BugLine, marker)
+			}
+		}
+	}
+	clean := Generate(Config{Seed: 3, Bug: workload.BugNone})
+	if clean.BugLine != 0 {
+		t.Fatalf("clean program has BugLine %d", clean.BugLine)
+	}
+}
+
+// TestFeatureCoverage locks in that the generated corpus actually spans
+// the language: a generator regression that silently stops emitting a
+// construct class would otherwise shrink the test surface unnoticed.
+func TestFeatureCoverage(t *testing.T) {
+	var all strings.Builder
+	for seed := uint64(0); seed < 150; seed++ {
+		all.WriteString(FromSeed(seed).Source)
+	}
+	corpus := all.String()
+	for _, want := range []string{
+		"parallel {", "parallel num_threads(", "single {", "single nowait {",
+		"master {", "critical", "barrier", "atomic ", "pfor", "schedule(dynamic)",
+		"sections", "section {", "while ", "for ", "else",
+		"MPI_Barrier()", "MPI_Bcast(", "MPI_Reduce(", "MPI_Allreduce(",
+		"MPI_Scan(", "MPI_Gather(", "MPI_Allgather(", "MPI_Scatter(",
+		"MPI_Alltoall(", "MPI_Send(", "MPI_Recv(",
+		"stepA", "stepB", // the mutually recursive SCC pair
+	} {
+		if !strings.Contains(corpus, want) {
+			t.Errorf("150-seed corpus never contains %q", want)
+		}
+	}
+}
+
+func TestRecommendedProcs(t *testing.T) {
+	if RecommendedProcs(workload.BugConcurrentSingles) != 1 ||
+		RecommendedProcs(workload.BugSectionsCollectives) != 1 {
+		t.Error("intra-process race classes must run on one process")
+	}
+	if RecommendedProcs(workload.BugNone) != 2 || RecommendedProcs(workload.BugEarlyReturn) != 2 {
+		t.Error("inter-process classes must run on two processes")
+	}
+}
+
+func TestReduceShrinksToKernel(t *testing.T) {
+	gp := Generate(Config{Seed: 7, Bug: workload.BugRankDependentCollective})
+	keep := func(src string) bool {
+		prog, err := parser.Parse("r.mh", src)
+		if err != nil || sem.Check(prog) != nil {
+			return false
+		}
+		return strings.Contains(src, "MPI_Barrier()") && strings.Contains(src, "rank() == 0")
+	}
+	red := Reduce(gp.Source, keep)
+	if !keep(red) {
+		t.Fatalf("reduced program lost the property:\n%s", red)
+	}
+	if got, orig := strings.Count(red, "\n"), strings.Count(gp.Source, "\n"); got >= orig {
+		t.Fatalf("no shrink: %d -> %d lines", orig, got)
+	}
+}
+
+func TestReduceKeepsUninterestingInputUntouched(t *testing.T) {
+	src := "func main() { MPI_Init()\nMPI_Finalize() }"
+	if got := Reduce(src, func(string) bool { return false }); got != src {
+		t.Fatalf("Reduce changed an uninteresting input: %q", got)
+	}
+	if got := Reduce("not a program {{{", func(string) bool { return true }); got != "not a program {{{" {
+		t.Fatalf("Reduce changed an unparsable input: %q", got)
+	}
+}

@@ -1,0 +1,121 @@
+package mhgen
+
+import (
+	"parcoach/internal/ast"
+	"parcoach/internal/parser"
+)
+
+// Reduce greedily shrinks a MiniHybrid program while the keep predicate
+// stays true, and returns the smallest version found (in the canonical
+// ast rendering). It is the harness's failure-reporting aid: a 150-line
+// generated program with a soundness violation shrinks to the few
+// statements that actually reproduce it.
+//
+// The reduction alternates two greedy passes until a fixpoint: deleting
+// whole functions (main is kept), and deleting individual statements
+// anywhere in the tree (compound statements — ifs, loops, regions — go
+// wholesale, taking their bodies with them). Every candidate is
+// re-rendered and re-offered to keep, so a predicate that compiles the
+// source automatically rejects candidates that no longer parse,
+// scope-check, or reproduce the failure.
+//
+// keep must be true for src itself (otherwise src is returned unchanged)
+// and should be deterministic; the reducer calls it O(statements²) times
+// in the worst case.
+func Reduce(src string, keep func(string) bool) string {
+	prog, err := parser.Parse("reduce.mh", src)
+	if err != nil || prog == nil {
+		return src
+	}
+	if base := ast.String(prog); !keep(base) {
+		// The canonical rendering already behaves differently (or src was
+		// not interesting to begin with): nothing safe to do.
+		return src
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: drop whole functions.
+		for i := 0; i < len(prog.Funcs); {
+			if prog.Funcs[i].Name == "main" {
+				i++
+				continue
+			}
+			saved := prog.Funcs[i]
+			prog.Funcs = append(prog.Funcs[:i], prog.Funcs[i+1:]...)
+			if keep(ast.String(prog)) {
+				changed = true
+				continue // i now indexes the next function
+			}
+			prog.Funcs = append(prog.Funcs[:i], append([]*ast.FuncDecl{saved}, prog.Funcs[i:]...)...)
+			i++
+		}
+
+		// Pass 2: drop individual statements, innermost blocks included.
+		for _, f := range prog.Funcs {
+			changed = reduceBlock(prog, f.Body, keep) || changed
+		}
+	}
+	return ast.String(prog)
+}
+
+// reduceBlock tries to delete each statement of b (recursing into nested
+// blocks first, so inner deletions don't mask outer ones); reports
+// whether anything was deleted.
+func reduceBlock(prog *ast.Program, b *ast.Block, keep func(string) bool) bool {
+	if b == nil {
+		return false
+	}
+	changed := false
+	for _, s := range b.Stmts {
+		for _, nested := range nestedBlocks(s) {
+			changed = reduceBlock(prog, nested, keep) || changed
+		}
+	}
+	for i := 0; i < len(b.Stmts); {
+		saved := b.Stmts[i]
+		b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+		if keep(ast.String(prog)) {
+			changed = true
+			continue
+		}
+		b.Stmts = append(b.Stmts[:i], append([]ast.Stmt{saved}, b.Stmts[i:]...)...)
+		i++
+	}
+	return changed
+}
+
+// nestedBlocks lists the blocks directly contained in s.
+func nestedBlocks(s ast.Stmt) []*ast.Block {
+	switch s := s.(type) {
+	case *ast.Block:
+		return []*ast.Block{s}
+	case *ast.If:
+		out := []*ast.Block{s.Then}
+		switch e := s.Else.(type) {
+		case *ast.Block:
+			out = append(out, e)
+		case *ast.If:
+			out = append(out, nestedBlocks(e)...)
+		}
+		return out
+	case *ast.For:
+		return []*ast.Block{s.Body}
+	case *ast.While:
+		return []*ast.Block{s.Body}
+	case *ast.ParallelStmt:
+		return []*ast.Block{s.Body}
+	case *ast.SingleStmt:
+		return []*ast.Block{s.Body}
+	case *ast.MasterStmt:
+		return []*ast.Block{s.Body}
+	case *ast.CriticalStmt:
+		return []*ast.Block{s.Body}
+	case *ast.PforStmt:
+		return []*ast.Block{s.Body}
+	case *ast.SectionsStmt:
+		return s.Bodies
+	}
+	return nil
+}

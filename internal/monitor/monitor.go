@@ -14,6 +14,7 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -178,6 +179,13 @@ func (m *Monitor) checkQuiescenceLocked() {
 		}
 	}
 	m.AbortLocked(&DeadlockError{Details: lines})
+}
+
+// IsDeadlock reports whether err is (or wraps) the monitor's deadlock
+// report — the oracle outcome the validation layers must preempt.
+func IsDeadlock(err error) bool {
+	var de *DeadlockError
+	return errors.As(err, &de)
 }
 
 // DeadlockError reports that every live thread was blocked.

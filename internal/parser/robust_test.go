@@ -1,12 +1,33 @@
-package parser
+// Robustness properties: whatever bytes the parser is fed — random,
+// truncated, or near-miss mutations of generator output — it must return
+// a program or a located error list, never panic, and never lose the
+// rest of the file when one statement is malformed. The package is
+// parser_test (external) so the cases can draw on internal/mhgen's
+// generated corpus without an import cycle.
+package parser_test
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"parcoach/internal/mhgen"
+	"parcoach/internal/parser"
+	"parcoach/internal/token"
 )
 
-// Property: the parser never panics, whatever bytes it is fed — it either
-// produces a program or a located error list.
+// parseNoPanic runs the parser and fails the test on panic.
+func parseNoPanic(t *testing.T, what, src string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on %s:\n%s\n%v", what, src, r)
+		}
+	}()
+	_, _ = parser.Parse("fuzz.mh", src)
+}
+
+// Property: the parser never panics, whatever bytes it is fed.
 func TestParseNeverPanics(t *testing.T) {
 	check := func(raw []byte) (ok bool) {
 		defer func() {
@@ -15,7 +36,7 @@ func TestParseNeverPanics(t *testing.T) {
 				ok = false
 			}
 		}()
-		_, _ = Parse("fuzz.mh", string(raw))
+		_, _ = parser.Parse("fuzz.mh", string(raw))
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
@@ -46,13 +67,102 @@ func main() {
 	for i := 0; i < len(base); i += 3 {
 		mutated := []byte(base)
 		mutated[i] = '@'
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("panic with mutation at %d: %v", i, r)
-				}
-			}()
-			_, _ = Parse("mut.mh", string(mutated))
-		}()
+		parseNoPanic(t, "byte mutation", string(mutated))
+	}
+}
+
+// Property: every truncation prefix of a generated program — which
+// leaves blocks, argument lists and expressions dangling at every
+// possible point — parses without panicking.
+func TestParseTruncatedGeneratedPrograms(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		src := mhgen.FromSeed(seed).Source
+		step := len(src)/60 + 1
+		for cut := 0; cut < len(src); cut += step {
+			parseNoPanic(t, "truncation", src[:cut])
+		}
+	}
+}
+
+// Property: swapping adjacent tokens of a generated program (assignment
+// targets and operators, keywords and braces, ...) never panics, and
+// when the mutation still parses the rest of the program is retained.
+func TestParseTokenSwappedGeneratedPrograms(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		src := mhgen.FromSeed(seed).Source
+		fields := strings.Fields(src)
+		step := len(fields)/40 + 1
+		for i := 0; i+1 < len(fields); i += step {
+			swapped := make([]string, len(fields))
+			copy(swapped, fields)
+			swapped[i], swapped[i+1] = swapped[i+1], swapped[i]
+			parseNoPanic(t, "token swap", strings.Join(swapped, " "))
+		}
+	}
+}
+
+// Property: deleting any single line of a generated program (dropping a
+// declaration, a brace, a region opener) yields diagnostics, not a
+// panic — and resynchronization still sees the later functions.
+func TestParseLineDeletedGeneratedPrograms(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		src := mhgen.FromSeed(seed).Source
+		lines := strings.Split(src, "\n")
+		step := len(lines)/40 + 1
+		for i := 0; i < len(lines); i += step {
+			mutated := make([]string, 0, len(lines)-1)
+			mutated = append(mutated, lines[:i]...)
+			mutated = append(mutated, lines[i+1:]...)
+			parseNoPanic(t, "line deletion", strings.Join(mutated, "\n"))
+		}
+	}
+}
+
+// Regression: one malformed statement must not swallow the rest of the
+// file — the parser resynchronizes and still reports later functions.
+func TestParseResynchronizesAcrossGarbage(t *testing.T) {
+	src := `
+func broken() {
+	var = = 3 @@@
+}
+func later() {
+	MPI_Barrier()
+}
+func main() {
+	later()
+}`
+	prog, err := parser.Parse("resync.mh", src)
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if prog == nil {
+		t.Fatal("error recovery must still return the program")
+	}
+	names := make(map[string]bool)
+	for _, f := range prog.Funcs {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"later", "main"} {
+		if !names[want] {
+			t.Errorf("resynchronization lost function %q (got %v)", want, names)
+		}
+	}
+}
+
+// Sanity: the keyword kinds the parser's sync set keys on still lex from
+// their source spellings — a lexer refactor that dropped one would
+// silently weaken error recovery.
+func TestSyncTokensExist(t *testing.T) {
+	for _, c := range []struct {
+		kind token.Kind
+		name string
+	}{
+		{token.Func, "func"}, {token.Var, "var"}, {token.If, "if"},
+		{token.For, "for"}, {token.While, "while"}, {token.Parallel, "parallel"},
+		{token.Single, "single"}, {token.Barrier, "barrier"}, {token.Sections, "sections"},
+	} {
+		if got := c.kind.String(); got != c.name {
+			t.Errorf("token kind %d renders %q, want keyword %q", c.kind, got, c.name)
+		}
 	}
 }

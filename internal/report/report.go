@@ -8,6 +8,7 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -194,21 +195,27 @@ func DetectionMatrix() (string, error) {
 }
 
 func describeRunError(err error) string {
-	switch e := err.(type) {
-	case nil:
+	switch parcoach.ClassifyRun(err) {
+	case parcoach.RunClean:
 		return "completes"
-	case *verifier.Error:
+	case parcoach.RunCheckAbort:
+		var e *verifier.Error
+		errors.As(err, &e)
 		return "verifier: " + e.Kind.String()
-	case *mpi.MismatchError:
-		return "runtime mismatch"
-	case *mpi.ConcurrentCallError:
-		return "runtime concurrent calls"
-	case *mpi.UsageError:
-		return "runtime usage error"
-	default:
-		if strings.HasPrefix(err.Error(), "deadlock") {
-			return "deadlock (detected)"
+	case parcoach.RunMPIError:
+		var mm *mpi.MismatchError
+		var cc *mpi.ConcurrentCallError
+		switch {
+		case errors.As(err, &mm):
+			return "runtime mismatch"
+		case errors.As(err, &cc):
+			return "runtime concurrent calls"
+		default:
+			return "runtime usage error"
 		}
+	case parcoach.RunDeadlock:
+		return "deadlock (detected)"
+	default:
 		return "error"
 	}
 }

@@ -7,197 +7,197 @@ package workload
 // collective kernels (barrier, reduce, bcast, alltoall) driven from a
 // single main, each repeated Reps times.
 func EPCC(sc Scale, bug Bug) Workload {
-	e := &emitter{}
-	e.line("// EPCC mixed-mode micro-benchmark suite (synthetic), reps=%d", sc.Reps)
+	e := &Emitter{}
+	e.Line("// EPCC mixed-mode micro-benchmark suite (synthetic), reps=%d", sc.Reps)
 
 	// masteronly pingpong: communication outside the parallel region.
-	e.open("func pingpong_masteronly(reps) {")
-	e.line("var v = 0")
-	e.open("for r = 0 .. reps {")
-	e.line("var work = 0")
-	e.open("parallel {")
-	e.open("pfor i = 0 .. 16 {")
-	e.line("atomic work += i")
-	e.close()
-	e.close()
-	e.open("if size() > 1 {")
-	e.open("if rank() == 0 {")
-	e.line("MPI_Send(work, 1, 20)")
-	e.line("MPI_Recv(v, 1, 21)")
-	e.close()
-	e.open("if rank() == 1 {")
-	e.line("MPI_Recv(v, 0, 20)")
-	e.line("MPI_Send(v, 0, 21)")
-	e.close()
-	e.close()
-	e.close()
-	e.line("return v")
-	e.close()
+	e.Open("func pingpong_masteronly(reps) {")
+	e.Line("var v = 0")
+	e.Open("for r = 0 .. reps {")
+	e.Line("var work = 0")
+	e.Open("parallel {")
+	e.Open("pfor i = 0 .. 16 {")
+	e.Line("atomic work += i")
+	e.Close()
+	e.Close()
+	e.Open("if size() > 1 {")
+	e.Open("if rank() == 0 {")
+	e.Line("MPI_Send(work, 1, 20)")
+	e.Line("MPI_Recv(v, 1, 21)")
+	e.Close()
+	e.Open("if rank() == 1 {")
+	e.Line("MPI_Recv(v, 0, 20)")
+	e.Line("MPI_Send(v, 0, 21)")
+	e.Close()
+	e.Close()
+	e.Close()
+	e.Line("return v")
+	e.Close()
 
 	// funnelled pingpong: master thread communicates inside the region.
-	e.open("func pingpong_funnelled(reps) {")
-	e.line("var v = 0")
-	e.open("parallel {")
-	e.open("for r = 0 .. reps {")
-	e.open("pfor i = 0 .. 16 {")
-	e.line("atomic v += 1")
-	e.close()
-	e.open("master {")
-	e.open("if size() > 1 {")
-	e.open("if rank() == 0 {")
-	e.line("MPI_Send(v, 1, 30)")
-	e.line("MPI_Recv(v, 1, 31)")
-	e.close()
-	e.open("if rank() == 1 {")
-	e.line("MPI_Recv(v, 0, 30)")
-	e.line("MPI_Send(v, 0, 31)")
-	e.close()
-	e.close()
-	e.close()
-	e.line("barrier")
-	e.close()
-	e.close()
-	e.line("return v")
-	e.close()
+	e.Open("func pingpong_funnelled(reps) {")
+	e.Line("var v = 0")
+	e.Open("parallel {")
+	e.Open("for r = 0 .. reps {")
+	e.Open("pfor i = 0 .. 16 {")
+	e.Line("atomic v += 1")
+	e.Close()
+	e.Open("master {")
+	e.Open("if size() > 1 {")
+	e.Open("if rank() == 0 {")
+	e.Line("MPI_Send(v, 1, 30)")
+	e.Line("MPI_Recv(v, 1, 31)")
+	e.Close()
+	e.Open("if rank() == 1 {")
+	e.Line("MPI_Recv(v, 0, 30)")
+	e.Line("MPI_Send(v, 0, 31)")
+	e.Close()
+	e.Close()
+	e.Close()
+	e.Line("barrier")
+	e.Close()
+	e.Close()
+	e.Line("return v")
+	e.Close()
 
 	// multiple pingpong: every thread communicates with its own tag.
-	e.open("func pingpong_multiple(reps) {")
-	e.line("var total = 0")
-	e.open("parallel {")
-	e.line("var mine = 0")
-	e.open("for r = 0 .. reps {")
-	e.open("if size() > 1 {")
-	e.open("if rank() == 0 {")
-	e.line("MPI_Send(r, 1, 100 + tid())")
-	e.line("MPI_Recv(mine, 1, 200 + tid())")
-	e.close()
-	e.open("if rank() == 1 {")
-	e.line("MPI_Recv(mine, 0, 100 + tid())")
-	e.line("MPI_Send(mine, 0, 200 + tid())")
-	e.close()
-	e.close()
-	e.close()
-	e.line("atomic total += mine")
-	e.close()
-	e.line("return total")
-	e.close()
+	e.Open("func pingpong_multiple(reps) {")
+	e.Line("var total = 0")
+	e.Open("parallel {")
+	e.Line("var mine = 0")
+	e.Open("for r = 0 .. reps {")
+	e.Open("if size() > 1 {")
+	e.Open("if rank() == 0 {")
+	e.Line("MPI_Send(r, 1, 100 + tid())")
+	e.Line("MPI_Recv(mine, 1, 200 + tid())")
+	e.Close()
+	e.Open("if rank() == 1 {")
+	e.Line("MPI_Recv(mine, 0, 100 + tid())")
+	e.Line("MPI_Send(mine, 0, 200 + tid())")
+	e.Close()
+	e.Close()
+	e.Close()
+	e.Line("atomic total += mine")
+	e.Close()
+	e.Line("return total")
+	e.Close()
 
 	// halo exchange across all ranks, threads pack/unpack.
-	e.open("func haloexchange(n, reps) {")
-	e.line("var buf[64]")
-	e.line("var inbound = 0")
-	e.open("for r = 0 .. reps {")
-	e.open("parallel {")
-	e.open("pfor i = 0 .. n {")
-	e.line("buf[i] = i + r")
-	e.close()
-	e.close()
-	e.line("var left = rank() - 1")
-	e.line("var right = rank() + 1")
-	e.open("if rank() %% 2 == 0 {")
-	e.open("if right < size() {")
-	e.line("MPI_Send(buf[n - 1], right, 40)")
-	e.line("MPI_Recv(inbound, right, 41)")
-	e.close()
-	e.open("if left >= 0 {")
-	e.line("MPI_Recv(inbound, left, 40)")
-	e.line("MPI_Send(buf[0], left, 41)")
-	e.close()
-	e.elseOpen()
-	e.open("if left >= 0 {")
-	e.line("MPI_Recv(inbound, left, 40)")
-	e.line("MPI_Send(buf[0], left, 41)")
-	e.close()
-	e.open("if right < size() {")
-	e.line("MPI_Send(buf[n - 1], right, 40)")
-	e.line("MPI_Recv(inbound, right, 41)")
-	e.close()
-	e.close()
-	e.close()
-	e.line("return inbound")
-	e.close()
+	e.Open("func haloexchange(n, reps) {")
+	e.Line("var buf[64]")
+	e.Line("var inbound = 0")
+	e.Open("for r = 0 .. reps {")
+	e.Open("parallel {")
+	e.Open("pfor i = 0 .. n {")
+	e.Line("buf[i] = i + r")
+	e.Close()
+	e.Close()
+	e.Line("var left = rank() - 1")
+	e.Line("var right = rank() + 1")
+	e.Open("if rank() %% 2 == 0 {")
+	e.Open("if right < size() {")
+	e.Line("MPI_Send(buf[n - 1], right, 40)")
+	e.Line("MPI_Recv(inbound, right, 41)")
+	e.Close()
+	e.Open("if left >= 0 {")
+	e.Line("MPI_Recv(inbound, left, 40)")
+	e.Line("MPI_Send(buf[0], left, 41)")
+	e.Close()
+	e.ElseOpen()
+	e.Open("if left >= 0 {")
+	e.Line("MPI_Recv(inbound, left, 40)")
+	e.Line("MPI_Send(buf[0], left, 41)")
+	e.Close()
+	e.Open("if right < size() {")
+	e.Line("MPI_Send(buf[n - 1], right, 40)")
+	e.Line("MPI_Recv(inbound, right, 41)")
+	e.Close()
+	e.Close()
+	e.Close()
+	e.Line("return inbound")
+	e.Close()
 
 	// collective kernels: barrier, reduce, bcast, alltoall.
-	e.open("func bench_barrier(reps) {")
-	e.open("for r = 0 .. reps {")
-	e.line("MPI_Barrier()")
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Open("func bench_barrier(reps) {")
+	e.Open("for r = 0 .. reps {")
+	e.Line("MPI_Barrier()")
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func bench_reduce(reps) {")
-	e.line("var acc = 0")
-	e.open("for r = 0 .. reps {")
-	e.line("var g = 0")
-	e.open("parallel {")
-	e.open("pfor i = 0 .. 32 {")
-	e.line("atomic acc += 1")
-	e.close()
-	e.open("single {")
-	e.line("MPI_Allreduce(g, acc, sum)")
-	e.close()
-	e.close()
-	e.line("acc = g %% 1000")
-	e.close()
-	e.line("return acc")
-	e.close()
+	e.Open("func bench_reduce(reps) {")
+	e.Line("var acc = 0")
+	e.Open("for r = 0 .. reps {")
+	e.Line("var g = 0")
+	e.Open("parallel {")
+	e.Open("pfor i = 0 .. 32 {")
+	e.Line("atomic acc += 1")
+	e.Close()
+	e.Open("single {")
+	e.Line("MPI_Allreduce(g, acc, sum)")
+	e.Close()
+	e.Close()
+	e.Line("acc = g %% 1000")
+	e.Close()
+	e.Line("return acc")
+	e.Close()
 
-	e.open("func bench_bcast(reps) {")
-	e.line("var v = rank()")
-	e.open("for r = 0 .. reps {")
-	e.line("MPI_Bcast(v, 0)")
-	e.line("v = v + 1")
-	e.close()
-	e.line("return v")
-	e.close()
+	e.Open("func bench_bcast(reps) {")
+	e.Line("var v = rank()")
+	e.Open("for r = 0 .. reps {")
+	e.Line("MPI_Bcast(v, 0)")
+	e.Line("v = v + 1")
+	e.Close()
+	e.Line("return v")
+	e.Close()
 
-	e.open("func bench_alltoall(reps) {")
-	e.line("var src[16]")
-	e.line("var dst[16]")
-	e.open("for r = 0 .. reps {")
-	e.open("for i = 0 .. size() {")
-	e.line("src[i] = rank() * 100 + i + r")
-	e.close()
-	e.line("MPI_Alltoall(dst, src)")
-	e.close()
-	e.line("return dst[0]")
-	e.close()
+	e.Open("func bench_alltoall(reps) {")
+	e.Line("var src[16]")
+	e.Line("var dst[16]")
+	e.Open("for r = 0 .. reps {")
+	e.Open("for i = 0 .. size() {")
+	e.Line("src[i] = rank() * 100 + i + r")
+	e.Close()
+	e.Line("MPI_Alltoall(dst, src)")
+	e.Close()
+	e.Line("return dst[0]")
+	e.Close()
 
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var reps = %d", sc.Reps)
-	e.line("var r1 = pingpong_masteronly(reps)")
-	e.line("var r2 = pingpong_funnelled(reps)")
-	e.line("var r3 = pingpong_multiple(reps)")
-	e.line("var r4 = haloexchange(%d, reps)", min(sc.Points, 64))
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var reps = %d", sc.Reps)
+	e.Line("var r1 = pingpong_masteronly(reps)")
+	e.Line("var r2 = pingpong_funnelled(reps)")
+	e.Line("var r3 = pingpong_multiple(reps)")
+	e.Line("var r4 = haloexchange(%d, reps)", min(sc.Points, 64))
 	if bug == BugEarlyReturn {
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
+		e.BugComment(bug)
+		e.Open("if rank() %% 2 == 1 {")
+		e.Line("MPI_Finalize()")
+		e.Line("return 1")
+		e.Close()
 	}
-	e.line("var r5 = bench_barrier(reps)")
-	e.line("var r6 = bench_reduce(reps)")
+	e.Line("var r5 = bench_barrier(reps)")
+	e.Line("var r6 = bench_reduce(reps)")
 	// Every rank is "active" (rank() < size() always holds), but the
 	// analysis cannot prove it: the guarded collective kernels below are
 	// the correct-but-unprovable pattern the runtime CC checks validate.
-	e.line("var r7 = 0")
-	e.line("var r8 = 0")
-	e.open("if rank() < size() {")
-	e.line("r7 = bench_bcast(reps)")
-	e.line("r8 = bench_alltoall(reps)")
-	e.close()
-	if e.seedProcessBug(bug, "r7") {
+	e.Line("var r7 = 0")
+	e.Line("var r8 = 0")
+	e.Open("if rank() < size() {")
+	e.Line("r7 = bench_bcast(reps)")
+	e.Line("r8 = bench_alltoall(reps)")
+	e.Close()
+	if e.SeedProcessBug(bug, "r7") {
 		// inter-process bug at suite level
 	} else if bug != BugNone && bug != BugEarlyReturn {
-		e.open("parallel {")
-		e.seedThreadingBug(bug, "r6")
-		e.close()
+		e.Open("parallel {")
+		e.SeedThreadingBug(bug, "r6")
+		e.Close()
 	}
-	e.line("print(r1 + r2 + r3 + r4 + r5 + r6 %% 97 + r7 + r8)")
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("print(r1 + r2 + r3 + r4 + r5 + r6 %% 97 + r7 + r8)")
+	e.Line("MPI_Finalize()")
+	e.Close()
 
 	return Workload{Name: "EPCC", Source: e.String(), Procs: 2, Threads: 4, Bug: bug}
 }

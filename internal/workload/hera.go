@@ -9,172 +9,172 @@ package workload
 // *scale*: HERA is by far the largest input in the paper's Figure 1, so
 // its synthetic stand-in grows linearly with Scale.Modules.
 func HERA(sc Scale, bug Bug) Workload {
-	e := &emitter{}
-	e.line("// HERA (synthetic): AMR multi-physics platform, %d modules, %d steps", sc.Modules, sc.Steps)
+	e := &Emitter{}
+	e.Line("// HERA (synthetic): AMR multi-physics platform, %d modules, %d steps", sc.Modules, sc.Steps)
 
 	// Platform helpers.
-	e.open("func mesh_init(cells, n) {")
-	e.open("for i = 0 .. n {")
-	e.line("cells[i] = (i * 7) %% 13 + 1")
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Open("func mesh_init(cells, n) {")
+	e.Open("for i = 0 .. n {")
+	e.Line("cells[i] = (i * 7) %% 13 + 1")
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func mesh_norm(cells, n) {")
-	e.line("var acc = 0")
-	e.open("for i = 0 .. n {")
-	e.line("acc += abs(cells[i])")
-	e.close()
-	e.line("return acc")
-	e.close()
+	e.Open("func mesh_norm(cells, n) {")
+	e.Line("var acc = 0")
+	e.Open("for i = 0 .. n {")
+	e.Line("acc += abs(cells[i])")
+	e.Close()
+	e.Line("return acc")
+	e.Close()
 
 	// AMR regrid: refinement criterion agreed by allreduce, then a
 	// redistribution step built on gather/bcast at the platform level.
-	e.open("func amr_regrid(cells, n, step) {")
-	e.line("var local = mesh_norm(cells, n) + step")
-	e.line("var crit = 0")
-	e.line("MPI_Allreduce(crit, local, max)")
-	e.open("if crit > 10 {")
-	e.open("parallel {")
-	e.open("pfor i = 0 .. n {")
-	e.line("cells[i] = cells[i] / 2 + 1")
-	e.close()
-	e.close()
-	e.close()
-	e.line("return crit")
-	e.close()
+	e.Open("func amr_regrid(cells, n, step) {")
+	e.Line("var local = mesh_norm(cells, n) + step")
+	e.Line("var crit = 0")
+	e.Line("MPI_Allreduce(crit, local, max)")
+	e.Open("if crit > 10 {")
+	e.Open("parallel {")
+	e.Open("pfor i = 0 .. n {")
+	e.Line("cells[i] = cells[i] / 2 + 1")
+	e.Close()
+	e.Close()
+	e.Close()
+	e.Line("return crit")
+	e.Close()
 
-	e.open("func load_balance(cells, n) {")
-	e.line("var local = mesh_norm(cells, n)")
-	e.line("var loads[32]")
-	e.line("MPI_Gather(loads, local, 0)")
-	e.line("var target = 0")
-	e.open("if rank() == 0 {")
-	e.line("var sum = 0")
-	e.open("for i = 0 .. size() {")
-	e.line("sum += loads[i]")
-	e.close()
-	e.line("target = sum / size()")
-	e.close()
-	e.line("MPI_Bcast(target, 0)")
-	e.line("return target")
-	e.close()
+	e.Open("func load_balance(cells, n) {")
+	e.Line("var local = mesh_norm(cells, n)")
+	e.Line("var loads[32]")
+	e.Line("MPI_Gather(loads, local, 0)")
+	e.Line("var target = 0")
+	e.Open("if rank() == 0 {")
+	e.Line("var sum = 0")
+	e.Open("for i = 0 .. size() {")
+	e.Line("sum += loads[i]")
+	e.Close()
+	e.Line("target = sum / size()")
+	e.Close()
+	e.Line("MPI_Bcast(target, 0)")
+	e.Line("return target")
+	e.Close()
 
-	e.open("func checkpoint(cells, n, step) {")
-	e.line("var chk = mesh_norm(cells, n)")
-	e.line("var total = 0")
-	e.line("MPI_Reduce(total, chk, sum, 0)")
-	e.open("if rank() == 0 {")
-	e.line("print(step, total)")
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Open("func checkpoint(cells, n, step) {")
+	e.Line("var chk = mesh_norm(cells, n)")
+	e.Line("var total = 0")
+	e.Line("MPI_Reduce(total, chk, sum, 0)")
+	e.Open("if rank() == 0 {")
+	e.Line("print(step, total)")
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
 	// Physics modules.
 	for m := 0; m < sc.Modules; m++ {
-		e.open("func flux_m%d(cells, n) {", m)
-		e.open("parallel {")
-		e.open("pfor i = 0 .. n {")
-		e.line("var f = (cells[i] * %d) %% 17", m+2)
-		e.line("cells[i] = cells[i] + f / 3")
-		e.close()
-		e.close()
-		e.line("return 0")
-		e.close()
+		e.Open("func flux_m%d(cells, n) {", m)
+		e.Open("parallel {")
+		e.Open("pfor i = 0 .. n {")
+		e.Line("var f = (cells[i] * %d) %% 17", m+2)
+		e.Line("cells[i] = cells[i] + f / 3")
+		e.Close()
+		e.Close()
+		e.Line("return 0")
+		e.Close()
 
-		e.open("func update_m%d(cells, n, dt) {", m)
-		e.open("parallel {")
-		e.open("pfor schedule(dynamic) i = 0 .. n {")
-		e.line("cells[i] = cells[i] + dt %% %d", m+3)
-		e.close()
-		e.close()
-		e.line("return 0")
-		e.close()
+		e.Open("func update_m%d(cells, n, dt) {", m)
+		e.Open("parallel {")
+		e.Open("pfor schedule(dynamic) i = 0 .. n {")
+		e.Line("cells[i] = cells[i] + dt %% %d", m+3)
+		e.Close()
+		e.Close()
+		e.Line("return 0")
+		e.Close()
 
-		e.open("func bc_m%d(cells, n) {", m)
-		e.line("var left = rank() - 1")
-		e.line("var right = rank() + 1")
-		e.line("var ghost = 0")
-		e.open("if rank() %% 2 == 0 {")
-		e.open("if right < size() {")
-		e.line("MPI_Send(cells[n - 1], right, %d)", 500+m)
-		e.line("MPI_Recv(ghost, right, %d)", 600+m)
-		e.close()
-		e.open("if left >= 0 {")
-		e.line("MPI_Recv(ghost, left, %d)", 500+m)
-		e.line("MPI_Send(cells[0], left, %d)", 600+m)
-		e.close()
-		e.elseOpen()
-		e.open("if left >= 0 {")
-		e.line("MPI_Recv(ghost, left, %d)", 500+m)
-		e.line("MPI_Send(cells[0], left, %d)", 600+m)
-		e.close()
-		e.open("if right < size() {")
-		e.line("MPI_Send(cells[n - 1], right, %d)", 500+m)
-		e.line("MPI_Recv(ghost, right, %d)", 600+m)
-		e.close()
-		e.close()
-		e.line("cells[0] = cells[0] + ghost %% 3")
-		e.line("return 0")
-		e.close()
+		e.Open("func bc_m%d(cells, n) {", m)
+		e.Line("var left = rank() - 1")
+		e.Line("var right = rank() + 1")
+		e.Line("var ghost = 0")
+		e.Open("if rank() %% 2 == 0 {")
+		e.Open("if right < size() {")
+		e.Line("MPI_Send(cells[n - 1], right, %d)", 500+m)
+		e.Line("MPI_Recv(ghost, right, %d)", 600+m)
+		e.Close()
+		e.Open("if left >= 0 {")
+		e.Line("MPI_Recv(ghost, left, %d)", 500+m)
+		e.Line("MPI_Send(cells[0], left, %d)", 600+m)
+		e.Close()
+		e.ElseOpen()
+		e.Open("if left >= 0 {")
+		e.Line("MPI_Recv(ghost, left, %d)", 500+m)
+		e.Line("MPI_Send(cells[0], left, %d)", 600+m)
+		e.Close()
+		e.Open("if right < size() {")
+		e.Line("MPI_Send(cells[n - 1], right, %d)", 500+m)
+		e.Line("MPI_Recv(ghost, right, %d)", 600+m)
+		e.Close()
+		e.Close()
+		e.Line("cells[0] = cells[0] + ghost %% 3")
+		e.Line("return 0")
+		e.Close()
 
-		e.open("func criterion_m%d(cells, n) {", m)
-		e.line("var c = 0")
-		e.open("for i = 0 .. n {")
-		e.open("if cells[i] %% %d == 0 {", m+2)
-		e.line("c += 1")
-		e.close()
-		e.close()
-		e.line("return c")
-		e.close()
+		e.Open("func criterion_m%d(cells, n) {", m)
+		e.Line("var c = 0")
+		e.Open("for i = 0 .. n {")
+		e.Open("if cells[i] %% %d == 0 {", m+2)
+		e.Line("c += 1")
+		e.Close()
+		e.Close()
+		e.Line("return c")
+		e.Close()
 
 		// Module driver: one physics step.
-		e.open("func drive_m%d(cells, n, dt) {", m)
-		e.line("var b = bc_m%d(cells, n)", m)
-		e.line("b = flux_m%d(cells, n)", m)
-		e.line("b = update_m%d(cells, n, dt)", m)
-		e.line("return criterion_m%d(cells, n)", m)
-		e.close()
+		e.Open("func drive_m%d(cells, n, dt) {", m)
+		e.Line("var b = bc_m%d(cells, n)", m)
+		e.Line("b = flux_m%d(cells, n)", m)
+		e.Line("b = update_m%d(cells, n, dt)", m)
+		e.Line("return criterion_m%d(cells, n)", m)
+		e.Close()
 	}
 
 	// Main driver.
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var n = %d", sc.Points)
-	e.line("var cells[%d]", sc.Points)
-	e.line("var mi = mesh_init(cells, n)")
-	e.open("for step = 0 .. %d {", sc.Steps)
-	e.line("var dt = step + 1")
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var n = %d", sc.Points)
+	e.Line("var cells[%d]", sc.Points)
+	e.Line("var mi = mesh_init(cells, n)")
+	e.Open("for step = 0 .. %d {", sc.Steps)
+	e.Line("var dt = step + 1")
 	for m := 0; m < sc.Modules; m++ {
-		e.line("var c%d = drive_m%d(cells, n, dt)", m, m)
+		e.Line("var c%d = drive_m%d(cells, n, dt)", m, m)
 	}
-	e.open("if step %% 4 == 0 {")
-	e.line("var crit = amr_regrid(cells, n, step)")
-	e.close()
+	e.Open("if step %% 4 == 0 {")
+	e.Line("var crit = amr_regrid(cells, n, step)")
+	e.Close()
 	// mesh_norm is a sum of absolute values, so every rank passes this
 	// guard — but the analysis cannot prove it (the norm is rank-variant
 	// data), so the load-balance collectives below get CC checks that
 	// validate the run. This is the correct-but-unprovable idiom real AMR
 	// codes are full of.
-	e.open("if step %% 8 == 0 && mesh_norm(cells, n) >= 0 {")
-	e.line("var tgt = load_balance(cells, n)")
-	e.close()
-	e.close()
+	e.Open("if step %% 8 == 0 && mesh_norm(cells, n) >= 0 {")
+	e.Line("var tgt = load_balance(cells, n)")
+	e.Close()
+	e.Close()
 	if bug == BugEarlyReturn {
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
+		e.BugComment(bug)
+		e.Open("if rank() %% 2 == 1 {")
+		e.Line("MPI_Finalize()")
+		e.Line("return 1")
+		e.Close()
 	}
-	if !e.seedProcessBug(bug, "mi") && bug != BugNone && bug != BugEarlyReturn {
-		e.open("parallel {")
-		e.seedThreadingBug(bug, "mi")
-		e.close()
+	if !e.SeedProcessBug(bug, "mi") && bug != BugNone && bug != BugEarlyReturn {
+		e.Open("parallel {")
+		e.SeedThreadingBug(bug, "mi")
+		e.Close()
 	}
-	e.line("var cp = checkpoint(cells, n, %d)", sc.Steps)
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("var cp = checkpoint(cells, n, %d)", sc.Steps)
+	e.Line("MPI_Finalize()")
+	e.Close()
 
 	return Workload{Name: "HERA", Source: e.String(), Procs: 4, Threads: 4, Bug: bug}
 }

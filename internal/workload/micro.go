@@ -5,67 +5,62 @@ package workload
 // examples, the detection-matrix experiment and the test suite. BugNone
 // yields a minimal correct hybrid program.
 func Micro(bug Bug) Workload {
-	e := &emitter{}
-	e.line("// micro: %s", bug)
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var x = rank() + 1")
+	e := &Emitter{}
+	e.Line("// micro: %s", bug)
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var x = rank() + 1")
 	switch bug {
 	case BugNone:
-		e.open("parallel {")
-		e.open("single {")
-		e.line("MPI_Allreduce(x, x, sum)")
-		e.close()
-		e.close()
+		e.Open("parallel {")
+		e.Open("single {")
+		e.Line("MPI_Allreduce(x, x, sum)")
+		e.Close()
+		e.Close()
 	case BugMultithreadedCollective:
-		e.bugComment(bug)
-		e.open("parallel {")
-		e.line("MPI_Allreduce(x, x, sum)")
-		e.close()
+		e.BugComment(bug)
+		e.Open("parallel {")
+		e.Line("MPI_Allreduce(x, x, sum)")
+		e.Close()
 	case BugConcurrentSingles:
-		e.bugComment(bug)
-		e.open("parallel {")
-		e.open("single nowait {")
-		e.line("MPI_Bcast(x)")
-		e.close()
-		e.open("single {")
-		e.line("MPI_Reduce(x, x, sum)")
-		e.close()
-		e.close()
+		e.BugComment(bug)
+		e.Open("parallel {")
+		e.Open("single nowait {")
+		e.Line("MPI_Bcast(x)")
+		e.Close()
+		e.Open("single {")
+		e.Line("MPI_Reduce(x, x, sum)")
+		e.Close()
+		e.Close()
 	case BugSectionsCollectives:
-		e.bugComment(bug)
-		e.open("parallel {")
-		e.open("sections {")
-		e.open("section {")
-		e.line("MPI_Bcast(x)")
-		e.close()
-		e.open("section {")
-		e.line("MPI_Reduce(x, x, sum)")
-		e.close()
-		e.close()
-		e.close()
+		e.BugComment(bug)
+		e.Open("parallel {")
+		e.Open("sections {")
+		e.Open("section {")
+		e.Line("MPI_Bcast(x)")
+		e.Close()
+		e.Open("section {")
+		e.Line("MPI_Reduce(x, x, sum)")
+		e.Close()
+		e.Close()
+		e.Close()
 	case BugRankDependentCollective:
-		e.bugComment(bug)
-		e.open("if rank() == 0 {")
-		e.line("MPI_Barrier()")
-		e.close()
+		e.BugComment(bug)
+		e.Open("if rank() == 0 {")
+		e.Line("MPI_Barrier()")
+		e.Close()
 	case BugEarlyReturn:
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
-		e.line("MPI_Allreduce(x, x, sum)")
+		e.SeedEarlyReturnBug(bug, "x")
 	case BugMismatchedKinds:
-		e.bugComment(bug)
-		e.open("if rank() == 0 {")
-		e.line("MPI_Bcast(x)")
-		e.elseOpen()
-		e.line("MPI_Reduce(x, x, sum)")
-		e.close()
+		e.BugComment(bug)
+		e.Open("if rank() == 0 {")
+		e.Line("MPI_Bcast(x)")
+		e.ElseOpen()
+		e.Line("MPI_Reduce(x, x, sum)")
+		e.Close()
 	}
-	e.line("print(x)")
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("print(x)")
+	e.Line("MPI_Finalize()")
+	e.Close()
 	return Workload{Name: "micro-" + bug.String(), Source: e.String(), Procs: 2, Threads: 2, Bug: bug}
 }

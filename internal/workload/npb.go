@@ -5,63 +5,63 @@ package workload
 // per-time-step boundary exchange (exch_qbc), x/y/z sweep solves, and a
 // periodic convergence allreduce — the structure of NPB-MZ BT-MZ.
 func BTMZ(sc Scale, bug Bug) Workload {
-	e := &emitter{}
-	e.line("// BT-MZ (synthetic): block-tridiagonal multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
+	e := &Emitter{}
+	e.Line("// BT-MZ (synthetic): block-tridiagonal multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
 	emitZoneHelpers(e, sc)
 	emitSweeps(e, "bt", sc, 3) // x, y, z sweeps with three-point stencils
 	emitExchQBC(e, sc)
 	emitConvergence(e)
 	emitVerify(e, "bt")
 
-	e.open("func timestep_zone(u, rhs, n, step) {")
-	e.open("parallel {")
-	e.open("pfor i = 0 .. n {")
-	e.line("rhs[i] = u[i] * 2 - step")
-	e.close()
-	e.line("var dummy = bt_sweep_x(u, rhs, n)")
-	e.line("dummy = bt_sweep_y(u, rhs, n)")
-	e.line("dummy = bt_sweep_z(u, rhs, n)")
-	e.open("pfor schedule(dynamic) i = 0 .. n {")
-	e.line("u[i] = u[i] + rhs[i] / 4")
-	e.close()
-	if e.seedThreadingBug(bug, "dummy") {
+	e.Open("func timestep_zone(u, rhs, n, step) {")
+	e.Open("parallel {")
+	e.Open("pfor i = 0 .. n {")
+	e.Line("rhs[i] = u[i] * 2 - step")
+	e.Close()
+	e.Line("var dummy = bt_sweep_x(u, rhs, n)")
+	e.Line("dummy = bt_sweep_y(u, rhs, n)")
+	e.Line("dummy = bt_sweep_z(u, rhs, n)")
+	e.Open("pfor schedule(dynamic) i = 0 .. n {")
+	e.Line("u[i] = u[i] + rhs[i] / 4")
+	e.Close()
+	if e.SeedThreadingBug(bug, "dummy") {
 		// threading bug seeded inside the parallel region
 	}
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var myzones = zones_of(rank())")
-	e.line("var n = %d", sc.Points)
-	e.line("var u[%d]", sc.Points)
-	e.line("var rhs[%d]", sc.Points)
-	e.line("var z = 0")
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var init = init_zone(u, n, z)")
-	e.close()
-	e.line("var residual = 0")
-	e.open("for step = 0 .. %d {", sc.Steps)
-	e.line("var ex = exch_qbc(u, n)")
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var ts = timestep_zone(u, rhs, n, step)")
-	e.close()
-	e.open("if step %% 5 == 0 && myzones > 0 {")
-	e.line("residual = convergence(u, n)")
-	e.close()
-	e.close()
-	if !e.seedProcessBug(bug, "residual") && bug == BugEarlyReturn {
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var myzones = zones_of(rank())")
+	e.Line("var n = %d", sc.Points)
+	e.Line("var u[%d]", sc.Points)
+	e.Line("var rhs[%d]", sc.Points)
+	e.Line("var z = 0")
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var init = init_zone(u, n, z)")
+	e.Close()
+	e.Line("var residual = 0")
+	e.Open("for step = 0 .. %d {", sc.Steps)
+	e.Line("var ex = exch_qbc(u, n)")
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var ts = timestep_zone(u, rhs, n, step)")
+	e.Close()
+	e.Open("if step %% 5 == 0 && myzones > 0 {")
+	e.Line("residual = convergence(u, n)")
+	e.Close()
+	e.Close()
+	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+		e.BugComment(bug)
+		e.Open("if rank() %% 2 == 1 {")
+		e.Line("MPI_Finalize()")
+		e.Line("return 1")
+		e.Close()
 	}
-	e.line("var ok = verify_bt(u, n, residual)")
-	e.line("print(ok)")
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("var ok = verify_bt(u, n, residual)")
+	e.Line("print(ok)")
+	e.Line("MPI_Finalize()")
+	e.Close()
 
 	return Workload{Name: "BT-MZ", Source: e.String(), Procs: 4, Threads: 4, Bug: bug}
 }
@@ -70,66 +70,66 @@ func BTMZ(sc Scale, bug Bug) Workload {
 // multi-zone skeleton as BT-MZ but with diagonal ADI sweeps (more, smaller
 // parallel loops) and a txinvr/ninvr factorization step.
 func SPMZ(sc Scale, bug Bug) Workload {
-	e := &emitter{}
-	e.line("// SP-MZ (synthetic): scalar-pentadiagonal multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
+	e := &Emitter{}
+	e.Line("// SP-MZ (synthetic): scalar-pentadiagonal multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
 	emitZoneHelpers(e, sc)
 	emitSweeps(e, "sp", sc, 5) // pentadiagonal: wider stencil
 	emitExchQBC(e, sc)
 	emitConvergence(e)
 	emitVerify(e, "sp")
 
-	e.open("func txinvr(u, rhs, n) {")
-	e.open("pfor i = 0 .. n {")
-	e.line("rhs[i] = rhs[i] - u[i] / 3")
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Open("func txinvr(u, rhs, n) {")
+	e.Open("pfor i = 0 .. n {")
+	e.Line("rhs[i] = rhs[i] - u[i] / 3")
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func adi(u, rhs, n, step) {")
-	e.open("parallel {")
-	e.line("var t = txinvr(u, rhs, n)")
-	e.line("t = sp_sweep_x(u, rhs, n)")
-	e.line("t = sp_sweep_y(u, rhs, n)")
-	e.line("t = sp_sweep_z(u, rhs, n)")
-	e.open("pfor i = 0 .. n {")
-	e.line("u[i] = u[i] + rhs[i] / 8 - step %% 3")
-	e.close()
-	if e.seedThreadingBug(bug, "t") {
+	e.Open("func adi(u, rhs, n, step) {")
+	e.Open("parallel {")
+	e.Line("var t = txinvr(u, rhs, n)")
+	e.Line("t = sp_sweep_x(u, rhs, n)")
+	e.Line("t = sp_sweep_y(u, rhs, n)")
+	e.Line("t = sp_sweep_z(u, rhs, n)")
+	e.Open("pfor i = 0 .. n {")
+	e.Line("u[i] = u[i] + rhs[i] / 8 - step %% 3")
+	e.Close()
+	if e.SeedThreadingBug(bug, "t") {
 	}
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var myzones = zones_of(rank())")
-	e.line("var n = %d", sc.Points)
-	e.line("var u[%d]", sc.Points)
-	e.line("var rhs[%d]", sc.Points)
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var init = init_zone(u, n, z)")
-	e.close()
-	e.line("var residual = 0")
-	e.open("for step = 0 .. %d {", sc.Steps)
-	e.line("var ex = exch_qbc(u, n)")
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var a = adi(u, rhs, n, step)")
-	e.close()
-	e.open("if step %% 4 == 0 && myzones > 0 {")
-	e.line("residual = convergence(u, n)")
-	e.close()
-	e.close()
-	if !e.seedProcessBug(bug, "residual") && bug == BugEarlyReturn {
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var myzones = zones_of(rank())")
+	e.Line("var n = %d", sc.Points)
+	e.Line("var u[%d]", sc.Points)
+	e.Line("var rhs[%d]", sc.Points)
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var init = init_zone(u, n, z)")
+	e.Close()
+	e.Line("var residual = 0")
+	e.Open("for step = 0 .. %d {", sc.Steps)
+	e.Line("var ex = exch_qbc(u, n)")
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var a = adi(u, rhs, n, step)")
+	e.Close()
+	e.Open("if step %% 4 == 0 && myzones > 0 {")
+	e.Line("residual = convergence(u, n)")
+	e.Close()
+	e.Close()
+	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+		e.BugComment(bug)
+		e.Open("if rank() %% 2 == 1 {")
+		e.Line("MPI_Finalize()")
+		e.Line("return 1")
+		e.Close()
 	}
-	e.line("var ok = verify_sp(u, n, residual)")
-	e.line("print(ok)")
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("var ok = verify_sp(u, n, residual)")
+	e.Line("print(ok)")
+	e.Line("MPI_Finalize()")
+	e.Close()
 
 	return Workload{Name: "SP-MZ", Source: e.String(), Procs: 4, Threads: 4, Bug: bug}
 }
@@ -139,8 +139,8 @@ func SPMZ(sc Scale, bug Bug) Workload {
 // barriers between wavefronts) — the deepest threading structure of the
 // three MZ codes.
 func LUMZ(sc Scale, bug Bug) Workload {
-	e := &emitter{}
-	e.line("// LU-MZ (synthetic): lower-upper SSOR multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
+	e := &Emitter{}
+	e.Line("// LU-MZ (synthetic): lower-upper SSOR multi-zone, %d zones, %d steps", sc.Zones, sc.Steps)
 	emitZoneHelpers(e, sc)
 	emitExchQBC(e, sc)
 	emitConvergence(e)
@@ -148,68 +148,68 @@ func LUMZ(sc Scale, bug Bug) Workload {
 
 	// jacld/jacu: local factorizations.
 	for _, nm := range []string{"jacld", "jacu"} {
-		e.open("func %s(u, rhs, n) {", nm)
-		e.open("pfor i = 0 .. n {")
-		e.line("rhs[i] = rhs[i] + u[i] %% 7")
-		e.close()
-		e.line("return 0")
-		e.close()
+		e.Open("func %s(u, rhs, n) {", nm)
+		e.Open("pfor i = 0 .. n {")
+		e.Line("rhs[i] = rhs[i] + u[i] %% 7")
+		e.Close()
+		e.Line("return 0")
+		e.Close()
 	}
 	// blts/buts: pipelined wavefront sweeps with barriers between fronts.
 	for _, nm := range []string{"blts", "buts"} {
-		e.open("func %s(u, rhs, n, fronts) {", nm)
-		e.open("for f = 0 .. fronts {")
-		e.open("pfor i = 0 .. n {")
-		e.line("u[i] = u[i] + (rhs[i] - f) / 5")
-		e.close()
-		e.close()
-		e.line("return 0")
-		e.close()
+		e.Open("func %s(u, rhs, n, fronts) {", nm)
+		e.Open("for f = 0 .. fronts {")
+		e.Open("pfor i = 0 .. n {")
+		e.Line("u[i] = u[i] + (rhs[i] - f) / 5")
+		e.Close()
+		e.Close()
+		e.Line("return 0")
+		e.Close()
 	}
 
-	e.open("func ssor(u, rhs, n, step) {")
-	e.open("parallel {")
-	e.line("var j = jacld(u, rhs, n)")
-	e.line("j = blts(u, rhs, n, 4)")
-	e.line("barrier")
-	e.line("j = jacu(u, rhs, n)")
-	e.line("j = buts(u, rhs, n, 4)")
-	if e.seedThreadingBug(bug, "j") {
+	e.Open("func ssor(u, rhs, n, step) {")
+	e.Open("parallel {")
+	e.Line("var j = jacld(u, rhs, n)")
+	e.Line("j = blts(u, rhs, n, 4)")
+	e.Line("barrier")
+	e.Line("j = jacu(u, rhs, n)")
+	e.Line("j = buts(u, rhs, n, 4)")
+	if e.SeedThreadingBug(bug, "j") {
 	}
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func main() {")
-	e.line("MPI_Init()")
-	e.line("var myzones = zones_of(rank())")
-	e.line("var n = %d", sc.Points)
-	e.line("var u[%d]", sc.Points)
-	e.line("var rhs[%d]", sc.Points)
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var init = init_zone(u, n, z)")
-	e.close()
-	e.line("var residual = 0")
-	e.open("for step = 0 .. %d {", sc.Steps)
-	e.line("var ex = exch_qbc(u, n)")
-	e.open("for z = 0 .. %d {", sc.Zones)
-	e.line("var s = ssor(u, rhs, n, step)")
-	e.close()
-	e.open("if step %% 3 == 0 && myzones > 0 {")
-	e.line("residual = convergence(u, n)")
-	e.close()
-	e.close()
-	if !e.seedProcessBug(bug, "residual") && bug == BugEarlyReturn {
-		e.bugComment(bug)
-		e.open("if rank() %% 2 == 1 {")
-		e.line("MPI_Finalize()")
-		e.line("return 1")
-		e.close()
+	e.Open("func main() {")
+	e.Line("MPI_Init()")
+	e.Line("var myzones = zones_of(rank())")
+	e.Line("var n = %d", sc.Points)
+	e.Line("var u[%d]", sc.Points)
+	e.Line("var rhs[%d]", sc.Points)
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var init = init_zone(u, n, z)")
+	e.Close()
+	e.Line("var residual = 0")
+	e.Open("for step = 0 .. %d {", sc.Steps)
+	e.Line("var ex = exch_qbc(u, n)")
+	e.Open("for z = 0 .. %d {", sc.Zones)
+	e.Line("var s = ssor(u, rhs, n, step)")
+	e.Close()
+	e.Open("if step %% 3 == 0 && myzones > 0 {")
+	e.Line("residual = convergence(u, n)")
+	e.Close()
+	e.Close()
+	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+		e.BugComment(bug)
+		e.Open("if rank() %% 2 == 1 {")
+		e.Line("MPI_Finalize()")
+		e.Line("return 1")
+		e.Close()
 	}
-	e.line("var ok = verify_lu(u, n, residual)")
-	e.line("print(ok)")
-	e.line("MPI_Finalize()")
-	e.close()
+	e.Line("var ok = verify_lu(u, n, residual)")
+	e.Line("print(ok)")
+	e.Line("MPI_Finalize()")
+	e.Close()
 
 	return Workload{Name: "LU-MZ", Source: e.String(), Procs: 4, Threads: 4, Bug: bug}
 }
@@ -218,103 +218,103 @@ func LUMZ(sc Scale, bug Bug) Workload {
 // Shared multi-zone helpers
 //
 
-func emitZoneHelpers(e *emitter, sc Scale) {
+func emitZoneHelpers(e *Emitter, sc Scale) {
 	// zones_of computes the per-rank zone count of the multi-zone
 	// distribution. Every rank owns at least one zone, but the analysis
 	// cannot prove that: collectives guarded by "myzones > 0" are exactly
 	// the correct-but-statically-unprovable pattern PARCOACH's selective
 	// instrumentation exists to validate at run time.
-	e.open("func zones_of(r) {")
-	e.line("return r %% size() + 1")
-	e.close()
+	e.Open("func zones_of(r) {")
+	e.Line("return r %% size() + 1")
+	e.Close()
 
-	e.open("func init_zone(u, n, z) {")
-	e.open("for i = 0 .. n {")
-	e.line("u[i] = (i + z) %% 11 + 1")
-	e.close()
-	e.line("return 0")
-	e.close()
+	e.Open("func init_zone(u, n, z) {")
+	e.Open("for i = 0 .. n {")
+	e.Line("u[i] = (i + z) %% 11 + 1")
+	e.Close()
+	e.Line("return 0")
+	e.Close()
 
-	e.open("func zone_energy(u, n) {")
-	e.line("var acc = 0")
-	e.open("for i = 0 .. n {")
-	e.line("acc += u[i]")
-	e.close()
-	e.line("return acc")
-	e.close()
+	e.Open("func zone_energy(u, n) {")
+	e.Line("var acc = 0")
+	e.Open("for i = 0 .. n {")
+	e.Line("acc += u[i]")
+	e.Close()
+	e.Line("return acc")
+	e.Close()
 }
 
 // emitSweeps generates per-direction solver sweeps with a stencil width.
-func emitSweeps(e *emitter, prefix string, sc Scale, width int) {
+func emitSweeps(e *Emitter, prefix string, sc Scale, width int) {
 	for _, dir := range []string{"x", "y", "z"} {
-		e.open("func %s_sweep_%s(u, rhs, n) {", prefix, dir)
-		e.open("pfor i = 0 .. n {")
-		e.line("var acc = rhs[i]")
-		e.open("for k = 0 .. %d {", width)
-		e.line("acc += (u[i] + k) %% 9")
-		e.close()
-		e.line("rhs[i] = acc / %d", width)
-		e.close()
-		e.line("return 0")
-		e.close()
+		e.Open("func %s_sweep_%s(u, rhs, n) {", prefix, dir)
+		e.Open("pfor i = 0 .. n {")
+		e.Line("var acc = rhs[i]")
+		e.Open("for k = 0 .. %d {", width)
+		e.Line("acc += (u[i] + k) %% 9")
+		e.Close()
+		e.Line("rhs[i] = acc / %d", width)
+		e.Close()
+		e.Line("return 0")
+		e.Close()
 	}
 }
 
 // emitExchQBC generates the inter-zone boundary exchange: neighbor
 // send/recv in a deadlock-free even/odd order.
-func emitExchQBC(e *emitter, sc Scale) {
-	e.open("func exch_qbc(u, n) {")
-	e.line("var left = rank() - 1")
-	e.line("var right = rank() + 1")
-	e.line("var inbound = 0")
-	e.open("if rank() %% 2 == 0 {")
-	e.open("if right < size() {")
-	e.line("MPI_Send(u[n - 1], right, 10)")
-	e.line("MPI_Recv(inbound, right, 11)")
-	e.close()
-	e.open("if left >= 0 {")
-	e.line("MPI_Recv(inbound, left, 10)")
-	e.line("MPI_Send(u[0], left, 11)")
-	e.close()
-	e.elseOpen()
-	e.open("if left >= 0 {")
-	e.line("MPI_Recv(inbound, left, 10)")
-	e.line("MPI_Send(u[0], left, 11)")
-	e.close()
-	e.open("if right < size() {")
-	e.line("MPI_Send(u[n - 1], right, 10)")
-	e.line("MPI_Recv(inbound, right, 11)")
-	e.close()
-	e.close()
-	e.line("u[0] = u[0] + inbound %% 5")
-	e.line("return 0")
-	e.close()
+func emitExchQBC(e *Emitter, sc Scale) {
+	e.Open("func exch_qbc(u, n) {")
+	e.Line("var left = rank() - 1")
+	e.Line("var right = rank() + 1")
+	e.Line("var inbound = 0")
+	e.Open("if rank() %% 2 == 0 {")
+	e.Open("if right < size() {")
+	e.Line("MPI_Send(u[n - 1], right, 10)")
+	e.Line("MPI_Recv(inbound, right, 11)")
+	e.Close()
+	e.Open("if left >= 0 {")
+	e.Line("MPI_Recv(inbound, left, 10)")
+	e.Line("MPI_Send(u[0], left, 11)")
+	e.Close()
+	e.ElseOpen()
+	e.Open("if left >= 0 {")
+	e.Line("MPI_Recv(inbound, left, 10)")
+	e.Line("MPI_Send(u[0], left, 11)")
+	e.Close()
+	e.Open("if right < size() {")
+	e.Line("MPI_Send(u[n - 1], right, 10)")
+	e.Line("MPI_Recv(inbound, right, 11)")
+	e.Close()
+	e.Close()
+	e.Line("u[0] = u[0] + inbound %% 5")
+	e.Line("return 0")
+	e.Close()
 }
 
 // emitConvergence generates the periodic residual allreduce.
-func emitConvergence(e *emitter) {
-	e.open("func convergence(u, n) {")
-	e.line("var local = zone_energy(u, n)")
-	e.line("var global = 0")
-	e.line("MPI_Allreduce(global, local, sum)")
-	e.line("return global")
-	e.close()
+func emitConvergence(e *Emitter) {
+	e.Open("func convergence(u, n) {")
+	e.Line("var local = zone_energy(u, n)")
+	e.Line("var global = 0")
+	e.Line("MPI_Allreduce(global, local, sum)")
+	e.Line("return global")
+	e.Close()
 }
 
 // emitVerify generates the end-of-run verification: a reduce of the
 // checksum to rank 0 and a broadcast of the verdict.
-func emitVerify(e *emitter, prefix string) {
-	e.open("func verify_%s(u, n, residual) {", prefix)
-	e.line("var chk = zone_energy(u, n) + residual")
-	e.line("var total = 0")
-	e.line("MPI_Reduce(total, chk, sum, 0)")
-	e.line("var verdict = 0")
-	e.open("if rank() == 0 {")
-	e.open("if total > 0 {")
-	e.line("verdict = 1")
-	e.close()
-	e.close()
-	e.line("MPI_Bcast(verdict, 0)")
-	e.line("return verdict")
-	e.close()
+func emitVerify(e *Emitter, prefix string) {
+	e.Open("func verify_%s(u, n, residual) {", prefix)
+	e.Line("var chk = zone_energy(u, n) + residual")
+	e.Line("var total = 0")
+	e.Line("MPI_Reduce(total, chk, sum, 0)")
+	e.Line("var verdict = 0")
+	e.Open("if rank() == 0 {")
+	e.Open("if total > 0 {")
+	e.Line("verdict = 1")
+	e.Close()
+	e.Close()
+	e.Line("MPI_Bcast(verdict, 0)")
+	e.Line("return verdict")
+	e.Close()
 }

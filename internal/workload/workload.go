@@ -119,93 +119,117 @@ func Figure1Set(sc Scale) []Workload {
 	}
 }
 
-// emitter builds MiniHybrid source with indentation tracking.
-type emitter struct {
+// Emitter builds MiniHybrid source with indentation tracking. It is the
+// shared emission and bug-planting vocabulary of the structured benchmark
+// generators in this package and of the randomized program generator in
+// internal/mhgen: the Seed*Bug methods plant the paper's error classes at
+// the current emission point, marked with a greppable comment.
+type Emitter struct {
 	b      strings.Builder
 	indent int
 }
 
-func (e *emitter) line(format string, args ...any) {
+// Line emits one indented source line (printf-style).
+func (e *Emitter) Line(format string, args ...any) {
 	e.b.WriteString(strings.Repeat("\t", e.indent))
 	fmt.Fprintf(&e.b, format, args...)
 	e.b.WriteByte('\n')
 }
 
-func (e *emitter) open(format string, args ...any) {
-	e.line(format, args...)
+// Open emits a line and indents the following ones (a block opener).
+func (e *Emitter) Open(format string, args ...any) {
+	e.Line(format, args...)
 	e.indent++
 }
 
-func (e *emitter) close() {
+// Close dedents and emits the closing brace of the innermost open block.
+func (e *Emitter) Close() {
 	e.indent--
-	e.line("}")
+	e.Line("}")
 }
 
-// elseOpen closes the current branch and opens its else block.
-func (e *emitter) elseOpen() {
+// ElseOpen closes the current branch and opens its else block.
+func (e *Emitter) ElseOpen() {
 	e.indent--
-	e.line("} else {")
+	e.Line("} else {")
 	e.indent++
 }
 
-func (e *emitter) String() string { return e.b.String() }
+// String returns the source emitted so far.
+func (e *Emitter) String() string { return e.b.String() }
 
-// bugComment renders a marker comment so seeded sources are greppable.
-func (e *emitter) bugComment(b Bug) {
+// BugComment renders a marker comment so seeded sources are greppable.
+func (e *Emitter) BugComment(b Bug) {
 	if b != BugNone {
-		e.line("// seeded bug: %s", b)
+		e.Line("// seeded bug: %s", b)
 	}
 }
 
-// seedPhase1or2 emits the threading-level bug patterns inside a parallel
-// region body; returns true if it handled the bug.
-func (e *emitter) seedThreadingBug(b Bug, varName string) bool {
+// SeedThreadingBug emits the threading-level (phase 1/2) bug patterns
+// inside a parallel region body; returns true if it handled the bug.
+func (e *Emitter) SeedThreadingBug(b Bug, varName string) bool {
 	switch b {
 	case BugMultithreadedCollective:
-		e.bugComment(b)
-		e.line("MPI_Allreduce(%s, %s, sum)", varName, varName)
+		e.BugComment(b)
+		e.Line("MPI_Allreduce(%s, %s, sum)", varName, varName)
 		return true
 	case BugConcurrentSingles:
-		e.bugComment(b)
-		e.open("single nowait {")
-		e.line("MPI_Bcast(%s)", varName)
-		e.close()
-		e.open("single {")
-		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
-		e.close()
+		e.BugComment(b)
+		e.Open("single nowait {")
+		e.Line("MPI_Bcast(%s)", varName)
+		e.Close()
+		e.Open("single {")
+		e.Line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.Close()
 		return true
 	case BugSectionsCollectives:
-		e.bugComment(b)
-		e.open("sections {")
-		e.open("section {")
-		e.line("MPI_Bcast(%s)", varName)
-		e.close()
-		e.open("section {")
-		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
-		e.close()
-		e.close()
+		e.BugComment(b)
+		e.Open("sections {")
+		e.Open("section {")
+		e.Line("MPI_Bcast(%s)", varName)
+		e.Close()
+		e.Open("section {")
+		e.Line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.Close()
+		e.Close()
 		return true
 	}
 	return false
 }
 
-// seedProcessBug emits the inter-process bug patterns at sequential level;
-// returns true if it handled the bug.
-func (e *emitter) seedProcessBug(b Bug, varName string) bool {
+// SeedEarlyReturnBug emits the early-return bug pattern at the sequential
+// level of main: odd ranks finalize and leave before a collective the even
+// ranks still execute. Returns true if it handled the bug.
+func (e *Emitter) SeedEarlyReturnBug(b Bug, varName string) bool {
+	if b != BugEarlyReturn {
+		return false
+	}
+	e.BugComment(b)
+	e.Open("if rank() %% 2 == 1 {")
+	e.Line("MPI_Finalize()")
+	e.Line("return 1")
+	e.Close()
+	e.Line("MPI_Allreduce(%s, %s, sum)", varName, varName)
+	return true
+}
+
+// SeedProcessBug emits the inter-process (phase 3) bug patterns at
+// sequential level; returns true if it handled the bug.
+func (e *Emitter) SeedProcessBug(b Bug, varName string) bool {
 	switch b {
 	case BugRankDependentCollective:
-		e.bugComment(b)
-		e.open("if rank() == 0 {")
-		e.line("MPI_Barrier()")
-		e.close()
+		e.BugComment(b)
+		e.Open("if rank() == 0 {")
+		e.Line("MPI_Barrier()")
+		e.Close()
 		return true
 	case BugMismatchedKinds:
-		e.bugComment(b)
-		e.open("if rank() == 0 {")
-		e.line("MPI_Bcast(%s)", varName)
-		e.elseOpen()
-		e.line("MPI_Reduce(%s, %s, sum)", varName, varName)
-		e.close()
+		e.BugComment(b)
+		e.Open("if rank() == 0 {")
+		e.Line("MPI_Bcast(%s)", varName)
+		e.ElseOpen()
+		e.Line("MPI_Reduce(%s, %s, sum)", varName, varName)
+		e.Close()
 		return true
 	}
 	return false

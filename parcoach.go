@@ -33,6 +33,7 @@ package parcoach
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"parcoach/internal/ast"
@@ -571,6 +572,46 @@ func (p *Program) Warnings() []Diagnostic {
 	}
 	return p.Analysis.Errors()
 }
+
+// WarningKinds returns the sorted, deduplicated kind names of the
+// error-class diagnostics — the static half of a program's verdict, as
+// the differential harness (internal/mhgen/diff) and the report tables
+// consume it. Empty means statically clean.
+func (p *Program) WarningKinds() []string {
+	seen := make(map[string]bool)
+	var kinds []string
+	for _, d := range p.Warnings() {
+		name := d.Kind.String()
+		if !seen[name] {
+			seen[name] = true
+			kinds = append(kinds, name)
+		}
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// RunOutcome classifies how a run ended; it re-exports the interpreter's
+// outcome classes so harnesses can cross-check the dynamic verdict
+// (which layer stopped the run) against the static one.
+type RunOutcome = interp.Outcome
+
+// Run outcome classes.
+const (
+	// RunClean: the run completed without error.
+	RunClean = interp.OutcomeClean
+	// RunCheckAbort: a planted runtime check stopped the run.
+	RunCheckAbort = interp.OutcomeCheckAbort
+	// RunMPIError: the simulated MPI library rejected the run.
+	RunMPIError = interp.OutcomeMPIError
+	// RunDeadlock: the monitor's deadlock oracle fired.
+	RunDeadlock = interp.OutcomeDeadlock
+	// RunRuntimeError: a plain execution error.
+	RunRuntimeError = interp.OutcomeRuntimeError
+)
+
+// ClassifyRun maps a run error to its outcome class (nil means RunClean).
+func ClassifyRun(err error) RunOutcome { return interp.ClassifyError(err) }
 
 // RunOptions configures execution on the simulated runtime.
 type RunOptions = interp.Options
