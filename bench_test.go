@@ -239,3 +239,36 @@ func main() {
 func benchName(prefix string, n int) string {
 	return prefix + "-" + string(rune('0'+n/10)) + string(rune('0'+n%10))
 }
+
+// BenchmarkExplore pins the schedule-exploration throughput
+// (schedules/sec): one generated concurrency-bug program explored with
+// seeded random schedules at growing budgets, on widening worker pools.
+// The serialized runs are independent, so throughput should scale with
+// workers once the budget exceeds the pool width.
+func BenchmarkExplore(b *testing.B) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 5, Bug: workload.BugConcurrentSingles})
+	prog, err := parcoach.Compile(gp.Name+".mh", gp.Source, parcoach.Options{Mode: parcoach.ModeFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, schedules := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(benchName("schedules", schedules)+"/"+benchName("workers", workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep := prog.Explore(parcoach.ExploreOptions{
+						Strategy:  parcoach.ExploreRandom,
+						Schedules: schedules,
+						Workers:   workers,
+						Procs:     gp.Procs,
+						Threads:   gp.Threads,
+						MaxSteps:  2_000_000,
+					})
+					if rep.Schedules != schedules {
+						b.Fatalf("ran %d schedules, want %d", rep.Schedules, schedules)
+					}
+				}
+				b.ReportMetric(float64(schedules)*float64(b.N)/b.Elapsed().Seconds(), "schedules/s")
+			})
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // verification error (instrumented) or with the runtime's own mismatch or
 // deadlock report (uninstrumented) instead of hanging.
 //
+// Beyond the single default run, the schedule-exploration engine can
+// sweep the interleaving space (-explore) and any failing schedule it
+// prints can be reproduced exactly (-replay):
+//
+//	hybridrun -explore dfs -schedules 512 bug.mh
+//	  ... first failure at schedule 33 (deadlock)
+//	      replay with: -replay 'trace:0.0.1.2'
+//	hybridrun -replay 'trace:0.0.1.2' bug.mh
+//
 // Usage:
 //
 //	hybridrun [flags] file.mh
@@ -14,6 +23,10 @@
 //	-level L       single|funneled|serialized|multiple (default multiple)
 //	-policy P      single election: first-arrival|round-robin
 //	-max-steps N   statement budget before the run is aborted
+//	-explore S     explore schedules with strategy rr|random|pct|dfs
+//	-schedules N   exploration run budget (default 16)
+//	-sched-seed N  base seed of the random/pct samplers
+//	-replay TOK    run the single schedule named by a replay token
 package main
 
 import (
@@ -22,8 +35,10 @@ import (
 	"os"
 
 	"parcoach"
+	"parcoach/internal/explore"
 	"parcoach/internal/mpi"
 	"parcoach/internal/omp"
+	"parcoach/internal/sched"
 )
 
 func main() {
@@ -34,6 +49,10 @@ func main() {
 	policy := flag.String("policy", "first-arrival", "single election policy")
 	maxSteps := flag.Int64("max-steps", 0, "statement budget (0 = default)")
 	workers := flag.Int("workers", 0, "compile worker pool width (0 = all cores, 1 = serial)")
+	exploreStrat := flag.String("explore", "", "explore the schedule space: rr|random|pct|dfs")
+	schedules := flag.Int("schedules", 16, "exploration schedule budget")
+	schedSeed := flag.Int64("sched-seed", 0, "base seed of the random/pct schedule samplers")
+	replay := flag.String("replay", "", "replay one schedule from its token (rr, rand:<seed>, pct:<seed>:<depth>, trace:...)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -87,7 +106,55 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	if *exploreStrat != "" {
+		strat, err := explore.ParseStrategy(*exploreStrat)
+		if err != nil {
+			fatal(err)
+		}
+		rep := prog.Explore(parcoach.ExploreOptions{
+			Strategy:  strat,
+			Schedules: *schedules,
+			Seed:      *schedSeed,
+			Procs:     *np,
+			Threads:   *threads,
+			MaxSteps:  *maxSteps,
+			Workers:   *workers,
+			Policy:    opts.Policy,
+			Level:     opts.Level,
+			LevelSet:  opts.LevelSet,
+		})
+		fmt.Print(rep)
+		if rep.FirstFailure != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var replaying *sched.Replay
+	if *replay != "" {
+		s, err := sched.Parse(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		replaying, _ = s.(*sched.Replay)
+		opts.Scheduler = s
+		if *maxSteps == 0 {
+			// Match the exploration default so a printed schedule —
+			// including a budget-exhausted one — reproduces under the
+			// same statement bound it was found with.
+			opts.MaxSteps = explore.DefaultMaxSteps
+		}
+	}
+
 	res := prog.Run(opts)
+	if replaying != nil && replaying.Diverged() {
+		// The trace named a thread that was not enabled: the program (or
+		// its flags) differ from the recording, so whatever just ran was
+		// NOT the recorded schedule — never let that pass as a
+		// reproduction.
+		fmt.Fprintf(os.Stderr, "hybridrun: replay diverged — trace %q does not match this program/configuration\n", *replay)
+		os.Exit(2)
+	}
 	fmt.Fprintf(os.Stderr, "stats: collectives=%d p2p=%d barriers=%d steps=%d cc-checks=%d phase-checks=%d\n",
 		res.Stats.Collectives, res.Stats.P2PMessages, res.Stats.Barriers,
 		res.Stats.Steps, res.Stats.CCChecks, res.Stats.PhaseChecks)

@@ -7,9 +7,11 @@ import (
 
 	"parcoach"
 	"parcoach/internal/ast"
+	"parcoach/internal/explore"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/mhgen/diff"
 	"parcoach/internal/parser"
+	"parcoach/internal/sched"
 	"parcoach/internal/workload"
 )
 
@@ -132,4 +134,70 @@ func TestDifferentialDeterminism(t *testing.T) {
 			t.Errorf("seed %d: verdicts differ across worker counts:\n%s\n%s", seed, r1, r8)
 		}
 	}
+}
+
+// TestExploreSmoke is the CI -race gate for the schedule-exploration
+// stack: a planted concurrency bug must be caught on some explored
+// schedule, the printed schedule must replay to the identical verdict,
+// and the whole report must be byte-deterministic.
+func TestExploreSmoke(t *testing.T) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 5, Bug: workload.BugConcurrentSingles})
+	prog, err := parcoach.Compile(gp.Name+".mh", gp.Source, parcoach.Options{Mode: parcoach.ModeFull, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := parcoach.ExploreOptions{
+		Strategy:  parcoach.ExploreRandom,
+		Schedules: 8,
+		Procs:     gp.Procs,
+		Threads:   gp.Threads,
+		MaxSteps:  2_000_000,
+		Workers:   4,
+	}
+	rep := prog.Explore(opts)
+	v := rep.Verdict(parcoach.RunCheckAbort)
+	if v == nil {
+		t.Fatalf("planted %s escaped 8 explored schedules: %s", gp.Bug, rep)
+	}
+	if again := prog.Explore(opts); again.String() != rep.String() {
+		t.Fatalf("exploration not deterministic:\n%s\n%s", rep, again)
+	}
+	// Replay the detecting schedule.
+	s, err := sched.Parse(v.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Run(parcoach.RunOptions{
+		Procs: gp.Procs, Threads: gp.Threads, MaxSteps: 2_000_000, Scheduler: s,
+	})
+	if got := parcoach.ClassifyRun(res.Err); got != parcoach.RunCheckAbort {
+		t.Fatalf("replay of %q = %v (%v), want check-abort", v.Schedule, got, res.Err)
+	}
+}
+
+// FuzzExplore: schedule exploration never panics, hangs, or goes
+// nondeterministic on any parseable program — including the planted-bug
+// corpus under testdata/fuzz.
+func FuzzExplore(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.mh", src)
+		if err != nil {
+			return
+		}
+		opts := explore.Options{
+			Strategy:  explore.StrategyRandom,
+			Schedules: 3,
+			Procs:     2,
+			Threads:   2,
+			MaxSteps:  20_000,
+		}
+		a := explore.Explore(prog, opts)
+		if a.Schedules != 3 {
+			t.Fatalf("ran %d schedules, want 3", a.Schedules)
+		}
+		if b := explore.Explore(prog, opts); a.String() != b.String() {
+			t.Fatalf("exploration not deterministic for:\n%s\n-- a --\n%s-- b --\n%s", src, a, b)
+		}
+	})
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"parcoach"
+	"parcoach/internal/sched"
 	"parcoach/internal/workload"
 )
 
@@ -69,8 +70,11 @@ func goldenPrograms(t *testing.T) []goldenProgram {
 // describe renders the deterministic compile-and-run record of one
 // program: per-mode diagnostics and artifact stats, and the run outcome.
 // Run output lines are sorted (process/thread interleaving is not part of
-// the contract) and recorded only for successful runs.
-func describe(t *testing.T, gp goldenProgram) string {
+// the contract) and recorded only for successful runs. mkSched, when
+// non-nil, serializes each run under the returned scheduler (a fresh one
+// per run); nil keeps the free-running execution the goldens were
+// recorded with.
+func describe(t *testing.T, gp goldenProgram, mkSched func() sched.Scheduler) string {
 	t.Helper()
 	var b strings.Builder
 	fmt.Fprintf(&b, "program %s (procs=%d threads=%d)\n", gp.name, gp.procs, gp.threads)
@@ -95,7 +99,11 @@ func describe(t *testing.T, gp goldenProgram) string {
 		} else {
 			fmt.Fprintln(&b, "diagnostics: none")
 		}
-		res := p.Run(parcoach.RunOptions{Procs: gp.procs, Threads: gp.threads})
+		runOpts := parcoach.RunOptions{Procs: gp.procs, Threads: gp.threads}
+		if mkSched != nil {
+			runOpts.Scheduler = mkSched()
+		}
+		res := p.Run(runOpts)
 		if res.Err != nil {
 			fmt.Fprintln(&b, "run: error")
 		} else {
@@ -118,7 +126,7 @@ func describe(t *testing.T, gp goldenProgram) string {
 func TestGoldenExamples(t *testing.T) {
 	for _, gp := range goldenPrograms(t) {
 		t.Run(gp.name, func(t *testing.T) {
-			got := describe(t, gp)
+			got := describe(t, gp, nil)
 			path := filepath.Join("testdata", "golden", gp.name+".golden")
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -135,6 +143,29 @@ func TestGoldenExamples(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", gp.name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenExamplesSerializedRoundRobin is the scheduler-refactor
+// regression lock: running every golden program under the serialized
+// round-robin scheduler must be byte-identical to the pre-refactor
+// golden files recorded with free-running execution — the pluggable
+// scheduler changes *which* interleavings are reachable, not what the
+// deterministic reference schedule computes.
+func TestGoldenExamplesSerializedRoundRobin(t *testing.T) {
+	for _, gp := range goldenPrograms(t) {
+		t.Run(gp.name, func(t *testing.T) {
+			got := describe(t, gp, func() sched.Scheduler { return sched.NewRoundRobin() })
+			path := filepath.Join("testdata", "golden", gp.name+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenExamples with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("serialized round-robin diverges from the pre-refactor golden for %s:\n--- got ---\n%s\n--- want ---\n%s",
+					gp.name, got, want)
 			}
 		})
 	}

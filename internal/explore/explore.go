@@ -1,0 +1,411 @@
+// Package explore is the schedule-exploration engine of the dynamic
+// validator: it runs one program under many thread interleavings
+// (internal/sched), classifies every run through the interpreter's
+// outcome classes, and reduces the results to an ExplorationReport —
+// which distinct verdicts the schedule space contains, and a replayable
+// token for the first failing schedule.
+//
+// A single run of the dynamic layer only validates the one interleaving
+// that happened; a concurrency bug whose manifestation needs a
+// particular election order or arrival order stays invisible. Exploring
+// the schedule space is what turns the runtime checker into a validator,
+// which is why the differential harness (internal/mhgen/diff) judges the
+// schedule-dependent planted bug classes against the exploration verdict
+// rather than a single run.
+//
+// Strategies:
+//
+//   - round-robin: the one deterministic reference schedule (one run);
+//   - random: N independent runs under seeded uniform schedulers;
+//   - pct: N runs under random-priority schedulers with depth-bounded
+//     priority change points (probabilistic concurrency testing);
+//   - dfs: bounded exhaustive enumeration — each run records the branch
+//     points it passed (decision points with more than one enabled
+//     thread), and every untaken alternative spawns a new prefix to
+//     explore, with positional state hashing pruning commuting
+//     interleavings, until the frontier drains or the budget is spent.
+//
+// Runs fan out over the shared compile worker pool
+// (internal/pipeline.Pool), so exploring a batch of programs keeps the
+// hardware busy the same way batch compilation does.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/interp"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+	"parcoach/internal/pipeline"
+	"parcoach/internal/sched"
+)
+
+// Strategy selects how the schedule space is sampled.
+type Strategy int
+
+// Exploration strategies.
+const (
+	// StrategyRoundRobin runs the single deterministic reference
+	// schedule.
+	StrategyRoundRobin Strategy = iota
+	// StrategyRandom samples N uniform seeded schedules.
+	StrategyRandom
+	// StrategyPCT samples N random-priority schedules with bounded
+	// priority-change depth.
+	StrategyPCT
+	// StrategyDFS enumerates interleavings exhaustively (bounded by the
+	// schedule budget), pruning revisited positional states.
+	StrategyDFS
+)
+
+var strategyNames = [...]string{
+	StrategyRoundRobin: "rr",
+	StrategyRandom:     "random",
+	StrategyPCT:        "pct",
+	StrategyDFS:        "dfs",
+}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return "strategy(?)"
+}
+
+// ParseStrategy maps a CLI name ("rr", "random", "pct", "dfs") to its
+// strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("explore: unknown strategy %q (want rr|random|pct|dfs)", name)
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Strategy selects the schedule sampler (default StrategyRandom).
+	Strategy Strategy
+	// Schedules is the run budget (default 16; round-robin always runs
+	// exactly 1).
+	Schedules int
+	// Seed seeds the random and PCT samplers and is the base of the
+	// per-run seeds (run i uses Seed+i).
+	Seed int64
+	// PCTDepth is the PCT priority-change depth (default 3).
+	PCTDepth int
+	// Procs and Threads are the run parameters (defaults 2 and 2).
+	Procs   int
+	Threads int
+	// MaxSteps bounds each run (default DefaultMaxSteps); schedules that
+	// spin classify as OutcomeBudget, not deadlock.
+	MaxSteps int64
+	// Workers is the worker-pool width for concurrent runs (0 =
+	// GOMAXPROCS). Verdicts are identical for any width.
+	Workers int
+	// Policy is the single-construct election policy (default
+	// FirstArrival: elections follow arrival order, which is exactly
+	// what the schedules vary).
+	Policy omp.Policy
+	// NoStateHash disables the DFS positional-state pruning, forcing a
+	// full enumeration of the (possibly much larger) prefix tree.
+	NoStateHash bool
+	// Level is the MPI thread support to simulate; LevelSet marks it as
+	// explicitly chosen (mirroring interp.Options, so exploration runs
+	// under the same configuration a plain run would).
+	Level    mpi.ThreadLevel
+	LevelSet bool
+}
+
+// DefaultMaxSteps is the per-schedule statement budget when Options
+// leaves MaxSteps zero. Deliberately far below the interpreter's plain
+// default: exploration runs many schedules, and a replay of a
+// budget-exhausted schedule must use the same bound to reproduce (the
+// hybridrun -replay path defaults to this value).
+const DefaultMaxSteps = 1_000_000
+
+func (o Options) normalized() Options {
+	if o.Schedules <= 0 {
+		o.Schedules = 16
+	}
+	if o.Strategy == StrategyRoundRobin {
+		o.Schedules = 1
+	}
+	if o.PCTDepth <= 0 {
+		o.PCTDepth = 3
+	}
+	if o.Procs <= 0 {
+		o.Procs = 2
+	}
+	if o.Threads <= 0 {
+		o.Threads = 2
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	return o
+}
+
+// Verdict aggregates the runs that ended in one outcome class.
+type Verdict struct {
+	// Outcome is the shared outcome class.
+	Outcome interp.Outcome
+	// Count is how many explored schedules ended this way.
+	Count int
+	// First is the 0-based exploration-order index of the first run with
+	// this outcome (the schedules-to-first-detection metric).
+	First int
+	// Sample is the error text of the first such run ("" for clean).
+	Sample string
+	// Schedule is the replay token of the first such run; feeding it to
+	// sched.Parse (or hybridrun -replay) reproduces the run exactly.
+	Schedule string
+}
+
+// Failure names the first explored schedule whose run did not complete
+// cleanly.
+type Failure struct {
+	Outcome interp.Outcome
+	// Err is the run error text.
+	Err string
+	// Schedule is the replayable token.
+	Schedule string
+	// Index is the 0-based position in exploration order — the
+	// "schedules to first detection" metric of the differential matrix.
+	Index int
+}
+
+// Report is the result of exploring one program's schedule space.
+type Report struct {
+	// Strategy that produced the report.
+	Strategy Strategy
+	// Schedules actually run (≤ the budget).
+	Schedules int
+	// Exhausted is true when DFS drained its frontier within budget —
+	// every interleaving (modulo state-hash pruning) was enumerated.
+	// Sampling strategies always report false.
+	Exhausted bool
+	// Pruned counts DFS branches skipped by the positional state hash.
+	Pruned int
+	// Diverged counts DFS replays whose recorded prefix stopped matching
+	// the program (nonzero only for nondeterministic programs).
+	Diverged int
+	// Verdicts holds one entry per distinct outcome class observed,
+	// sorted by outcome.
+	Verdicts []Verdict
+	// FirstFailure is the earliest non-clean schedule, or nil when every
+	// explored schedule completed cleanly.
+	FirstFailure *Failure
+}
+
+// Verdict returns the aggregate for an outcome class, or nil if no
+// explored schedule ended that way.
+func (r *Report) Verdict(o interp.Outcome) *Verdict {
+	for i := range r.Verdicts {
+		if r.Verdicts[i].Outcome == o {
+			return &r.Verdicts[i]
+		}
+	}
+	return nil
+}
+
+// Caught reports whether any explored schedule ended in the given
+// outcome class.
+func (r *Report) Caught(o interp.Outcome) bool { return r.Verdict(o) != nil }
+
+// String renders the report in the compact form the hybridrun CLI
+// prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exploration: strategy=%s schedules=%d", r.Strategy, r.Schedules)
+	if r.Strategy == StrategyDFS {
+		fmt.Fprintf(&b, " exhausted=%t pruned=%d", r.Exhausted, r.Pruned)
+	}
+	b.WriteString("\n")
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(&b, "  %-16s ×%-4d", v.Outcome, v.Count)
+		if v.Outcome != interp.OutcomeClean {
+			fmt.Fprintf(&b, " first schedule: %s", v.Schedule)
+		}
+		b.WriteString("\n")
+	}
+	if r.FirstFailure != nil {
+		fmt.Fprintf(&b, "  first failure at schedule %d (%s): %s\n    replay with: -replay '%s'\n",
+			r.FirstFailure.Index, r.FirstFailure.Outcome,
+			firstLine(r.FirstFailure.Err), r.FirstFailure.Schedule)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// run is one explored schedule's classified result.
+type run struct {
+	outcome  interp.Outcome
+	err      string
+	schedule string
+}
+
+// Explore runs prog under opts.Schedules interleavings and reduces the
+// outcomes. The report is deterministic for a fixed (program, options)
+// pair at any worker count.
+func Explore(prog *ast.Program, opts Options) *Report {
+	opts = opts.normalized()
+	pool := pipeline.NewPool(opts.Workers)
+	rep := &Report{Strategy: opts.Strategy}
+	switch opts.Strategy {
+	case StrategyDFS:
+		exploreDFS(prog, opts, pool, rep)
+	default:
+		exploreSampled(prog, opts, pool, rep)
+	}
+	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].Outcome < rep.Verdicts[j].Outcome })
+	return rep
+}
+
+func runOne(prog *ast.Program, opts Options, s sched.Scheduler, token string) run {
+	res := interp.Run(prog, interp.Options{
+		Procs:     opts.Procs,
+		Threads:   opts.Threads,
+		Level:     opts.Level,
+		LevelSet:  opts.LevelSet,
+		Policy:    opts.Policy,
+		MaxSteps:  opts.MaxSteps,
+		Scheduler: s,
+	})
+	r := run{outcome: res.Outcome(), schedule: token}
+	if res.Err != nil {
+		r.err = res.Err.Error()
+	}
+	return r
+}
+
+// merge folds one run (in exploration order) into the report.
+func (r *Report) merge(one run) {
+	idx := r.Schedules
+	r.Schedules++
+	if v := r.Verdict(one.outcome); v != nil {
+		v.Count++
+	} else {
+		r.Verdicts = append(r.Verdicts, Verdict{
+			Outcome: one.outcome, Count: 1, First: idx, Sample: one.err, Schedule: one.schedule,
+		})
+	}
+	if one.outcome != interp.OutcomeClean && r.FirstFailure == nil {
+		r.FirstFailure = &Failure{
+			Outcome: one.outcome, Err: one.err, Schedule: one.schedule, Index: idx,
+		}
+	}
+}
+
+// exploreSampled runs the independent sampling strategies concurrently.
+func exploreSampled(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *Report) {
+	type job struct {
+		mk    func() sched.Scheduler
+		token string
+	}
+	jobs := make([]job, opts.Schedules)
+	for i := range jobs {
+		seed := opts.Seed + int64(i)
+		switch opts.Strategy {
+		case StrategyRoundRobin:
+			jobs[i] = job{func() sched.Scheduler { return sched.NewRoundRobin() }, sched.RoundRobinToken}
+		case StrategyPCT:
+			depth := opts.PCTDepth
+			jobs[i] = job{func() sched.Scheduler { return sched.NewPCT(seed, depth, 0) },
+				sched.PCTToken(seed, depth)}
+		default:
+			jobs[i] = job{func() sched.Scheduler { return sched.NewRandom(seed) }, sched.RandomToken(seed)}
+		}
+	}
+	results := make([]run, len(jobs))
+	pool.Map(len(jobs), func(i int) {
+		results[i] = runOne(prog, opts, jobs[i].mk(), jobs[i].token)
+	})
+	// Merge in submission order so the report (and FirstFailure.Index)
+	// is identical at any worker count.
+	for _, one := range results {
+		rep.merge(one)
+	}
+}
+
+// dfsKey identifies a (positional state, alternative) pair for pruning.
+type dfsKey struct {
+	sig uint64
+	alt sched.ThreadID
+}
+
+// exploreDFS enumerates interleavings by iterative prefix replay: each
+// run follows a decision prefix, records every branch point it passes,
+// and the untaken alternatives become new prefixes. The frontier is
+// processed in deterministic waves fanned across the pool.
+func exploreDFS(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *Report) {
+	type result struct {
+		one      run
+		prefix   []sched.ThreadID
+		trace    []sched.ThreadID
+		branches []sched.Branch
+		diverged bool
+	}
+	frontier := [][]sched.ThreadID{nil} // start with the unconstrained run
+	seen := make(map[dfsKey]bool)
+	for len(frontier) > 0 && rep.Schedules < opts.Schedules {
+		batch := frontier
+		if left := opts.Schedules - rep.Schedules; len(batch) > left {
+			batch = batch[:left]
+			frontier = frontier[left:]
+		} else {
+			frontier = nil
+		}
+		results := make([]result, len(batch))
+		pool.Map(len(batch), func(i int) {
+			rec := &sched.Recorder{Prefix: batch[i]}
+			one := runOne(prog, opts, rec, "")
+			results[i] = result{
+				one: one, prefix: batch[i],
+				trace: rec.Trace(), branches: rec.Branches, diverged: rec.Diverged(),
+			}
+		})
+		for _, res := range results {
+			res.one.schedule = sched.FormatTrace(res.trace)
+			rep.merge(res.one)
+			if res.diverged {
+				rep.Diverged++
+				continue
+			}
+			// Enumerate the alternatives of every branch point this run
+			// discovered beyond its prefix (earlier ones were enumerated
+			// by the ancestor that spawned this prefix).
+			for bi := len(res.prefix); bi < len(res.branches); bi++ {
+				b := res.branches[bi]
+				for _, alt := range b.Enabled {
+					if alt == b.Chosen {
+						continue
+					}
+					if !opts.NoStateHash {
+						key := dfsKey{sig: b.Sig, alt: alt}
+						if seen[key] {
+							rep.Pruned++
+							continue
+						}
+						seen[key] = true
+					}
+					child := make([]sched.ThreadID, bi+1)
+					copy(child, res.trace[:bi])
+					child[bi] = alt
+					frontier = append(frontier, child)
+				}
+			}
+		}
+	}
+	rep.Exhausted = len(frontier) == 0
+}

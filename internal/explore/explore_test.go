@@ -1,0 +1,148 @@
+package explore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"parcoach/internal/interp"
+	"parcoach/internal/parser"
+)
+
+const racerSrc = `
+func main() {
+	MPI_Init()
+	var winner = 0
+	parallel num_threads(2) {
+		single nowait { winner = tid() }
+	}
+	if winner == 0 {
+		MPI_Barrier()
+	}
+	MPI_Finalize()
+}
+`
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{StrategyRoundRobin, StrategyRandom, StrategyPCT, StrategyDFS} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("zigzag"); err == nil {
+		t.Error("ParseStrategy accepted an unknown strategy")
+	}
+}
+
+// TestExploreDeterministicAcrossWorkers: the report — verdict counts,
+// first-failure index, replay tokens — is identical at any pool width,
+// for every strategy.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	prog := parser.MustParse("racer.mh", racerSrc)
+	for _, strat := range []Strategy{StrategyRandom, StrategyPCT, StrategyDFS} {
+		opts := Options{Strategy: strat, Schedules: 64, Seed: 11, MaxSteps: 100_000}
+		o1 := opts
+		o1.Workers = 1
+		o8 := opts
+		o8.Workers = 8
+		r1 := Explore(prog, o1)
+		r8 := Explore(prog, o8)
+		if r1.String() != r8.String() {
+			t.Errorf("%s: report differs across worker counts:\n-- workers=1 --\n%s-- workers=8 --\n%s",
+				strat, r1, r8)
+		}
+		if !reflect.DeepEqual(r1.Verdicts, r8.Verdicts) {
+			t.Errorf("%s: verdicts differ across worker counts", strat)
+		}
+	}
+}
+
+// TestExploreSeedReproducible: the same seed reproduces the same report;
+// a different seed is allowed to differ (and for this racer, random
+// sampling does find the failure).
+func TestExploreSeedReproducible(t *testing.T) {
+	prog := parser.MustParse("racer.mh", racerSrc)
+	opts := Options{Strategy: StrategyRandom, Schedules: 32, Seed: 3, MaxSteps: 100_000}
+	a, b := Explore(prog, opts), Explore(prog, opts)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different reports:\n%s\n%s", a, b)
+	}
+	if a.FirstFailure == nil {
+		t.Fatal("32 random schedules should find the racing-winner deadlock")
+	}
+}
+
+// TestExploreBudgetOutcome: a schedule that spins classifies as
+// budget-exhausted, not as a deadlock.
+func TestExploreBudgetOutcome(t *testing.T) {
+	prog := parser.MustParse("spin.mh", `
+func main() {
+	var x = 1
+	while x > 0 {
+		x += 1
+	}
+}
+`)
+	rep := Explore(prog, Options{Strategy: StrategyRoundRobin, Procs: 1, MaxSteps: 5_000})
+	if !rep.Caught(interp.OutcomeBudget) {
+		t.Fatalf("want budget-exhausted verdict, got %+v", rep.Verdicts)
+	}
+	if rep.Caught(interp.OutcomeDeadlock) {
+		t.Fatal("a spin must not classify as deadlock")
+	}
+}
+
+// TestDFSExhaustsSequentialProgram: a single-threaded program has no
+// branch points, so DFS runs exactly one schedule and reports the space
+// exhausted.
+func TestDFSExhaustsSequentialProgram(t *testing.T) {
+	prog := parser.MustParse("seq.mh", `
+func main() {
+	MPI_Init()
+	var x = rank()
+	MPI_Allreduce(x, x, sum)
+	print(x)
+	MPI_Finalize()
+}
+`)
+	rep := Explore(prog, Options{Strategy: StrategyDFS, Schedules: 100, Procs: 1, MaxSteps: 100_000})
+	if rep.Schedules != 1 || !rep.Exhausted {
+		t.Fatalf("sequential program: schedules=%d exhausted=%t, want 1/true", rep.Schedules, rep.Exhausted)
+	}
+	if rep.FirstFailure != nil {
+		t.Fatalf("clean program failed: %+v", rep.FirstFailure)
+	}
+}
+
+// TestReportString: the CLI rendering names the strategy, counts, and
+// the replay token of the first failure.
+func TestReportString(t *testing.T) {
+	prog := parser.MustParse("racer.mh", racerSrc)
+	rep := Explore(prog, Options{Strategy: StrategyDFS, Schedules: 512, MaxSteps: 100_000})
+	s := rep.String()
+	for _, want := range []string{"strategy=dfs", "deadlock", "-replay 'trace:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestStateHashPrunes: with hashing disabled the DFS explores at least
+// as many schedules; with it enabled it still finds the bug (the
+// pruning is the point, not a soundness hole for these programs).
+func TestStateHashPrunes(t *testing.T) {
+	prog := parser.MustParse("racer.mh", racerSrc)
+	pruned := Explore(prog, Options{Strategy: StrategyDFS, Schedules: 4096, MaxSteps: 100_000})
+	full := Explore(prog, Options{Strategy: StrategyDFS, Schedules: 4096, MaxSteps: 100_000, NoStateHash: true})
+	if pruned.Pruned == 0 {
+		t.Error("state hashing pruned nothing on a racy program")
+	}
+	if !pruned.Caught(interp.OutcomeDeadlock) || !full.Caught(interp.OutcomeDeadlock) {
+		t.Errorf("both modes must find the deadlock (pruned: %+v, full: %+v)", pruned.Verdicts, full.Verdicts)
+	}
+	if full.Exhausted && pruned.Exhausted && full.Schedules < pruned.Schedules {
+		t.Errorf("hashing explored more schedules (%d) than full enumeration (%d)",
+			pruned.Schedules, full.Schedules)
+	}
+}

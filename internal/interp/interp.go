@@ -20,6 +20,7 @@ import (
 	"parcoach/internal/ast"
 	"parcoach/internal/mpi"
 	"parcoach/internal/omp"
+	"parcoach/internal/sched"
 	"parcoach/internal/source"
 	"parcoach/internal/token"
 	"parcoach/internal/verifier"
@@ -42,8 +43,15 @@ type Options struct {
 	// Stdout, when non-nil, additionally receives program output.
 	Stdout io.Writer
 	// MaxSteps bounds the total statements executed across all threads
-	// (default 50 million) so runaway loops terminate with an error.
+	// (default 50 million) so runaway loops terminate with a distinct
+	// budget-exhausted outcome instead of spinning forever.
 	MaxSteps int64
+	// Scheduler, when non-nil, serializes the run: exactly one simulated
+	// thread executes at a time and the scheduler picks, at every
+	// statement boundary and blocking transition, which enabled thread
+	// runs next (see internal/sched). nil keeps the historical
+	// free-running goroutine execution.
+	Scheduler sched.Scheduler
 }
 
 // Stats summarizes a run.
@@ -80,6 +88,21 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("runtime error on rank %d at %s: %s", e.Rank, e.Pos, e.Msg)
 }
 
+// StepLimitError reports that the run exhausted Options.MaxSteps. It is
+// classified as OutcomeBudget, distinct from deadlocks and plain runtime
+// errors, so bounded schedule exploration can tell "this interleaving
+// spins" apart from "this interleaving hangs".
+type StepLimitError struct {
+	Rank  int
+	Pos   source.Pos
+	Limit int64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("step budget exhausted on rank %d at %s: %d statements executed (infinite loop?)",
+		e.Rank, e.Pos, e.Limit)
+}
+
 // Run executes prog's main function on every rank.
 func Run(prog *ast.Program, opts Options) *Result {
 	if opts.Procs <= 0 {
@@ -111,10 +134,20 @@ func Run(prog *ast.Program, opts Options) *Result {
 		world: world,
 		ver:   verifier.New(world.Monitor(), opts.Procs),
 	}
+	if opts.Scheduler != nil {
+		r.ctl = sched.NewController(opts.Scheduler, opts.Procs)
+		world.Monitor().SetSched(r.ctl)
+		r.ctl.Start()
+	}
 	err = world.Run(func(p *mpi.Proc) error {
+		var gate *sched.Gate
+		if r.ctl != nil {
+			gate = r.ctl.ProcGate(p.Rank())
+			gate.Attach()
+		}
 		rt := omp.New(world.Monitor(), opts.Threads, opts.Policy)
 		th := rt.InitialThread()
-		c := &thctx{r: r, p: p, rt: rt, th: th, fn: mainFn.Name}
+		c := &thctx{r: r, p: p, rt: rt, th: th, fn: mainFn.Name, gate: gate}
 		ret, err := c.callFunction(mainFn, nil, mainFn.NamePos)
 		if err != nil {
 			return err
@@ -141,6 +174,9 @@ type runner struct {
 	opts  Options
 	world *mpi.World
 	ver   *verifier.Verifier
+	// ctl serializes the run when a Scheduler is configured (nil
+	// otherwise: free-running goroutines).
+	ctl *sched.Controller
 
 	mu     sync.Mutex
 	output strings.Builder
@@ -237,13 +273,17 @@ type thctx struct {
 	rt *omp.Runtime
 	th *omp.Thread
 	fn string // current function name (for return:<fn> CC ids)
+	// gate is this thread's handle on the scheduling controller (nil in
+	// free-running mode).
+	gate *sched.Gate
 }
 
 // fork derives a team member's context. The function name is passed by
 // value rather than read from c: after an abort, straggler team
 // goroutines can outlive the Parallel call and the enclosing
 // callFunction, whose deferred restore of c.fn would race with a read
-// here.
+// here. The gate is assigned by the caller: the master keeps its own,
+// workers bind to freshly forked gates.
 func (c *thctx) fork(th *omp.Thread, fn string) *thctx {
 	return &thctx{r: c.r, p: c.p, rt: c.rt, th: th, fn: fn}
 }
@@ -252,16 +292,24 @@ func (c *thctx) errf(pos source.Pos, format string, args ...any) error {
 	return &RuntimeError{Rank: c.p.Rank(), Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-// step counts one executed statement and polls the abort flag.
+// step counts one executed statement, polls the abort flag, and — under
+// a scheduling controller — offers a context switch, making every
+// statement boundary a scheduling point.
 func (c *thctx) step(pos source.Pos) error {
 	n := atomic.AddInt64(&c.r.steps, 1)
 	if n > c.r.opts.MaxSteps {
-		err := c.errf(pos, "step limit exceeded (%d statements executed; infinite loop?)", c.r.opts.MaxSteps)
+		err := &StepLimitError{Rank: c.p.Rank(), Pos: pos, Limit: c.r.opts.MaxSteps}
 		c.r.world.Monitor().Abort(err)
 		return err
 	}
 	if c.r.world.Monitor().Aborted() {
 		return c.r.world.Monitor().Err()
+	}
+	if c.gate != nil {
+		c.gate.Yield(pos.Line)
+		if c.r.world.Monitor().Aborted() {
+			return c.r.world.Monitor().Err()
+		}
 	}
 	return nil
 }
@@ -435,9 +483,32 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			}
 			n = int(nv)
 		}
+		// Under a scheduling controller the fork is itself a
+		// deterministic schedule event: worker gates are registered
+		// here, by the token holder, before any worker goroutine exists,
+		// so thread ids and the runnable set never depend on goroutine
+		// spawn timing.
+		var workerGates []*sched.Gate
+		if c.gate != nil {
+			teamSize := n
+			if teamSize <= 0 {
+				teamSize = c.rt.DefaultThreads()
+			}
+			if teamSize > 1 {
+				workerGates = c.r.ctl.Fork(teamSize - 1)
+			}
+		}
 		fnName := c.fn // snapshot: body goroutines may outlive this frame on abort
 		err := c.rt.Parallel(c.th, n, func(th *omp.Thread) error {
 			child := c.fork(th, fnName)
+			if c.gate != nil {
+				if th.TID() == 0 {
+					child.gate = c.gate
+				} else {
+					child.gate = workerGates[th.TID()-1]
+					child.gate.Attach()
+				}
+			}
 			_, _, err := child.execBlock(s.Body, e)
 			return err
 		})

@@ -452,8 +452,18 @@ func main() {
 		x += 1
 	}
 }`, Options{Procs: 1, MaxSteps: 10_000})
-	if res.Err == nil || !strings.Contains(res.Err.Error(), "step limit") {
-		t.Fatalf("want step-limit error, got %v", res.Err)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "step budget exhausted") {
+		t.Fatalf("want step-budget error, got %v", res.Err)
+	}
+	var sl *StepLimitError
+	if !errors.As(res.Err, &sl) || sl.Limit != 10_000 {
+		t.Fatalf("want *StepLimitError with limit 10000, got %#v", res.Err)
+	}
+	// The budget overrun is its own outcome class: bounded schedule
+	// exploration must not confuse a spinning interleaving with a
+	// deadlock or a plain runtime error.
+	if got := res.Outcome(); got != OutcomeBudget {
+		t.Fatalf("outcome = %v, want %v", got, OutcomeBudget)
 	}
 }
 

@@ -34,8 +34,13 @@ const (
 	// prevent from being reached uncaught.
 	OutcomeDeadlock
 	// OutcomeRuntimeError: a plain execution error (bad index, division
-	// by zero, step-limit overrun, missing function, ...).
+	// by zero, missing function, ...).
 	OutcomeRuntimeError
+	// OutcomeBudget: the run exhausted Options.MaxSteps. Distinct from
+	// OutcomeDeadlock (nothing was blocked — the schedule just never
+	// terminated within budget) so bounded exploration of generated
+	// programs cannot misread a spin as a hang.
+	OutcomeBudget
 )
 
 var outcomeNames = [...]string{
@@ -44,6 +49,7 @@ var outcomeNames = [...]string{
 	OutcomeMPIError:     "mpi-error",
 	OutcomeDeadlock:     "deadlock",
 	OutcomeRuntimeError: "runtime-error",
+	OutcomeBudget:       "budget-exhausted",
 }
 
 func (o Outcome) String() string {
@@ -64,6 +70,10 @@ func ClassifyError(err error) Outcome {
 	}
 	if monitor.IsDeadlock(err) {
 		return OutcomeDeadlock
+	}
+	var sl *StepLimitError
+	if errors.As(err, &sl) {
+		return OutcomeBudget
 	}
 	var mismatch *mpi.MismatchError
 	var conc *mpi.ConcurrentCallError

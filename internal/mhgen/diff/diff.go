@@ -36,6 +36,39 @@ type Options struct {
 	Workers int
 	// MaxSteps bounds each run (default 2 million).
 	MaxSteps int64
+	// ExploreSchedules is the per-program schedule budget for the
+	// exploration pass over schedule-dependent programs (default 8;
+	// negative disables exploration). The concurrency bug classes are
+	// judged against the exploration verdict — any schedule whose
+	// planted check aborts counts as a dynamic detection — and clean
+	// programs must stay clean under every explored schedule.
+	ExploreSchedules int
+}
+
+// exploreBudget resolves the schedule budget.
+func (o Options) exploreBudget() int {
+	if o.ExploreSchedules < 0 {
+		return 0
+	}
+	if o.ExploreSchedules == 0 {
+		return 8
+	}
+	return o.ExploreSchedules
+}
+
+// scheduleDependent reports whether a bug class needs a particular
+// thread interleaving to manifest dynamically — the classes whose
+// detection a single deterministic schedule systematically under- or
+// over-states, and which the harness therefore judges by exploration.
+// The rank-divergence classes (rank-dependent, early-return,
+// mismatched-kinds) manifest on every schedule and skip the extra runs.
+func scheduleDependent(bug workload.Bug) bool {
+	switch bug {
+	case workload.BugMultithreadedCollective, workload.BugConcurrentSingles,
+		workload.BugSectionsCollectives:
+		return true
+	}
+	return false
 }
 
 // Label classifies one program's differential verdict.
@@ -74,15 +107,23 @@ type Row struct {
 	// only ("-" otherwise): racy bug classes resolve differently run to
 	// run without instrumentation, and golden files must be stable.
 	Baseline string
-	Label    Label
+	// Explored is the number of interleavings the exploration pass ran
+	// ("-" when the program's verdict is schedule-independent or
+	// exploration is disabled).
+	Explored string
+	// FirstDetect is the 0-based index of the first explored schedule
+	// stopped by a planted check — the schedules-to-first-detection
+	// metric ("-" when not explored or never detected).
+	FirstDetect string
+	Label       Label
 	// Violations lists soundness-contract breaches (empty = sound).
 	Violations []string
 }
 
 // String renders the row as one stable line of the detection matrix.
 func (r Row) String() string {
-	line := fmt.Sprintf("seed=%-4d %-9s bug=%-26s static=%-47s full=%-11s base=%-6s %s",
-		r.Seed, r.Size, r.Bug, r.StaticKinds, r.Full, r.Baseline, r.Label)
+	line := fmt.Sprintf("seed=%-4d %-9s bug=%-26s static=%-47s full=%-11s base=%-6s expl=%-3s det=%-3s %s",
+		r.Seed, r.Size, r.Bug, r.StaticKinds, r.Full, r.Baseline, r.Explored, r.FirstDetect, r.Label)
 	if len(r.Violations) > 0 {
 		line += " VIOLATION: " + strings.Join(r.Violations, "; ")
 	}
@@ -95,7 +136,8 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 2_000_000
 	}
-	row := Row{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size, StaticKinds: "-", Baseline: "-"}
+	row := Row{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size,
+		StaticKinds: "-", Baseline: "-", Explored: "-", FirstDetect: "-"}
 	name := gp.Name + ".mh"
 
 	var progs [3]*parcoach.Program
@@ -132,6 +174,51 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 	row.Full = fullRes.Outcome()
 
 	dynamicCaught := row.Full == parcoach.RunCheckAbort
+
+	// Exploration pass: the schedule-dependent programs are judged
+	// against the whole explored interleaving space, not the one
+	// deterministic schedule. Any schedule stopped by a planted check is
+	// a dynamic detection; clean programs must survive every schedule.
+	if budget := opts.exploreBudget(); budget > 0 &&
+		(gp.Bug == workload.BugNone || scheduleDependent(gp.Bug)) {
+		// Random sampling rather than DFS: on generator-sized programs a
+		// small DFS budget drains into permutations of the first few
+		// statements, while seeded uniform schedules diversify the whole
+		// run — empirically 8 random schedules reach every planted
+		// concurrency bug that hundreds of DFS prefixes reach. DFS's
+		// exhaustion guarantee is exercised on the hand-written programs
+		// of internal/explore's property suite instead.
+		rep := full.Explore(parcoach.ExploreOptions{
+			Strategy:  parcoach.ExploreRandom,
+			Schedules: budget,
+			Procs:     gp.Procs,
+			Threads:   gp.Threads,
+			MaxSteps:  opts.MaxSteps,
+			Workers:   opts.Workers,
+		})
+		row.Explored = fmt.Sprint(rep.Schedules)
+		if v := rep.Verdict(parcoach.RunCheckAbort); v != nil {
+			row.FirstDetect = fmt.Sprint(v.First)
+			if gp.Bug != workload.BugNone {
+				dynamicCaught = true
+			}
+		}
+		for _, v := range rep.Verdicts {
+			switch {
+			case gp.Bug == workload.BugNone && v.Outcome != parcoach.RunClean:
+				row.Violations = append(row.Violations, fmt.Sprintf(
+					"clean program failed under explored schedule %s: %s", v.Schedule, v.Sample))
+			case gp.Bug != workload.BugNone && v.Outcome == parcoach.RunDeadlock && !staticCaught:
+				row.Violations = append(row.Violations, fmt.Sprintf(
+					"planted bug reached the deadlock oracle uncaught under explored schedule %s", v.Schedule))
+			case gp.Bug != workload.BugNone &&
+				(v.Outcome == parcoach.RunRuntimeError || v.Outcome == parcoach.RunBudget):
+				row.Violations = append(row.Violations, fmt.Sprintf(
+					"planted bug caused a %s under explored schedule %s: %s", v.Outcome, v.Schedule, v.Sample))
+			}
+		}
+	}
+
 	if gp.Bug == workload.BugNone {
 		// The uninstrumented ground-truth run only informs the clean-side
 		// contract; buggy programs skip it (its racy outcome would be
@@ -161,6 +248,13 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 		case parcoach.RunRuntimeError:
 			row.Violations = append(row.Violations,
 				fmt.Sprintf("planted bug caused a plain runtime error in ModeFull: %v", fullRes.Err))
+		case parcoach.RunBudget:
+			// Pre-OutcomeBudget this was a RuntimeError and hence a
+			// violation; the reclassification must not soften the
+			// contract — a planted bug may never spin out the reference
+			// run either.
+			row.Violations = append(row.Violations,
+				fmt.Sprintf("planted bug exhausted the step budget in ModeFull: %v", fullRes.Err))
 		}
 	}
 	row.Label = labelFor(gp.Bug, staticCaught, dynamicCaught)

@@ -111,3 +111,38 @@ func TestMatrixFormat(t *testing.T) {
 		t.Errorf("unexpected false negatives: %+v", fn)
 	}
 }
+
+// TestEvaluateExplorationColumns: schedule-dependent bug classes get an
+// exploration verdict — the schedules-run and first-detection columns —
+// while the rank-divergence classes (schedule-independent) skip the
+// extra runs.
+func TestEvaluateExplorationColumns(t *testing.T) {
+	cs := Evaluate(mhgen.Generate(mhgen.Config{Seed: 2, Bug: workload.BugConcurrentSingles}), Options{Workers: 2})
+	if cs.Explored == "-" {
+		t.Errorf("concurrent-singles not explored: %s", cs)
+	}
+	if cs.FirstDetect == "-" {
+		t.Errorf("concurrent-singles: exploration never hit the planted check: %s", cs)
+	}
+	er := Evaluate(mhgen.Generate(mhgen.Config{Seed: 2, Bug: workload.BugEarlyReturn}), Options{Workers: 2})
+	if er.Explored != "-" || er.FirstDetect != "-" {
+		t.Errorf("schedule-independent class explored: %s", er)
+	}
+	clean := Evaluate(mhgen.Generate(mhgen.Config{Seed: 2, Bug: workload.BugNone}), Options{Workers: 2})
+	if clean.Explored == "-" {
+		t.Errorf("clean program skipped the all-schedules-clean check: %s", clean)
+	}
+	if clean.FirstDetect != "-" || len(clean.Violations) > 0 {
+		t.Errorf("clean program failed under exploration: %s", clean)
+	}
+}
+
+// TestEvaluateExplorationDisabled: a negative budget turns the
+// exploration pass off entirely.
+func TestEvaluateExplorationDisabled(t *testing.T) {
+	row := Evaluate(mhgen.Generate(mhgen.Config{Seed: 2, Bug: workload.BugConcurrentSingles}),
+		Options{Workers: 2, ExploreSchedules: -1})
+	if row.Explored != "-" || row.FirstDetect != "-" {
+		t.Errorf("exploration ran despite being disabled: %s", row)
+	}
+}

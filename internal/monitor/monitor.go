@@ -31,6 +31,41 @@ type Monitor struct {
 	aborted  atomic.Bool
 	err      error
 	analyzer []func() []string
+	sched    SchedHook
+}
+
+// SchedHook is the scheduling controller interface (internal/sched): a
+// serializing scheduler that tracks exactly one running thread at a
+// time. The monitor is the single chokepoint every blocking transition
+// passes through, so these five callbacks are all a controller needs to
+// keep its runnable set exact. Waiter identities are passed as `any` so
+// the monitor stays free of scheduler types.
+//
+// HolderParked, WaiterWoken, HolderExited and ReleaseAll are called with
+// the monitor lock held (lock order: monitor → controller). Resume is
+// called lock-free from Await and may block until the controller grants
+// the woken thread the run token again.
+type SchedHook interface {
+	// HolderParked: the running thread just registered as blocked on w.
+	HolderParked(w any)
+	// WaiterWoken: w was released; its thread is runnable again.
+	WaiterWoken(w any)
+	// Resume: w's thread returned from its wait and must re-acquire the
+	// run token before continuing.
+	Resume(w any)
+	// HolderExited: the running thread's goroutine is done.
+	HolderExited()
+	// ReleaseAll: the run aborted; stop scheduling, free everything.
+	ReleaseAll()
+}
+
+// SetSched installs the scheduling controller. Must be called before the
+// run starts; a nil controller (the default) keeps the monitor's
+// behavior unchanged.
+func (m *Monitor) SetSched(h SchedHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sched = h
 }
 
 // New returns an empty monitor.
@@ -46,6 +81,9 @@ type Waiter struct {
 	Detail string
 	ch     chan struct{}
 	err    error
+	// sched, when the thread actually parked under a scheduling
+	// controller, routes the post-wake Resume through the controller.
+	sched SchedHook
 }
 
 // Lock acquires the global monitor mutex. Subsystems hold it while
@@ -75,11 +113,17 @@ func (m *Monitor) ThreadStarted() {
 // ThreadExited unregisters a live thread and re-checks for quiescence:
 // a thread exiting while every other one is blocked is a deadlock (e.g. a
 // process returning from main while its peers wait in a collective).
+// Under a scheduling controller this must be the exiting goroutine's
+// last monitor interaction: the controller hands the run token to the
+// next thread here.
 func (m *Monitor) ThreadExited() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.live--
 	m.checkQuiescenceLocked()
+	if m.sched != nil && !m.aborted.Load() {
+		m.sched.HolderExited()
+	}
 }
 
 // NewWaiterLocked registers the calling thread as blocked. The caller must
@@ -95,6 +139,13 @@ func (m *Monitor) NewWaiterLocked(reason, detail string) *Waiter {
 	m.waiters[w] = true
 	m.blocked++
 	m.checkQuiescenceLocked()
+	if m.sched != nil && !m.aborted.Load() {
+		// The quiescence check ran first: if parking this thread
+		// completed a deadlock, the run is aborted and the controller is
+		// already released — no token handoff happens after abort.
+		w.sched = m.sched
+		m.sched.HolderParked(w)
+	}
 	return w
 }
 
@@ -107,6 +158,9 @@ func (m *Monitor) WakeLocked(w *Waiter) {
 	}
 	delete(m.waiters, w)
 	m.blocked--
+	if m.sched != nil {
+		m.sched.WaiterWoken(w)
+	}
 	w.err = m.err
 	w.ch <- struct{}{}
 }
@@ -115,6 +169,9 @@ func (m *Monitor) WakeLocked(w *Waiter) {
 // run failed. Must be called without the lock held.
 func (w *Waiter) Await() error {
 	<-w.ch
+	if w.sched != nil {
+		w.sched.Resume(w)
+	}
 	return w.err
 }
 
@@ -130,6 +187,11 @@ func (m *Monitor) Abort(err error) {
 func (m *Monitor) AbortLocked(err error) {
 	if m.aborted.Load() {
 		return
+	}
+	if m.sched != nil {
+		// Release the scheduler before waking anyone so abort unwinding
+		// free-runs instead of queueing on the run token.
+		m.sched.ReleaseAll()
 	}
 	m.err = err
 	m.aborted.Store(true)

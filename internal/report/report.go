@@ -215,6 +215,8 @@ func describeRunError(err error) string {
 		}
 	case parcoach.RunDeadlock:
 		return "deadlock (detected)"
+	case parcoach.RunBudget:
+		return "step budget exhausted"
 	default:
 		return "error"
 	}

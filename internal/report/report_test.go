@@ -6,6 +6,7 @@ import (
 
 	"parcoach"
 	"parcoach/internal/core"
+	"parcoach/internal/interp"
 	"parcoach/internal/monitor"
 	"parcoach/internal/mpi"
 	"parcoach/internal/verifier"
@@ -191,6 +192,7 @@ func TestDescribeRunError(t *testing.T) {
 		{"concurrent", &mpi.ConcurrentCallError{OpA: "a", OpB: "b"}, "runtime concurrent calls"},
 		{"usage", &mpi.UsageError{Msg: "x"}, "runtime usage error"},
 		{"deadlock", &monitor.DeadlockError{}, "deadlock (detected)"},
+		{"budget", &interp.StepLimitError{Limit: 100}, "step budget exhausted"},
 		{"other", errors.New("boom"), "error"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,622 @@
+// Package sched turns the free-running goroutine execution of the
+// interpreter (internal/interp) into a controlled, serialized schedule:
+// exactly one simulated thread runs at a time, and a pluggable Scheduler
+// decides, at every statement boundary and every blocking transition,
+// which enabled thread runs next.
+//
+// The Controller piggybacks on the blocking kernel (internal/monitor):
+// every wait in the simulated runtimes already funnels through
+// monitor.NewWaiterLocked / Waiter.Await, so the monitor's scheduler
+// hooks tell the controller precisely when the running thread parks,
+// when a parked thread becomes runnable again, and when a thread's
+// goroutine exits. Between those transitions the interpreter calls
+// Gate.Yield at each statement, giving the Scheduler statement-level
+// interleaving control. Because only the token holder ever touches
+// simulation state, a run is a deterministic function of the scheduler's
+// decisions — which is what makes recorded schedules replayable and
+// exhaustive enumeration (internal/explore) possible.
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ThreadID identifies one simulated thread, assigned in creation order:
+// the MPI process mains get 0..procs-1, forked team workers get ids in
+// fork order. Under serialization creation order is deterministic, so
+// ids are stable across runs of the same schedule.
+type ThreadID int
+
+// Choice is one scheduling decision: the sorted set of runnable threads
+// and the context the scheduler may use to pick among them.
+type Choice struct {
+	// Enabled is the sorted, non-empty set of runnable threads. It is
+	// only valid for the duration of the Next call (the controller
+	// reuses its backing array); schedulers that retain it must copy,
+	// as the DFS Recorder does.
+	Enabled []ThreadID
+	// Cur is the thread that just yielded, or -1 when the previous
+	// holder parked or exited (it is then absent from Enabled).
+	Cur ThreadID
+	// Seq counts decisions since the run started.
+	Seq int64
+	// Sig is a positional state signature: a hash over every thread's
+	// (id, liveness, last source line, executed-statement count). Two
+	// interleavings that drove all threads to the same positions collide,
+	// which is what lets the DFS exploration prune commuting schedules.
+	// Only branch points (more than one enabled thread) carry a
+	// signature; singleton decisions leave it 0 — no scheduler branches
+	// there, so the per-statement fast path skips the hash.
+	Sig uint64
+}
+
+// Scheduler picks the next thread to run. Implementations must be
+// deterministic functions of their own state and the Choice sequence —
+// that is the whole replayability contract.
+type Scheduler interface {
+	Next(c Choice) ThreadID
+}
+
+//
+// Controller: the serialization token machine.
+//
+
+type gateState int
+
+const (
+	gateReady  gateState = iota // runnable, waiting for (or holding) the token
+	gateParked                  // blocked in the monitor
+	gateDone                    // goroutine exited
+)
+
+// Gate is the controller-side handle of one simulated thread. The
+// interpreter threads carry their gate and call Yield on every statement.
+type Gate struct {
+	ctl   *Controller
+	id    ThreadID
+	grant chan struct{}
+
+	// Guarded by ctl.mu.
+	state gateState
+	line  int   // last yielded source line
+	steps int64 // statements executed
+}
+
+// ID returns the thread id.
+func (g *Gate) ID() ThreadID { return g.id }
+
+// Controller serializes one run. It implements the monitor's scheduler
+// hook interface; hook methods are called with the monitor lock held and
+// only ever take the controller lock inside (lock order: monitor → ctl).
+type Controller struct {
+	mu       sync.Mutex
+	sched    Scheduler
+	gates    []*Gate
+	holder   ThreadID // token holder, -1 when none
+	seq      int64
+	released chan struct{}
+	isOff    bool
+	owner    map[interface{}]*Gate // monitor waiter → parked gate
+
+	enabledScratch []ThreadID
+}
+
+// NewController creates a controller with one pre-registered gate per
+// MPI process (ids 0..procs-1), driven by s.
+func NewController(s Scheduler, procs int) *Controller {
+	c := &Controller{
+		sched:    s,
+		holder:   -1,
+		released: make(chan struct{}),
+		owner:    make(map[interface{}]*Gate),
+	}
+	for i := 0; i < procs; i++ {
+		c.newGateLocked()
+	}
+	return c
+}
+
+func (c *Controller) newGateLocked() *Gate {
+	g := &Gate{ctl: c, id: ThreadID(len(c.gates)), grant: make(chan struct{}, 1), state: gateReady}
+	c.gates = append(c.gates, g)
+	return g
+}
+
+// ProcGate returns the pre-registered gate of the given rank's main
+// thread. Proc goroutines call this concurrently with the already
+// granted thread (which may be forking new gates), so it locks.
+func (c *Controller) ProcGate(rank int) *Gate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gates[rank]
+}
+
+// Fork registers n new team-worker threads at a deterministic point of
+// the schedule (the forking thread holds the token). The returned gates
+// are enabled immediately; their goroutines bind to them with Attach.
+func (c *Controller) Fork(n int) []*Gate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Gate, n)
+	for i := range out {
+		out[i] = c.newGateLocked()
+	}
+	return out
+}
+
+// Start hands the token to the scheduler's first pick. Call once, after
+// binding the controller to the monitor and before launching the run.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pickLocked(-1)
+}
+
+// Attach blocks the calling goroutine until its gate is granted the
+// token for the first time.
+func (g *Gate) Attach() { g.await() }
+
+func (g *Gate) await() {
+	select {
+	case <-g.grant:
+	case <-g.ctl.released:
+	}
+}
+
+// Yield offers a context switch at a statement boundary on the given
+// source line. The calling thread must hold the token (it is the only
+// one running). If the scheduler picks another thread, the caller parks
+// until re-granted.
+func (g *Gate) Yield(line int) {
+	c := g.ctl
+	c.mu.Lock()
+	if c.isOff {
+		c.mu.Unlock()
+		return
+	}
+	g.line = line
+	g.steps++
+	next := c.chooseLocked(g.id)
+	if next == g.id {
+		c.mu.Unlock()
+		return
+	}
+	c.grantLocked(next)
+	c.mu.Unlock()
+	g.await()
+}
+
+// enabledLocked returns the sorted runnable set in the controller's
+// scratch slice — one scheduling decision per statement makes this the
+// hottest allocation site, so the backing array is reused; Next
+// implementations must not retain it.
+func (c *Controller) enabledLocked() []ThreadID {
+	out := c.enabledScratch[:0]
+	for _, g := range c.gates {
+		if g.state == gateReady {
+			out = append(out, g.id)
+		}
+	}
+	c.enabledScratch = out
+	return out
+}
+
+func (c *Controller) sigLocked() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, g := range c.gates {
+		put(int64(g.id))
+		put(int64(g.state))
+		put(int64(g.line))
+		put(g.steps)
+	}
+	return h.Sum64()
+}
+
+// chooseLocked asks the scheduler to pick among the enabled threads
+// (which must include cur when cur yielded rather than parked). Invalid
+// picks fall back to the lowest enabled id so a buggy scheduler cannot
+// wedge the run.
+func (c *Controller) chooseLocked(cur ThreadID) ThreadID {
+	enabled := c.enabledLocked()
+	if len(enabled) == 0 {
+		c.holder = -1
+		return -1
+	}
+	ch := Choice{Enabled: enabled, Cur: cur, Seq: c.seq}
+	if len(enabled) > 1 {
+		// The signature only matters where a schedule can branch; the
+		// singleton fast path (one decision per executed statement in
+		// mostly-sequential phases) skips the hash entirely.
+		ch.Sig = c.sigLocked()
+	}
+	c.seq++
+	id := c.sched.Next(ch)
+	valid := false
+	for _, e := range enabled {
+		if e == id {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		id = enabled[0]
+	}
+	c.holder = id
+	return id
+}
+
+func (c *Controller) grantLocked(id ThreadID) {
+	if id < 0 {
+		return
+	}
+	c.gates[id].grant <- struct{}{}
+}
+
+// pickLocked chooses and grants the next thread after the previous
+// holder stopped being runnable (cur == -1) or at run start.
+func (c *Controller) pickLocked(cur ThreadID) {
+	next := c.chooseLocked(cur)
+	if next >= 0 {
+		c.grantLocked(next)
+	}
+}
+
+//
+// Monitor hook implementation. All four Locked-suffixed semantics hold:
+// the monitor calls these with its own lock held.
+//
+
+// HolderParked records that the token holder blocked on w and hands the
+// token to the scheduler's next pick.
+func (c *Controller) HolderParked(w interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isOff || c.holder < 0 {
+		return
+	}
+	g := c.gates[c.holder]
+	g.state = gateParked
+	c.owner[w] = g
+	c.pickLocked(-1)
+}
+
+// WaiterWoken marks w's thread runnable again. The waker keeps the
+// token; the woken thread re-acquires it in Resume.
+func (c *Controller) WaiterWoken(w interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.owner[w]
+	if g == nil || c.isOff {
+		return
+	}
+	g.state = gateReady
+}
+
+// Resume blocks the woken thread (just returned from its monitor wait)
+// until the scheduler grants it the token again. Called without locks.
+func (c *Controller) Resume(w interface{}) {
+	c.mu.Lock()
+	g := c.owner[w]
+	delete(c.owner, w)
+	off := c.isOff
+	c.mu.Unlock()
+	if g == nil || off {
+		return
+	}
+	g.await()
+}
+
+// HolderExited records that the token holder's goroutine is done (its
+// last monitor interaction) and schedules the next thread.
+func (c *Controller) HolderExited() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isOff || c.holder < 0 {
+		return
+	}
+	c.gates[c.holder].state = gateDone
+	c.pickLocked(-1)
+}
+
+// ReleaseAll switches to free-running mode: the run aborted, every
+// parked-on-the-token goroutine is released and all future scheduling
+// calls become no-ops, so abort unwinding never waits on the scheduler.
+func (c *Controller) ReleaseAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.isOff {
+		return
+	}
+	c.isOff = true
+	close(c.released)
+}
+
+//
+// Scheduler implementations.
+//
+
+// RoundRobin rotates the token through the enabled threads in id order —
+// the serialized analogue of the interpreter's historical deterministic
+// schedule, and the reference the conformance suite pins against the
+// golden files.
+type RoundRobin struct {
+	last ThreadID
+}
+
+// NewRoundRobin returns a fresh round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next picks the smallest enabled id strictly greater than the previous
+// pick, wrapping around.
+func (s *RoundRobin) Next(c Choice) ThreadID {
+	pick := c.Enabled[0]
+	for _, id := range c.Enabled {
+		if id > s.last {
+			pick = id
+			break
+		}
+	}
+	s.last = pick
+	return pick
+}
+
+// Random picks uniformly among the enabled threads with a seeded PRNG;
+// the same seed reproduces the same schedule.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random { return &Random{rng: rand.New(rand.NewSource(seed))} }
+
+// Next picks uniformly among the enabled threads.
+func (s *Random) Next(c Choice) ThreadID {
+	return c.Enabled[s.rng.Intn(len(c.Enabled))]
+}
+
+// PCT is a probabilistic-concurrency-testing scheduler (Burckhardt et
+// al.): every thread gets a random priority on first sight, the highest
+// priority enabled thread runs, and at depth-1 randomly chosen decision
+// points the running thread's priority drops below everyone else's. With
+// depth d it finds any bug of preemption depth d with probability ≥
+// 1/(n·k^(d-1)).
+type PCT struct {
+	rng     *rand.Rand
+	depth   int
+	horizon int64
+
+	prio    map[ThreadID]int
+	nextLow int
+	changes map[int64]bool
+}
+
+// NewPCT returns a PCT scheduler with the given seed, priority-change
+// depth (minimum 1) and decision horizon (the k in the probability
+// bound; decision points beyond it never host a priority change).
+func NewPCT(seed int64, depth int, horizon int64) *PCT {
+	if depth < 1 {
+		depth = 1
+	}
+	if horizon < 1 {
+		horizon = 4096
+	}
+	rng := rand.New(rand.NewSource(seed))
+	changes := make(map[int64]bool)
+	for i := 0; i < depth-1; i++ {
+		changes[rng.Int63n(horizon)] = true
+	}
+	return &PCT{rng: rng, depth: depth, horizon: horizon, prio: make(map[ThreadID]int), changes: changes}
+}
+
+// Next runs the highest-priority enabled thread, demoting the current
+// one at the sampled change points.
+func (s *PCT) Next(c Choice) ThreadID {
+	for _, id := range c.Enabled {
+		if _, ok := s.prio[id]; !ok {
+			// Fresh threads draw a priority above all previous ones so
+			// newly forked workers preempt (runs are short; the classic
+			// formulation is equivalent up to the initial permutation).
+			s.prio[id] = len(s.prio)*2 + s.rng.Intn(2)
+		}
+	}
+	if s.changes[c.Seq] && c.Cur >= 0 {
+		s.nextLow--
+		s.prio[c.Cur] = s.nextLow
+	}
+	best := c.Enabled[0]
+	for _, id := range c.Enabled[1:] {
+		if s.prio[id] > s.prio[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// Replay follows a recorded branch-point trace: wherever more than one
+// thread is enabled it takes the recorded pick, and past the end of the
+// trace (or if the recorded pick is not enabled — a divergence) it falls
+// back to the lowest enabled id. A run is a deterministic function of
+// its branch decisions, so replaying a trace reproduces the run exactly.
+type Replay struct {
+	Trace []ThreadID
+
+	pos      int
+	diverged bool
+}
+
+// Next follows the trace at branch points.
+func (s *Replay) Next(c Choice) ThreadID {
+	if len(c.Enabled) == 1 {
+		return c.Enabled[0]
+	}
+	pick := c.Enabled[0]
+	if s.pos < len(s.Trace) {
+		rec := s.Trace[s.pos]
+		found := false
+		for _, id := range c.Enabled {
+			if id == rec {
+				found = true
+				break
+			}
+		}
+		if found {
+			pick = rec
+		} else {
+			s.diverged = true
+		}
+	}
+	s.pos++
+	return pick
+}
+
+// Diverged reports whether the replay failed to reproduce the recorded
+// schedule: either the trace named a thread that was not enabled at some
+// branch point, or (checked after the run) the run had fewer branch
+// points than the trace has entries — both mean the program or its
+// configuration differ from the recording.
+func (s *Replay) Diverged() bool { return s.diverged || s.pos < len(s.Trace) }
+
+// Branch is one observed decision point where the schedule genuinely
+// branched (more than one thread enabled).
+type Branch struct {
+	// Sig is the positional state signature at the decision.
+	Sig uint64
+	// Enabled is the sorted runnable set.
+	Enabled []ThreadID
+	// Chosen is the thread the recorder picked.
+	Chosen ThreadID
+}
+
+// Recorder drives a DFS exploration run: it follows Prefix at branch
+// points, then defaults to the lowest enabled id, and records every
+// branch point it passes so the exploration engine can enumerate the
+// untaken alternatives.
+type Recorder struct {
+	Prefix []ThreadID
+
+	Branches []Branch
+	diverged bool
+}
+
+// Next follows the prefix, records the branch, and defaults to the
+// lowest enabled thread beyond the prefix.
+func (s *Recorder) Next(c Choice) ThreadID {
+	if len(c.Enabled) == 1 {
+		return c.Enabled[0]
+	}
+	pos := len(s.Branches)
+	pick := c.Enabled[0]
+	if pos < len(s.Prefix) {
+		rec := s.Prefix[pos]
+		found := false
+		for _, id := range c.Enabled {
+			if id == rec {
+				found = true
+				break
+			}
+		}
+		if found {
+			pick = rec
+		} else {
+			s.diverged = true
+		}
+	}
+	s.Branches = append(s.Branches, Branch{
+		Sig:     c.Sig,
+		Enabled: append([]ThreadID(nil), c.Enabled...),
+		Chosen:  pick,
+	})
+	return pick
+}
+
+// Diverged reports whether the prefix named a thread that was not
+// enabled when its branch point was reached.
+func (s *Recorder) Diverged() bool { return s.diverged }
+
+// Trace returns the chosen thread at every branch point passed so far —
+// the replay token payload of this run.
+func (s *Recorder) Trace() []ThreadID {
+	out := make([]ThreadID, len(s.Branches))
+	for i, b := range s.Branches {
+		out[i] = b.Chosen
+	}
+	return out
+}
+
+//
+// Replay tokens: the printable, replayable name of a schedule.
+//
+
+// FormatTrace renders a branch trace as a replay token ("trace:0.2.1").
+func FormatTrace(trace []ThreadID) string {
+	parts := make([]string, len(trace))
+	for i, id := range trace {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return "trace:" + strings.Join(parts, ".")
+}
+
+// RandomToken renders the replay token of a seeded random schedule.
+func RandomToken(seed int64) string { return fmt.Sprintf("rand:%d", seed) }
+
+// PCTToken renders the replay token of a PCT schedule.
+func PCTToken(seed int64, depth int) string { return fmt.Sprintf("pct:%d:%d", seed, depth) }
+
+// RoundRobinToken is the replay token of the deterministic round-robin
+// schedule.
+const RoundRobinToken = "rr"
+
+// Parse turns a replay token back into the scheduler that produced the
+// run: "rr", "rand:<seed>", "pct:<seed>:<depth>", or "trace:0.2.1".
+func Parse(token string) (Scheduler, error) {
+	switch {
+	case token == RoundRobinToken:
+		return NewRoundRobin(), nil
+	case strings.HasPrefix(token, "rand:"):
+		seed, err := strconv.ParseInt(token[len("rand:"):], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad random token %q: %v", token, err)
+		}
+		return NewRandom(seed), nil
+	case strings.HasPrefix(token, "pct:"):
+		parts := strings.Split(token[len("pct:"):], ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("sched: bad pct token %q (want pct:<seed>:<depth>)", token)
+		}
+		seed, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad pct seed in %q: %v", token, err)
+		}
+		depth, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad pct depth in %q: %v", token, err)
+		}
+		return NewPCT(seed, depth, 0), nil
+	case strings.HasPrefix(token, "trace:"):
+		body := token[len("trace:"):]
+		var trace []ThreadID
+		if body != "" {
+			for _, part := range strings.Split(body, ".") {
+				id, err := strconv.Atoi(part)
+				if err != nil {
+					return nil, fmt.Errorf("sched: bad trace token %q: %v", token, err)
+				}
+				trace = append(trace, ThreadID(id))
+			}
+		}
+		return &Replay{Trace: trace}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown schedule token %q", token)
+}

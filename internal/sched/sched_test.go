@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// synth builds a Choice over the given enabled ids.
+func synth(cur ThreadID, seq int64, ids ...ThreadID) Choice {
+	return Choice{Enabled: ids, Cur: cur, Seq: seq}
+}
+
+// TestRoundRobinRotation: the reference scheduler rotates through the
+// enabled set in id order, skipping disabled threads.
+func TestRoundRobinRotation(t *testing.T) {
+	s := NewRoundRobin()
+	var got []ThreadID
+	for i := int64(0); i < 6; i++ {
+		got = append(got, s.Next(synth(-1, i, 0, 1, 2)))
+	}
+	want := []ThreadID{0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rotation = %v, want %v", got, want)
+	}
+	// Thread 1 drops out: the rotation continues over the remainder.
+	if id := s.Next(synth(-1, 6, 0, 2)); id != 0 {
+		t.Fatalf("after wrap with {0,2}: got %v, want 0", id)
+	}
+	if id := s.Next(synth(-1, 7, 0, 2)); id != 2 {
+		t.Fatalf("next with {0,2}: got %v, want 2", id)
+	}
+}
+
+// TestRoundRobinFairnessBound: over any run of decisions, an enabled
+// thread waits at most len(enabled) decisions before running — the
+// no-starvation bound the conformance suite pins.
+func TestRoundRobinFairnessBound(t *testing.T) {
+	s := NewRoundRobin()
+	enabled := []ThreadID{0, 1, 2, 3}
+	lastRun := map[ThreadID]int{}
+	for i := 0; i < 100; i++ {
+		id := s.Next(synth(-1, int64(i), enabled...))
+		for _, e := range enabled {
+			if e != id && i-lastRun[e] > len(enabled) {
+				t.Fatalf("thread %v starved for %d decisions", e, i-lastRun[e])
+			}
+		}
+		lastRun[id] = i
+	}
+}
+
+// TestRandomSeedDeterminism: the same seed yields the same decision
+// sequence; different seeds are allowed to differ (and do, for this
+// sequence length).
+func TestRandomSeedDeterminism(t *testing.T) {
+	seq := func(seed int64) []ThreadID {
+		s := NewRandom(seed)
+		var out []ThreadID
+		for i := int64(0); i < 64; i++ {
+			out = append(out, s.Next(synth(-1, i, 0, 1, 2, 3)))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(7), seq(7)) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(seq(7), seq(8)) {
+		t.Fatal("different seeds produced identical 64-step schedules")
+	}
+}
+
+// TestPCTPriorities: with depth 1 there are no priority change points,
+// so PCT degenerates to strict priority scheduling — the same thread
+// runs as long as the same set is enabled, and when it blocks the next
+// priority takes over (and keeps running after the first returns,
+// having been demoted never — priorities are static at depth 1).
+func TestPCTPriorities(t *testing.T) {
+	s := NewPCT(1, 1, 0)
+	first := s.Next(synth(-1, 0, 0, 1, 2))
+	for i := int64(1); i < 10; i++ {
+		if got := s.Next(synth(first, i, 0, 1, 2)); got != first {
+			t.Fatalf("decision %d: depth-1 PCT switched from %v to %v without a change point", i, first, got)
+		}
+	}
+	// first blocks: a different thread must run.
+	var rest []ThreadID
+	for _, id := range []ThreadID{0, 1, 2} {
+		if id != first {
+			rest = append(rest, id)
+		}
+	}
+	second := s.Next(synth(-1, 10, rest...))
+	if second == first {
+		t.Fatalf("blocked thread %v picked", first)
+	}
+	// first returns: it preempts again (it still has top priority).
+	if got := s.Next(synth(second, 11, 0, 1, 2)); got != first {
+		t.Fatalf("after unblock: got %v, want %v", got, first)
+	}
+}
+
+// TestPCTDeterminism: same seed/depth, same schedule.
+func TestPCTDeterminism(t *testing.T) {
+	run := func() []ThreadID {
+		s := NewPCT(42, 4, 0)
+		var out []ThreadID
+		for i := int64(0); i < 64; i++ {
+			out = append(out, s.Next(synth(-1, i, 0, 1, 2, 3)))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("same PCT configuration produced different schedules")
+	}
+}
+
+// TestReplayFollowsTrace: replay takes the recorded pick at branch
+// points, passes through singleton choices without consuming trace, and
+// flags divergence when the recorded pick is not enabled.
+func TestReplayFollowsTrace(t *testing.T) {
+	s := &Replay{Trace: []ThreadID{2, 1}}
+	if got := s.Next(synth(-1, 0, 0, 1, 2)); got != 2 {
+		t.Fatalf("branch 0: got %v, want 2", got)
+	}
+	if got := s.Next(synth(-1, 1, 1)); got != 1 {
+		t.Fatalf("singleton choice: got %v, want 1", got)
+	}
+	if got := s.Next(synth(-1, 2, 0, 1)); got != 1 {
+		t.Fatalf("branch 1: got %v, want 1", got)
+	}
+	// Past the trace: lowest enabled.
+	if got := s.Next(synth(-1, 3, 0, 3)); got != 0 {
+		t.Fatalf("past trace: got %v, want 0", got)
+	}
+	if s.Diverged() {
+		t.Fatal("spurious divergence")
+	}
+	d := &Replay{Trace: []ThreadID{9}}
+	d.Next(synth(-1, 0, 0, 1))
+	if !d.Diverged() {
+		t.Fatal("replay of a disabled thread must flag divergence")
+	}
+	// A run with fewer branch points than the trace has entries is also
+	// a divergence: the recorded schedule never ran to completion, so a
+	// "clean" result must not pass as a reproduction.
+	short := &Replay{Trace: []ThreadID{0, 1, 0}}
+	short.Next(synth(-1, 0, 0, 1))
+	short.Next(synth(-1, 1, 0))
+	if !short.Diverged() {
+		t.Fatal("unconsumed trace entries must flag divergence")
+	}
+	exact := &Replay{Trace: []ThreadID{0}}
+	exact.Next(synth(-1, 0, 0, 1))
+	if exact.Diverged() {
+		t.Fatal("fully consumed trace must not flag divergence")
+	}
+}
+
+// TestRecorderBranches: the recorder logs exactly the multi-choice
+// decisions, with enabled sets and picks, and its trace replays.
+func TestRecorderBranches(t *testing.T) {
+	r := &Recorder{Prefix: []ThreadID{1}}
+	r.Next(synth(-1, 0, 0))       // singleton: not a branch
+	r.Next(synth(-1, 1, 0, 1))    // branch 0: prefix says 1
+	r.Next(synth(-1, 2, 0, 1, 2)) // branch 1: past prefix, default 0
+	if len(r.Branches) != 2 {
+		t.Fatalf("recorded %d branches, want 2", len(r.Branches))
+	}
+	if !reflect.DeepEqual(r.Trace(), []ThreadID{1, 0}) {
+		t.Fatalf("trace = %v, want [1 0]", r.Trace())
+	}
+	if r.Branches[1].Enabled[2] != 2 {
+		t.Fatalf("branch enabled set not recorded: %+v", r.Branches[1])
+	}
+}
+
+// TestTokenRoundTrip: every token form parses back into a scheduler of
+// the right shape, and malformed tokens are rejected.
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []struct {
+		token string
+		want  any
+	}{
+		{RoundRobinToken, &RoundRobin{}},
+		{RandomToken(123), &Random{}},
+		{PCTToken(5, 3), &PCT{}},
+		{FormatTrace([]ThreadID{0, 2, 1}), &Replay{}},
+		{FormatTrace(nil), &Replay{}},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.token)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.token, err)
+			continue
+		}
+		if reflect.TypeOf(s) != reflect.TypeOf(tc.want) {
+			t.Errorf("Parse(%q) = %T, want %T", tc.token, s, tc.want)
+		}
+	}
+	if s, err := Parse("trace:0.2.1"); err != nil {
+		t.Errorf("trace token: %v", err)
+	} else if !reflect.DeepEqual(s.(*Replay).Trace, []ThreadID{0, 2, 1}) {
+		t.Errorf("trace payload = %v", s.(*Replay).Trace)
+	}
+	for _, bad := range []string{"", "nope", "rand:x", "pct:1", "pct:a:b", "trace:1.x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed token", bad)
+		}
+	}
+}
+
+// TestTokenReplayEquivalence: a random schedule and its parsed token
+// produce identical decision sequences — the substance of "the printed
+// seed replays exactly".
+func TestTokenReplayEquivalence(t *testing.T) {
+	orig := NewRandom(99)
+	parsed, err := Parse(RandomToken(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 128; i++ {
+		a := orig.Next(synth(-1, i, 0, 1, 2, 3, 4))
+		b := parsed.Next(synth(-1, i, 0, 1, 2, 3, 4))
+		if a != b {
+			t.Fatalf("decision %d: original %v, replayed %v", i, a, b)
+		}
+	}
+}

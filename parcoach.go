@@ -40,6 +40,7 @@ import (
 	"parcoach/internal/cfg"
 	"parcoach/internal/core"
 	"parcoach/internal/dom"
+	"parcoach/internal/explore"
 	"parcoach/internal/instrument"
 	"parcoach/internal/interp"
 	"parcoach/internal/parser"
@@ -608,6 +609,9 @@ const (
 	RunDeadlock = interp.OutcomeDeadlock
 	// RunRuntimeError: a plain execution error.
 	RunRuntimeError = interp.OutcomeRuntimeError
+	// RunBudget: the run exhausted its step budget (a spinning schedule,
+	// distinct from a deadlock).
+	RunBudget = interp.OutcomeBudget
 )
 
 // ClassifyRun maps a run error to its outcome class (nil means RunClean).
@@ -627,6 +631,54 @@ func (p *Program) Run(opts RunOptions) *RunResult {
 		target = p.Instrumented
 	}
 	return interp.Run(target, opts)
+}
+
+// ExploreOptions configures schedule exploration (see internal/explore):
+// strategy (round-robin, seeded random, PCT, bounded exhaustive DFS),
+// run budget, seed, and run parameters.
+type ExploreOptions = explore.Options
+
+// ExplorationReport summarizes the schedule space of one program: how
+// many interleavings ran, the distinct outcome classes they produced,
+// and a replayable token for the first failing schedule.
+type ExplorationReport = explore.Report
+
+// Exploration strategies.
+const (
+	// ExploreRoundRobin runs the single deterministic reference schedule.
+	ExploreRoundRobin = explore.StrategyRoundRobin
+	// ExploreRandom samples seeded uniform schedules.
+	ExploreRandom = explore.StrategyRandom
+	// ExplorePCT samples random-priority schedules with bounded
+	// priority-change depth.
+	ExplorePCT = explore.StrategyPCT
+	// ExploreDFS enumerates interleavings exhaustively up to the budget.
+	ExploreDFS = explore.StrategyDFS
+)
+
+// Explore runs the program (instrumented when codegen produced checks,
+// like Run) under many interleavings and reports the distinct verdicts
+// the schedule space contains. A single run validates one interleaving;
+// Explore is the dynamic layer's answer to schedule-dependent bugs.
+func (p *Program) Explore(opts ExploreOptions) *ExplorationReport {
+	target := p.Source
+	if p.Instrumented != nil {
+		target = p.Instrumented
+	}
+	return explore.Explore(target, opts)
+}
+
+// Explore runs prog's compiled artifact under many interleavings; see
+// Program.Explore.
+func Explore(prog *Program, opts ExploreOptions) *ExplorationReport {
+	return prog.Explore(opts)
+}
+
+// ExploreUninstrumented explores the pristine source regardless of mode
+// (what the schedule space looks like on a real machine, without the
+// planted checks).
+func (p *Program) ExploreUninstrumented(opts ExploreOptions) *ExplorationReport {
+	return explore.Explore(p.Source, opts)
 }
 
 // RunUninstrumented executes the pristine source regardless of mode (used
