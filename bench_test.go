@@ -18,6 +18,7 @@ import (
 
 	"parcoach"
 	"parcoach/internal/core"
+	"parcoach/internal/explore"
 	"parcoach/internal/interp"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/omp"
@@ -241,34 +242,53 @@ func benchName(prefix string, n int) string {
 }
 
 // BenchmarkExplore pins the schedule-exploration throughput
-// (schedules/sec): one generated concurrency-bug program explored with
-// seeded random schedules at growing budgets, on widening worker pools.
-// The serialized runs are independent, so throughput should scale with
-// workers once the budget exceeds the pool width.
+// (schedules/sec, via b.ReportMetric) across every strategy and worker
+// width, on the property-suite racer and a generated concurrency-bug
+// program. The workload program and the strategy × frontier grid are
+// shared with cmd/benchjson (explore.BenchRacerSrc / explore.BenchGrid),
+// which runs the identical cells and emits BENCH_explore.json for the
+// perf trajectory.
 func BenchmarkExplore(b *testing.B) {
 	gp := mhgen.Generate(mhgen.Config{Seed: 5, Bug: workload.BugConcurrentSingles})
-	prog, err := parcoach.Compile(gp.Name+".mh", gp.Source, parcoach.Options{Mode: parcoach.ModeFull})
+	gen, err := parcoach.Compile(gp.Name+".mh", gp.Source, parcoach.Options{Mode: parcoach.ModeFull})
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, schedules := range []int{1, 4, 16} {
-		for _, workers := range []int{1, 4, 8} {
-			b.Run(benchName("schedules", schedules)+"/"+benchName("workers", workers), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					rep := prog.Explore(parcoach.ExploreOptions{
-						Strategy:  parcoach.ExploreRandom,
-						Schedules: schedules,
-						Workers:   workers,
-						Procs:     gp.Procs,
-						Threads:   gp.Threads,
-						MaxSteps:  2_000_000,
-					})
-					if rep.Schedules != schedules {
-						b.Fatalf("ran %d schedules, want %d", rep.Schedules, schedules)
+	racer, err := parcoach.Compile("racer.mh", explore.BenchRacerSrc, parcoach.Options{Mode: parcoach.ModeFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := []struct {
+		name           string
+		prog           *parcoach.Program
+		procs, threads int
+	}{
+		{"racer", racer, 2, 2},
+		{gp.Name, gen, gp.Procs, gp.Threads},
+	}
+	for _, pc := range progs {
+		for _, tc := range explore.BenchGrid(1024) {
+			for _, workers := range []int{1, 4, 8} {
+				b.Run(pc.name+"/"+tc.Name+"/"+benchName("workers", workers), func(b *testing.B) {
+					total := 0
+					for i := 0; i < b.N; i++ {
+						rep := pc.prog.Explore(parcoach.ExploreOptions{
+							Strategy:  tc.Strategy,
+							Frontier:  tc.Frontier,
+							Schedules: tc.Schedules,
+							Workers:   workers,
+							Procs:     pc.procs,
+							Threads:   pc.threads,
+							MaxSteps:  2_000_000,
+						})
+						if rep.Schedules == 0 {
+							b.Fatal("exploration ran no schedules")
+						}
+						total += rep.Schedules
 					}
-				}
-				b.ReportMetric(float64(schedules)*float64(b.N)/b.Elapsed().Seconds(), "schedules/s")
-			})
+					b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/s")
+				})
+			}
 		}
 	}
 }

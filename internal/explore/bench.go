@@ -1,0 +1,47 @@
+package explore
+
+// The schedules/sec trajectory is measured by two consumers — the root
+// BenchmarkExplore and cmd/benchjson (which emits BENCH_explore.json) —
+// that must stay cell-for-cell identical for the trajectory to mean
+// anything. The workload program and the strategy × frontier grid are
+// therefore defined once, here.
+
+// BenchRacerSrc is the property-suite racing-single-winner program: a
+// schedule-only deadlock (round-robin runs clean; the bug needs a
+// particular nowait-single election) whose hashed DFS space of ~1.6k
+// schedules is the reference workload for exploration throughput.
+const BenchRacerSrc = `
+func main() {
+	MPI_Init()
+	var winner = 0
+	parallel num_threads(2) {
+		single nowait { winner = tid() }
+	}
+	if winner == 0 {
+		MPI_Barrier()
+	}
+	MPI_Finalize()
+}
+`
+
+// BenchCase is one strategy cell of the throughput grid.
+type BenchCase struct {
+	Name      string
+	Strategy  Strategy
+	Frontier  Frontier // meaningful for DFS only
+	Schedules int
+}
+
+// BenchGrid returns the canonical benchmark grid: every strategy, with
+// DFS under both the work-stealing frontier and the legacy wave-batched
+// reference (the before/after of the frontier rebuild). dfsBudget
+// bounds the DFS cells; sampling cells use a fixed budget of 64.
+func BenchGrid(dfsBudget int) []BenchCase {
+	return []BenchCase{
+		{"rr", StrategyRoundRobin, FrontierSteal, 1},
+		{"random", StrategyRandom, FrontierSteal, 64},
+		{"pct", StrategyPCT, FrontierSteal, 64},
+		{"dfs", StrategyDFS, FrontierSteal, dfsBudget},
+		{"dfs-wave", StrategyDFS, FrontierWave, dfsBudget},
+	}
+}

@@ -24,16 +24,21 @@
 //     thread), and every untaken alternative spawns a new prefix to
 //     explore, with positional state hashing pruning commuting
 //     interleavings, until the frontier drains or the budget is spent.
+//     The frontier is work-stealing by default (per-worker LIFO deques,
+//     steal from the shallow end; see steal.go) with the PR 3
+//     wave-batched frontier kept as the equivalence reference.
 //
 // Runs fan out over the shared compile worker pool
-// (internal/pipeline.Pool), so exploring a batch of programs keeps the
-// hardware busy the same way batch compilation does.
+// (internal/pipeline.Pool) and share one interp.Session, so the
+// compiled artifact and the pooled per-rank run state are reused by
+// every schedule instead of being rebuilt per run.
 package explore
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"parcoach/internal/ast"
 	"parcoach/internal/interp"
@@ -86,6 +91,58 @@ func ParseStrategy(name string) (Strategy, error) {
 	return 0, fmt.Errorf("explore: unknown strategy %q (want rr|random|pct|dfs)", name)
 }
 
+// Frontier selects how the DFS prefix frontier is distributed over the
+// worker pool.
+type Frontier int
+
+// DFS frontier implementations.
+const (
+	// FrontierSteal (the default) gives every worker a private LIFO
+	// deque: a worker pushes the children of the run it just completed
+	// and pops the deepest one next, so it keeps replaying its own warm
+	// prefix (longest common prefix first); idle workers steal from the
+	// shallow end of a peer's deque, taking the largest remaining
+	// subtree. Skewed prefix trees therefore keep every worker busy,
+	// where the wave frontier stalls the pool on each wave's stragglers.
+	//
+	// Determinism: at Workers=1 the report is a pure function of
+	// (program, options). Across worker counts the *reduction* is
+	// canonical (runs merge in trace order, see mergeDFS), but when
+	// state hashing is on, which of two same-state prefixes gets pruned
+	// depends on seen-set insertion order, so the explored set — and
+	// with it Pruned, Schedules and, on a truncating budget, the verdict
+	// counts — can differ slightly between worker counts. With
+	// NoStateHash the enumeration is order-independent and reports are
+	// byte-identical at any width.
+	FrontierSteal Frontier = iota
+	// FrontierWave is the wave-batched frontier the engine shipped with
+	// (PR 3), kept as the sequential reference for the equivalence
+	// suite and for before/after benchmarking.
+	FrontierWave
+)
+
+var frontierNames = [...]string{
+	FrontierSteal: "steal",
+	FrontierWave:  "wave",
+}
+
+func (f Frontier) String() string {
+	if int(f) < len(frontierNames) {
+		return frontierNames[f]
+	}
+	return "frontier(?)"
+}
+
+// ParseFrontier maps a CLI name ("steal", "wave") to its frontier.
+func ParseFrontier(name string) (Frontier, error) {
+	for i, n := range frontierNames {
+		if n == name {
+			return Frontier(i), nil
+		}
+	}
+	return 0, fmt.Errorf("explore: unknown DFS frontier %q (want steal|wave)", name)
+}
+
 // Options configures an exploration.
 type Options struct {
 	// Strategy selects the schedule sampler (default StrategyRandom).
@@ -105,7 +162,8 @@ type Options struct {
 	// spin classify as OutcomeBudget, not deadlock.
 	MaxSteps int64
 	// Workers is the worker-pool width for concurrent runs (0 =
-	// GOMAXPROCS). Verdicts are identical for any width.
+	// GOMAXPROCS). For the sampling strategies verdicts are identical
+	// for any width; for DFS see the determinism notes on Frontier.
 	Workers int
 	// Policy is the single-construct election policy (default
 	// FirstArrival: elections follow arrival order, which is exactly
@@ -114,6 +172,9 @@ type Options struct {
 	// NoStateHash disables the DFS positional-state pruning, forcing a
 	// full enumeration of the (possibly much larger) prefix tree.
 	NoStateHash bool
+	// Frontier selects the DFS work distribution (default
+	// FrontierSteal); ignored by the sampling strategies.
+	Frontier Frontier
 	// Level is the MPI thread support to simulate; LevelSet marks it as
 	// explicitly chosen (mirroring interp.Options, so exploration runs
 	// under the same configuration a plain run would).
@@ -156,8 +217,11 @@ type Verdict struct {
 	Outcome interp.Outcome
 	// Count is how many explored schedules ended this way.
 	Count int
-	// First is the 0-based exploration-order index of the first run with
-	// this outcome (the schedules-to-first-detection metric).
+	// First is the 0-based index of the first run with this outcome
+	// (the schedules-to-first-detection metric). For the sampling
+	// strategies the order is exploration (submission) order; for DFS
+	// it is the canonical trace order of the explored set (see
+	// mergeDFS), so it does not depend on which worker finished first.
 	First int
 	// Sample is the error text of the first such run ("" for clean).
 	Sample string
@@ -174,8 +238,9 @@ type Failure struct {
 	Err string
 	// Schedule is the replayable token.
 	Schedule string
-	// Index is the 0-based position in exploration order — the
-	// "schedules to first detection" metric of the differential matrix.
+	// Index is the 0-based position in exploration order (sampling) or
+	// canonical trace order (DFS) — the "schedules to first detection"
+	// metric of the differential matrix.
 	Index int
 }
 
@@ -256,32 +321,37 @@ type run struct {
 }
 
 // Explore runs prog under opts.Schedules interleavings and reduces the
-// outcomes. The report is deterministic for a fixed (program, options)
-// pair at any worker count.
+// outcomes. For the sampling strategies the report is deterministic for
+// a fixed (program, options) pair at any worker count; for DFS see the
+// determinism notes on Frontier.
 func Explore(prog *ast.Program, opts Options) *Report {
 	opts = opts.normalized()
 	pool := pipeline.NewPool(opts.Workers)
+	// One session for the whole exploration: the compiled artifact,
+	// resolved entry point and pooled per-rank run state are shared
+	// across every schedule, so per-run setup is amortized instead of
+	// paid opts.Schedules times.
+	sess := interp.NewSession(prog, interp.Options{
+		Procs:    opts.Procs,
+		Threads:  opts.Threads,
+		Level:    opts.Level,
+		LevelSet: opts.LevelSet,
+		Policy:   opts.Policy,
+		MaxSteps: opts.MaxSteps,
+	})
 	rep := &Report{Strategy: opts.Strategy}
 	switch opts.Strategy {
 	case StrategyDFS:
-		exploreDFS(prog, opts, pool, rep)
+		exploreDFS(sess, opts, pool, rep)
 	default:
-		exploreSampled(prog, opts, pool, rep)
+		exploreSampled(sess, opts, pool, rep)
 	}
 	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].Outcome < rep.Verdicts[j].Outcome })
 	return rep
 }
 
-func runOne(prog *ast.Program, opts Options, s sched.Scheduler, token string) run {
-	res := interp.Run(prog, interp.Options{
-		Procs:     opts.Procs,
-		Threads:   opts.Threads,
-		Level:     opts.Level,
-		LevelSet:  opts.LevelSet,
-		Policy:    opts.Policy,
-		MaxSteps:  opts.MaxSteps,
-		Scheduler: s,
-	})
+func runOne(sess *interp.Session, s sched.Scheduler, token string) run {
+	res := sess.Run(s)
 	r := run{outcome: res.Outcome(), schedule: token}
 	if res.Err != nil {
 		r.err = res.Err.Error()
@@ -308,7 +378,7 @@ func (r *Report) merge(one run) {
 }
 
 // exploreSampled runs the independent sampling strategies concurrently.
-func exploreSampled(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *Report) {
+func exploreSampled(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report) {
 	type job struct {
 		mk    func() sched.Scheduler
 		token string
@@ -329,7 +399,7 @@ func exploreSampled(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *R
 	}
 	results := make([]run, len(jobs))
 	pool.Map(len(jobs), func(i int) {
-		results[i] = runOne(prog, opts, jobs[i].mk(), jobs[i].token)
+		results[i] = runOne(sess, jobs[i].mk(), jobs[i].token)
 	})
 	// Merge in submission order so the report (and FirstFailure.Index)
 	// is identical at any worker count.
@@ -338,29 +408,171 @@ func exploreSampled(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *R
 	}
 }
 
-// dfsKey identifies a (positional state, alternative) pair for pruning.
-type dfsKey struct {
-	sig uint64
-	alt sched.ThreadID
+//
+// Bounded-exhaustive DFS.
+//
+// Both frontier implementations enumerate the same prefix tree by
+// iterative replay — each run follows a decision prefix, records every
+// branch point it passes, and the untaken alternatives become new
+// prefixes — and both dedupe candidate states through the same sharded
+// seen-set. They differ only in how prefixes are distributed over the
+// workers; the completed runs are reduced identically by mergeDFS.
+//
+
+// dfsRun is one completed DFS schedule: its classified outcome plus the
+// branch trace that names (and replays) it. The run error stays an
+// error value — thousands of failing runs share a handful of verdicts,
+// so the (deadlock-report-sized) text is only rendered for the runs the
+// report actually quotes.
+type dfsRun struct {
+	outcome  interp.Outcome
+	runErr   error
+	trace    []sched.ThreadID
+	diverged bool
 }
 
-// exploreDFS enumerates interleavings by iterative prefix replay: each
-// run follows a decision prefix, records every branch point it passes,
-// and the untaken alternatives become new prefixes. The frontier is
-// processed in deterministic waves fanned across the pool.
-func exploreDFS(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *Report) {
+// recorderPool recycles DFS recorders (and their branch/enabled-set
+// buffers) across the runs of an exploration.
+var recorderPool = sync.Pool{New: func() any { return new(sched.Recorder) }}
+
+// runPrefix replays one decision prefix and returns the completed run
+// and its recorder (whose Branches drive child enumeration; return it
+// to recorderPool when done with them).
+func runPrefix(sess *interp.Session, prefix []sched.ThreadID) (dfsRun, *sched.Recorder) {
+	rec := recorderPool.Get().(*sched.Recorder)
+	rec.Reset(prefix)
+	res := sess.Run(rec)
+	dr := dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: rec.Trace(), diverged: rec.Diverged()}
+	return dr, rec
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// childKey folds a (positional state, alternative) pair into the
+// dedupe-set key. Sig is already an FNV hash; the alternative is mixed
+// in with a splitmix64 round so (sig, alt) pairs spread over the full
+// key space.
+func childKey(sig uint64, alt sched.ThreadID) uint64 {
+	z := sig + (uint64(alt)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// enumerate walks the branch points a run discovered beyond its prefix
+// (earlier ones were enumerated by the ancestor that spawned the
+// prefix) and hands every unseen untaken alternative to push as a new
+// prefix. Returns how many alternatives the seen-set pruned. push is
+// called in increasing branch-depth order, so a LIFO consumer pops the
+// deepest — longest-common-prefix — child first.
+func enumerate(opts Options, seen *pipeline.ShardedSet, prefixLen int, trace []sched.ThreadID,
+	branches []sched.Branch, push func([]sched.ThreadID)) (pruned int) {
+	for bi := prefixLen; bi < len(branches); bi++ {
+		b := branches[bi]
+		for _, alt := range b.Enabled {
+			if alt == b.Chosen {
+				continue
+			}
+			if !opts.NoStateHash && !seen.TryAdd(childKey(b.Sig, alt)) {
+				pruned++
+				continue
+			}
+			child := make([]sched.ThreadID, bi+1)
+			copy(child, trace[:bi])
+			child[bi] = alt
+			push(child)
+		}
+	}
+	return pruned
+}
+
+// lessTrace orders branch traces lexicographically (traces are
+// prefix-free — equal decisions replay to equal runs — so element-wise
+// comparison fully orders them). This is the canonical schedule order
+// of a DFS report: left-to-right over the prefix tree, independent of
+// the discovery order any particular frontier or worker count produced.
+func lessTrace(a, b []sched.ThreadID) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// mergeDFS reduces the completed runs into the report in canonical
+// trace order, so Verdict.First, FirstFailure and the report rendering
+// are a function of the explored *set* — not of which frontier, worker
+// count or steal interleaving discovered it first. Error text and
+// replay tokens are rendered only for the runs the report quotes (the
+// first run of each outcome class and the first failure).
+func mergeDFS(rep *Report, runs []dfsRun, leftover bool, pruned, diverged int) {
+	sort.Slice(runs, func(i, j int) bool { return lessTrace(runs[i].trace, runs[j].trace) })
+	for i := range runs {
+		dr := &runs[i]
+		idx := rep.Schedules
+		rep.Schedules++
+		if v := rep.Verdict(dr.outcome); v != nil {
+			v.Count++
+		} else {
+			rep.Verdicts = append(rep.Verdicts, Verdict{
+				Outcome: dr.outcome, Count: 1, First: idx,
+				Sample: errText(dr.runErr), Schedule: sched.FormatTrace(dr.trace),
+			})
+		}
+		if dr.outcome != interp.OutcomeClean && rep.FirstFailure == nil {
+			rep.FirstFailure = &Failure{
+				Outcome: dr.outcome, Err: errText(dr.runErr),
+				Schedule: sched.FormatTrace(dr.trace), Index: idx,
+			}
+		}
+	}
+	rep.Pruned = pruned
+	rep.Diverged = diverged
+	rep.Exhausted = !leftover
+}
+
+// exploreDFS runs the selected frontier and reduces its runs.
+func exploreDFS(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report) {
+	seen := pipeline.NewShardedSet()
+	switch opts.Frontier {
+	case FrontierWave:
+		runs, leftover, pruned, diverged := exploreDFSWave(sess, opts, pool, seen)
+		mergeDFS(rep, runs, leftover, pruned, diverged)
+	default:
+		runs, leftover, pruned, diverged := exploreDFSSteal(sess, opts, pool, seen)
+		mergeDFS(rep, runs, leftover, pruned, diverged)
+	}
+}
+
+// exploreDFSWave is the legacy wave-batched frontier, kept as the
+// sequential reference the equivalence suite compares the work-stealing
+// frontier against: prefixes are processed in deterministic waves with
+// a full barrier between waves, which is exactly the behavior that
+// starves workers on skewed prefix trees.
+func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
+	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+
 	type result struct {
-		one      run
-		prefix   []sched.ThreadID
-		trace    []sched.ThreadID
-		branches []sched.Branch
-		diverged bool
+		dr     dfsRun
+		prefix []sched.ThreadID
+		rec    *sched.Recorder
 	}
 	frontier := [][]sched.ThreadID{nil} // start with the unconstrained run
-	seen := make(map[dfsKey]bool)
-	for len(frontier) > 0 && rep.Schedules < opts.Schedules {
+	for len(frontier) > 0 && len(runs) < opts.Schedules {
 		batch := frontier
-		if left := opts.Schedules - rep.Schedules; len(batch) > left {
+		if left := opts.Schedules - len(runs); len(batch) > left {
 			batch = batch[:left]
 			frontier = frontier[left:]
 		} else {
@@ -368,44 +580,20 @@ func exploreDFS(prog *ast.Program, opts Options, pool *pipeline.Pool, rep *Repor
 		}
 		results := make([]result, len(batch))
 		pool.Map(len(batch), func(i int) {
-			rec := &sched.Recorder{Prefix: batch[i]}
-			one := runOne(prog, opts, rec, "")
-			results[i] = result{
-				one: one, prefix: batch[i],
-				trace: rec.Trace(), branches: rec.Branches, diverged: rec.Diverged(),
-			}
+			dr, rec := runPrefix(sess, batch[i])
+			results[i] = result{dr: dr, prefix: batch[i], rec: rec}
 		})
 		for _, res := range results {
-			res.one.schedule = sched.FormatTrace(res.trace)
-			rep.merge(res.one)
-			if res.diverged {
-				rep.Diverged++
+			runs = append(runs, res.dr)
+			if res.dr.diverged {
+				recorderPool.Put(res.rec)
+				diverged++
 				continue
 			}
-			// Enumerate the alternatives of every branch point this run
-			// discovered beyond its prefix (earlier ones were enumerated
-			// by the ancestor that spawned this prefix).
-			for bi := len(res.prefix); bi < len(res.branches); bi++ {
-				b := res.branches[bi]
-				for _, alt := range b.Enabled {
-					if alt == b.Chosen {
-						continue
-					}
-					if !opts.NoStateHash {
-						key := dfsKey{sig: b.Sig, alt: alt}
-						if seen[key] {
-							rep.Pruned++
-							continue
-						}
-						seen[key] = true
-					}
-					child := make([]sched.ThreadID, bi+1)
-					copy(child, res.trace[:bi])
-					child[bi] = alt
-					frontier = append(frontier, child)
-				}
-			}
+			pruned += enumerate(opts, seen, len(res.prefix), res.dr.trace, res.rec.Branches,
+				func(child []sched.ThreadID) { frontier = append(frontier, child) })
+			recorderPool.Put(res.rec)
 		}
 	}
-	rep.Exhausted = len(frontier) == 0
+	return runs, len(frontier) > 0, pruned, diverged
 }

@@ -9,19 +9,8 @@ import (
 	"parcoach/internal/parser"
 )
 
-const racerSrc = `
-func main() {
-	MPI_Init()
-	var winner = 0
-	parallel num_threads(2) {
-		single nowait { winner = tid() }
-	}
-	if winner == 0 {
-		MPI_Barrier()
-	}
-	MPI_Finalize()
-}
-`
+// racerSrc is the shared benchmark/property racer (see bench.go).
+const racerSrc = BenchRacerSrc
 
 func TestParseStrategy(t *testing.T) {
 	for _, s := range []Strategy{StrategyRoundRobin, StrategyRandom, StrategyPCT, StrategyDFS} {
@@ -35,12 +24,12 @@ func TestParseStrategy(t *testing.T) {
 	}
 }
 
-// TestExploreDeterministicAcrossWorkers: the report — verdict counts,
-// first-failure index, replay tokens — is identical at any pool width,
-// for every strategy.
+// TestExploreDeterministicAcrossWorkers: for the sampling strategies
+// the report — verdict counts, first-failure index, replay tokens — is
+// identical at any pool width.
 func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 	prog := parser.MustParse("racer.mh", racerSrc)
-	for _, strat := range []Strategy{StrategyRandom, StrategyPCT, StrategyDFS} {
+	for _, strat := range []Strategy{StrategyRandom, StrategyPCT} {
 		opts := Options{Strategy: strat, Schedules: 64, Seed: 11, MaxSteps: 100_000}
 		o1 := opts
 		o1.Workers = 1
@@ -54,6 +43,87 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(r1.Verdicts, r8.Verdicts) {
 			t.Errorf("%s: verdicts differ across worker counts", strat)
+		}
+	}
+}
+
+// outcomeSet reduces a report to its sorted outcome classes.
+func outcomeSet(r *Report) []interp.Outcome {
+	var out []interp.Outcome
+	for _, v := range r.Verdicts {
+		out = append(out, v.Outcome)
+	}
+	return out
+}
+
+// TestDFSDeterministicAcrossWorkers pins what the work-stealing DFS
+// guarantees across pool widths. With state hashing on, which of two
+// state-equivalent prefixes gets pruned depends on seen-set insertion
+// order, so only the *verdict outcome set* (and exhaustion) is
+// width-independent; with hashing off the enumeration is the full
+// prefix tree, order plays no role, and the canonical merge makes the
+// whole report byte-identical at any width.
+func TestDFSDeterministicAcrossWorkers(t *testing.T) {
+	t.Run("hashed-outcome-set", func(t *testing.T) {
+		prog := parser.MustParse("racer.mh", racerSrc)
+		// 4096 exhausts the hashed space (~1.6k schedules), so every
+		// width explores a full pruning-equivalent cover of the tree.
+		opts := Options{Strategy: StrategyDFS, Schedules: 4096, MaxSteps: 200_000}
+		o1, o8 := opts, opts
+		o1.Workers = 1
+		o8.Workers = 8
+		r1, r8 := Explore(prog, o1), Explore(prog, o8)
+		if !r1.Exhausted || !r8.Exhausted {
+			t.Fatalf("exhaustion differs or missing: w1=%t w8=%t", r1.Exhausted, r8.Exhausted)
+		}
+		if !reflect.DeepEqual(outcomeSet(r1), outcomeSet(r8)) {
+			t.Errorf("outcome sets differ across worker counts: %v vs %v", outcomeSet(r1), outcomeSet(r8))
+		}
+	})
+	t.Run("unhashed-byte-identical", func(t *testing.T) {
+		prog := parser.MustParse("tiny-racer.mh", racerSrc)
+		// One rank keeps the full tree small enough to enumerate
+		// completely, where the reports must agree to the byte.
+		opts := Options{Strategy: StrategyDFS, Schedules: 50_000, MaxSteps: 100_000,
+			NoStateHash: true, Procs: 1}
+		o1, o8 := opts, opts
+		o1.Workers = 1
+		o8.Workers = 8
+		r1, r8 := Explore(prog, o1), Explore(prog, o8)
+		if !r1.Exhausted || !r8.Exhausted {
+			t.Fatalf("full enumeration did not exhaust: w1=%t w8=%t (%d/%d schedules)",
+				r1.Exhausted, r8.Exhausted, r1.Schedules, r8.Schedules)
+		}
+		if r1.String() != r8.String() {
+			t.Errorf("full enumeration differs across worker counts:\n-- workers=1 --\n%s-- workers=8 --\n%s", r1, r8)
+		}
+		if !reflect.DeepEqual(r1.Verdicts, r8.Verdicts) {
+			t.Error("full-enumeration verdicts differ across worker counts")
+		}
+	})
+}
+
+// TestDFSBudgetNeverOvershoots: the per-run atomic budget reservation
+// bounds the schedule count exactly, for both frontiers, at any width —
+// including budgets far narrower than the frontier gets wide.
+func TestDFSBudgetNeverOvershoots(t *testing.T) {
+	prog := parser.MustParse("racer.mh", racerSrc)
+	for _, frontier := range []Frontier{FrontierSteal, FrontierWave} {
+		for _, budget := range []int{1, 2, 3, 7, 16, 64} {
+			for _, workers := range []int{1, 8} {
+				rep := Explore(prog, Options{
+					Strategy: StrategyDFS, Schedules: budget, Workers: workers,
+					MaxSteps: 100_000, Frontier: frontier,
+				})
+				if rep.Schedules > budget {
+					t.Errorf("%s budget=%d workers=%d: ran %d schedules (overshoot)",
+						frontier, budget, workers, rep.Schedules)
+				}
+				if !rep.Exhausted && rep.Schedules != budget {
+					t.Errorf("%s budget=%d workers=%d: ran %d schedules without exhausting",
+						frontier, budget, workers, rep.Schedules)
+				}
+			}
 		}
 	}
 }
@@ -128,9 +198,15 @@ func TestReportString(t *testing.T) {
 	}
 }
 
-// TestStateHashPrunes: with hashing disabled the DFS explores at least
-// as many schedules; with it enabled it still finds the bug (the
-// pruning is the point, not a soundness hole for these programs).
+// TestStateHashPrunes: state hashing is what makes the racer's schedule
+// space finite — the hashed DFS exhausts it in ~1.6k schedules and
+// still finds the deadlock, while the unhashed tree is so much larger
+// that the same budget truncates mid-enumeration. (The unhashed
+// enumeration is no longer asserted to find the bug within the budget:
+// the work-stealing frontier descends depth-first, so a truncated
+// unhashed search can spend its whole budget inside one deep clean
+// subtree — the wave frontier only found it by luck of breadth-first
+// discovery order.)
 func TestStateHashPrunes(t *testing.T) {
 	prog := parser.MustParse("racer.mh", racerSrc)
 	pruned := Explore(prog, Options{Strategy: StrategyDFS, Schedules: 4096, MaxSteps: 100_000})
@@ -138,11 +214,17 @@ func TestStateHashPrunes(t *testing.T) {
 	if pruned.Pruned == 0 {
 		t.Error("state hashing pruned nothing on a racy program")
 	}
-	if !pruned.Caught(interp.OutcomeDeadlock) || !full.Caught(interp.OutcomeDeadlock) {
-		t.Errorf("both modes must find the deadlock (pruned: %+v, full: %+v)", pruned.Verdicts, full.Verdicts)
+	if !pruned.Caught(interp.OutcomeDeadlock) {
+		t.Errorf("hashed DFS must find the deadlock, got %+v", pruned.Verdicts)
 	}
-	if full.Exhausted && pruned.Exhausted && full.Schedules < pruned.Schedules {
-		t.Errorf("hashing explored more schedules (%d) than full enumeration (%d)",
+	if !pruned.Exhausted {
+		t.Errorf("hashed DFS should exhaust the racer within 4096 schedules, ran %d", pruned.Schedules)
+	}
+	if full.Exhausted {
+		t.Errorf("unhashed enumeration exhausted within %d schedules — pruning is buying nothing", full.Schedules)
+	}
+	if full.Schedules < pruned.Schedules {
+		t.Errorf("hashing explored more schedules (%d) than the budget-bound full enumeration (%d)",
 			pruned.Schedules, full.Schedules)
 	}
 }

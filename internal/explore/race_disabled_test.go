@@ -1,0 +1,5 @@
+//go:build !race
+
+package explore
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package explore
+
+// raceEnabled trims the heaviest sweeps when the race detector is on:
+// the 200-seed equivalence matrix is ~20× slower under -race, and the
+// race gate's job is to exercise the concurrent machinery, not to
+// re-prove the full equivalence already checked by the regular run.
+const raceEnabled = true

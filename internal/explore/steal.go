@@ -1,0 +1,240 @@
+// The work-stealing DFS frontier.
+//
+// The wave-batched frontier (explore.go, kept as FrontierWave) fans
+// each wave of prefixes across the pool and then barriers: on skewed
+// prefix trees — where one subtree keeps producing work long after its
+// siblings drained — most workers idle at every barrier while the wave's
+// straggler finishes. This file removes the barrier entirely: every
+// worker owns a private LIFO deque of prefixes, pushes the children of
+// the run it just completed, and pops the deepest child next, so
+// consecutive runs on one worker share the longest possible common
+// prefix (warm replay: the interpreter retraces a prefix it just
+// executed). A worker whose deque drains steals from the *shallow* end
+// of a peer's deque — the oldest entry, rooting the largest remaining
+// subtree — which is the classic owner-LIFO/thief-FIFO split that keeps
+// steal traffic rare and steals chunky.
+//
+// Budget accounting is per-run: a worker reserves a slot with one
+// atomic increment before starting a run, so the run count can never
+// overshoot Options.Schedules no matter how many workers race at the
+// boundary (the wave frontier bounded this with batch truncation; here
+// the reservation is the single source of truth). Dedupe goes through
+// the shared pipeline.ShardedSet, safe under concurrent enumeration.
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parcoach/internal/interp"
+	"parcoach/internal/pipeline"
+	"parcoach/internal/sched"
+)
+
+// prefixDeque is one worker's frontier share. The owner pushes and pops
+// at the top (LIFO, deepest prefix first); thieves take from the bottom
+// (the shallowest prefix, i.e. the biggest stolen subtree). A plain
+// mutex suffices: runs cost tens of microseconds, so deque operations
+// are nowhere near contention.
+type prefixDeque struct {
+	mu    sync.Mutex
+	items [][]sched.ThreadID
+}
+
+func (d *prefixDeque) push(p []sched.ThreadID) {
+	d.mu.Lock()
+	d.items = append(d.items, p)
+	d.mu.Unlock()
+}
+
+// popTop removes the most recently pushed prefix (owner side).
+func (d *prefixDeque) popTop() ([]sched.ThreadID, bool) {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	p := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return p, true
+}
+
+// stealBottom removes the oldest prefix (thief side).
+func (d *prefixDeque) stealBottom() ([]sched.ThreadID, bool) {
+	d.mu.Lock()
+	if len(d.items) == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	p := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	d.mu.Unlock()
+	return p, true
+}
+
+// stealFrontier is the shared state of one DFS exploration.
+type stealFrontier struct {
+	sess *interp.Session
+	opts Options
+	seen *pipeline.ShardedSet
+
+	deques  []prefixDeque
+	results [][]dfsRun // per-worker, merged after the drain
+
+	// inflight counts prefixes that are enqueued or being processed;
+	// the run that decrements it to zero ends the exploration.
+	inflight int64
+	// started reserves budget slots: the n-th reservation with
+	// n > Schedules does not run (and marks the frontier leftover).
+	started  int64
+	leftover atomic.Bool
+	pruned   int64
+	diverged int64
+
+	// Idle workers park on wake (nudged by pushes) or done (closed when
+	// inflight reaches zero or the budget is spent with work left).
+	sleepers int32
+	wake     chan struct{}
+	done     chan struct{}
+	endOnce  sync.Once
+}
+
+// exploreDFSSteal drains the prefix tree with work-stealing workers on
+// the shared pool.
+func exploreDFSSteal(sess *interp.Session, opts Options, pool *pipeline.Pool,
+	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+
+	width := pool.Workers()
+	if width > opts.Schedules {
+		width = opts.Schedules
+	}
+	if width < 1 {
+		width = 1
+	}
+	f := &stealFrontier{
+		sess:    sess,
+		opts:    opts,
+		seen:    seen,
+		deques:  make([]prefixDeque, width),
+		results: make([][]dfsRun, width),
+		wake:    make(chan struct{}, width),
+		done:    make(chan struct{}),
+	}
+	// Seed the root (the unconstrained run) on worker 0's deque.
+	f.inflight = 1
+	f.deques[0].items = append(f.deques[0].items, nil)
+
+	// The pool recruits up to width-1 helpers and the caller works too;
+	// if the pool is busy elsewhere, fewer helpers join and the idle
+	// deques are simply stolen empty.
+	pool.Map(width, f.worker)
+
+	for _, rs := range f.results {
+		runs = append(runs, rs...)
+	}
+	return runs, f.leftover.Load(), int(atomic.LoadInt64(&f.pruned)), int(atomic.LoadInt64(&f.diverged))
+}
+
+// worker drains prefixes until the tree is explored or the budget is
+// spent.
+func (f *stealFrontier) worker(w int) {
+	for {
+		prefix, ok := f.next(w)
+		if !ok {
+			return
+		}
+		f.process(w, prefix)
+		if atomic.AddInt64(&f.inflight, -1) == 0 {
+			f.end()
+			return
+		}
+	}
+}
+
+// end wakes every parked worker and terminates the drain.
+func (f *stealFrontier) end() {
+	f.endOnce.Do(func() { close(f.done) })
+}
+
+// scan tries the worker's own deque top, then every peer's bottom.
+func (f *stealFrontier) scan(w int) ([]sched.ThreadID, bool) {
+	if p, ok := f.deques[w].popTop(); ok {
+		return p, true
+	}
+	for i := 1; i < len(f.deques); i++ {
+		if p, ok := f.deques[(w+i)%len(f.deques)].stealBottom(); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// next returns the worker's next prefix, parking when the frontier is
+// momentarily empty but peers still hold in-flight work.
+func (f *stealFrontier) next(w int) ([]sched.ThreadID, bool) {
+	for {
+		if p, ok := f.scan(w); ok {
+			return p, true
+		}
+		if atomic.LoadInt64(&f.inflight) == 0 {
+			return nil, false
+		}
+		select {
+		case <-f.done:
+			return nil, false
+		default:
+		}
+		// Register as a sleeper, then re-scan once: a push between the
+		// failed scan and the registration would otherwise be missed.
+		atomic.AddInt32(&f.sleepers, 1)
+		if p, ok := f.scan(w); ok {
+			atomic.AddInt32(&f.sleepers, -1)
+			return p, true
+		}
+		select {
+		case <-f.wake:
+		case <-f.done:
+		}
+		atomic.AddInt32(&f.sleepers, -1)
+	}
+}
+
+// process reserves budget, runs the prefix, records the result and
+// enqueues its children.
+func (f *stealFrontier) process(w int, prefix []sched.ThreadID) {
+	if atomic.AddInt64(&f.started, 1) > int64(f.opts.Schedules) {
+		// Budget spent with this prefix (at least) unexplored: the
+		// enumeration is not exhaustive. Ending here is what bounds the
+		// run count; the reservation, not the wave boundary, is the
+		// budget check.
+		f.leftover.Store(true)
+		f.end()
+		return
+	}
+	dr, rec := runPrefix(f.sess, prefix)
+	f.results[w] = append(f.results[w], dr)
+	if dr.diverged {
+		recorderPool.Put(rec)
+		atomic.AddInt64(&f.diverged, 1)
+		return
+	}
+	pruned := enumerate(f.opts, f.seen, len(prefix), dr.trace, rec.Branches,
+		func(child []sched.ThreadID) {
+			atomic.AddInt64(&f.inflight, 1)
+			f.deques[w].push(child)
+			if atomic.LoadInt32(&f.sleepers) > 0 {
+				select {
+				case f.wake <- struct{}{}:
+				default:
+				}
+			}
+		})
+	recorderPool.Put(rec)
+	if pruned > 0 {
+		atomic.AddInt64(&f.pruned, int64(pruned))
+	}
+}

@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -103,70 +104,10 @@ func (e *StepLimitError) Error() string {
 		e.Rank, e.Pos, e.Limit)
 }
 
-// Run executes prog's main function on every rank.
+// Run executes prog's main function on every rank. Repeated runs of one
+// program should go through NewSession, which shares the per-run setup.
 func Run(prog *ast.Program, opts Options) *Result {
-	if opts.Procs <= 0 {
-		opts.Procs = 2
-	}
-	if opts.Threads <= 0 {
-		opts.Threads = 2
-	}
-	if !opts.LevelSet {
-		opts.Level = mpi.ThreadMultiple
-	}
-	if opts.MaxSteps <= 0 {
-		opts.MaxSteps = 50_000_000
-	}
-	res := &Result{ExitValues: make([]int64, opts.Procs)}
-	mainFn := prog.Func("main")
-	if mainFn == nil {
-		res.Err = &RuntimeError{Pos: prog.Pos(), Msg: "program has no main function"}
-		return res
-	}
-	world, err := mpi.NewWorld(mpi.Config{Procs: opts.Procs, Level: opts.Level})
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	r := &runner{
-		prog:  prog,
-		opts:  opts,
-		world: world,
-		ver:   verifier.New(world.Monitor(), opts.Procs),
-	}
-	if opts.Scheduler != nil {
-		r.ctl = sched.NewController(opts.Scheduler, opts.Procs)
-		world.Monitor().SetSched(r.ctl)
-		r.ctl.Start()
-	}
-	err = world.Run(func(p *mpi.Proc) error {
-		var gate *sched.Gate
-		if r.ctl != nil {
-			gate = r.ctl.ProcGate(p.Rank())
-			gate.Attach()
-		}
-		rt := omp.New(world.Monitor(), opts.Threads, opts.Policy)
-		th := rt.InitialThread()
-		c := &thctx{r: r, p: p, rt: rt, th: th, fn: mainFn.Name, gate: gate}
-		ret, err := c.callFunction(mainFn, nil, mainFn.NamePos)
-		if err != nil {
-			return err
-		}
-		r.mu.Lock()
-		res.ExitValues[p.Rank()] = ret
-		r.mu.Unlock()
-		return nil
-	})
-	res.Err = err
-	res.Output = r.output.String()
-	res.Stats = Stats{
-		Collectives: atomic.LoadInt64(&r.collectives),
-		P2PMessages: atomic.LoadInt64(&r.p2p),
-		Barriers:    atomic.LoadInt64(&r.barriers),
-		Steps:       atomic.LoadInt64(&r.steps),
-	}
-	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
-	return res
+	return NewSession(prog, opts).Run(opts.Scheduler)
 }
 
 type runner struct {
@@ -179,7 +120,7 @@ type runner struct {
 	ctl *sched.Controller
 
 	mu     sync.Mutex
-	output strings.Builder
+	output bytes.Buffer
 
 	steps       int64
 	collectives int64
@@ -245,24 +186,6 @@ func snapshotArr(arr []int64) []int64 {
 	return out
 }
 
-type env struct {
-	parent *env
-	vars   map[string]*cell
-}
-
-func newEnv(parent *env) *env { return &env{parent: parent, vars: make(map[string]*cell)} }
-
-func (e *env) lookup(name string) *cell {
-	for sc := e; sc != nil; sc = sc.parent {
-		if c, ok := sc.vars[name]; ok {
-			return c
-		}
-	}
-	return nil
-}
-
-func (e *env) declare(name string, v value) { e.vars[name] = &cell{v: v} }
-
 //
 // Per-thread execution context
 //
@@ -276,16 +199,10 @@ type thctx struct {
 	// gate is this thread's handle on the scheduling controller (nil in
 	// free-running mode).
 	gate *sched.Gate
-}
-
-// fork derives a team member's context. The function name is passed by
-// value rather than read from c: after an abort, straggler team
-// goroutines can outlive the Parallel call and the enclosing
-// callFunction, whose deferred restore of c.fn would race with a read
-// here. The gate is assigned by the caller: the master keeps its own,
-// workers bind to freshly forked gates.
-func (c *thctx) fork(th *omp.Thread, fn string) *thctx {
-	return &thctx{r: c.r, p: c.p, rt: c.rt, th: th, fn: fn}
+	// ar is this thread's private frame arena (see arena.go). Team
+	// workers get their own from the pool; the master shares its
+	// forker's (it runs the region body on the same goroutine).
+	ar *arena
 }
 
 func (c *thctx) errf(pos source.Pos, format string, args ...any) error {
@@ -318,9 +235,9 @@ func (c *thctx) callFunction(fn *ast.FuncDecl, args []value, at source.Pos) (int
 	if len(args) != len(fn.Params) {
 		return 0, c.errf(at, "function %q expects %d argument(s), got %d", fn.Name, len(fn.Params), len(args))
 	}
-	e := newEnv(nil)
+	e := c.newEnv(nil)
 	for i, p := range fn.Params {
-		e.declare(p, args[i])
+		c.declare(e, p, args[i])
 	}
 	saved := c.fn
 	c.fn = fn.Name
@@ -329,16 +246,24 @@ func (c *thctx) callFunction(fn *ast.FuncDecl, args []value, at source.Pos) (int
 	if err != nil {
 		return 0, err
 	}
+	c.releaseEnv(e)
 	if !returned {
 		ret = 0
 	}
 	return ret, nil
 }
 
-// execBlock runs a block in a fresh child scope.
+// execBlock runs a block in a fresh child scope. The scope frame is
+// recycled on clean exit only; error exits leak it to the GC because
+// abort unwinding can leave straggler team goroutines still reading
+// scopes shared through the parallel-body closure (see arena.go).
 func (c *thctx) execBlock(b *ast.Block, e *env) (returned bool, ret int64, err error) {
-	inner := newEnv(e)
-	return c.execStmts(b.Stmts, inner)
+	inner := c.newEnv(e)
+	returned, ret, err = c.execStmts(b.Stmts, inner)
+	if err == nil {
+		c.releaseEnv(inner)
+	}
+	return returned, ret, err
 }
 
 func (c *thctx) execStmts(stmts []ast.Stmt, e *env) (bool, int64, error) {
@@ -368,7 +293,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			if n < 0 || n > 1<<28 {
 				return false, 0, c.errf(s.VarPos, "invalid array size %d for %q", n, s.Name)
 			}
-			e.declare(s.Name, value{arr: make([]int64, n)})
+			c.declare(e, s.Name, value{arr: make([]int64, n)})
 			return false, 0, nil
 		}
 		v := int64(0)
@@ -379,7 +304,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 				return false, 0, err
 			}
 		}
-		e.declare(s.Name, scalar(v))
+		c.declare(e, s.Name, scalar(v))
 		return false, 0, nil
 
 	case *ast.Assign:
@@ -415,19 +340,23 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		if err != nil {
 			return false, 0, err
 		}
-		loopEnv := newEnv(e)
-		loopEnv.declare(s.Var, scalar(from))
+		loopEnv := c.newEnv(e)
+		c.declare(loopEnv, s.Var, scalar(from))
 		cellVar := loopEnv.lookup(s.Var)
 		for i := from; i < to; i++ {
 			cellVar.store(scalar(i))
 			returned, ret, err := c.execBlock(s.Body, loopEnv)
 			if err != nil || returned {
+				if err == nil {
+					c.releaseEnv(loopEnv)
+				}
 				return returned, ret, err
 			}
 			if err := c.step(s.ForPos); err != nil {
 				return false, 0, err
 			}
 		}
+		c.releaseEnv(loopEnv)
 		return false, 0, nil
 
 	case *ast.While:
@@ -498,9 +427,24 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 				workerGates = c.r.ctl.Fork(teamSize - 1)
 			}
 		}
-		fnName := c.fn // snapshot: body goroutines may outlive this frame on abort
+		// The function name is snapshotted rather than read from c inside
+		// the body: after an abort, straggler team goroutines can outlive
+		// the Parallel call and the enclosing callFunction, whose deferred
+		// restore of c.fn would race with a read there.
+		fnName := c.fn
 		err := c.rt.Parallel(c.th, n, func(th *omp.Thread) error {
-			child := c.fork(th, fnName)
+			// The master runs the body on the forking goroutine, so it
+			// keeps using the forker's arena; workers draw their own.
+			// Each member's context comes from (and returns to) the
+			// arena that member uses — forked on the member's own
+			// goroutine, so no two members touch one free list.
+			ar := c.ar
+			if th.TID() != 0 {
+				ar = getArena()
+			}
+			child := ar.newThctx()
+			child.r, child.p, child.rt, child.th = c.r, c.p, c.rt, th
+			child.fn, child.ar = fnName, ar
 			if c.gate != nil {
 				if th.TID() == 0 {
 					child.gate = c.gate
@@ -510,6 +454,12 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 				}
 			}
 			_, _, err := child.execBlock(s.Body, e)
+			if err == nil {
+				ar.putThctx(child)
+				if th.TID() != 0 {
+					putArena(ar)
+				}
+			}
 			return err
 		})
 		return false, 0, err
@@ -573,8 +523,8 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		} else {
 			loop = c.th.StaticFor(s.RegionID, from, to)
 		}
-		loopEnv := newEnv(e)
-		loopEnv.declare(s.Var, scalar(0))
+		loopEnv := c.newEnv(e)
+		c.declare(loopEnv, s.Var, scalar(0))
 		cellVar := loopEnv.lookup(s.Var)
 		for {
 			i, ok := loop.Next()
@@ -589,6 +539,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 				return false, 0, err
 			}
 		}
+		c.releaseEnv(loopEnv)
 		if !s.Nowait {
 			atomic.AddInt64(&c.r.barriers, 1)
 			return false, 0, c.th.Barrier()
@@ -875,15 +826,25 @@ func (c *thctx) evalCall(ex *ast.CallExpr, e *env) (value, error) {
 	if fn == nil {
 		return value{}, c.errf(ex.NamePos, "call to undefined function %q", ex.Name)
 	}
-	args := make([]value, len(ex.Args))
-	for i, a := range ex.Args {
+	// Evaluate arguments onto the arena's scratch stack; callFunction
+	// copies them into parameter cells, so the slice is dead after the
+	// call and the stack truncates back for the caller's frame. Nested
+	// calls inside argument expressions push and pop deeper segments —
+	// a realloc by an inner call leaves this frame's earlier snapshot
+	// intact, and the final args slice is taken only after the last
+	// append.
+	off := len(c.ar.vals)
+	for _, a := range ex.Args {
 		v, err := c.evalExpr(a, e)
 		if err != nil {
+			c.ar.vals = c.ar.vals[:off]
 			return value{}, err
 		}
-		args[i] = v
+		c.ar.vals = append(c.ar.vals, v)
 	}
+	args := c.ar.vals[off:]
 	ret, err := c.callFunction(fn, args, ex.NamePos)
+	c.ar.vals = c.ar.vals[:off]
 	return scalar(ret), err
 }
 

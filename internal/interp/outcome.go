@@ -64,6 +64,22 @@ func ClassifyError(err error) Outcome {
 	if err == nil {
 		return OutcomeClean
 	}
+	// Fast path: the runtime stack's errors arrive unwrapped, and a
+	// direct type switch avoids the heap traffic of errors.As target
+	// pointers on the exploration hot path. Wrapped errors fall through
+	// to the errors.As chain below.
+	switch err.(type) {
+	case *verifier.Error:
+		return OutcomeCheckAbort
+	case *monitor.DeadlockError:
+		return OutcomeDeadlock
+	case *StepLimitError:
+		return OutcomeBudget
+	case *mpi.MismatchError, *mpi.ConcurrentCallError, *mpi.UsageError:
+		return OutcomeMPIError
+	case *RuntimeError:
+		return OutcomeRuntimeError
+	}
 	var verr *verifier.Error
 	if errors.As(err, &verr) {
 		return OutcomeCheckAbort

@@ -1,0 +1,183 @@
+// Session: amortized per-run setup for schedule exploration.
+//
+// A single Run is a one-shot: resolve main, build the simulated world,
+// allocate per-rank runtime state, execute, tear down. Schedule
+// exploration runs the same compiled artifact thousands of times, so
+// Session hoists everything that depends only on (program, options) —
+// option normalization, the main-function lookup — and recycles the
+// per-run state (runner scratch, per-rank threading runtime and
+// environment arenas, the scheduling controller's gates) through pools,
+// bringing per-schedule setup close to zero.
+//
+// All pools recycle only on clean completions: an aborted run can leave
+// straggler goroutines (released free-running by the abort) holding
+// references into the run's state, so erroring runs leak their state to
+// the GC exactly as they did before pooling.
+package interp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parcoach/internal/ast"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+	"parcoach/internal/sched"
+	"parcoach/internal/verifier"
+)
+
+// Session is a reusable harness for running one compiled program many
+// times (typically under different schedulers — see internal/explore).
+// It is safe for concurrent use: independent runs may execute on many
+// goroutines at once.
+type Session struct {
+	prog   *ast.Program
+	opts   Options
+	mainFn *ast.FuncDecl
+	// envs pools complete run environments — world, monitor (with its
+	// waiter free list), verifier, runner scratch — across this
+	// session's runs.
+	envs sync.Pool
+}
+
+// runEnv bundles the per-run machinery that recycles as a unit: the
+// simulated world (whose monitor keeps the world's and verifier's
+// deadlock analyzers registered across resets), the verifier hanging
+// off that monitor, and the runner scratch.
+type runEnv struct {
+	world *mpi.World
+	r     *runner
+}
+
+// NewSession prepares prog for repeated runs under opts (normalized
+// once here; the Scheduler field is ignored — each Run names its own).
+func NewSession(prog *ast.Program, opts Options) *Session {
+	if opts.Procs <= 0 {
+		opts.Procs = 2
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	if !opts.LevelSet {
+		opts.Level = mpi.ThreadMultiple
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	opts.Scheduler = nil
+	return &Session{prog: prog, opts: opts, mainFn: prog.Func("main")}
+}
+
+// rankState is the per-rank run state — the thread-local environment
+// arena and the per-process threading runtime — recycled across runs so
+// each explored schedule reuses the previous one's allocations instead
+// of rebuilding them.
+type rankState struct {
+	ar *arena
+	rt *omp.Runtime
+}
+
+var rankPool = sync.Pool{New: func() any { return &rankState{ar: getArena()} }}
+
+// Run executes the program once under the given scheduler (nil keeps
+// the free-running goroutine execution).
+func (s *Session) Run(scheduler sched.Scheduler) *Result {
+	opts := s.opts
+	res := &Result{ExitValues: make([]int64, opts.Procs)}
+	if s.mainFn == nil {
+		res.Err = &RuntimeError{Pos: s.prog.Pos(), Msg: "program has no main function"}
+		return res
+	}
+	var env *runEnv
+	if v := s.envs.Get(); v != nil {
+		env = v.(*runEnv)
+		env.world.Reset()
+		env.r.ver.Reset()
+	} else {
+		world, err := mpi.NewWorld(mpi.Config{Procs: opts.Procs, Level: opts.Level})
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		env = &runEnv{world: world, r: new(runner)}
+		env.r.ver = verifier.New(world.Monitor(), opts.Procs)
+	}
+	world := env.world
+	r := env.r
+	r.rebind(s.prog, opts, world)
+	if scheduler != nil {
+		r.ctl = sched.NewController(scheduler, opts.Procs)
+		world.Monitor().SetSched(r.ctl)
+		r.ctl.Start()
+	}
+	ranks := make([]*rankState, opts.Procs)
+	err := world.Run(func(p *mpi.Proc) error {
+		var gate *sched.Gate
+		if r.ctl != nil {
+			gate = r.ctl.ProcGate(p.Rank())
+			gate.Attach()
+		}
+		rs := rankPool.Get().(*rankState)
+		ranks[p.Rank()] = rs // disjoint slot per rank
+		if rs.rt == nil {
+			rs.rt = omp.New(world.Monitor(), opts.Threads, opts.Policy)
+		} else {
+			rs.rt.Reset(world.Monitor(), opts.Threads, opts.Policy)
+		}
+		th := rs.rt.InitialThread()
+		c := &thctx{r: r, p: p, rt: rs.rt, th: th, fn: s.mainFn.Name, gate: gate, ar: rs.ar}
+		ret, err := c.callFunction(s.mainFn, nil, s.mainFn.NamePos)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		res.ExitValues[p.Rank()] = ret
+		r.mu.Unlock()
+		return nil
+	})
+	res.Err = err
+	// Wait for the last goroutine to deregister before reading results
+	// or recycling. World.Run returning only joins the process mains —
+	// a team worker released from its final join barrier (or, after an
+	// abort, a free-running straggler that may still print or bump
+	// counters) can still be between wake-up and ThreadExited, touching
+	// the runner, its team, runtime and scheduling gate; once the
+	// monitor drains, nothing can reach the run state anymore, so the
+	// output/stats reads are race-free and clean and aborted runs alike
+	// recycle everything. (Abort unwinding is bounded: every waiter is
+	// woken with the abort error and every statement boundary checks
+	// the abort flag.)
+	<-world.Monitor().Drained()
+	res.Output = r.output.String()
+	res.Stats = Stats{
+		Collectives: atomic.LoadInt64(&r.collectives),
+		P2PMessages: atomic.LoadInt64(&r.p2p),
+		Barriers:    atomic.LoadInt64(&r.barriers),
+		Steps:       atomic.LoadInt64(&r.steps),
+	}
+	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
+	for _, rs := range ranks {
+		if rs != nil {
+			rankPool.Put(rs)
+		}
+	}
+	if r.ctl != nil {
+		r.ctl.Recycle()
+		r.ctl = nil
+	}
+	s.envs.Put(env)
+	return res
+}
+
+// rebind points a (new or recycled) runner at the next run.
+func (r *runner) rebind(prog *ast.Program, opts Options, world *mpi.World) {
+	r.prog = prog
+	r.opts = opts
+	r.world = world
+	r.ctl = nil
+	r.output.Reset()
+	r.steps = 0
+	r.collectives = 0
+	r.p2p = 0
+	r.barriers = 0
+}

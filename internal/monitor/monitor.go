@@ -32,6 +32,16 @@ type Monitor struct {
 	err      error
 	analyzer []func() []string
 	sched    SchedHook
+	// free recycles Waiter structs (and their channels): a thread that
+	// blocks in a loop — team barriers, collective rounds — reuses one
+	// waiter instead of allocating per wait. Waiters return here at the
+	// end of Await, when nothing else can reference them (wakes are
+	// precise and happen exactly once per wait).
+	free []*Waiter
+	// drained is closed when the last live thread exits (live returns
+	// to 0 after having been positive); see Drained.
+	drained  chan struct{}
+	everLive bool
 }
 
 // SchedHook is the scheduling controller interface (internal/sched): a
@@ -77,8 +87,12 @@ func New() *Monitor {
 type Waiter struct {
 	// Reason is the operation class ("MPI collective", "team barrier", ...).
 	Reason string
-	// Detail describes the instance ("rank 2: MPI_Bcast (call #14)").
-	Detail string
+	// detail lazily describes the instance ("rank 2: MPI_Bcast (call
+	// #14)"); it is only invoked when a deadlock report is built, so the
+	// hot path never pays the formatting. It runs under the monitor
+	// lock at report time, describing the (then frozen) deadlock state.
+	detail func() string
+	m      *Monitor
 	ch     chan struct{}
 	err    error
 	// sched, when the thread actually parked under a scheduling
@@ -108,6 +122,28 @@ func (m *Monitor) ThreadStarted() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.live++
+	m.everLive = true
+}
+
+// Drained returns a channel that is closed once every registered thread
+// has exited (live back to 0 after the run started). A world's Run
+// returning only proves the *process mains* are done: team-worker
+// goroutines released from their final join barrier can still be
+// between wake-up and ThreadExited, touching their team, runtime and
+// scheduling gates. Run-state recycling (internal/interp's session
+// pools) must wait on this channel first — ThreadExited is every
+// goroutine's last interaction with the run's shared state, so a closed
+// channel means nothing can reach that state anymore.
+func (m *Monitor) Drained() <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.drained == nil {
+		m.drained = make(chan struct{})
+		if m.live == 0 && m.everLive {
+			close(m.drained)
+		}
+	}
+	return m.drained
 }
 
 // ThreadExited unregisters a live thread and re-checks for quiescence:
@@ -124,12 +160,24 @@ func (m *Monitor) ThreadExited() {
 	if m.sched != nil && !m.aborted.Load() {
 		m.sched.HolderExited()
 	}
+	if m.live == 0 && m.drained != nil {
+		close(m.drained)
+	}
 }
 
 // NewWaiterLocked registers the calling thread as blocked. The caller must
-// hold the monitor lock, release it, then Await outside the lock.
-func (m *Monitor) NewWaiterLocked(reason, detail string) *Waiter {
-	w := &Waiter{Reason: reason, Detail: detail, ch: make(chan struct{}, 1)}
+// hold the monitor lock, release it, then Await outside the lock. detail
+// is deferred: it is only called (under the monitor lock) if the wait
+// ends up in a deadlock report.
+func (m *Monitor) NewWaiterLocked(reason string, detail func() string) *Waiter {
+	var w *Waiter
+	if n := len(m.free); n > 0 {
+		w = m.free[n-1]
+		m.free = m.free[:n-1]
+		w.Reason, w.detail, w.err, w.sched = reason, detail, nil, nil
+	} else {
+		w = &Waiter{Reason: reason, detail: detail, m: m, ch: make(chan struct{}, 1)}
+	}
 	if m.aborted.Load() {
 		// The run already failed; never park new arrivals.
 		w.err = m.err
@@ -166,13 +214,20 @@ func (m *Monitor) WakeLocked(w *Waiter) {
 }
 
 // Await blocks until woken or aborted, returning the abort error if the
-// run failed. Must be called without the lock held.
+// run failed. Must be called without the lock held. The waiter is dead
+// after Await returns — it goes back on the monitor's free list, so
+// callers must not retain it.
 func (w *Waiter) Await() error {
 	<-w.ch
 	if w.sched != nil {
 		w.sched.Resume(w)
 	}
-	return w.err
+	err := w.err
+	m := w.m
+	m.mu.Lock()
+	m.free = append(m.free, w)
+	m.mu.Unlock()
+	return err
 }
 
 // Abort fails the run: the first error wins, every current waiter is woken
@@ -224,6 +279,25 @@ func (m *Monitor) Stats() (live, blocked int) {
 	return m.live, m.blocked
 }
 
+// Reset rearms the monitor for a fresh run, keeping the waiter free
+// list warm. Only call once the previous run has fully drained (see
+// Drained): a straggler goroutine from the old run touching a reset
+// monitor would corrupt both runs.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = 0
+	m.blocked = 0
+	clear(m.waiters)
+	m.aborted.Store(false)
+	m.err = nil
+	// Analyzers are kept: the owning world and verifier recycle along
+	// with the monitor and their registrations stay valid.
+	m.sched = nil
+	m.drained = nil
+	m.everLive = false
+}
+
 // checkQuiescenceLocked fires the deadlock detection: every live thread is
 // blocked, so nothing can ever wake them.
 func (m *Monitor) checkQuiescenceLocked() {
@@ -232,7 +306,7 @@ func (m *Monitor) checkQuiescenceLocked() {
 	}
 	var lines []string
 	for w := range m.waiters {
-		lines = append(lines, fmt.Sprintf("  %s: %s", w.Reason, w.Detail))
+		lines = append(lines, fmt.Sprintf("  %s: %s", w.Reason, w.detail()))
 	}
 	sort.Strings(lines)
 	for _, f := range m.analyzer {

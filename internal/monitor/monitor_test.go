@@ -13,7 +13,7 @@ func TestWakeBeforeAwait(t *testing.T) {
 	m.ThreadStarted()
 	m.ThreadStarted()
 	m.Lock()
-	w := m.NewWaiterLocked("test", "w1")
+	w := m.NewWaiterLocked("test", func() string { return "w1" })
 	m.WakeLocked(w)
 	m.Unlock()
 	if err := w.Await(); err != nil {
@@ -26,7 +26,7 @@ func TestAwaitBlocksUntilWake(t *testing.T) {
 	m.ThreadStarted()
 	m.ThreadStarted()
 	m.Lock()
-	w := m.NewWaiterLocked("test", "w1")
+	w := m.NewWaiterLocked("test", func() string { return "w1" })
 	m.Unlock()
 	done := make(chan error, 1)
 	go func() { done <- w.Await() }()
@@ -52,7 +52,7 @@ func TestAbortWakesAllWithError(t *testing.T) {
 	var ws []*Waiter
 	m.Lock()
 	for i := 0; i < 2; i++ {
-		ws = append(ws, m.NewWaiterLocked("test", "w"))
+		ws = append(ws, m.NewWaiterLocked("test", func() string { return "w" }))
 	}
 	m.Unlock()
 	m.Abort(boom)
@@ -82,7 +82,7 @@ func TestWaiterAfterAbortWakesImmediately(t *testing.T) {
 	boom := errors.New("boom")
 	m.Abort(boom)
 	m.Lock()
-	w := m.NewWaiterLocked("test", "late")
+	w := m.NewWaiterLocked("test", func() string { return "late" })
 	m.Unlock()
 	if err := w.Await(); err != boom {
 		t.Errorf("late waiter error = %v", err)
@@ -100,7 +100,7 @@ func TestQuiescenceDetectsAllBlocked(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			m.Lock()
-			w := m.NewWaiterLocked("test wait", "thread blocked forever")
+			w := m.NewWaiterLocked("test wait", func() string { return "thread blocked forever" })
 			m.Unlock()
 			errs[i] = w.Await()
 		}(i)
@@ -122,7 +122,7 @@ func TestQuiescenceOnThreadExit(t *testing.T) {
 	m.ThreadStarted() // blocker
 	m.ThreadStarted() // exiter
 	m.Lock()
-	w := m.NewWaiterLocked("MPI collective", "rank 0: MPI_Barrier")
+	w := m.NewWaiterLocked("MPI collective", func() string { return "rank 0: MPI_Barrier" })
 	m.Unlock()
 	done := make(chan error, 1)
 	go func() { done <- w.Await() }()
@@ -140,7 +140,7 @@ func TestNoFalseQuiescenceWhileRunnable(t *testing.T) {
 	m.ThreadStarted()
 	m.ThreadStarted()
 	m.Lock()
-	w := m.NewWaiterLocked("test", "one blocked")
+	w := m.NewWaiterLocked("test", func() string { return "one blocked" })
 	m.Unlock()
 	// One thread blocked, one running: no deadlock.
 	if m.Aborted() {
@@ -168,7 +168,7 @@ func TestAnalyzerContributesToReport(t *testing.T) {
 	m.AddAnalyzer(func() []string { return []string{"rank 1: finalized"} })
 	m.ThreadStarted()
 	m.Lock()
-	w := m.NewWaiterLocked("MPI collective", "rank 0 waiting")
+	w := m.NewWaiterLocked("MPI collective", func() string { return "rank 0 waiting" })
 	m.Unlock()
 	err := w.Await()
 	if err == nil || !strings.Contains(err.Error(), "rank 1: finalized") {
@@ -181,7 +181,7 @@ func TestWakeLockedIdempotent(t *testing.T) {
 	m.ThreadStarted()
 	m.ThreadStarted()
 	m.Lock()
-	w := m.NewWaiterLocked("test", "w")
+	w := m.NewWaiterLocked("test", func() string { return "w" })
 	m.WakeLocked(w)
 	m.WakeLocked(w) // second wake must be a no-op
 	m.Unlock()

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"parcoach/internal/monitor"
+	"parcoach/internal/pipeline"
 )
 
 // Op identifies a collective operation.
@@ -182,6 +183,29 @@ func NewWorld(cfg Config) (*World, error) {
 // the verifier integrate with the same deadlock detection.
 func (w *World) Monitor() *monitor.Monitor { return w.mon }
 
+// Reset rearms the world (and its monitor) for a fresh run with the
+// same configuration, so repeated runs of one program — schedule
+// exploration — reuse the world, its processes and the monitor's waiter
+// pool instead of rebuilding them per schedule. Registered deadlock
+// analyzers survive the reset. Only call once the previous run has
+// fully drained (monitor.Drained): stragglers from the old run touching
+// a reset world would corrupt both runs.
+func (w *World) Reset() {
+	w.mon.Reset()
+	clear(w.arrived)
+	clear(w.sends)
+	clear(w.recvs)
+	w.round = 0
+	for _, p := range w.procs {
+		p.initialized = false
+		p.finalized = false
+		p.exited = false
+		p.inMPI = 0
+		p.mainThread = 0
+		p.callSeq = 0
+	}
+}
+
 // Size returns the number of processes.
 func (w *World) Size() int { return w.cfg.Procs }
 
@@ -204,7 +228,10 @@ func (w *World) Run(body func(p *Proc) error) error {
 	}
 	for _, p := range w.procs {
 		wg.Add(1)
-		go func(p *Proc) {
+		p := p
+		// Pooled executor goroutines keep their interpreter-deep stacks
+		// warm across the thousands of runs a schedule exploration makes.
+		pipeline.Spawn(func() {
 			defer wg.Done()
 			err := body(p)
 			if err != nil && !w.mon.Aborted() {
@@ -214,7 +241,7 @@ func (w *World) Run(body func(p *Proc) error) error {
 			p.exited = true
 			w.mon.Unlock()
 			w.mon.ThreadExited()
-		}(p)
+		})
 	}
 	wg.Wait()
 	return w.mon.Err()

@@ -220,8 +220,10 @@ func (p *Proc) Collective(threadID int64, op Op, red RedOp, root int, value int6
 		return out, outV, nil
 	}
 
-	pc.waiter = m.NewWaiterLocked("MPI collective",
-		fmt.Sprintf("rank %d: %s (call #%d)%s", p.rank, op, p.callSeq, locSuffix(loc)))
+	callSeq := p.callSeq
+	pc.waiter = m.NewWaiterLocked("MPI collective", func() string {
+		return fmt.Sprintf("rank %d: %s (call #%d)%s", p.rank, op, callSeq, locSuffix(loc))
+	})
 	m.Unlock()
 	if err := pc.waiter.Await(); err != nil {
 		m.Lock()
@@ -426,8 +428,9 @@ func (p *Proc) Send(threadID int64, value int64, dest, tag int, loc string) erro
 	}
 	p.inMPI++
 	ps := &pendingSend{value: value}
-	ps.waiter = m.NewWaiterLocked("MPI send",
-		fmt.Sprintf("rank %d: MPI_Send to %d tag %d%s", p.rank, dest, tag, locSuffix(loc)))
+	ps.waiter = m.NewWaiterLocked("MPI send", func() string {
+		return fmt.Sprintf("rank %d: MPI_Send to %d tag %d%s", p.rank, dest, tag, locSuffix(loc))
+	})
 	w.sends[key] = append(w.sends[key], ps)
 	m.Unlock()
 	err := ps.waiter.Await()
@@ -470,8 +473,9 @@ func (p *Proc) Recv(threadID int64, src, tag int, loc string) (int64, error) {
 	}
 	p.inMPI++
 	pr := &pendingRecv{}
-	pr.waiter = m.NewWaiterLocked("MPI recv",
-		fmt.Sprintf("rank %d: MPI_Recv from %d tag %d%s", p.rank, src, tag, locSuffix(loc)))
+	pr.waiter = m.NewWaiterLocked("MPI recv", func() string {
+		return fmt.Sprintf("rank %d: MPI_Recv from %d tag %d%s", p.rank, src, tag, locSuffix(loc))
+	})
 	w.recvs[key] = append(w.recvs[key], pr)
 	m.Unlock()
 	err := pr.waiter.Await()

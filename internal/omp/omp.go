@@ -14,9 +14,11 @@ package omp
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"parcoach/internal/monitor"
+	"parcoach/internal/pipeline"
 )
 
 // Policy selects how single constructs elect their executing thread.
@@ -51,6 +53,17 @@ type Runtime struct {
 	// crit maps critical-section names to process-wide locks
 	// (guarded by the monitor's lock).
 	crit map[string]*critLock
+
+	// mu guards the team/thread recycling lists below. Teams and
+	// threads are handed out per parallel region and reclaimed in bulk
+	// by Reset once the run has drained, so a schedule exploration
+	// re-runs region-heavy programs without reallocating a single team
+	// or thread after warm-up.
+	mu          sync.Mutex
+	teams       []*Team   // handed out during the current run
+	threads     []*Thread // handed out during the current run
+	freeTeams   []*Team
+	freeThreads []*Thread
 }
 
 // New creates a runtime whose parallel regions default to defaultThreads
@@ -70,6 +83,30 @@ func New(mon *monitor.Monitor, defaultThreads int, policy Policy) *Runtime {
 // Monitor returns the shared blocking kernel.
 func (rt *Runtime) Monitor() *monitor.Monitor { return rt.mon }
 
+// Reset rebinds a runtime to a fresh run — new monitor, default team
+// size and policy, counters and critical-section table cleared — so a
+// schedule-exploration session can reuse one runtime per rank across
+// thousands of runs instead of reallocating it. Only safe once the
+// previous run has fully completed (no goroutine of that run still
+// holds the runtime).
+func (rt *Runtime) Reset(mon *monitor.Monitor, defaultThreads int, policy Policy) {
+	if defaultThreads < 1 {
+		defaultThreads = 1
+	}
+	rt.mon = mon
+	rt.defaultThreads = defaultThreads
+	rt.policy = policy
+	rt.nextThreadID = 0
+	rt.nextTeamID = 0
+	clear(rt.crit)
+	rt.mu.Lock()
+	rt.freeTeams = append(rt.freeTeams, rt.teams...)
+	rt.teams = rt.teams[:0]
+	rt.freeThreads = append(rt.freeThreads, rt.threads...)
+	rt.threads = rt.threads[:0]
+	rt.mu.Unlock()
+}
+
 // DefaultThreads returns the default team size.
 func (rt *Runtime) DefaultThreads() int { return rt.defaultThreads }
 
@@ -85,9 +122,11 @@ type Team struct {
 	phase   int
 	waiters []*monitor.Waiter
 
-	// claimed tracks single elections under FirstArrival.
+	// claimed tracks single elections under FirstArrival (lazily
+	// allocated on first use, guarded by the monitor's lock).
 	claimed map[encKey]bool
-	// dyn holds the shared iteration counters of dynamic worksharing loops.
+	// dyn holds the shared iteration counters of dynamic worksharing
+	// loops (lazily allocated, guarded by the monitor's lock).
 	dyn map[encKey]*int64
 }
 
@@ -125,8 +164,10 @@ type Thread struct {
 	tid  int
 	id   int64
 	// encounters counts how many times this thread has reached each
-	// construct (region id), aligning construct instances across the team.
-	encounters map[int]int
+	// construct, aligning construct instances across the team. Region
+	// ids are dense ([0, Program.Regions)), so a slice grown on demand
+	// replaces the per-thread map.
+	encounters []int
 }
 
 // Team returns the innermost team.
@@ -144,14 +185,33 @@ func (th *Thread) String() string {
 }
 
 func (rt *Runtime) newTeam(size, level int) *Team {
-	return &Team{
-		rt:      rt,
-		id:      atomic.AddInt64(&rt.nextTeamID, 1),
-		size:    size,
-		level:   level,
-		claimed: make(map[encKey]bool),
-		dyn:     make(map[encKey]*int64),
+	rt.mu.Lock()
+	var t *Team
+	if n := len(rt.freeTeams); n > 0 {
+		t = rt.freeTeams[n-1]
+		rt.freeTeams = rt.freeTeams[:n-1]
+	} else {
+		t = &Team{}
 	}
+	rt.teams = append(rt.teams, t)
+	rt.mu.Unlock()
+	t.rt = rt
+	t.id = atomic.AddInt64(&rt.nextTeamID, 1)
+	t.size = size
+	t.level = level
+	t.arrived = 0
+	t.phase = 0
+	for i := range t.waiters {
+		t.waiters[i] = nil
+	}
+	t.waiters = t.waiters[:0]
+	if t.claimed != nil {
+		clear(t.claimed)
+	}
+	if t.dyn != nil {
+		clear(t.dyn)
+	}
+	return t
 }
 
 func (rt *Runtime) newThread(team *Team, tid int, reuseID int64) *Thread {
@@ -159,7 +219,23 @@ func (rt *Runtime) newThread(team *Team, tid int, reuseID int64) *Thread {
 	if id == 0 {
 		id = atomic.AddInt64(&rt.nextThreadID, 1)
 	}
-	return &Thread{team: team, tid: tid, id: id, encounters: make(map[int]int)}
+	rt.mu.Lock()
+	var th *Thread
+	if n := len(rt.freeThreads); n > 0 {
+		th = rt.freeThreads[n-1]
+		rt.freeThreads = rt.freeThreads[:n-1]
+	} else {
+		th = &Thread{}
+	}
+	rt.threads = append(rt.threads, th)
+	rt.mu.Unlock()
+	th.team = team
+	th.tid = tid
+	th.id = id
+	for i := range th.encounters {
+		th.encounters[i] = 0
+	}
+	return th
 }
 
 // InitialThread returns the process's implicit initial team of size 1 and
@@ -188,10 +264,11 @@ func (rt *Runtime) Parallel(cur *Thread, n int, body func(*Thread) error) error 
 	}
 	for i := 1; i < n; i++ {
 		worker := rt.newThread(team, i, 0)
-		go func(th *Thread) {
-			defer rt.mon.ThreadExited()
-			rt.runMember(th, body)
-		}(worker)
+		mon := rt.mon // pin: a session may rebind rt after this run aborts
+		pipeline.Spawn(func() {
+			defer mon.ThreadExited()
+			rt.runMember(worker, body)
+		})
 	}
 	rt.runMember(master, body)
 	if rt.mon.Aborted() {
@@ -225,15 +302,17 @@ func (th *Thread) Barrier() error {
 	if t.arrived == t.size {
 		t.arrived = 0
 		t.phase++
-		for _, w := range t.waiters {
+		for i, w := range t.waiters {
 			m.WakeLocked(w)
+			t.waiters[i] = nil
 		}
-		t.waiters = nil
+		t.waiters = t.waiters[:0] // keep capacity for the next round
 		m.Unlock()
 		return nil
 	}
-	w := m.NewWaiterLocked("team barrier",
-		fmt.Sprintf("%s waiting at barrier (phase %d, %d/%d arrived)", th, t.phase, t.arrived, t.size))
+	w := m.NewWaiterLocked("team barrier", func() string {
+		return fmt.Sprintf("%s waiting at barrier (phase %d, %d/%d arrived)", th, t.phase, t.arrived, t.size)
+	})
 	t.waiters = append(t.waiters, w)
 	m.Unlock()
 	return w.Await()
@@ -242,6 +321,9 @@ func (th *Thread) Barrier() error {
 // encounter advances this thread's per-construct encounter counter and
 // returns the instance index.
 func (th *Thread) encounter(regionID int) int {
+	for len(th.encounters) <= regionID {
+		th.encounters = append(th.encounters, 0)
+	}
 	k := th.encounters[regionID]
 	th.encounters[regionID] = k + 1
 	return k
@@ -265,6 +347,9 @@ func (th *Thread) Single(regionID int) bool {
 	m := t.rt.mon
 	m.Lock()
 	defer m.Unlock()
+	if t.claimed == nil {
+		t.claimed = make(map[encKey]bool)
+	}
 	key := encKey{region: regionID, encounter: idx}
 	if t.claimed[key] {
 		return false
@@ -313,6 +398,9 @@ func (th *Thread) DynamicFor(regionID int, from, to int64) *ForLoop {
 	t := th.team
 	m := t.rt.mon
 	m.Lock()
+	if t.dyn == nil {
+		t.dyn = make(map[encKey]*int64)
+	}
 	key := encKey{region: regionID, encounter: idx}
 	c, ok := t.dyn[key]
 	if !ok {
@@ -372,8 +460,9 @@ func (rt *Runtime) CriticalEnter(th *Thread, name string) error {
 		m.Unlock()
 		return nil
 	}
-	w := m.NewWaiterLocked("critical section",
-		fmt.Sprintf("%s waiting for critical(%s)", th, critName(name)))
+	w := m.NewWaiterLocked("critical section", func() string {
+		return fmt.Sprintf("%s waiting for critical(%s)", th, critName(name))
+	})
 	l.queue = append(l.queue, w)
 	m.Unlock()
 	return w.Await()

@@ -1,0 +1,56 @@
+package pipeline
+
+import "sync"
+
+// Spawn runs fn on a pooled executor goroutine, parking the goroutine
+// for reuse when fn returns. It exists because goroutine *stacks* are
+// the hidden cost of simulation-heavy workloads: the interpreter's
+// recursive statement walk grows every fresh goroutine's small initial
+// stack through repeated runtime.newstack/copystack cycles, and
+// schedule exploration launches thousands of short-lived simulated
+// threads (one per rank and team worker per run) that each pay that
+// growth again. A pooled goroutine keeps its grown stack hot, so the
+// second and every later simulated thread of that size runs without
+// copying a single frame.
+//
+// The pool is unbounded but self-sizing: it holds exactly as many
+// goroutines as the peak number of concurrently live fn's, idle ones
+// park on a channel receive (the Go runtime shrinks long-parked stacks
+// during GC, so idle memory is reclaimed), and reuse is LIFO so the
+// most recently used — hottest — stack is handed out first.
+//
+// fn runs exactly as `go fn()` would, with no ordering guarantees
+// beyond the happens-before edge from Spawn to fn's start.
+func Spawn(fn func()) {
+	spawnMu.Lock()
+	var w *spawnWorker
+	if n := len(spawnIdle); n > 0 {
+		w = spawnIdle[n-1]
+		spawnIdle[n-1] = nil
+		spawnIdle = spawnIdle[:n-1]
+	}
+	spawnMu.Unlock()
+	if w == nil {
+		w = &spawnWorker{task: make(chan func(), 1)}
+		go w.loop()
+	}
+	w.task <- fn
+}
+
+var (
+	spawnMu   sync.Mutex
+	spawnIdle []*spawnWorker
+)
+
+type spawnWorker struct {
+	task chan func()
+}
+
+func (w *spawnWorker) loop() {
+	for fn := range w.task {
+		fn()
+		spawnMu.Lock()
+		spawnIdle = append(spawnIdle, w)
+		spawnMu.Unlock()
+	}
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import "sync"
+
+// shardCount is a power of two so shard selection is a mask. 64 shards
+// keep lock contention negligible for pools up to the widths NewPool
+// allows while costing a few kilobytes when idle.
+const shardCount = 64
+
+// ShardedSet is a concurrency-safe set of uint64 keys, sharded by key
+// bits so concurrent workers rarely contend on the same lock. It backs
+// the exploration engine's seen-state deduplication (every DFS worker
+// tests-and-inserts candidate states while its peers do the same), but
+// like the rest of this package it is domain-free: any fan-out that
+// needs a "first writer wins" membership test over hashed keys can use
+// it.
+//
+// Keys are expected to already be hashes (uniformly distributed); the
+// set applies no further mixing.
+type ShardedSet struct {
+	shards [shardCount]setShard
+}
+
+type setShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	_  [40]byte // pad to a cache line so neighboring shard locks don't false-share
+}
+
+// NewShardedSet returns an empty set.
+func NewShardedSet() *ShardedSet {
+	s := &ShardedSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// TryAdd inserts key and reports whether it was absent — true means the
+// caller is the first to claim it. Safe for concurrent use.
+func (s *ShardedSet) TryAdd(key uint64) bool {
+	// High bits pick the shard; the map re-hashes the full key anyway.
+	sh := &s.shards[key>>(64-6)]
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[key] = struct{}{}
+	sh.mu.Unlock()
+	return true
+}
+
+// Len returns the current number of keys (a snapshot; concurrent adds
+// may be missed).
+func (s *ShardedSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -18,8 +18,8 @@
 package sched
 
 import (
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -85,6 +85,11 @@ type Gate struct {
 	state gateState
 	line  int   // last yielded source line
 	steps int64 // statements executed
+	// sig caches this gate's contribution to the controller's
+	// incremental positional-state signature; dirty marks it stale
+	// (fields above changed since it was computed).
+	sig   uint64
+	dirty bool
 }
 
 // ID returns the thread id.
@@ -104,17 +109,46 @@ type Controller struct {
 	owner    map[interface{}]*Gate // monitor waiter → parked gate
 
 	enabledScratch []ThreadID
+
+	// Incremental positional-state signature: xsig is the XOR of every
+	// gate's cached per-gate FNV contribution. Gates whose position
+	// changed since their contribution was computed sit on the dirty
+	// list; sigLocked folds them in lazily, so long single-threaded
+	// stretches (one dirty gate, many statements) never pay a
+	// whole-gate-set rehash and nothing on the per-statement path
+	// allocates.
+	xsig  uint64
+	dirty []*Gate
+
+	// freeGates recycles gate structs (and their grant channels) across
+	// runs when the controller itself is recycled.
+	freeGates []*Gate
 }
 
-// NewController creates a controller with one pre-registered gate per
-// MPI process (ids 0..procs-1), driven by s.
+// ctlPool recycles controllers across runs of an exploration; see
+// Recycle for the safety rule.
+var ctlPool = sync.Pool{New: func() any { return new(Controller) }}
+
+// NewController creates (or recycles) a controller with one
+// pre-registered gate per MPI process (ids 0..procs-1), driven by s.
 func NewController(s Scheduler, procs int) *Controller {
-	c := &Controller{
-		sched:    s,
-		holder:   -1,
-		released: make(chan struct{}),
-		owner:    make(map[interface{}]*Gate),
+	c := ctlPool.Get().(*Controller)
+	c.sched = s
+	c.holder = -1
+	c.seq = 0
+	c.isOff = false
+	if c.released == nil {
+		// Fresh controller, or recycled from an aborted run (whose
+		// closed channel Recycle dropped).
+		c.released = make(chan struct{})
 	}
+	if c.owner == nil {
+		c.owner = make(map[interface{}]*Gate)
+	} else {
+		clear(c.owner)
+	}
+	c.xsig = 0
+	c.dirty = c.dirty[:0]
 	for i := 0; i < procs; i++ {
 		c.newGateLocked()
 	}
@@ -122,9 +156,48 @@ func NewController(s Scheduler, procs int) *Controller {
 }
 
 func (c *Controller) newGateLocked() *Gate {
-	g := &Gate{ctl: c, id: ThreadID(len(c.gates)), grant: make(chan struct{}, 1), state: gateReady}
+	var g *Gate
+	if n := len(c.freeGates); n > 0 {
+		g = c.freeGates[n-1]
+		c.freeGates = c.freeGates[:n-1]
+		select { // defensive: a recycled gate must start with no token
+		case <-g.grant:
+		default:
+		}
+	} else {
+		g = &Gate{grant: make(chan struct{}, 1)}
+	}
+	g.ctl = c
+	g.id = ThreadID(len(c.gates))
+	g.state = gateReady
+	g.line = 0
+	g.steps = 0
+	g.dirty = false
+	g.sig = g.contribution()
+	c.xsig ^= g.sig
 	c.gates = append(c.gates, g)
 	return g
+}
+
+// Recycle returns the controller and its gates to the pool. Only call
+// once the run has fully drained (monitor.Drained): until then, a
+// goroutine released by an abort may still be parked on — or about to
+// touch — its gate. After the drain nothing can reach the controller,
+// so clean and aborted runs alike recycle here (an aborted run's closed
+// release channel is dropped and remade on reuse).
+func (c *Controller) Recycle() {
+	c.mu.Lock()
+	if c.isOff {
+		c.released = nil
+	}
+	c.freeGates = append(c.freeGates, c.gates...)
+	c.gates = c.gates[:0]
+	c.sched = nil
+	clear(c.owner)
+	c.dirty = c.dirty[:0]
+	c.xsig = 0
+	c.mu.Unlock()
+	ctlPool.Put(c)
 }
 
 // ProcGate returns the pre-registered gate of the given rank's main
@@ -181,6 +254,7 @@ func (g *Gate) Yield(line int) {
 	}
 	g.line = line
 	g.steps++
+	c.markDirtyLocked(g)
 	next := c.chooseLocked(g.id)
 	if next == g.id {
 		c.mu.Unlock()
@@ -206,22 +280,46 @@ func (c *Controller) enabledLocked() []ThreadID {
 	return out
 }
 
+// contribution hashes the gate's position — (id, liveness, last line,
+// executed-statement count) — with FNV-1a over a fixed stack buffer: no
+// hasher object, no fmt, no string building. The id inside the hash
+// keeps XOR combination safe against two gates swapping positions.
+func (g *Gate) contribution() uint64 {
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(g.id))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(g.state))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(g.line)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(g.steps))
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// markDirtyLocked queues the gate for a lazy signature update.
+func (c *Controller) markDirtyLocked(g *Gate) {
+	if !g.dirty {
+		g.dirty = true
+		c.dirty = append(c.dirty, g)
+	}
+}
+
+// sigLocked returns the incremental positional signature, folding in
+// the gates whose position changed since the last decision point.
 func (c *Controller) sigLocked() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v int64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
+	if len(c.dirty) > 0 {
+		for _, g := range c.dirty {
+			c.xsig ^= g.sig
+			g.sig = g.contribution()
+			c.xsig ^= g.sig
+			g.dirty = false
 		}
-		h.Write(buf[:])
+		c.dirty = c.dirty[:0]
 	}
-	for _, g := range c.gates {
-		put(int64(g.id))
-		put(int64(g.state))
-		put(int64(g.line))
-		put(g.steps)
-	}
-	return h.Sum64()
+	return c.xsig
 }
 
 // chooseLocked asks the scheduler to pick among the enabled threads
@@ -288,6 +386,7 @@ func (c *Controller) HolderParked(w interface{}) {
 	}
 	g := c.gates[c.holder]
 	g.state = gateParked
+	c.markDirtyLocked(g)
 	c.owner[w] = g
 	c.pickLocked(-1)
 }
@@ -302,6 +401,7 @@ func (c *Controller) WaiterWoken(w interface{}) {
 		return
 	}
 	g.state = gateReady
+	c.markDirtyLocked(g)
 }
 
 // Resume blocks the woken thread (just returned from its monitor wait)
@@ -326,7 +426,9 @@ func (c *Controller) HolderExited() {
 	if c.isOff || c.holder < 0 {
 		return
 	}
-	c.gates[c.holder].state = gateDone
+	g := c.gates[c.holder]
+	g.state = gateDone
+	c.markDirtyLocked(g)
 	c.pickLocked(-1)
 }
 
@@ -508,6 +610,21 @@ type Recorder struct {
 
 	Branches []Branch
 	diverged bool
+	// enabledBuf backs the Branch.Enabled copies: one growing buffer
+	// per run instead of one allocation per branch point. Earlier
+	// branches keep pointing into superseded backing arrays after a
+	// growth — they are never written again, so the aliasing is safe.
+	enabledBuf []ThreadID
+}
+
+// Reset rearms the recorder for a new run following prefix, keeping its
+// branch and enabled-set buffers so one recorder serves a whole
+// exploration worker without reallocating.
+func (s *Recorder) Reset(prefix []ThreadID) {
+	s.Prefix = prefix
+	s.Branches = s.Branches[:0]
+	s.enabledBuf = s.enabledBuf[:0]
+	s.diverged = false
 }
 
 // Next follows the prefix, records the branch, and defaults to the
@@ -533,9 +650,11 @@ func (s *Recorder) Next(c Choice) ThreadID {
 			s.diverged = true
 		}
 	}
+	off := len(s.enabledBuf)
+	s.enabledBuf = append(s.enabledBuf, c.Enabled...)
 	s.Branches = append(s.Branches, Branch{
 		Sig:     c.Sig,
-		Enabled: append([]ThreadID(nil), c.Enabled...),
+		Enabled: s.enabledBuf[off:len(s.enabledBuf):len(s.enabledBuf)],
 		Chosen:  pick,
 	})
 	return pick

@@ -140,6 +140,20 @@ func New(mon *monitor.Monitor, nprocs int) *Verifier {
 	return v
 }
 
+// Reset clears all per-run state so the verifier can serve another run
+// of the same world (its monitor registration survives — the monitor
+// keeps analyzers across its own Reset). Only call between runs, after
+// the previous run drained.
+func (v *Verifier) Reset() {
+	clear(v.ccArrived)
+	v.ccRound = 0
+	clear(v.phases)
+	clear(v.regions)
+	clear(v.teamSizes)
+	v.ccChecks = 0
+	v.phaseChecks = 0
+}
+
 // Stats reports how many checks executed (for the overhead experiments).
 func (v *Verifier) Stats() (ccChecks, phaseChecks int) {
 	v.mon.Lock()
@@ -197,8 +211,9 @@ func (v *Verifier) CC(p *mpi.Proc, op string, pos source.Pos) error {
 		m.Unlock()
 		return err
 	}
-	entry.waiter = m.NewWaiterLocked("CC check",
-		fmt.Sprintf("rank %d announced %s%s", p.Rank(), op, posSuffix(pos)))
+	entry.waiter = m.NewWaiterLocked("CC check", func() string {
+		return fmt.Sprintf("rank %d announced %s%s", p.Rank(), op, posSuffix(pos))
+	})
 	m.Unlock()
 	return entry.waiter.Await()
 }

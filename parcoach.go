@@ -643,6 +643,9 @@ type ExploreOptions = explore.Options
 // and a replayable token for the first failing schedule.
 type ExplorationReport = explore.Report
 
+// ExploreStrategy re-exports the exploration strategy selector.
+type ExploreStrategy = explore.Strategy
+
 // Exploration strategies.
 const (
 	// ExploreRoundRobin runs the single deterministic reference schedule.
@@ -654,6 +657,21 @@ const (
 	ExplorePCT = explore.StrategyPCT
 	// ExploreDFS enumerates interleavings exhaustively up to the budget.
 	ExploreDFS = explore.StrategyDFS
+)
+
+// ExploreFrontier re-exports the DFS frontier selector.
+type ExploreFrontier = explore.Frontier
+
+// DFS frontier implementations.
+const (
+	// ExploreFrontierSteal is the work-stealing frontier (default):
+	// per-worker LIFO deques ordered longest-common-prefix-first, with
+	// idle workers stealing the shallowest — largest — subtree from a
+	// peer, so skewed prefix trees keep the whole pool busy.
+	ExploreFrontierSteal = explore.FrontierSteal
+	// ExploreFrontierWave is the legacy wave-batched frontier, kept as
+	// the equivalence reference and benchmark baseline.
+	ExploreFrontierWave = explore.FrontierWave
 )
 
 // Explore runs the program (instrumented when codegen produced checks,
