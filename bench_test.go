@@ -292,3 +292,38 @@ func BenchmarkExplore(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExploreDPORReduction pins the metric DPOR exists for:
+// schedules-to-exhaustion on the reference racer, plain DFS vs the
+// DPOR-reduced frontier, plus their ratio. Raw schedules/sec undersells
+// DPOR (each run pays trace recording and race analysis); what matters
+// is that exhausting the space takes a small fraction of the runs. The
+// ratio is asserted ≥10× so a regression in the reduction — not just in
+// run throughput — fails loudly.
+func BenchmarkExploreDPORReduction(b *testing.B) {
+	racer, err := parcoach.Compile("racer.mh", explore.BenchRacerSrc, parcoach.Options{Mode: parcoach.ModeFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(f parcoach.ExploreFrontier) *parcoach.ExplorationReport {
+		rep := racer.Explore(parcoach.ExploreOptions{
+			Strategy: parcoach.ExploreDFS, Frontier: f,
+			Schedules: 1 << 16, Workers: 4, Procs: 2, Threads: 2, MaxSteps: 2_000_000,
+		})
+		if !rep.Exhausted {
+			b.Fatalf("frontier %v did not exhaust the racer", f)
+		}
+		return rep
+	}
+	var dfs, dpor int
+	for i := 0; i < b.N; i++ {
+		dfs = run(parcoach.ExploreFrontierSteal).Schedules
+		dpor = run(parcoach.ExploreFrontierDPOR).Schedules
+	}
+	if dpor*10 > dfs {
+		b.Fatalf("DPOR reduction below 10x: dpor=%d dfs=%d schedules", dpor, dfs)
+	}
+	b.ReportMetric(float64(dfs), "dfs-schedules-to-exhaustion")
+	b.ReportMetric(float64(dpor), "dpor-schedules-to-exhaustion")
+	b.ReportMetric(float64(dfs)/float64(dpor), "reduction-x")
+}

@@ -26,7 +26,9 @@
 //	-explore S     explore schedules with strategy rr|random|pct|dfs
 //	-schedules N   exploration run budget (default 16)
 //	-sched-seed N  base seed of the random/pct samplers
-//	-dfs-frontier F  DFS frontier: steal (work-stealing, default) | wave (legacy reference)
+//	-dfs-frontier F  DFS frontier: steal (work-stealing, default) |
+//	               wave (legacy reference) | dpor (partial-order
+//	               reduction: explore only genuinely racing schedules)
 //	-replay TOK    run the single schedule named by a replay token
 package main
 
@@ -53,7 +55,7 @@ func main() {
 	exploreStrat := flag.String("explore", "", "explore the schedule space: rr|random|pct|dfs")
 	schedules := flag.Int("schedules", 16, "exploration schedule budget")
 	schedSeed := flag.Int64("sched-seed", 0, "base seed of the random/pct schedule samplers")
-	dfsFrontier := flag.String("dfs-frontier", "steal", "DFS frontier: steal|wave")
+	dfsFrontier := flag.String("dfs-frontier", "steal", "DFS frontier: steal|wave|dpor")
 	replay := flag.String("replay", "", "replay one schedule from its token (rr, rand:<seed>, pct:<seed>:<depth>, trace:...)")
 	flag.Parse()
 

@@ -33,9 +33,13 @@ type BenchCase struct {
 }
 
 // BenchGrid returns the canonical benchmark grid: every strategy, with
-// DFS under both the work-stealing frontier and the legacy wave-batched
-// reference (the before/after of the frontier rebuild). dfsBudget
-// bounds the DFS cells; sampling cells use a fixed budget of 64.
+// DFS under the work-stealing frontier, the legacy wave-batched
+// reference (the before/after of the frontier rebuild), and the
+// DPOR-reduced frontier (whose schedules/sec is lower per run — each
+// run pays trace recording and race analysis — but which exhausts the
+// space in a tiny fraction of the runs, the metric that matters).
+// dfsBudget bounds the DFS cells; sampling cells use a fixed budget
+// of 64.
 func BenchGrid(dfsBudget int) []BenchCase {
 	return []BenchCase{
 		{"rr", StrategyRoundRobin, FrontierSteal, 1},
@@ -43,5 +47,6 @@ func BenchGrid(dfsBudget int) []BenchCase {
 		{"pct", StrategyPCT, FrontierSteal, 64},
 		{"dfs", StrategyDFS, FrontierSteal, dfsBudget},
 		{"dfs-wave", StrategyDFS, FrontierWave, dfsBudget},
+		{"dfs-dpor", StrategyDFS, FrontierDPOR, dfsBudget},
 	}
 }

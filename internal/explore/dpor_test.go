@@ -1,0 +1,180 @@
+package explore
+
+// The DPOR acceptance suite: FrontierDPOR must reach exhausted=true on
+// every schedule-only racer with the identical verdict set plain DFS
+// produces, at ≥10× fewer explored schedules, with every first-failure
+// token still replaying to the identical error text — and across the
+// generated matrix its exhaustive verdicts must cover everything the
+// plain frontier observed.
+
+import (
+	"reflect"
+	"testing"
+
+	"parcoach/internal/interp"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/parser"
+	"parcoach/internal/sched"
+)
+
+// TestDPORReductionPropertySuite pins the tentpole claim on the three
+// hand-written racers: identical verdict sets, exhausted under DPOR,
+// ≥10× fewer schedules than plain DFS, replay-identical failure text.
+func TestDPORReductionPropertySuite(t *testing.T) {
+	for _, tc := range scheduleOnlyBugs {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := parser.MustParse(tc.name+".mh", tc.src)
+			base := Options{Strategy: StrategyDFS, Schedules: 1 << 16, MaxSteps: 200_000, Workers: 1}
+
+			o := base
+			o.Frontier = FrontierSteal
+			dfs := Explore(prog, o)
+			o.Frontier = FrontierDPOR
+			dpor := Explore(prog, o)
+
+			if !dfs.Exhausted || !dpor.Exhausted {
+				t.Fatalf("both must exhaust: dfs=%t dpor=%t (dfs=%d dpor=%d schedules)",
+					dfs.Exhausted, dpor.Exhausted, dfs.Schedules, dpor.Schedules)
+			}
+			if !reflect.DeepEqual(outcomeSet(dpor), outcomeSet(dfs)) {
+				t.Errorf("verdict sets differ: dpor=%v dfs=%v", outcomeSet(dpor), outcomeSet(dfs))
+			}
+			if !dpor.Caught(tc.want) {
+				t.Errorf("DPOR missed the planted %s; verdicts: %+v", tc.want, dpor.Verdicts)
+			}
+			if dpor.Schedules*10 > dfs.Schedules {
+				t.Errorf("reduction below 10×: dpor=%d dfs=%d schedules", dpor.Schedules, dfs.Schedules)
+			}
+			t.Logf("dfs=%d dpor=%d schedules (%.1fx), sleepskips=%d",
+				dfs.Schedules, dpor.Schedules, float64(dfs.Schedules)/float64(dpor.Schedules), dpor.SleepSkips)
+
+			replayFailure(t, "dpor", dpor, func(s sched.Scheduler) *interp.Result {
+				return interp.Run(prog, interp.Options{Procs: 2, Threads: 2, MaxSteps: 200_000, Scheduler: s})
+			})
+		})
+	}
+}
+
+// TestDPORDeterministicAcrossWorkers pins the fixpoint property: without
+// budget truncation (and without the optional state hash) the explored
+// set — and therefore the whole report — is independent of worker count
+// and steal order.
+func TestDPORDeterministicAcrossWorkers(t *testing.T) {
+	for _, tc := range scheduleOnlyBugs {
+		prog := parser.MustParse(tc.name+".mh", tc.src)
+		base := Options{Strategy: StrategyDFS, Frontier: FrontierDPOR,
+			Schedules: 1 << 16, MaxSteps: 200_000}
+		o := base
+		o.Workers = 1
+		w1 := Explore(prog, o)
+		o.Workers = 8
+		w8 := Explore(prog, o)
+		if w1.String() != w8.String() || w1.Schedules != w8.Schedules {
+			t.Errorf("%s: DPOR report differs across worker counts:\nw1: %sw8: %s",
+				tc.name, w1.String(), w8.String())
+		}
+	}
+}
+
+// TestDPOREquivalenceMhgenMatrix sweeps the generated matrix: wherever
+// both frontiers exhaust, the verdict sets must be identical (with the
+// failing token replay-verified); wherever only DPOR exhausts — the
+// whole point of the reduction — every outcome the truncated plain
+// frontier observed must appear in DPOR's exhaustive set.
+func TestDPOREquivalenceMhgenMatrix(t *testing.T) {
+	seeds := uint64(200)
+	minCompared := 50
+	if raceEnabled {
+		seeds = 50
+		minCompared = 8
+	}
+	const budget = 256
+	compared, dporOnly := 0, 0
+	for seed := uint64(0); seed < seeds; seed++ {
+		gp := mhgen.FromSeed(seed)
+		prog, err := parser.Parse(gp.Name+".mh", gp.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opts := Options{
+			Strategy: StrategyDFS, Schedules: budget, Workers: 4,
+			Procs: gp.Procs, Threads: gp.Threads, MaxSteps: 100_000,
+		}
+		o := opts
+		o.Frontier = FrontierSteal
+		steal := Explore(prog, o)
+		o.Frontier = FrontierDPOR
+		dpor := Explore(prog, o)
+
+		if !dpor.Exhausted {
+			continue // truncated DPOR enumerations are arbitrary samples
+		}
+		if dpor.Schedules > steal.Schedules {
+			t.Errorf("seed %d (%s): DPOR ran more schedules than plain DFS: %d > %d",
+				seed, gp.Bug, dpor.Schedules, steal.Schedules)
+		}
+		replayFailure(t, gp.Name, dpor, func(s sched.Scheduler) *interp.Result {
+			return interp.Run(prog, interp.Options{
+				Procs: gp.Procs, Threads: gp.Threads, MaxSteps: 100_000, Scheduler: s,
+			})
+		})
+		if steal.Exhausted {
+			compared++
+			if !reflect.DeepEqual(outcomeSet(dpor), outcomeSet(steal)) {
+				t.Errorf("seed %d (%s): verdict sets differ: dpor=%v steal=%v",
+					seed, gp.Bug, outcomeSet(dpor), outcomeSet(steal))
+			}
+		} else {
+			// DPOR exhausted a space the plain frontier could only sample:
+			// the sample cannot contain outcomes the exhaustive set lacks.
+			dporOnly++
+			for _, v := range steal.Verdicts {
+				if !dpor.Caught(v.Outcome) {
+					t.Errorf("seed %d (%s): plain DFS observed %v but exhaustive DPOR did not",
+						seed, gp.Bug, v.Outcome)
+				}
+			}
+		}
+	}
+	if compared < minCompared {
+		t.Errorf("only %d/%d seeds exhausted under both — the comparison lost its teeth", compared, seeds)
+	}
+	t.Logf("compared %d seeds exhausted under both; %d exhausted only under DPOR", compared, dporOnly)
+}
+
+// TestPrunedAndSleepSkipsAreSeparate is the counter-semantics
+// regression: state-hash prunes and sleep-set skips are different
+// quantities reported in different fields — the plain frontiers never
+// report sleep skips, and DPOR by default never reports state-hash
+// prunes (only with DPORStateHash may Pruned become nonzero).
+func TestPrunedAndSleepSkipsAreSeparate(t *testing.T) {
+	prog := parser.MustParse("racing-flag-read.mh", scheduleOnlyBugs[2].src)
+	base := Options{Strategy: StrategyDFS, Schedules: 1 << 16, MaxSteps: 200_000, Workers: 1}
+
+	o := base
+	o.Frontier = FrontierSteal
+	dfs := Explore(prog, o)
+	if dfs.SleepSkips != 0 {
+		t.Errorf("plain DFS reported %d sleep skips, want 0", dfs.SleepSkips)
+	}
+	if dfs.Pruned == 0 {
+		t.Errorf("plain DFS on a racer should state-hash-prune something, got 0")
+	}
+
+	o.Frontier = FrontierDPOR
+	dpor := Explore(prog, o)
+	if dpor.Pruned != 0 {
+		t.Errorf("DPOR without DPORStateHash reported Pruned=%d, want 0", dpor.Pruned)
+	}
+	if dpor.SleepSkips == 0 {
+		t.Errorf("DPOR on a racer should suppress rediscovered reversals, got SleepSkips=0")
+	}
+
+	// The optional second-level dedupe routes through Pruned, not
+	// SleepSkips, and must not change the verdict set.
+	o.DPORStateHash = true
+	hashed := Explore(prog, o)
+	if !reflect.DeepEqual(outcomeSet(hashed), outcomeSet(dpor)) {
+		t.Errorf("DPORStateHash changed the verdict set: %v vs %v", outcomeSet(hashed), outcomeSet(dpor))
+	}
+}

@@ -119,11 +119,22 @@ const (
 	// (PR 3), kept as the sequential reference for the equivalence
 	// suite and for before/after benchmarking.
 	FrontierWave
+	// FrontierDPOR is dynamic partial-order reduction on the
+	// work-stealing frontier (see dpor.go): each run's event trace is
+	// analyzed for race pairs and only the reversal prefixes the races
+	// require are explored, with a global sleep-set ledger keeping
+	// stolen subtrees sound. Verdict sets are identical to plain DFS at
+	// orders of magnitude fewer schedules; exploration that plain DFS
+	// could only bound becomes exhaustible. Without budget truncation
+	// (and with DPORStateHash off, the default) reports are
+	// byte-identical at any worker count.
+	FrontierDPOR
 )
 
 var frontierNames = [...]string{
 	FrontierSteal: "steal",
 	FrontierWave:  "wave",
+	FrontierDPOR:  "dpor",
 }
 
 func (f Frontier) String() string {
@@ -133,14 +144,15 @@ func (f Frontier) String() string {
 	return "frontier(?)"
 }
 
-// ParseFrontier maps a CLI name ("steal", "wave") to its frontier.
+// ParseFrontier maps a CLI name ("steal", "wave", "dpor") to its
+// frontier.
 func ParseFrontier(name string) (Frontier, error) {
 	for i, n := range frontierNames {
 		if n == name {
 			return Frontier(i), nil
 		}
 	}
-	return 0, fmt.Errorf("explore: unknown DFS frontier %q (want steal|wave)", name)
+	return 0, fmt.Errorf("explore: unknown DFS frontier %q (want steal|wave|dpor)", name)
 }
 
 // Options configures an exploration.
@@ -170,8 +182,16 @@ type Options struct {
 	// what the schedules vary).
 	Policy omp.Policy
 	// NoStateHash disables the DFS positional-state pruning, forcing a
-	// full enumeration of the (possibly much larger) prefix tree.
+	// full enumeration of the (possibly much larger) prefix tree. It
+	// does not affect FrontierDPOR, whose reduction is the race
+	// analysis, not the seen-set.
 	NoStateHash bool
+	// DPORStateHash additionally applies the positional-state seen-set
+	// to FrontierDPOR's backtrack candidates as a second-level dedupe.
+	// Off by default: DPOR rarely revisits positional states, and the
+	// seen-set's insertion-order sensitivity costs the byte-identical
+	// cross-worker determinism DPOR otherwise has.
+	DPORStateHash bool
 	// Frontier selects the DFS work distribution (default
 	// FrontierSteal); ignored by the sampling strategies.
 	Frontier Frontier
@@ -251,11 +271,24 @@ type Report struct {
 	// Schedules actually run (≤ the budget).
 	Schedules int
 	// Exhausted is true when DFS drained its frontier within budget —
-	// every interleaving (modulo state-hash pruning) was enumerated.
+	// every interleaving (modulo state-hash pruning; modulo the proven
+	// commutativity reduction under FrontierDPOR) was enumerated.
 	// Sampling strategies always report false.
 	Exhausted bool
-	// Pruned counts DFS branches skipped by the positional state hash.
+	// Pruned counts branches skipped by the positional state hash —
+	// candidates that *would* have been explored but whose (state,
+	// branch) pair was already taken elsewhere in the tree. Under
+	// FrontierSteal/FrontierWave that is the only dedupe; under
+	// FrontierDPOR it is nonzero only with Options.DPORStateHash.
 	Pruned int
+	// SleepSkips counts FrontierDPOR backtrack candidates suppressed by
+	// the sleep-set ledger: reversals some other run had already spawned
+	// or explored. This is a different quantity from Pruned — sleep-set
+	// suppression is part of the DPOR algorithm's correctness (skipping
+	// is what prevents re-exploring a subtree), whereas state-hash
+	// pruning is an optional heuristic dedupe — so the two are reported
+	// as separate fields. Always zero for the non-DPOR frontiers.
+	SleepSkips int
 	// Diverged counts DFS replays whose recorded prefix stopped matching
 	// the program (nonzero only for nondeterministic programs).
 	Diverged int
@@ -289,6 +322,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "exploration: strategy=%s schedules=%d", r.Strategy, r.Schedules)
 	if r.Strategy == StrategyDFS {
 		fmt.Fprintf(&b, " exhausted=%t pruned=%d", r.Exhausted, r.Pruned)
+		if r.SleepSkips > 0 {
+			fmt.Fprintf(&b, " sleepskips=%d", r.SleepSkips)
+		}
 	}
 	b.WriteString("\n")
 	for _, v := range r.Verdicts {
@@ -550,6 +586,10 @@ func exploreDFS(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Re
 	case FrontierWave:
 		runs, leftover, pruned, diverged := exploreDFSWave(sess, opts, pool, seen)
 		mergeDFS(rep, runs, leftover, pruned, diverged)
+	case FrontierDPOR:
+		runs, leftover, pruned, diverged, sleepSkips := exploreDFSDPOR(sess, opts, pool, seen)
+		mergeDFS(rep, runs, leftover, pruned, diverged)
+		rep.SleepSkips = sleepSkips
 	default:
 		runs, leftover, pruned, diverged := exploreDFSSteal(sess, opts, pool, seen)
 		mergeDFS(rep, runs, leftover, pruned, diverged)

@@ -76,11 +76,15 @@ func (d *prefixDeque) stealBottom() ([]sched.ThreadID, bool) {
 	return p, true
 }
 
-// stealFrontier is the shared state of one DFS exploration.
+// stealFrontier is the shared state of one DFS exploration. The same
+// deque/parking machinery drives both the plain DFS enumeration and the
+// DPOR-reduced one (dpor.go): exec is the per-prefix body — run the
+// prefix, record the result, push the children the strategy requires.
 type stealFrontier struct {
 	sess *interp.Session
 	opts Options
 	seen *pipeline.ShardedSet
+	exec func(w int, prefix []sched.ThreadID)
 
 	deques  []prefixDeque
 	results [][]dfsRun // per-worker, merged after the drain
@@ -95,6 +99,14 @@ type stealFrontier struct {
 	pruned   int64
 	diverged int64
 
+	// DPOR-only state (nil / zero for plain DFS): ledger is the spawn
+	// ledger keyed by (decision-path hash, candidate) — the global sleep
+	// set that keeps stolen subtrees sound — and sleepSkips counts the
+	// backtrack candidates it suppressed.
+	ledger     *pipeline.ShardedSet
+	sleepSkips int64
+	overflowed int64
+
 	// Idle workers park on wake (nudged by pushes) or done (closed when
 	// inflight reaches zero or the budget is spent with work left).
 	sleepers int32
@@ -103,10 +115,10 @@ type stealFrontier struct {
 	endOnce  sync.Once
 }
 
-// exploreDFSSteal drains the prefix tree with work-stealing workers on
-// the shared pool.
-func exploreDFSSteal(sess *interp.Session, opts Options, pool *pipeline.Pool,
-	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+// newStealFrontier builds the shared frontier state with the root
+// prefix seeded on worker 0's deque.
+func newStealFrontier(sess *interp.Session, opts Options, pool *pipeline.Pool,
+	seen *pipeline.ShardedSet) *stealFrontier {
 
 	width := pool.Workers()
 	if width > opts.Schedules {
@@ -127,16 +139,30 @@ func exploreDFSSteal(sess *interp.Session, opts Options, pool *pipeline.Pool,
 	// Seed the root (the unconstrained run) on worker 0's deque.
 	f.inflight = 1
 	f.deques[0].items = append(f.deques[0].items, nil)
+	return f
+}
 
+// drain runs the workers and collects the completed runs.
+func (f *stealFrontier) drain(pool *pipeline.Pool) (runs []dfsRun, leftover bool, pruned, diverged int) {
 	// The pool recruits up to width-1 helpers and the caller works too;
 	// if the pool is busy elsewhere, fewer helpers join and the idle
 	// deques are simply stolen empty.
-	pool.Map(width, f.worker)
+	pool.Map(len(f.deques), f.worker)
 
 	for _, rs := range f.results {
 		runs = append(runs, rs...)
 	}
 	return runs, f.leftover.Load(), int(atomic.LoadInt64(&f.pruned)), int(atomic.LoadInt64(&f.diverged))
+}
+
+// exploreDFSSteal drains the prefix tree with work-stealing workers on
+// the shared pool.
+func exploreDFSSteal(sess *interp.Session, opts Options, pool *pipeline.Pool,
+	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+
+	f := newStealFrontier(sess, opts, pool, seen)
+	f.exec = f.execDFS
+	return f.drain(pool)
 }
 
 // worker drains prefixes until the tree is explored or the budget is
@@ -203,8 +229,7 @@ func (f *stealFrontier) next(w int) ([]sched.ThreadID, bool) {
 	}
 }
 
-// process reserves budget, runs the prefix, records the result and
-// enqueues its children.
+// process reserves budget and hands the prefix to the frontier's body.
 func (f *stealFrontier) process(w int, prefix []sched.ThreadID) {
 	if atomic.AddInt64(&f.started, 1) > int64(f.opts.Schedules) {
 		// Budget spent with this prefix (at least) unexplored: the
@@ -215,6 +240,25 @@ func (f *stealFrontier) process(w int, prefix []sched.ThreadID) {
 		f.end()
 		return
 	}
+	f.exec(w, prefix)
+}
+
+// pushChild enqueues one child prefix on the worker's own deque and
+// nudges a parked peer.
+func (f *stealFrontier) pushChild(w int, child []sched.ThreadID) {
+	atomic.AddInt64(&f.inflight, 1)
+	f.deques[w].push(child)
+	if atomic.LoadInt32(&f.sleepers) > 0 {
+		select {
+		case f.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// execDFS is the plain DFS body: run the prefix and enqueue every
+// unseen untaken alternative beyond it.
+func (f *stealFrontier) execDFS(w int, prefix []sched.ThreadID) {
 	dr, rec := runPrefix(f.sess, prefix)
 	f.results[w] = append(f.results[w], dr)
 	if dr.diverged {
@@ -223,16 +267,7 @@ func (f *stealFrontier) process(w int, prefix []sched.ThreadID) {
 		return
 	}
 	pruned := enumerate(f.opts, f.seen, len(prefix), dr.trace, rec.Branches,
-		func(child []sched.ThreadID) {
-			atomic.AddInt64(&f.inflight, 1)
-			f.deques[w].push(child)
-			if atomic.LoadInt32(&f.sleepers) > 0 {
-				select {
-				case f.wake <- struct{}{}:
-				default:
-				}
-			}
-		})
+		func(child []sched.ThreadID) { f.pushChild(w, child) })
 	recorderPool.Put(rec)
 	if pruned > 0 {
 		atomic.AddInt64(&f.pruned, int64(pruned))

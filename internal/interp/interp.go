@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"parcoach/internal/ast"
+	"parcoach/internal/monitor"
 	"parcoach/internal/mpi"
 	"parcoach/internal/omp"
 	"parcoach/internal/sched"
@@ -118,6 +119,9 @@ type runner struct {
 	// ctl serializes the run when a Scheduler is configured (nil
 	// otherwise: free-running goroutines).
 	ctl *sched.Controller
+	// tr holds the event-tracing round counters when the scheduler
+	// records an event trace for DPOR (see trace.go); nil otherwise.
+	tr *traceRT
 
 	mu     sync.Mutex
 	output bytes.Buffer
@@ -203,6 +207,14 @@ type thctx struct {
 	// workers get their own from the pool; the master shares its
 	// forker's (it runs the region body on the same goroutine).
 	ar *arena
+	// trace enables event tagging (see trace.go): true iff gate is
+	// non-nil and the controller records an event trace.
+	trace bool
+	// regionTag is the global instance number of the enclosing parallel
+	// region (0 at top level) and barSeq counts this thread's barrier
+	// phases within it; together they key barrier arrival slots.
+	regionTag uint64
+	barSeq    uint64
 }
 
 func (c *thctx) errf(pos source.Pos, format string, args ...any) error {
@@ -417,15 +429,20 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		// here, by the token holder, before any worker goroutine exists,
 		// so thread ids and the runnable set never depend on goroutine
 		// spawn timing.
+		teamSize := n
+		if teamSize <= 0 {
+			teamSize = c.rt.DefaultThreads()
+		}
 		var workerGates []*sched.Gate
-		if c.gate != nil {
-			teamSize := n
-			if teamSize <= 0 {
-				teamSize = c.rt.DefaultThreads()
-			}
-			if teamSize > 1 {
-				workerGates = c.r.ctl.Fork(teamSize - 1)
-			}
+		if c.gate != nil && teamSize > 1 {
+			workerGates = c.r.ctl.Fork(teamSize - 1)
+		}
+		var regionTag uint64
+		if c.trace {
+			regionTag = c.r.tr.nextRegion()
+			// The fork edge: the parent's pre-region history
+			// happens-before every team member's first step.
+			c.tagRel(forkObj(c.p.Rank(), regionTag))
 		}
 		// The function name is snapshotted rather than read from c inside
 		// the body: after an abort, straggler team goroutines can outlive
@@ -445,6 +462,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			child := ar.newThctx()
 			child.r, child.p, child.rt, child.th = c.r, c.p, c.rt, th
 			child.fn, child.ar = fnName, ar
+			child.trace, child.regionTag = c.trace, regionTag
 			if c.gate != nil {
 				if th.TID() == 0 {
 					child.gate = c.gate
@@ -453,7 +471,15 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 					child.gate.Attach()
 				}
 			}
+			if child.trace && th.TID() != 0 {
+				child.tagAcq(forkObj(c.p.Rank(), regionTag))
+			}
 			_, _, err := child.execBlock(s.Body, e)
+			if child.trace && err == nil {
+				// The join edge: each member's region history
+				// happens-before the parent's post-region steps.
+				child.tagRel(joinObj(c.p.Rank(), th.TID(), regionTag))
+			}
 			if err == nil {
 				ar.putThctx(child)
 				if th.TID() != 0 {
@@ -462,9 +488,19 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			}
 			return err
 		})
+		if c.trace && err == nil {
+			for tid := 0; tid < teamSize; tid++ {
+				c.tagAcq(joinObj(c.p.Rank(), tid, regionTag))
+			}
+		}
 		return false, 0, err
 
 	case *ast.SingleStmt:
+		if c.trace {
+			// The first-arrival election is decided by arrival order, so
+			// arrivals of one single region conflict.
+			c.tagSingle(s.RegionID)
+		}
 		if c.th.Single(s.RegionID) {
 			if _, _, err := c.execBlock(s.Body, e); err != nil {
 				return false, 0, err
@@ -472,7 +508,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		}
 		if !s.Nowait {
 			atomic.AddInt64(&c.r.barriers, 1)
-			return false, 0, c.th.Barrier()
+			return false, 0, c.barrier()
 		}
 		return false, 0, nil
 
@@ -485,16 +521,29 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		return false, 0, nil
 
 	case *ast.CriticalStmt:
+		if c.trace {
+			// Acquisition order is schedule-dependent: the queue write
+			// conflicts across threads. The handoff acquire must wait
+			// until entry *returns* — tagged at entry it would land in
+			// the blocked event, before the previous holder's release.
+			c.tagWrite(c.critQObj(s.Name))
+		}
 		if err := c.rt.CriticalEnter(c.th, s.Name); err != nil {
 			return false, 0, err
 		}
+		if c.trace {
+			c.tagAcq(c.critHObj(s.Name))
+		}
 		_, _, err := c.execBlock(s.Body, e)
+		if c.trace {
+			c.tagRel(c.critHObj(s.Name))
+		}
 		c.rt.CriticalExit(c.th, s.Name)
 		return false, 0, err
 
 	case *ast.BarrierStmt:
 		atomic.AddInt64(&c.r.barriers, 1)
-		return false, 0, c.th.Barrier()
+		return false, 0, c.barrier()
 
 	case *ast.AtomicStmt:
 		v, err := c.evalInt(s.Value, e)
@@ -518,7 +567,8 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			return false, 0, err
 		}
 		var loop *omp.ForLoop
-		if s.Sched == ast.ScheduleDynamic {
+		dynamic := s.Sched == ast.ScheduleDynamic
+		if dynamic {
 			loop = c.th.DynamicFor(s.RegionID, from, to)
 		} else {
 			loop = c.th.StaticFor(s.RegionID, from, to)
@@ -527,6 +577,11 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		c.declare(loopEnv, s.Var, scalar(0))
 		cellVar := loopEnv.lookup(s.Var)
 		for {
+			if c.trace && dynamic {
+				// Dynamic chunk claiming is arrival-order dependent;
+				// static partitioning is a pure function of (tid, bounds).
+				c.tagDynNext(s.RegionID)
+			}
 			i, ok := loop.Next()
 			if !ok {
 				break
@@ -542,7 +597,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		c.releaseEnv(loopEnv)
 		if !s.Nowait {
 			atomic.AddInt64(&c.r.barriers, 1)
-			return false, 0, c.th.Barrier()
+			return false, 0, c.barrier()
 		}
 		return false, 0, nil
 
@@ -554,7 +609,7 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		}
 		if !s.Nowait {
 			atomic.AddInt64(&c.r.barriers, 1)
-			return false, 0, c.th.Barrier()
+			return false, 0, c.barrier()
 		}
 		return false, 0, nil
 
@@ -565,6 +620,9 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 		return false, 0, c.execCC("return:"+c.fn, s.At, s.Once)
 
 	case *ast.InstrPhaseCount:
+		if c.trace {
+			c.tagVerifier()
+		}
 		return false, 0, c.r.ver.PhaseCount(c.p, c.th, s.NodeID, s.CollKind.String(), s.At)
 
 	case *ast.InstrMonoCheck:
@@ -591,7 +649,18 @@ func (c *thctx) execCC(op string, at source.Pos, once bool) error {
 	if once && c.th.Team().Size() > 1 && !c.th.Master() {
 		return nil
 	}
-	return c.r.ver.CC(c.p, op, at)
+	var ccK uint64
+	if c.trace {
+		ccK = c.tagCCEntry()
+	}
+	err := c.r.ver.CC(c.p, op, at)
+	if err != nil {
+		return err
+	}
+	if c.trace {
+		c.tagCCDone(ccK)
+	}
+	return nil
 }
 
 func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
@@ -609,6 +678,9 @@ func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
 		cl := e.lookup(lv.Name)
 		if cl == nil {
 			return c.errf(lv.NamePos, "undefined variable %q", lv.Name)
+		}
+		if c.trace {
+			c.tagWrite(cellObj(cl))
 		}
 		cl.mu.Lock()
 		if cl.v.arr != nil {
@@ -633,6 +705,9 @@ func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
 		}
 		if idx < 0 || idx >= int64(len(v.arr)) {
 			return c.errf(lv.NamePos, "index %d out of range for %q (len %d)", idx, lv.Name, len(v.arr))
+		}
+		if c.trace {
+			c.tagWrite(elemObj(&v.arr[idx]))
 		}
 		atomic.StoreInt64(&v.arr[idx], apply(atomic.LoadInt64(&v.arr[idx])))
 		return nil
@@ -669,6 +744,9 @@ func (c *thctx) evalExpr(ex ast.Expr, e *env) (value, error) {
 		if cl == nil {
 			return value{}, c.errf(ex.NamePos, "undefined variable %q", ex.Name)
 		}
+		if c.trace {
+			c.tagRead(cellObj(cl))
+		}
 		return cl.load(), nil
 	case *ast.IndexExpr:
 		cl := e.lookup(ex.Name)
@@ -685,6 +763,9 @@ func (c *thctx) evalExpr(ex ast.Expr, e *env) (value, error) {
 		}
 		if idx < 0 || idx >= int64(len(v.arr)) {
 			return value{}, c.errf(ex.NamePos, "index %d out of range for %q (len %d)", idx, ex.Name, len(v.arr))
+		}
+		if c.trace {
+			c.tagRead(elemObj(&v.arr[idx]))
 		}
 		return scalar(atomic.LoadInt64(&v.arr[idx])), nil
 	case *ast.UnaryExpr:
@@ -855,6 +936,12 @@ func (c *thctx) evalCall(ex *ast.CallExpr, e *env) (value, error) {
 func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 	loc := s.KindPos.String()
 	tid := c.th.ID()
+	if c.trace {
+		// Same-rank MPI call order is semantically visible (sequencing
+		// rules, concurrent-call detection), so every call writes its
+		// rank's call slot; cross-rank order stays free to commute.
+		c.tagMPIEntry()
+	}
 
 	evalOr := func(ex ast.Expr, def int64) (int64, error) {
 		if ex == nil {
@@ -881,6 +968,9 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 		if err != nil {
 			return err
 		}
+		if c.trace {
+			c.tagSend(int(dest), int(tag))
+		}
 		atomic.AddInt64(&c.r.p2p, 1)
 		return c.p.Send(tid, v, int(dest), int(tag), loc)
 	case ast.MPIRecv:
@@ -892,10 +982,20 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 		if err != nil {
 			return err
 		}
+		var sendEP monitor.Obj
+		var matchK uint64
+		if c.trace {
+			sendEP, matchK = c.tagRecvEntry(int(src), int(tag))
+		}
 		atomic.AddInt64(&c.r.p2p, 1)
 		v, err := c.p.Recv(tid, int(src), int(tag), loc)
 		if err != nil {
 			return err
+		}
+		if c.trace {
+			// The acquire lands in the post-return event, after the
+			// matching send's release in trace order.
+			c.tagRecvDone(sendEP, matchK)
 		}
 		return c.assign(s.Dst, ast.AssignSet, v, e)
 	}
@@ -939,10 +1039,19 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 		contribVector = arr
 	}
 
+	var collK uint64
+	if c.trace {
+		collK = c.tagCollEntry()
+	}
 	atomic.AddInt64(&c.r.collectives, 1)
 	outV, outVec, err := c.p.Collective(tid, op, red, root, contribValue, contribVector, loc)
 	if err != nil {
 		return err
+	}
+	if c.trace {
+		// The completed rendezvous ordered this thread behind every
+		// rank's arrival of round collK.
+		c.tagCollDone(collK)
 	}
 
 	switch s.Kind {
@@ -1011,6 +1120,13 @@ func (c *thctx) arrayValue(ex ast.Expr, e *env) ([]int64, error) {
 	if v.arr == nil {
 		return nil, c.errf(ex.Pos(), "array expected")
 	}
+	if c.trace {
+		// The snapshot feeds a collective result, so every element read
+		// is verdict-visible and must participate in conflict detection.
+		for i := range v.arr {
+			c.tagRead(elemObj(&v.arr[i]))
+		}
+	}
 	// Snapshot: the MPI layer reads the vector outside any cell lock,
 	// possibly while another simulated thread writes elements.
 	return snapshotArr(v.arr), nil
@@ -1032,6 +1148,9 @@ func (c *thctx) storeVector(lv ast.LValue, vec []int64, e *env) error {
 		return c.errf(ref.NamePos, "vector destination %q must be an array", ref.Name)
 	}
 	for i := 0; i < len(v.arr) && i < len(vec); i++ {
+		if c.trace {
+			c.tagWrite(elemObj(&v.arr[i]))
+		}
 		atomic.StoreInt64(&v.arr[i], vec[i])
 	}
 	return nil

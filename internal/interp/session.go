@@ -105,8 +105,17 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 	world := env.world
 	r := env.r
 	r.rebind(s.prog, opts, world)
+	tracing := false
 	if scheduler != nil {
 		r.ctl = sched.NewController(scheduler, opts.Procs)
+		if _, ok := scheduler.(sched.TraceSource); ok {
+			tracing = true
+			if r.tr == nil || len(r.tr.collSeq) != opts.Procs {
+				r.tr = newTraceRT(opts.Procs)
+			} else {
+				r.tr.reset()
+			}
+		}
 		world.Monitor().SetSched(r.ctl)
 		r.ctl.Start()
 	}
@@ -125,7 +134,7 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 			rs.rt.Reset(world.Monitor(), opts.Threads, opts.Policy)
 		}
 		th := rs.rt.InitialThread()
-		c := &thctx{r: r, p: p, rt: rs.rt, th: th, fn: s.mainFn.Name, gate: gate, ar: rs.ar}
+		c := &thctx{r: r, p: p, rt: rs.rt, th: th, fn: s.mainFn.Name, gate: gate, ar: rs.ar, trace: tracing}
 		ret, err := c.callFunction(s.mainFn, nil, s.mainFn.NamePos)
 		if err != nil {
 			return err

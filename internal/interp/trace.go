@@ -1,0 +1,285 @@
+// Event-trace tagging for dynamic partial-order reduction.
+//
+// When the run is serialized under a DPOR-recording scheduler
+// (sched.DPORRecorder), every thread context carries trace=true and tags
+// the shared objects each statement touches onto its scheduling gate;
+// the controller folds the tags into the run's event trace
+// (monitor.EventTrace), which the exploration engine analyzes for race
+// pairs after the run.
+//
+// The tagging discipline decides which schedules DPOR must explore, so
+// it must over-approximate the true dependence relation (extra conflicts
+// cost schedules; missing conflicts lose bugs):
+//
+//   - Shared-memory cells and array elements tag conflict-visible
+//     reads/writes keyed by address (aliasing-exact).
+//   - Every MPI call writes its rank's call slot: same-rank call order is
+//     semantically visible (Init/Finalize sequencing, concurrent-call
+//     detection, per-rank collective and p2p order), while *cross-rank*
+//     arrival order into a collective round deliberately commutes — the
+//     matcher's per-round state has one slot per rank and its mismatch
+//     reports are arrival-order independent.
+//   - Blocking rendezvous (collective rounds, p2p matches, CC agreement,
+//     barriers, fork/join) add release/acquire happens-before edges keyed
+//     by the matching round, so post-wait steps are ordered behind the
+//     steps that caused the wake without manufacturing reversible races
+//     (those orders are enforced by enabledness, not by scheduling luck).
+//   - Schedule-sensitive elections tag writes on their decision slot:
+//     single-construct first-arrival winners, critical-section
+//     acquisition order, dynamic-for chunk claiming.
+//
+// Deliberately untagged (documented over-approximation *gaps*, all
+// verdict-invisible): print output interleaving (Result.Output may
+// differ across members of an interleaving class), the global step
+// counter (OutcomeBudget on spinning programs can trigger at different
+// points; such runs are not exhaustible anyway), and MonoCheck's
+// region-size recording (all threads of a team record the same size).
+package interp
+
+import (
+	"sync"
+	"unsafe"
+
+	"parcoach/internal/monitor"
+)
+
+// Composite object kinds (cells and elements use raw addresses).
+const (
+	objMPI     uint64 = 2  // per-rank MPI call slot (W)
+	objCollHB  uint64 = 3  // collective round handoff (Rel/Acq)
+	objChanTag uint64 = 4  // p2p per-endpoint order (W) and handoff base
+	objChanHB  uint64 = 6  // p2p match handoff (Rel/Acq)
+	objSingle  uint64 = 7  // single-construct election slot (W)
+	objBarHB   uint64 = 8  // barrier arrival slots (Rel/Acq)
+	objCritQ   uint64 = 9  // critical acquisition order (W)
+	objCritHB  uint64 = 10 // critical handoff (Rel/Acq)
+	objDyn     uint64 = 11 // dynamic-for chunk counter (W)
+	objForkHB  uint64 = 12 // parallel-region fork edge (Rel/Acq)
+	objJoinHB  uint64 = 13 // parallel-region join edge (Rel/Acq)
+	objVer     uint64 = 14 // per-rank verifier state (W)
+	objCCHB    uint64 = 15 // CC agreement round handoff (Rel/Acq)
+)
+
+// traceRT is the runner's tracing scratch: matching-round counters that
+// key the release/acquire handoff objects. Under serialization only one
+// simulated thread runs at a time, but after an abort the released
+// stragglers free-run, so the counters take a private mutex to stay free
+// of Go-level races (straggler tags land in gate buffers that are never
+// flushed; the lock is only for memory safety).
+type traceRT struct {
+	mu sync.Mutex
+	// collSeq[rank] counts the rank's collective calls: legal runs enter
+	// collectives in lockstep rounds, so each rank's k-th call is round k.
+	collSeq []uint64
+	// ccSeq[rank] counts CC agreements the same way.
+	ccSeq []uint64
+	// chanSeq counts sends and recvs per (src,dst,tag) endpoint; the
+	// queues are FIFO on both sides, so the k-th recv matches the k-th
+	// send.
+	chanSeq map[monitor.Obj]uint64
+	// regionSeq numbers parallel-region instances (fork/join/barrier
+	// object keys must not collide across sequential regions).
+	regionSeq uint64
+}
+
+func newTraceRT(procs int) *traceRT {
+	return &traceRT{
+		collSeq: make([]uint64, procs),
+		ccSeq:   make([]uint64, procs),
+		chanSeq: make(map[monitor.Obj]uint64),
+	}
+}
+
+func (tr *traceRT) reset() {
+	for i := range tr.collSeq {
+		tr.collSeq[i] = 0
+	}
+	for i := range tr.ccSeq {
+		tr.ccSeq[i] = 0
+	}
+	clear(tr.chanSeq)
+	tr.regionSeq = 0
+}
+
+func (tr *traceRT) nextColl(rank int) uint64 {
+	tr.mu.Lock()
+	k := tr.collSeq[rank]
+	tr.collSeq[rank]++
+	tr.mu.Unlock()
+	return k
+}
+
+func (tr *traceRT) nextCC(rank int) uint64 {
+	tr.mu.Lock()
+	k := tr.ccSeq[rank]
+	tr.ccSeq[rank]++
+	tr.mu.Unlock()
+	return k
+}
+
+func (tr *traceRT) nextChan(endpoint monitor.Obj) uint64 {
+	tr.mu.Lock()
+	k := tr.chanSeq[endpoint]
+	tr.chanSeq[endpoint] = k + 1
+	tr.mu.Unlock()
+	return k
+}
+
+func (tr *traceRT) nextRegion() uint64 {
+	tr.mu.Lock()
+	k := tr.regionSeq
+	tr.regionSeq++
+	tr.mu.Unlock()
+	return k
+}
+
+// cellObj keys a scalar cell by address.
+func cellObj(cl *cell) monitor.Obj {
+	return monitor.Mix(uint64(uintptr(unsafe.Pointer(cl))))
+}
+
+// elemObj keys an array element by address, which makes element
+// dependence exact under MiniHybrid's by-reference array aliasing.
+func elemObj(p *int64) monitor.Obj {
+	return monitor.Mix(uint64(uintptr(unsafe.Pointer(p))))
+}
+
+func hashName(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// tag helpers: every call site guards with the plain c.trace bool so the
+// untraced hot path pays one predictable branch and zero interface
+// conversions.
+
+func (c *thctx) tagRead(o monitor.Obj)  { c.gate.Access(o, monitor.AccRead) }
+func (c *thctx) tagWrite(o monitor.Obj) { c.gate.Access(o, monitor.AccWrite) }
+func (c *thctx) tagRel(o monitor.Obj)   { c.gate.Access(o, monitor.AccRelease) }
+func (c *thctx) tagAcq(o monitor.Obj)   { c.gate.Access(o, monitor.AccAcquire) }
+
+// tagMPIEntry marks a same-rank-ordered MPI call.
+func (c *thctx) tagMPIEntry() {
+	c.tagWrite(monitor.ObjID(objMPI, uint64(c.p.Rank()), 0))
+}
+
+// tagCollEntry releases this rank's slot of the collective round about
+// to be joined and returns the round index for the post-return acquire.
+func (c *thctx) tagCollEntry() uint64 {
+	k := c.r.tr.nextColl(c.p.Rank())
+	c.tagRel(monitor.ObjID(objCollHB, uint64(c.p.Rank()), k))
+	return k
+}
+
+// tagCollDone acquires every rank's slot of round k: the completed
+// rendezvous ordered this thread behind all contributing arrivals.
+func (c *thctx) tagCollDone(k uint64) {
+	for r := 0; r < c.p.Size(); r++ {
+		c.tagAcq(monitor.ObjID(objCollHB, uint64(r), k))
+	}
+}
+
+// chanEndpoint keys one directed p2p endpoint; dir 0 = send, 1 = recv.
+func chanEndpoint(src, dst, tag int, dir uint64) monitor.Obj {
+	return monitor.ObjID(objChanTag, uint64(src)<<20|uint64(dst), uint64(tag)<<1|dir)
+}
+
+// tagSend orders same-endpoint sends and releases the match slot the
+// k-th receiver will acquire.
+func (c *thctx) tagSend(dst, tag int) {
+	ep := chanEndpoint(c.p.Rank(), dst, tag, 0)
+	c.tagWrite(ep)
+	k := c.r.tr.nextChan(ep)
+	c.tagRel(monitor.ObjID(objChanHB, uint64(ep), k))
+}
+
+// tagRecvEntry orders same-endpoint recvs and returns the match index.
+func (c *thctx) tagRecvEntry(src, tag int) (sendEP monitor.Obj, k uint64) {
+	recvEP := chanEndpoint(src, c.p.Rank(), tag, 1)
+	c.tagWrite(recvEP)
+	sendEP = chanEndpoint(src, c.p.Rank(), tag, 0)
+	return sendEP, c.r.tr.nextChan(recvEP)
+}
+
+// tagRecvDone acquires the matching send's slot.
+func (c *thctx) tagRecvDone(sendEP monitor.Obj, k uint64) {
+	c.tagAcq(monitor.ObjID(objChanHB, uint64(sendEP), k))
+}
+
+// tagCCEntry/tagCCDone bracket a CC agreement like a collective round.
+func (c *thctx) tagCCEntry() uint64 {
+	c.tagWrite(monitor.ObjID(objVer, uint64(c.p.Rank()), 0))
+	k := c.r.tr.nextCC(c.p.Rank())
+	c.tagRel(monitor.ObjID(objCCHB, uint64(c.p.Rank()), k))
+	return k
+}
+
+func (c *thctx) tagCCDone(k uint64) {
+	for r := 0; r < c.p.Size(); r++ {
+		c.tagAcq(monitor.ObjID(objCCHB, uint64(r), k))
+	}
+}
+
+// barSlot keys one thread's arrival slot of one team barrier phase.
+func (c *thctx) barSlot(tid int, phase uint64) monitor.Obj {
+	a := uint64(c.p.Rank())<<20 | uint64(tid)
+	return monitor.ObjID(objBarHB, a, c.regionTag<<24|phase)
+}
+
+// barrier runs a team barrier with release/acquire bracketing: each
+// arrival releases its own slot, each resume acquires every slot, so
+// pre-barrier steps of all members happen-before post-barrier steps of
+// all members — with no reversible conflicts among the (commuting)
+// arrivals themselves.
+func (c *thctx) barrier() error {
+	if c.trace {
+		c.tagRel(c.barSlot(c.th.TID(), c.barSeq))
+	}
+	err := c.th.Barrier()
+	if err == nil && c.trace {
+		n := c.th.Team().Size()
+		for tid := 0; tid < n; tid++ {
+			c.tagAcq(c.barSlot(tid, c.barSeq))
+		}
+		c.barSeq++
+	}
+	return err
+}
+
+// tagSingle marks a single-construct arrival: the first-arrival election
+// is decided by arrival order, so arrivals conflict.
+func (c *thctx) tagSingle(regionID int) {
+	c.tagWrite(monitor.ObjID(objSingle, uint64(c.p.Rank())<<20|uint64(regionID), c.regionTag))
+}
+
+// tagDynNext marks a dynamic-for chunk claim (arrival-order dependent).
+func (c *thctx) tagDynNext(regionID int) {
+	c.tagWrite(monitor.ObjID(objDyn, uint64(c.p.Rank())<<20|uint64(regionID), c.regionTag))
+}
+
+func (c *thctx) critQObj(name string) monitor.Obj {
+	return monitor.ObjID(objCritQ, uint64(c.p.Rank()), hashName(name))
+}
+
+func (c *thctx) critHObj(name string) monitor.Obj {
+	return monitor.ObjID(objCritHB, uint64(c.p.Rank()), hashName(name))
+}
+
+// tagVerifier marks a same-rank-ordered verifier interaction
+// (PhaseCount: entries of one phase conflict across threads).
+func (c *thctx) tagVerifier() {
+	c.tagWrite(monitor.ObjID(objVer, uint64(c.p.Rank()), 0))
+}
+
+func forkObj(rank int, region uint64) monitor.Obj {
+	return monitor.ObjID(objForkHB, uint64(rank), region)
+}
+
+func joinObj(rank, tid int, region uint64) monitor.Obj {
+	return monitor.ObjID(objJoinHB, uint64(rank)<<20|uint64(tid), region)
+}

@@ -1,0 +1,216 @@
+package monitor
+
+import "testing"
+
+// traceEvent is the test-side shorthand for building event traces.
+type traceEvent struct {
+	thread int
+	branch int
+	accs   []Access
+}
+
+func buildTrace(events []traceEvent) *EventTrace {
+	t := &EventTrace{}
+	t.Reset()
+	for _, e := range events {
+		t.Open(e.thread, e.branch)
+		t.Append(e.accs)
+	}
+	return t
+}
+
+func rd(o Obj) Access  { return Access{Obj: o, Kind: AccRead} }
+func wr(o Obj) Access  { return Access{Obj: o, Kind: AccWrite} }
+func rel(o Obj) Access { return Access{Obj: o, Kind: AccRelease} }
+func acq(o Obj) Access { return Access{Obj: o, Kind: AccAcquire} }
+
+func TestAnalyzeConflicts(t *testing.T) {
+	cellX, cellY := ObjID(1, 0, 0), ObjID(1, 0, 1)
+	lockQ := ObjID(5, 0, 0) // critical-section acquisition queue slot
+	lockH := ObjID(5, 0, 1) // critical-section handoff (release/acquire)
+	coll0 := ObjID(2, 0, 0) // rank 0's MPI call slot
+	coll1 := ObjID(2, 1, 0) // rank 1's MPI call slot
+	barA0 := ObjID(4, 0, 0) // barrier arrival slots, one per thread
+	barA1 := ObjID(4, 0, 1)
+
+	cases := []struct {
+		name   string
+		events []traceEvent
+		want   []Race
+	}{
+		{
+			name: "disjoint cells commute",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+				{thread: 1, branch: 1, accs: []Access{wr(cellY)}},
+				{thread: 0, branch: 2, accs: []Access{rd(cellX)}},
+				{thread: 1, branch: 3, accs: []Access{rd(cellY)}},
+			},
+			want: nil,
+		},
+		{
+			name: "write/write on one cell conflicts",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+				{thread: 1, branch: 1, accs: []Access{wr(cellX)}},
+			},
+			want: []Race{{0, 1}},
+		},
+		{
+			name: "read/write conflicts both directions",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{rd(cellX)}},
+				{thread: 1, branch: 1, accs: []Access{wr(cellX)}},
+				{thread: 0, branch: 2, accs: []Access{rd(cellX)}},
+			},
+			// Both pairs race: nothing except the conflict edges
+			// themselves orders t0's reads against t1's write, and
+			// reversing either pair reaches a different schedule.
+			want: []Race{{0, 1}, {1, 2}},
+		},
+		{
+			name: "same thread never races itself",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+				{thread: 0, branch: -1, accs: []Access{wr(cellX), rd(cellX)}},
+			},
+			want: nil,
+		},
+		{
+			name: "gate reacquisition: attempts conflict, handoff does not",
+			events: []traceEvent{
+				// t0 attempts and acquires the lock, runs, releases.
+				{thread: 0, branch: 0, accs: []Access{wr(lockQ), acq(lockH)}},
+				{thread: 0, branch: -1, accs: []Access{wr(cellX)}},
+				{thread: 0, branch: 1, accs: []Access{rel(lockH)}},
+				// t1 attempts (conflicts with t0's attempt — lock order is
+				// schedule-dependent) and acquires after the handoff; its
+				// body read is then ordered behind t0's body write.
+				{thread: 1, branch: 2, accs: []Access{wr(lockQ), acq(lockH)}},
+				{thread: 1, branch: -1, accs: []Access{rd(cellX)}},
+			},
+			want: []Race{{0, 3}},
+		},
+		{
+			name: "collective arrivals on different ranks commute",
+			events: []traceEvent{
+				// Two ranks enter a collective: each writes only its own
+				// per-rank call slot, so arrival order never conflicts.
+				{thread: 0, branch: 0, accs: []Access{wr(coll0)}},
+				{thread: 1, branch: 1, accs: []Access{wr(coll1)}},
+				{thread: 0, branch: 2, accs: []Access{rd(coll0)}},
+				{thread: 1, branch: 3, accs: []Access{rd(coll1)}},
+			},
+			want: nil,
+		},
+		{
+			name: "same-rank concurrent MPI calls conflict",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(coll0)}},
+				{thread: 2, branch: 1, accs: []Access{wr(coll0)}},
+			},
+			want: []Race{{0, 1}},
+		},
+		{
+			name: "closing barrier orders post-barrier accesses",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(cellX), rel(barA0)}},
+				{thread: 1, branch: 1, accs: []Access{rel(barA1)}},
+				// After the barrier each thread acquires every arrival
+				// slot, so t1's read of x is ordered behind t0's write.
+				{thread: 1, branch: 2, accs: []Access{acq(barA0), acq(barA1), rd(cellX)}},
+				{thread: 0, branch: 3, accs: []Access{acq(barA0), acq(barA1)}},
+			},
+			want: nil,
+		},
+		{
+			name: "without the barrier the same accesses race",
+			events: []traceEvent{
+				{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+				{thread: 1, branch: 1, accs: []Access{rd(cellX)}},
+			},
+			want: []Race{{0, 1}},
+		},
+	}
+
+	var a Analysis // reused across cases: Analyze must fully reset
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildTrace(tc.events)
+			a.Analyze(tr)
+			got := a.Races()
+			if len(got) != len(tc.want) {
+				t.Fatalf("races = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("races = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestAnalyzeHappensBefore(t *testing.T) {
+	x, h := ObjID(1, 0, 0), ObjID(9, 0, 0)
+	tr := buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(x), rel(h)}},
+		{thread: 1, branch: 1, accs: []Access{acq(h)}},
+		{thread: 1, branch: -1, accs: []Access{wr(x)}},
+		{thread: 2, branch: 2, accs: []Access{wr(x)}},
+	})
+	var a Analysis
+	a.Analyze(tr)
+	if !a.HappensBefore(0, 1, tr) || !a.HappensBefore(0, 2, tr) {
+		t.Fatal("release/acquire edge missing from happens-before")
+	}
+	if a.HappensBefore(1, 0, tr) {
+		t.Fatal("happens-before must not be symmetric")
+	}
+	if !a.HappensBefore(1, 2, tr) {
+		t.Fatal("program order missing from happens-before")
+	}
+	if !a.HappensBefore(2, 2, tr) {
+		t.Fatal("happens-before must be reflexive")
+	}
+	// t2's write races t1's write (nothing orders them) but is ordered
+	// after t0's write only through that conflict edge, so the race list
+	// holds exactly the (2,3) pair — plus (0,3) unless the chain through
+	// the joins ordered it: t0's write joined into t1's clock via acquire,
+	// and t2 joins t1's write on its own conflict check, so (0,3) is
+	// ordered at detection time through lastW being event 2.
+	races := a.Races()
+	if len(races) != 1 || races[0] != (Race{2, 3}) {
+		t.Fatalf("races = %v, want [{2 3}]", races)
+	}
+	// Next-access summaries: t1's first event after index 0 is event 1.
+	if got := a.NextEventOf(1, 0); got != 1 {
+		t.Fatalf("NextEventOf(1, 0) = %d, want 1", got)
+	}
+	if got := a.NextEventOf(1, 2); got != -1 {
+		t.Fatalf("NextEventOf(1, 2) = %d, want -1", got)
+	}
+	if got := a.NextEventOf(0, 0); got != -1 {
+		t.Fatalf("NextEventOf(0, 0) = %d, want -1", got)
+	}
+}
+
+func TestEventTraceOverflow(t *testing.T) {
+	tr := &EventTrace{}
+	tr.Reset()
+	tr.SetLimit(4)
+	for i := 0; i < 10; i++ {
+		tr.Open(0, i)
+		tr.Append([]Access{wr(ObjID(1, 0, uint64(i)))})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (limit)", tr.Len())
+	}
+	if !tr.Overflowed() {
+		t.Fatal("Overflowed = false, want true")
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Overflowed() {
+		t.Fatal("Reset must clear events and the overflow flag")
+	}
+}

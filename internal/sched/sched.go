@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"parcoach/internal/monitor"
 )
 
 // ThreadID identifies one simulated thread, assigned in creation order:
@@ -62,6 +64,16 @@ type Scheduler interface {
 	Next(c Choice) ThreadID
 }
 
+// TraceSource is implemented by schedulers (the DPORRecorder) that want
+// the controller to record the run's event trace: one monitor.Event per
+// scheduling decision, tagged with the object accesses the chosen thread
+// performed until the next decision. NewController detects it and turns
+// on per-gate access buffering.
+type TraceSource interface {
+	Scheduler
+	EventTrace() *monitor.EventTrace
+}
+
 //
 // Controller: the serialization token machine.
 //
@@ -90,10 +102,32 @@ type Gate struct {
 	// (fields above changed since it was computed).
 	sig   uint64
 	dirty bool
+
+	// tracing mirrors "the controller records an event trace"; the
+	// interpreter reads it once per thread context so the per-access
+	// fast path is a plain bool test.
+	tracing bool
+	// acc buffers the object accesses of the current event. Only the
+	// owning thread appends (it is the only one running), and every
+	// flush into the controller's trace happens on that same goroutine
+	// (Yield, park, exit and abort all run on the thread itself), so the
+	// buffer needs no lock. Post-abort stragglers keep appending
+	// harmlessly; the buffer is reset when the gate is recycled.
+	acc []monitor.Access
 }
 
 // ID returns the thread id.
 func (g *Gate) ID() ThreadID { return g.id }
+
+// Tracing reports whether the controller records an event trace; when
+// false, Access calls are wasted work and callers should skip tagging.
+func (g *Gate) Tracing() bool { return g.tracing }
+
+// Access tags the current event with one object access. Call only from
+// the gate's own thread (the token holder).
+func (g *Gate) Access(o monitor.Obj, kind monitor.AccessKind) {
+	g.acc = append(g.acc, monitor.Access{Obj: o, Kind: kind})
+}
 
 // Controller serializes one run. It implements the monitor's scheduler
 // hook interface; hook methods are called with the monitor lock held and
@@ -119,6 +153,14 @@ type Controller struct {
 	// allocates.
 	xsig  uint64
 	dirty []*Gate
+
+	// trace, when non-nil, is the run's event trace (the scheduler
+	// implements TraceSource): chooseLocked closes the previous event by
+	// flushing the holder's access buffer and opens one for its pick.
+	// branchN counts multi-enabled decisions, aligning Event.Branch with
+	// the Recorder's branch-point indices.
+	trace   *monitor.EventTrace
+	branchN int
 
 	// freeGates recycles gate structs (and their grant channels) across
 	// runs when the controller itself is recycled.
@@ -149,6 +191,11 @@ func NewController(s Scheduler, procs int) *Controller {
 	}
 	c.xsig = 0
 	c.dirty = c.dirty[:0]
+	c.trace = nil
+	c.branchN = 0
+	if ts, ok := s.(TraceSource); ok {
+		c.trace = ts.EventTrace()
+	}
 	for i := 0; i < procs; i++ {
 		c.newGateLocked()
 	}
@@ -173,6 +220,8 @@ func (c *Controller) newGateLocked() *Gate {
 	g.line = 0
 	g.steps = 0
 	g.dirty = false
+	g.tracing = c.trace != nil
+	g.acc = g.acc[:0]
 	g.sig = g.contribution()
 	c.xsig ^= g.sig
 	c.gates = append(c.gates, g)
@@ -196,6 +245,7 @@ func (c *Controller) Recycle() {
 	clear(c.owner)
 	c.dirty = c.dirty[:0]
 	c.xsig = 0
+	c.trace = nil
 	c.mu.Unlock()
 	ctlPool.Put(c)
 }
@@ -322,22 +372,44 @@ func (c *Controller) sigLocked() uint64 {
 	return c.xsig
 }
 
+// flushEventLocked closes the current event: the holder's buffered
+// accesses are appended to the trace. Every call site runs on the
+// holder's own goroutine (Yield, the park/exit hooks, and the abort all
+// execute on the thread itself), so reading g.acc here never races the
+// owner-side appends.
+func (c *Controller) flushEventLocked() {
+	if c.holder < 0 {
+		return
+	}
+	g := c.gates[c.holder]
+	if len(g.acc) > 0 {
+		c.trace.Append(g.acc)
+		g.acc = g.acc[:0]
+	}
+}
+
 // chooseLocked asks the scheduler to pick among the enabled threads
 // (which must include cur when cur yielded rather than parked). Invalid
 // picks fall back to the lowest enabled id so a buggy scheduler cannot
 // wedge the run.
 func (c *Controller) chooseLocked(cur ThreadID) ThreadID {
+	if c.trace != nil {
+		c.flushEventLocked()
+	}
 	enabled := c.enabledLocked()
 	if len(enabled) == 0 {
 		c.holder = -1
 		return -1
 	}
 	ch := Choice{Enabled: enabled, Cur: cur, Seq: c.seq}
+	branch := -1
 	if len(enabled) > 1 {
 		// The signature only matters where a schedule can branch; the
 		// singleton fast path (one decision per executed statement in
 		// mostly-sequential phases) skips the hash entirely.
 		ch.Sig = c.sigLocked()
+		branch = c.branchN
+		c.branchN++
 	}
 	c.seq++
 	id := c.sched.Next(ch)
@@ -352,6 +424,9 @@ func (c *Controller) chooseLocked(cur ThreadID) ThreadID {
 		id = enabled[0]
 	}
 	c.holder = id
+	if c.trace != nil {
+		c.trace.Open(int(id), branch)
+	}
 	return id
 }
 
@@ -440,6 +515,14 @@ func (c *Controller) ReleaseAll() {
 	defer c.mu.Unlock()
 	if c.isOff {
 		return
+	}
+	if c.trace != nil {
+		// The aborting thread is the holder (only the token holder runs)
+		// and this call is on its goroutine, so its final accesses — e.g.
+		// the MPI call that completed a deadlock — flush safely here.
+		// Post-abort straggler accesses stay in their gate buffers and
+		// are dropped at recycle.
+		c.flushEventLocked()
 	}
 	c.isOff = true
 	close(c.released)
@@ -670,6 +753,84 @@ func (s *Recorder) Trace() []ThreadID {
 	out := make([]ThreadID, len(s.Branches))
 	for i, b := range s.Branches {
 		out[i] = b.Chosen
+	}
+	return out
+}
+
+// DPORRecorder is a Recorder that additionally makes the controller
+// record the run's event trace (it implements TraceSource): each
+// scheduling decision becomes one monitor.Event carrying the object
+// accesses of the chosen thread's step. The exploration engine analyzes
+// the trace after the run (monitor.Analysis) and asks Candidates which
+// reversals dynamic partial-order reduction requires.
+type DPORRecorder struct {
+	Recorder
+	Events monitor.EventTrace
+}
+
+// EventTrace implements TraceSource.
+func (s *DPORRecorder) EventTrace() *monitor.EventTrace { return &s.Events }
+
+// Reset rearms the recorder and its event trace for a new run.
+func (s *DPORRecorder) Reset(prefix []ThreadID) {
+	s.Recorder.Reset(prefix)
+	s.Events.Reset()
+}
+
+// Candidates answers the DPOR backtracking question for one race pair:
+// which threads must be tried instead of the chosen one at the decision
+// that started race event A, so that the reversal (B's side first) is
+// reached. It combines the decision's enabled set with the per-thread
+// next-access summaries the trace provides (each enabled thread's first
+// recorded event after A) following the classic dynamic partial-order
+// reduction rule:
+//
+//   - if B's thread p was enabled at the decision, {p} suffices;
+//   - otherwise any enabled thread whose next step is in the causal past
+//     of B reaches the reversal (one suffices; if the chosen thread
+//     itself qualifies, the requirement is already met and nothing new
+//     is needed);
+//   - if no summary qualifies, every enabled alternate must be tried.
+//
+// The result appends into buf (reused by callers); an empty result means
+// the decision already satisfies the race's backtracking requirement. A
+// race whose decision was forced (Branch < 0) has no alternatives and
+// always returns empty.
+func (s *DPORRecorder) Candidates(an *monitor.Analysis, rc monitor.Race, buf []ThreadID) []ThreadID {
+	out := buf[:0]
+	_, d := s.Events.At(rc.A)
+	if d < 0 || d >= len(s.Branches) {
+		return out
+	}
+	br := &s.Branches[d]
+	bt, _ := s.Events.At(rc.B)
+	p := ThreadID(bt)
+	for _, q := range br.Enabled {
+		if q == p {
+			if p == br.Chosen {
+				return out
+			}
+			return append(out, p)
+		}
+	}
+	// p was not enabled (blocked, or not yet forked). Check the chosen
+	// thread's summary first: if its next step is already in B's causal
+	// past, the explored branch covers the requirement.
+	if k := an.NextEventOf(int(br.Chosen), rc.A); k >= 0 && k <= rc.B && an.HappensBefore(k, rc.B, &s.Events) {
+		return out
+	}
+	for _, q := range br.Enabled {
+		if q == br.Chosen {
+			continue
+		}
+		if k := an.NextEventOf(int(q), rc.A); k >= 0 && k <= rc.B && an.HappensBefore(k, rc.B, &s.Events) {
+			return append(out, q) // one element of the set suffices
+		}
+	}
+	for _, q := range br.Enabled {
+		if q != br.Chosen {
+			out = append(out, q)
+		}
 	}
 	return out
 }

@@ -672,6 +672,14 @@ const (
 	// ExploreFrontierWave is the legacy wave-batched frontier, kept as
 	// the equivalence reference and benchmark baseline.
 	ExploreFrontierWave = explore.FrontierWave
+	// ExploreFrontierDPOR is the work-stealing frontier with dynamic
+	// partial-order reduction: each run's event trace is analyzed for
+	// racing step pairs and only their reversal prefixes are explored,
+	// with a global sleep-set ledger keeping stolen subtrees sound. On
+	// commuting-heavy programs it exhausts schedule spaces orders of
+	// magnitude beyond the plain DFS budget, with identical verdict
+	// sets.
+	ExploreFrontierDPOR = explore.FrontierDPOR
 )
 
 // Explore runs the program (instrumented when codegen produced checks,
