@@ -1,0 +1,231 @@
+// Command benchdaemon measures parcoachd request throughput and emits a
+// machine-readable BENCH_daemon.json — the daemon-side companion of
+// BENCH_explore.json, seeding the requests/sec trajectory the roadmap's
+// validation-as-a-service item asks for.
+//
+// It mounts internal/serve on a loopback listener (the same handler
+// stack cmd/parcoachd serves, minus process startup) and drives it over
+// real HTTP:
+//
+//   - compile/cold — distinct sources, every request a cache miss (the
+//     full pipeline compile per request; sequential, it measures latency)
+//   - compile/hit — one source, every request a content-address cache
+//     hit, at 1/8/32 concurrent clients
+//   - explore/warm — schedule exploration of a cached artifact on its
+//     warm session, at 1/8/32 concurrent clients
+//
+// The cold/hit mean-latency ratio is reported as cold_hit_speedup: how
+// much the content-addressed cache buys over recompiling per request.
+//
+// Usage:
+//
+//	benchdaemon [-o BENCH_daemon.json] [-requests 400] [-cold 32]
+//	            [-erequests 120] [-schedules 8]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcoach/internal/explore"
+	"parcoach/internal/serve"
+)
+
+type result struct {
+	Endpoint  string  `json:"endpoint"`
+	Mode      string  `json:"mode"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Seconds   float64 `json:"seconds"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	MeanMS    float64 `json:"mean_ms"`
+}
+
+type report struct {
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ColdHitSpeedup is mean cold-compile latency over mean cache-hit
+	// latency (single client): the factor the artifact cache saves.
+	ColdHitSpeedup float64  `json:"cold_hit_speedup"`
+	Results        []result `json:"results"`
+}
+
+// compileSubject builds the compile-benchmark program: n hybrid
+// functions (thread team + collective each), called from main. Sized so
+// the cold cell measures the pipeline — frontend, analysis over every
+// function, instrumentation, lowering — rather than HTTP overhead,
+// which is all a cache hit pays.
+func compileSubject(n int) string {
+	var b strings.Builder
+	b.WriteString("func main() {\n\tMPI_Init()\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tphase%d()\n", i)
+	}
+	b.WriteString("\tMPI_Finalize()\n}\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `func phase%d() {
+	var x = rank()
+	parallel num_threads(2) {
+		pfor i = 0 .. 8 {
+			atomic x += i
+		}
+		single {
+			MPI_Allreduce(x, x, sum)
+		}
+	}
+}
+`, i)
+	}
+	return b.String()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchdaemon:", err)
+	os.Exit(2)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_daemon.json", "output file")
+	requests := flag.Int("requests", 400, "cache-hit compile requests per concurrency cell")
+	cold := flag.Int("cold", 32, "distinct cold-compile requests")
+	erequests := flag.Int("erequests", 120, "explore requests per concurrency cell")
+	schedules := flag.Int("schedules", 8, "schedules per explore request")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	post := func(path string, body any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	rep := report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	cell := func(endpoint, mode string, clients, total int, do func(i int) error) result {
+		var (
+			next  atomic.Int64
+			first atomic.Value // error
+			wg    sync.WaitGroup
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					if err := do(i); err != nil {
+						first.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err, _ := first.Load().(error); err != nil {
+			die(err)
+		}
+		secs := time.Since(start).Seconds()
+		r := result{
+			Endpoint: endpoint, Mode: mode, Clients: clients, Requests: total,
+			Seconds: secs, ReqPerSec: float64(total) / secs,
+			MeanMS: secs / float64(total) * 1e3 * float64(clients),
+		}
+		fmt.Fprintf(os.Stderr, "%-8s %-5s clients=%-3d %8.0f req/s (%d requests, %.3fs)\n",
+			endpoint, mode, clients, r.ReqPerSec, total, secs)
+		rep.Results = append(rep.Results, r)
+		return r
+	}
+
+	// Cold compiles: every source distinct, sequential — per-request
+	// latency IS the pipeline compile.
+	subject := compileSubject(48)
+	coldCell := cell("compile", "cold", 1, *cold, func(i int) error {
+		return post("/compile", map[string]any{
+			"name":   "cold.mh",
+			"source": fmt.Sprintf("%s// variant %d\n", subject, i),
+		})
+	})
+
+	// Cache hits: one source, primed once.
+	hitBody := map[string]any{"name": "hit.mh", "source": subject}
+	if err := post("/compile", hitBody); err != nil {
+		die(err)
+	}
+	var hit1 result
+	for _, clients := range []int{1, 8, 32} {
+		r := cell("compile", "hit", clients, *requests, func(int) error {
+			return post("/compile", hitBody)
+		})
+		if clients == 1 {
+			hit1 = r
+		}
+	}
+	coldMean := coldCell.Seconds / float64(coldCell.Requests)
+	hitMean := hit1.Seconds / float64(hit1.Requests)
+	rep.ColdHitSpeedup = coldMean / hitMean
+	fmt.Fprintf(os.Stderr, "cold %.3fms vs hit %.3fms per compile: %.0f× speedup\n",
+		coldMean*1e3, hitMean*1e3, rep.ColdHitSpeedup)
+
+	// Warm-session explorations of the cached racer. Each request runs
+	// -schedules seeded-random schedules; per-request seeds vary so the
+	// runs are not all literally identical.
+	exploreBody := func(i int) map[string]any {
+		return map[string]any{
+			"name": "hit.mh", "source": explore.BenchRacerSrc,
+			"strategy": "random", "schedules": *schedules, "seed": int64(i), "workers": 1,
+		}
+	}
+	if err := post("/explore", exploreBody(0)); err != nil {
+		die(err)
+	}
+	for _, clients := range []int{1, 8, 32} {
+		cell("explore", "warm", clients, *erequests, func(i int) error {
+			return post("/explore", exploreBody(i))
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdaemon: wrote %s (%d cells)\n", *out, len(rep.Results))
+}

@@ -30,6 +30,9 @@
 //	               wave (legacy reference) | dpor (partial-order
 //	               reduction: explore only genuinely racing schedules)
 //	-replay TOK    run the single schedule named by a replay token
+//
+// -replay and -explore are mutually exclusive, and -dfs-frontier is
+// only meaningful with -explore dfs; contradictory combinations exit 2.
 package main
 
 import (
@@ -59,6 +62,23 @@ func main() {
 	replay := flag.String("replay", "", "replay one schedule from its token (rr, rand:<seed>, pct:<seed>:<depth>, trace:...)")
 	flag.Parse()
 
+	// Flags that are meaningless together are an error, not a silent
+	// precedence pick: a user combining them always means something the
+	// run would not do (pre-check: -replay was silently ignored whenever
+	// -explore was set, and -dfs-frontier silently ignored outside
+	// -explore dfs).
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *exploreStrat != "" && *replay != "" {
+		fatal(fmt.Errorf("-replay and -explore are mutually exclusive: a replay runs the one schedule its token names, an exploration enumerates many"))
+	}
+	if explicit["dfs-frontier"] && *exploreStrat != "dfs" {
+		if *exploreStrat == "" {
+			fatal(fmt.Errorf("-dfs-frontier %s requires -explore dfs", *dfsFrontier))
+		}
+		fatal(fmt.Errorf("-dfs-frontier %s applies only to -explore dfs, not -explore %s", *dfsFrontier, *exploreStrat))
+	}
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hybridrun [flags] file.mh")
 		flag.Usage()
@@ -70,8 +90,12 @@ func main() {
 		fatal(err)
 	}
 
+	// -instrument=false normally compiles baseline (no analysis at all),
+	// but an exploration should still print the static warnings and
+	// merely *run* the uninstrumented tree — so with -explore the compile
+	// is always full and the flag selects which tree is explored below.
 	mode := parcoach.ModeFull
-	if !*instrumented {
+	if !*instrumented && *exploreStrat == "" {
 		mode = parcoach.ModeBaseline
 	}
 	prog, err := parcoach.Compile(file, string(src), parcoach.Options{Mode: mode, Workers: *workers})
@@ -119,7 +143,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep := prog.Explore(parcoach.ExploreOptions{
+		explorer := prog.Explore
+		if !*instrumented {
+			// Explore the pristine source: the schedule space as a real
+			// machine would see it, without the planted checks.
+			explorer = prog.ExploreUninstrumented
+		}
+		rep := explorer(parcoach.ExploreOptions{
 			Strategy:  strat,
 			Frontier:  frontier,
 			Schedules: *schedules,

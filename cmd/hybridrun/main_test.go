@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcoach"
+)
+
+// The test binary doubles as the CLI: when re-exec'd with
+// HYBRIDRUN_BE_CLI=1 it runs main() on its arguments, so the table
+// tests below exercise the real flag parsing, exit codes and output
+// streams without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("HYBRIDRUN_BE_CLI") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HYBRIDRUN_BE_CLI=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+const cliCleanSrc = `
+func main() {
+	MPI_Init()
+	MPI_Barrier()
+	MPI_Finalize()
+}`
+
+// cliBuggySrc is rank-dependently buggy: instrumented runs abort at the
+// planted check, uninstrumented runs fail in the runtime itself — the
+// two explore paths are observably different.
+const cliBuggySrc = `
+func main() {
+	MPI_Init()
+	var x = 0
+	if rank() == 0 {
+		MPI_Bcast(x)
+	}
+	parallel num_threads(2) {
+		MPI_Barrier()
+	}
+	MPI_Finalize()
+}`
+
+func writeProgram(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlagConflicts: contradictory flag combinations exit 2 with a
+// message naming the conflict, instead of silently ignoring one flag.
+func TestFlagConflicts(t *testing.T) {
+	clean := writeProgram(t, "clean.mh", cliCleanSrc)
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr; "" means stderr not checked
+	}{
+		{"replay+explore", []string{"-replay", "rr", "-explore", "dfs"}, 2, "mutually exclusive"},
+		{"replay+explore-random", []string{"-explore", "random", "-replay", "rand:7"}, 2, "mutually exclusive"},
+		{"frontier-without-explore", []string{"-dfs-frontier", "wave"}, 2, "requires -explore dfs"},
+		{"frontier-with-sampling", []string{"-explore", "random", "-dfs-frontier", "dpor"}, 2, "applies only to -explore dfs"},
+		{"frontier-with-rr", []string{"-explore", "rr", "-dfs-frontier", "steal"}, 2, "applies only to -explore dfs"},
+		// Valid combinations stay valid.
+		{"plain-run", nil, 0, ""},
+		{"replay-alone", []string{"-replay", "rr"}, 0, ""},
+		{"explore-dfs-frontier", []string{"-explore", "dfs", "-dfs-frontier", "wave", "-schedules", "8"}, 0, ""},
+		{"frontier-default-untouched", []string{"-explore", "random", "-schedules", "4"}, 0, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runCLI(t, append(tc.args, clean)...)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; stderr:\n%s", code, tc.wantCode, stderr)
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr)
+			}
+		})
+	}
+}
+
+// reportOutcomes extracts the verdict outcome names from the CLI's
+// exploration report ("  <outcome>  ×<count>" lines).
+func reportOutcomes(report string) []string {
+	var outcomes []string
+	for _, line := range strings.Split(report, "\n") {
+		if !strings.HasPrefix(line, "  ") || !strings.Contains(line, "×") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) >= 2 {
+			outcomes = append(outcomes, f[0])
+		}
+	}
+	return outcomes
+}
+
+// TestExploreUninstrumented: -instrument=false -explore must (a) still
+// print the static warnings — the compile stays full-analysis — and (b)
+// explore the pristine tree, matching a direct ExploreUninstrumented
+// call. Pre-fix, the flag compiled baseline: no warnings, and the
+// "uninstrumented" exploration was an accident of the missing tree.
+func TestExploreUninstrumented(t *testing.T) {
+	buggy := writeProgram(t, "buggy.mh", cliBuggySrc)
+	stdout, stderr, code := runCLI(t, "-instrument=false", "-explore", "rr", buggy)
+	if code != 1 {
+		t.Fatalf("buggy exploration exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "warning:") {
+		t.Errorf("-instrument=false -explore lost the static warnings; stderr:\n%s", stderr)
+	}
+
+	prog, err := parcoach.Compile("buggy.mh", cliBuggySrc, parcoach.Options{Mode: parcoach.ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prog.ExploreUninstrumented(parcoach.ExploreOptions{Strategy: parcoach.ExploreRoundRobin})
+	var wantOutcomes []string
+	for _, v := range want.Verdicts {
+		wantOutcomes = append(wantOutcomes, v.Outcome.String())
+	}
+	got := reportOutcomes(stdout)
+	if strings.Join(got, ",") != strings.Join(wantOutcomes, ",") {
+		t.Errorf("CLI verdicts %v, direct ExploreUninstrumented %v", got, wantOutcomes)
+	}
+
+	// The instrumented exploration of the same program differs — the
+	// planted check stops the run first — proving the flag genuinely
+	// switches trees rather than both paths landing on the same one.
+	wantInst := prog.Explore(parcoach.ExploreOptions{Strategy: parcoach.ExploreRoundRobin})
+	instOutcomes := make([]string, 0, len(wantInst.Verdicts))
+	for _, v := range wantInst.Verdicts {
+		instOutcomes = append(instOutcomes, v.Outcome.String())
+	}
+	if strings.Join(got, ",") == strings.Join(instOutcomes, ",") {
+		t.Skipf("instrumented and uninstrumented verdicts coincide (%v); tree switch not observable here", got)
+	}
+	stdoutInst, _, _ := runCLI(t, "-explore", "rr", buggy)
+	if gotInst := reportOutcomes(stdoutInst); strings.Join(gotInst, ",") != strings.Join(instOutcomes, ",") {
+		t.Errorf("instrumented CLI verdicts %v, direct Explore %v", gotInst, instOutcomes)
+	}
+}

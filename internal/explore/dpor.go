@@ -84,9 +84,10 @@ func (st *dporState) pathHashes(trace []sched.ThreadID) []uint64 {
 // exploreDFSDPOR drains the DPOR-reduced prefix tree with work-stealing
 // workers on the shared pool.
 func exploreDFSDPOR(sess *interp.Session, opts Options, pool *pipeline.Pool,
-	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged, sleepSkips int) {
+	seen *pipeline.ShardedSet, sink *progressSink) (runs []dfsRun, leftover bool, pruned, diverged, sleepSkips int) {
 
 	f := newStealFrontier(sess, opts, pool, seen)
+	f.sink = sink
 	f.ledger = pipeline.NewShardedSet()
 	f.exec = f.execDPOR
 	runs, leftover, pruned, diverged = f.drain(pool)
@@ -102,6 +103,7 @@ func (f *stealFrontier) execDPOR(w int, prefix []sched.ThreadID) {
 	res := f.sess.Run(st.rec)
 	dr := dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: st.rec.Trace(), diverged: st.rec.Diverged()}
 	f.results[w] = append(f.results[w], dr)
+	f.sink.noteDFS(&f.results[w][len(f.results[w])-1])
 	if dr.diverged {
 		dporPool.Put(st)
 		atomic.AddInt64(&f.diverged, 1)

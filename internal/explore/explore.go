@@ -195,6 +195,16 @@ type Options struct {
 	// Frontier selects the DFS work distribution (default
 	// FrontierSteal); ignored by the sampling strategies.
 	Frontier Frontier
+	// Progress, when non-nil, is called once per completed run, in
+	// completion order, serialized by the engine (implementations need
+	// no locking). It powers streamed exploration (parcoachd's NDJSON
+	// /explore): verdict deltas and failing replay tokens surface while
+	// the exploration is still running. Completion order is NOT the
+	// canonical order of the final Report — for DFS the report is
+	// reduced in trace order after the drain — so Done counts and First
+	// indices may differ between the stream and the report; the verdict
+	// *set* is identical.
+	Progress func(ProgressEvent)
 	// Level is the MPI thread support to simulate; LevelSet marks it as
 	// explicitly chosen (mirroring interp.Options, so exploration runs
 	// under the same configuration a plain run would).
@@ -349,6 +359,62 @@ func firstLine(s string) string {
 	return s
 }
 
+// ProgressEvent describes one completed run to Options.Progress.
+type ProgressEvent struct {
+	// Done is how many runs have completed so far, this one included.
+	Done int
+	// Outcome is this run's outcome class.
+	Outcome interp.Outcome
+	// NewVerdict is true when this is the first completed run with this
+	// outcome class — the verdict-delta signal a streaming consumer
+	// forwards.
+	NewVerdict bool
+	// Err is the run's error text ("" for clean).
+	Err string
+	// Schedule is this run's replay token.
+	Schedule string
+}
+
+// progressSink serializes Options.Progress calls and tracks which
+// outcome classes have been seen, so NewVerdict is exact even when
+// workers complete runs concurrently.
+type progressSink struct {
+	mu   sync.Mutex
+	fn   func(ProgressEvent)
+	done int
+	seen map[interp.Outcome]bool
+}
+
+func newProgressSink(fn func(ProgressEvent)) *progressSink {
+	if fn == nil {
+		return nil
+	}
+	return &progressSink{fn: fn, seen: make(map[interp.Outcome]bool)}
+}
+
+// note reports one completed run. The error is rendered lazily — only
+// when a sink exists — so the no-progress path keeps its error values
+// unformatted.
+func (p *progressSink) note(outcome interp.Outcome, errText func() string, schedule string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	ev := ProgressEvent{
+		Done:       p.done,
+		Outcome:    outcome,
+		NewVerdict: !p.seen[outcome],
+		Err:        errText(),
+		Schedule:   schedule,
+	}
+	p.seen[outcome] = true
+	// Deliver under the lock: events arrive strictly in Done order,
+	// which is what lets a streaming consumer write them straight out.
+	p.fn(ev)
+	p.mu.Unlock()
+}
+
 // run is one explored schedule's classified result.
 type run struct {
 	outcome  interp.Outcome
@@ -362,7 +428,6 @@ type run struct {
 // determinism notes on Frontier.
 func Explore(prog *ast.Program, opts Options) *Report {
 	opts = opts.normalized()
-	pool := pipeline.NewPool(opts.Workers)
 	// One session for the whole exploration: the compiled artifact,
 	// resolved entry point and pooled per-rank run state are shared
 	// across every schedule, so per-run setup is amortized instead of
@@ -375,12 +440,27 @@ func Explore(prog *ast.Program, opts Options) *Report {
 		Policy:   opts.Policy,
 		MaxSteps: opts.MaxSteps,
 	})
+	return ExploreSession(sess, opts)
+}
+
+// ExploreSession explores on an existing session — the entry point for
+// callers that keep sessions warm across many explorations of the same
+// artifact (parcoachd's per-artifact session pools): the session's
+// pooled run state carries over, so repeated /explore requests skip
+// per-schedule setup entirely. The session's own run options (procs,
+// threads, level, policy, step budget) govern the runs; the matching
+// fields of opts only shape the report and must agree with the session
+// for replay tokens to reproduce.
+func ExploreSession(sess *interp.Session, opts Options) *Report {
+	opts = opts.normalized()
+	pool := pipeline.NewPool(opts.Workers)
 	rep := &Report{Strategy: opts.Strategy}
+	sink := newProgressSink(opts.Progress)
 	switch opts.Strategy {
 	case StrategyDFS:
-		exploreDFS(sess, opts, pool, rep)
+		exploreDFS(sess, opts, pool, rep, sink)
 	default:
-		exploreSampled(sess, opts, pool, rep)
+		exploreSampled(sess, opts, pool, rep, sink)
 	}
 	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].Outcome < rep.Verdicts[j].Outcome })
 	return rep
@@ -414,7 +494,7 @@ func (r *Report) merge(one run) {
 }
 
 // exploreSampled runs the independent sampling strategies concurrently.
-func exploreSampled(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report) {
+func exploreSampled(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report, sink *progressSink) {
 	type job struct {
 		mk    func() sched.Scheduler
 		token string
@@ -436,6 +516,8 @@ func exploreSampled(sess *interp.Session, opts Options, pool *pipeline.Pool, rep
 	results := make([]run, len(jobs))
 	pool.Map(len(jobs), func(i int) {
 		results[i] = runOne(sess, jobs[i].mk(), jobs[i].token)
+		one := &results[i]
+		sink.note(one.outcome, func() string { return one.err }, one.schedule)
 	})
 	// Merge in submission order so the report (and FirstFailure.Index)
 	// is identical at any worker count.
@@ -580,20 +662,29 @@ func mergeDFS(rep *Report, runs []dfsRun, leftover bool, pruned, diverged int) {
 }
 
 // exploreDFS runs the selected frontier and reduces its runs.
-func exploreDFS(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report) {
+func exploreDFS(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Report, sink *progressSink) {
 	seen := pipeline.NewShardedSet()
 	switch opts.Frontier {
 	case FrontierWave:
-		runs, leftover, pruned, diverged := exploreDFSWave(sess, opts, pool, seen)
+		runs, leftover, pruned, diverged := exploreDFSWave(sess, opts, pool, seen, sink)
 		mergeDFS(rep, runs, leftover, pruned, diverged)
 	case FrontierDPOR:
-		runs, leftover, pruned, diverged, sleepSkips := exploreDFSDPOR(sess, opts, pool, seen)
+		runs, leftover, pruned, diverged, sleepSkips := exploreDFSDPOR(sess, opts, pool, seen, sink)
 		mergeDFS(rep, runs, leftover, pruned, diverged)
 		rep.SleepSkips = sleepSkips
 	default:
-		runs, leftover, pruned, diverged := exploreDFSSteal(sess, opts, pool, seen)
+		runs, leftover, pruned, diverged := exploreDFSSteal(sess, opts, pool, seen, sink)
 		mergeDFS(rep, runs, leftover, pruned, diverged)
 	}
+}
+
+// noteDFS reports one completed DFS run to the sink (error text and
+// replay token are rendered only when a sink exists).
+func (p *progressSink) noteDFS(dr *dfsRun) {
+	if p == nil {
+		return
+	}
+	p.note(dr.outcome, func() string { return errText(dr.runErr) }, sched.FormatTrace(dr.trace))
 }
 
 // exploreDFSWave is the legacy wave-batched frontier, kept as the
@@ -602,7 +693,7 @@ func exploreDFS(sess *interp.Session, opts Options, pool *pipeline.Pool, rep *Re
 // a full barrier between waves, which is exactly the behavior that
 // starves workers on skewed prefix trees.
 func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
-	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+	seen *pipeline.ShardedSet, sink *progressSink) (runs []dfsRun, leftover bool, pruned, diverged int) {
 
 	type result struct {
 		dr     dfsRun
@@ -625,6 +716,7 @@ func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
 		})
 		for _, res := range results {
 			runs = append(runs, res.dr)
+			sink.noteDFS(&runs[len(runs)-1])
 			if res.dr.diverged {
 				recorderPool.Put(res.rec)
 				diverged++

@@ -84,6 +84,7 @@ type stealFrontier struct {
 	sess *interp.Session
 	opts Options
 	seen *pipeline.ShardedSet
+	sink *progressSink
 	exec func(w int, prefix []sched.ThreadID)
 
 	deques  []prefixDeque
@@ -158,9 +159,10 @@ func (f *stealFrontier) drain(pool *pipeline.Pool) (runs []dfsRun, leftover bool
 // exploreDFSSteal drains the prefix tree with work-stealing workers on
 // the shared pool.
 func exploreDFSSteal(sess *interp.Session, opts Options, pool *pipeline.Pool,
-	seen *pipeline.ShardedSet) (runs []dfsRun, leftover bool, pruned, diverged int) {
+	seen *pipeline.ShardedSet, sink *progressSink) (runs []dfsRun, leftover bool, pruned, diverged int) {
 
 	f := newStealFrontier(sess, opts, pool, seen)
+	f.sink = sink
 	f.exec = f.execDFS
 	return f.drain(pool)
 }
@@ -261,6 +263,7 @@ func (f *stealFrontier) pushChild(w int, child []sched.ThreadID) {
 func (f *stealFrontier) execDFS(w int, prefix []sched.ThreadID) {
 	dr, rec := runPrefix(f.sess, prefix)
 	f.results[w] = append(f.results[w], dr)
+	f.sink.noteDFS(&f.results[w][len(f.results[w])-1])
 	if dr.diverged {
 		recorderPool.Put(rec)
 		atomic.AddInt64(&f.diverged, 1)

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parcoach/internal/ast"
 	"parcoach/internal/monitor"
@@ -54,7 +55,24 @@ type Options struct {
 	// runs next (see internal/sched). nil keeps the historical
 	// free-running goroutine execution.
 	Scheduler sched.Scheduler
+	// DrainTimeout bounds how long Session.Run waits for the run's last
+	// straggler goroutine to deregister before giving up on recycling:
+	// past the deadline the session abandons the run's world, monitor,
+	// controller and rank state to the GC (they are never reused) and
+	// returns, counting the leak (see Session.Abandoned). 0 means
+	// DefaultDrainTimeout; negative waits forever (the pre-hardening
+	// behavior). A wedged run therefore costs one warm-pool slot, not a
+	// goroutine blocked forever — which is what keeps a long-lived
+	// parcoachd worker pool alive through a bad run.
+	DrainTimeout time.Duration
 }
+
+// DefaultDrainTimeout is the drain bound when Options.DrainTimeout is
+// zero. Normal runs drain in microseconds (abort unwinding is bounded:
+// every waiter is woken with the abort error and every statement
+// boundary checks the abort flag), so a run still undrained after this
+// long is wedged for good.
+const DefaultDrainTimeout = 10 * time.Second
 
 // Stats summarizes a run.
 type Stats struct {

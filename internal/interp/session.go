@@ -9,15 +9,19 @@
 // environment arenas, the scheduling controller's gates) through pools,
 // bringing per-schedule setup close to zero.
 //
-// All pools recycle only on clean completions: an aborted run can leave
-// straggler goroutines (released free-running by the abort) holding
-// references into the run's state, so erroring runs leak their state to
-// the GC exactly as they did before pooling.
+// All pools recycle only once the run has drained: the monitor marks
+// when the last straggler goroutine lets go of the run state. A wedged
+// straggler would block that drain forever, so the wait is bounded
+// (Options.DrainTimeout): past the deadline the run's world, monitor,
+// controller and rank state are abandoned to the GC — never reused —
+// and the leak is counted (Abandoned), keeping a long-lived warm pool
+// (parcoachd) alive through a bad run instead of losing a slot forever.
 package interp
 
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parcoach/internal/ast"
 	"parcoach/internal/mpi"
@@ -38,7 +42,25 @@ type Session struct {
 	// waiter free list), verifier, runner scratch — across this
 	// session's runs.
 	envs sync.Pool
+	// abandoned counts runs whose state never drained within
+	// DrainTimeout and was leaked to the GC instead of recycled.
+	abandoned atomic.Int64
 }
+
+// Abandoned reports how many of this session's runs wedged past
+// Options.DrainTimeout and had their run state abandoned instead of
+// recycled. A nonzero count means some schedule left a straggler
+// goroutine blocked outside the monitor's control; the session itself
+// stays fully usable (fresh state is built on demand).
+func (s *Session) Abandoned() int64 { return s.abandoned.Load() }
+
+// abandonedWorlds counts drain-timeout leaks process-wide, for the
+// daemon's /stats endpoint.
+var abandonedWorlds atomic.Int64
+
+// AbandonedWorlds reports the process-wide count of runs abandoned on
+// drain timeout across all sessions.
+func AbandonedWorlds() int64 { return abandonedWorlds.Load() }
 
 // runEnv bundles the per-run machinery that recycles as a unit: the
 // simulated world (whose monitor keeps the world's and verifier's
@@ -64,9 +86,17 @@ func NewSession(prog *ast.Program, opts Options) *Session {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 50_000_000
 	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
 	opts.Scheduler = nil
 	return &Session{prog: prog, opts: opts, mainFn: prog.Func("main")}
 }
+
+// testWedge, when set by a test, runs against the world's monitor just
+// before the run starts — the regression hook that plants a phantom
+// live thread so the drain can never complete.
+var testWedge func(world *mpi.World)
 
 // rankState is the per-rank run state — the thread-local environment
 // arena and the per-process threading runtime — recycled across runs so
@@ -119,6 +149,9 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 		world.Monitor().SetSched(r.ctl)
 		r.ctl.Start()
 	}
+	if testWedge != nil {
+		testWedge(world)
+	}
 	ranks := make([]*rankState, opts.Procs)
 	err := world.Run(func(p *mpi.Proc) error {
 		var gate *sched.Gate
@@ -156,7 +189,28 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 	// recycle everything. (Abort unwinding is bounded: every waiter is
 	// woken with the abort error and every statement boundary checks
 	// the abort flag.)
-	<-world.Monitor().Drained()
+	//
+	// The wait itself is bounded: a straggler wedged outside the
+	// monitor's control (or a monitor whose live count never returns to
+	// zero) would otherwise park this goroutine forever — in a daemon's
+	// warm pool that is a permanently leaked slot per bad run. Past
+	// DrainTimeout the run's whole state is abandoned, never reused.
+	drained := world.Monitor().Drained()
+	select {
+	case <-drained:
+	default:
+		if s.opts.DrainTimeout < 0 {
+			<-drained
+		} else {
+			timer := time.NewTimer(s.opts.DrainTimeout)
+			select {
+			case <-drained:
+				timer.Stop()
+			case <-timer.C:
+				return s.abandon(res, r)
+			}
+		}
+	}
 	res.Output = r.output.String()
 	res.Stats = Stats{
 		Collectives: atomic.LoadInt64(&r.collectives),
@@ -175,6 +229,29 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 		r.ctl = nil
 	}
 	s.envs.Put(env)
+	return res
+}
+
+// abandon finishes a run whose state never drained: nothing is
+// recycled — the world, monitor, verifier, controller, rank state and
+// runner stay referenced by whatever goroutine wedged and go to the GC
+// with it — and the leak is counted. Only straggler-safe fields are
+// read: the output buffer under the runner's own lock, the counters
+// with atomic loads, the check counts under the monitor lock. The
+// session stays usable; the next Run builds fresh state on demand.
+func (s *Session) abandon(res *Result, r *runner) *Result {
+	s.abandoned.Add(1)
+	abandonedWorlds.Add(1)
+	r.mu.Lock()
+	res.Output = r.output.String()
+	r.mu.Unlock()
+	res.Stats = Stats{
+		Collectives: atomic.LoadInt64(&r.collectives),
+		P2PMessages: atomic.LoadInt64(&r.p2p),
+		Barriers:    atomic.LoadInt64(&r.barriers),
+		Steps:       atomic.LoadInt64(&r.steps),
+	}
+	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
 	return res
 }
 

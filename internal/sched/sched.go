@@ -19,6 +19,7 @@ package sched
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -858,30 +859,77 @@ func PCTToken(seed int64, depth int) string { return fmt.Sprintf("pct:%d:%d", se
 // schedule.
 const RoundRobinToken = "rr"
 
+// Parse limits. Replay tokens arrive over trust boundaries (the
+// parcoachd HTTP API forwards client-supplied tokens straight here), so
+// Parse enforces hard caps instead of letting a hostile token allocate
+// or loop proportionally to its content: tokens longer than
+// MaxTokenLen are rejected before any splitting, trace ids must lie in
+// [0, MaxTraceID] (thread ids are creation-ordered and a run can never
+// have more threads than it has scheduling decisions), and PCT depths
+// must lie in [1, MaxPCTDepth].
+const (
+	// MaxTokenLen bounds the accepted token length (1 MiB): a trace
+	// token of that size already names a schedule with ~500k branch
+	// points, far beyond anything the exploration engine emits.
+	MaxTokenLen = 1 << 20
+	// MaxTraceID bounds a single thread id inside a trace token.
+	MaxTraceID = 1 << 20
+	// MaxPCTDepth bounds the pct token's priority-change depth.
+	MaxPCTDepth = 1 << 10
+)
+
+// quote truncates hostile-length tokens for error messages, so the
+// error for a multi-MB token is not itself multi-MB.
+func quote(token string) string {
+	const max = 64
+	if len(token) > max {
+		return fmt.Sprintf("%q... (%d bytes)", token[:max], len(token))
+	}
+	return fmt.Sprintf("%q", token)
+}
+
+// numErr names a strconv failure without echoing the offending field:
+// strconv errors quote the full input, which for a hostile token would
+// make the error message itself unbounded.
+func numErr(err error) string {
+	if errors.Is(err, strconv.ErrRange) {
+		return "integer out of range"
+	}
+	return "not an integer"
+}
+
 // Parse turns a replay token back into the scheduler that produced the
 // run: "rr", "rand:<seed>", "pct:<seed>:<depth>", or "trace:0.2.1".
+// Hostile input — oversized tokens, out-of-range ids, malformed numbers
+// — is rejected with an error, never a panic or unbounded allocation.
 func Parse(token string) (Scheduler, error) {
+	if len(token) > MaxTokenLen {
+		return nil, fmt.Errorf("sched: token too long (%d bytes, max %d)", len(token), MaxTokenLen)
+	}
 	switch {
 	case token == RoundRobinToken:
 		return NewRoundRobin(), nil
 	case strings.HasPrefix(token, "rand:"):
 		seed, err := strconv.ParseInt(token[len("rand:"):], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("sched: bad random token %q: %v", token, err)
+			return nil, fmt.Errorf("sched: bad random token %s: %s", quote(token), numErr(err))
 		}
 		return NewRandom(seed), nil
 	case strings.HasPrefix(token, "pct:"):
 		parts := strings.Split(token[len("pct:"):], ":")
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("sched: bad pct token %q (want pct:<seed>:<depth>)", token)
+			return nil, fmt.Errorf("sched: bad pct token %s (want pct:<seed>:<depth>)", quote(token))
 		}
 		seed, err := strconv.ParseInt(parts[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("sched: bad pct seed in %q: %v", token, err)
+			return nil, fmt.Errorf("sched: bad pct seed in %s: %s", quote(token), numErr(err))
 		}
 		depth, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("sched: bad pct depth in %q: %v", token, err)
+			return nil, fmt.Errorf("sched: bad pct depth in %s: %s", quote(token), numErr(err))
+		}
+		if depth < 1 || depth > MaxPCTDepth {
+			return nil, fmt.Errorf("sched: pct depth %d out of range [1, %d] in %s", depth, MaxPCTDepth, quote(token))
 		}
 		return NewPCT(seed, depth, 0), nil
 	case strings.HasPrefix(token, "trace:"):
@@ -891,12 +939,15 @@ func Parse(token string) (Scheduler, error) {
 			for _, part := range strings.Split(body, ".") {
 				id, err := strconv.Atoi(part)
 				if err != nil {
-					return nil, fmt.Errorf("sched: bad trace token %q: %v", token, err)
+					return nil, fmt.Errorf("sched: bad trace token %s: %s", quote(token), numErr(err))
+				}
+				if id < 0 || id > MaxTraceID {
+					return nil, fmt.Errorf("sched: trace id %d out of range [0, %d] in %s", id, MaxTraceID, quote(token))
 				}
 				trace = append(trace, ThreadID(id))
 			}
 		}
 		return &Replay{Trace: trace}, nil
 	}
-	return nil, fmt.Errorf("sched: unknown schedule token %q", token)
+	return nil, fmt.Errorf("sched: unknown schedule token %s", quote(token))
 }

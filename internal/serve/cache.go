@@ -1,0 +1,175 @@
+// Artifact cache: the content-addressed heart of the daemon.
+//
+// Every compile request is named by parcoach.CacheKey — SHA-256 of the
+// source bytes plus the canonicalized compile options (worker count
+// excluded: it cannot change the artifact) — and resolves to one
+// cached artifact holding the compiled *parcoach.Program, its
+// diagnostics, and the warm interp.Session pool for that artifact.
+// Concurrent identical submissions are deduplicated singleflight-style:
+// the first requester compiles, everyone else parks on the artifact's
+// ready channel and serves the same result, so a thundering herd of
+// identical sources costs exactly one compilation.
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcoach"
+	"parcoach/internal/interp"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+)
+
+// artifact is one cache entry: the compiled program (or its compile
+// error — failures are cached too, so a hostile client re-submitting a
+// broken source cannot force recompiles), and the warm session pool.
+type artifact struct {
+	key  string
+	name string
+	// ready closes when the compile finishes; prog/err are immutable
+	// afterwards. Followers of the singleflight wait here.
+	ready chan struct{}
+	prog  *parcoach.Program
+	err   error
+	// lastUsed orders LRU eviction (unix nanos).
+	lastUsed atomic.Int64
+
+	// sessions maps normalized run parameters to the warm session
+	// serving them. interp.Session is safe for concurrent use, so one
+	// session per parameter set is all the pooling needed: its internal
+	// pools recycle run state across every request that shares it.
+	mu       sync.Mutex
+	sessions map[sessionKey]*interp.Session
+}
+
+func (a *artifact) touch() { a.lastUsed.Store(time.Now().UnixNano()) }
+
+// sessionKey is the identity of a warm session: the run parameters the
+// session normalized at construction, plus which tree it executes.
+type sessionKey struct {
+	procs, threads int
+	level          mpi.ThreadLevel
+	levelSet       bool
+	policy         omp.Policy
+	maxSteps       int64
+	uninstrumented bool
+}
+
+// session returns (building on first use) the warm session for the
+// given run parameters.
+func (a *artifact) session(k sessionKey, drain time.Duration) *interp.Session {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.sessions[k]; ok {
+		return s
+	}
+	target := a.prog.Source
+	if !k.uninstrumented && a.prog.Instrumented != nil {
+		target = a.prog.Instrumented
+	}
+	s := interp.NewSession(target, interp.Options{
+		Procs:        k.procs,
+		Threads:      k.threads,
+		Level:        k.level,
+		LevelSet:     k.levelSet,
+		Policy:       k.policy,
+		MaxSteps:     k.maxSteps,
+		DrainTimeout: drain,
+	})
+	if a.sessions == nil {
+		a.sessions = make(map[sessionKey]*interp.Session)
+	}
+	a.sessions[k] = s
+	return s
+}
+
+// sessionStats reports this artifact's warm-session count and the runs
+// its sessions abandoned on drain timeout.
+func (a *artifact) sessionStats() (warm int, abandoned int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.sessions {
+		abandoned += s.Abandoned()
+	}
+	return len(a.sessions), abandoned
+}
+
+// artifactFor resolves (name, source, opts) to its cached artifact,
+// compiling at most once per key no matter how many requests race. The
+// bool reports whether the result was served from cache (false exactly
+// for the one request that compiled). Waits are bounded by ctx.
+func (s *Server) artifactFor(ctx context.Context, name, source string, opts parcoach.Options) (*artifact, bool, error) {
+	key := parcoach.CacheKey(name, source, opts)
+	s.mu.Lock()
+	if a, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-a.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		a.touch()
+		s.hits.Add(1)
+		return a, true, nil
+	}
+	a := &artifact{key: key, name: name, ready: make(chan struct{})}
+	a.touch()
+	s.cache[key] = a
+	s.evictLocked()
+	s.mu.Unlock()
+	s.misses.Add(1)
+	// Compile on the requesting goroutine — it holds a concurrency slot
+	// already, so the compile pool's width is the only parallelism knob.
+	opts.Workers = 0 // the compiler's shared pool decides
+	a.prog, a.err = s.compiler.Compile(name, source, opts)
+	close(a.ready)
+	return a, false, nil
+}
+
+// lookup resolves a key the client obtained from a previous /compile;
+// nil when the key is unknown (or was evicted).
+func (s *Server) lookup(ctx context.Context, key string) (*artifact, error) {
+	s.mu.Lock()
+	a := s.cache[key]
+	s.mu.Unlock()
+	if a == nil {
+		return nil, nil
+	}
+	select {
+	case <-a.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	a.touch()
+	a.touchIsHit(s)
+	return a, nil
+}
+
+func (a *artifact) touchIsHit(s *Server) { s.hits.Add(1) }
+
+// evictLocked drops least-recently-used artifacts beyond the cache cap.
+// Entries still compiling (ready open) are never evicted — the
+// singleflight followers hold their pointer anyway.
+func (s *Server) evictLocked() {
+	for len(s.cache) > s.cfg.CacheCap {
+		var oldest *artifact
+		for _, a := range s.cache {
+			select {
+			case <-a.ready:
+			default:
+				continue // in flight
+			}
+			if oldest == nil || a.lastUsed.Load() < oldest.lastUsed.Load() {
+				oldest = a
+			}
+		}
+		if oldest == nil {
+			return // everything in flight; over-cap transiently
+		}
+		delete(s.cache, oldest.key)
+		s.evicted.Add(1)
+	}
+}

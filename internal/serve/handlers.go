@@ -1,0 +1,512 @@
+// The JSON API: request/response shapes and the three POST endpoints.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parcoach"
+	"parcoach/internal/explore"
+	"parcoach/internal/interp"
+	"parcoach/internal/mpi"
+	"parcoach/internal/omp"
+	"parcoach/internal/sched"
+)
+
+func abandonedWorldsCount() int64 { return interp.AbandonedWorlds() }
+
+// compileSpec names a program: either a key from a previous /compile, or
+// inline source with compile options. Embedded by every request type.
+type compileSpec struct {
+	// Key is the content address returned by /compile; mutually
+	// exclusive with Source.
+	Key string `json:"key,omitempty"`
+	// Name and Source submit a program inline (Name defaults to
+	// "input.mh"; it participates in the cache key because diagnostics
+	// embed it).
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Mode is "baseline", "analyze" or "full" (default "full").
+	Mode string `json:"mode,omitempty"`
+	// Initial is "mono" or "multi" (the analysis' starting context).
+	Initial string `json:"initial,omitempty"`
+	// RawPDF disables the rank-dependence refinement (ablation).
+	RawPDF bool `json:"rawPDF,omitempty"`
+}
+
+func (c *compileSpec) options() (parcoach.Options, error) {
+	var opts parcoach.Options
+	switch c.Mode {
+	case "", "full":
+		opts.Mode = parcoach.ModeFull
+	case "analyze":
+		opts.Mode = parcoach.ModeAnalyze
+	case "baseline":
+		opts.Mode = parcoach.ModeBaseline
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want baseline|analyze|full)", c.Mode)
+	}
+	switch c.Initial {
+	case "", "mono":
+		opts.Initial = parcoach.ContextMonothreaded
+	case "multi":
+		opts.Initial = parcoach.ContextMultithreaded
+	default:
+		return opts, fmt.Errorf("unknown initial context %q (want mono|multi)", c.Initial)
+	}
+	opts.RawPDF = c.RawPDF
+	return opts, nil
+}
+
+// resolve turns the spec into a ready artifact. A nil artifact with a
+// written response means the handler is done (error already sent).
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, c *compileSpec) (*artifact, bool) {
+	if c.Key != "" && c.Source != "" {
+		writeError(w, http.StatusBadRequest, "give key or source, not both")
+		return nil, false
+	}
+	if c.Key != "" {
+		a, err := s.lookup(r.Context(), c.Key)
+		if err != nil {
+			return nil, false // client gone
+		}
+		if a == nil {
+			writeError(w, http.StatusNotFound, "unknown artifact key %q (evicted or never compiled here)", c.Key)
+			return nil, false
+		}
+		return a, true
+	}
+	if c.Source == "" {
+		writeError(w, http.StatusBadRequest, "empty source (give key or source)")
+		return nil, false
+	}
+	opts, err := c.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	name := c.Name
+	if name == "" {
+		name = "input.mh"
+	}
+	a, cached, err := s.artifactFor(r.Context(), name, c.Source, opts)
+	if err != nil {
+		return nil, false // client gone mid-singleflight
+	}
+	return a, cached
+}
+
+// runSpec is the shared run-parameter block of /run and /explore.
+type runSpec struct {
+	Procs    int    `json:"procs,omitempty"`
+	Threads  int    `json:"threads,omitempty"`
+	Level    string `json:"level,omitempty"`  // single|funneled|serialized|multiple
+	Policy   string `json:"policy,omitempty"` // first-arrival|round-robin
+	MaxSteps int64  `json:"maxSteps,omitempty"`
+	// Uninstrumented runs the pristine source even when the artifact has
+	// an instrumented tree (the "what happens on a real machine" view).
+	Uninstrumented bool `json:"uninstrumented,omitempty"`
+}
+
+// sessionKey normalizes the spec into a warm-session identity.
+func (rs *runSpec) sessionKey() (sessionKey, error) {
+	k := sessionKey{
+		procs:          rs.Procs,
+		threads:        rs.Threads,
+		maxSteps:       rs.MaxSteps,
+		uninstrumented: rs.Uninstrumented,
+	}
+	switch rs.Level {
+	case "":
+	case "single":
+		k.level, k.levelSet = mpi.ThreadSingle, true
+	case "funneled":
+		k.level, k.levelSet = mpi.ThreadFunneled, true
+	case "serialized":
+		k.level, k.levelSet = mpi.ThreadSerialized, true
+	case "multiple":
+		k.level, k.levelSet = mpi.ThreadMultiple, true
+	default:
+		return k, fmt.Errorf("unknown thread level %q (want single|funneled|serialized|multiple)", rs.Level)
+	}
+	switch rs.Policy {
+	case "", "first-arrival":
+		k.policy = omp.FirstArrival
+	case "round-robin":
+		k.policy = omp.RoundRobin
+	default:
+		return k, fmt.Errorf("unknown policy %q (want first-arrival|round-robin)", rs.Policy)
+	}
+	return k, nil
+}
+
+//
+// POST /compile
+//
+
+type compileRequest struct {
+	compileSpec
+}
+
+type compileResponse struct {
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	// Diagnostics is the full analysis output, one rendered line each —
+	// byte-identical between a cache hit and a fresh compile.
+	Diagnostics []string `json:"diagnostics"`
+	// WarningKinds is the sorted deduplicated error-class kinds (the
+	// static verdict).
+	WarningKinds []string `json:"warningKinds"`
+	Functions    int      `json:"functions"`
+	Statements   int      `json:"statements"`
+	IRInsts      int      `json:"irInsts"`
+	Instrumented bool     `json:"instrumented"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Key != "" {
+		writeError(w, http.StatusBadRequest, "/compile takes source, not a key")
+		return
+	}
+	a, cached := s.resolve(w, r, &req.compileSpec)
+	if a == nil {
+		return
+	}
+	if a.err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		return
+	}
+	writeJSON(w, compileResult(a, cached))
+}
+
+func compileResult(a *artifact, cached bool) compileResponse {
+	p := a.prog
+	resp := compileResponse{
+		Key:          a.key,
+		Cached:       cached,
+		Diagnostics:  []string{},
+		WarningKinds: p.WarningKinds(),
+		Functions:    p.Stats.Functions,
+		Statements:   p.Stats.Statements,
+		IRInsts:      p.Stats.IRInsts,
+		Instrumented: p.Instrumented != nil,
+	}
+	if resp.WarningKinds == nil {
+		resp.WarningKinds = []string{}
+	}
+	for _, d := range p.Diagnostics() {
+		resp.Diagnostics = append(resp.Diagnostics, d.String())
+	}
+	return resp
+}
+
+//
+// POST /run
+//
+
+type runRequest struct {
+	compileSpec
+	runSpec
+	// Schedule is a replay token (rr, rand:<seed>, pct:<seed>:<depth>,
+	// trace:...); empty keeps the free-running goroutine execution.
+	Schedule string `json:"schedule,omitempty"`
+}
+
+type runStats struct {
+	Collectives int64 `json:"collectives"`
+	P2PMessages int64 `json:"p2pMessages"`
+	Barriers    int64 `json:"barriers"`
+	Steps       int64 `json:"steps"`
+	CCChecks    int   `json:"ccChecks"`
+	PhaseChecks int   `json:"phaseChecks"`
+}
+
+type runResponse struct {
+	Key     string   `json:"key"`
+	Cached  bool     `json:"cached"`
+	Outcome string   `json:"outcome"`
+	Error   string   `json:"error,omitempty"`
+	Output  string   `json:"output"`
+	Stats   runStats `json:"stats"`
+	// Diverged is true when a trace replay stopped matching the program:
+	// whatever ran was NOT the recorded schedule.
+	Diverged bool `json:"diverged,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	var scheduler sched.Scheduler
+	if req.Schedule != "" {
+		var err error
+		if scheduler, err = sched.Parse(req.Schedule); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if req.MaxSteps == 0 {
+			// Match the exploration default so replay tokens minted by
+			// /explore reproduce under the bound they were found with.
+			req.MaxSteps = explore.DefaultMaxSteps
+		}
+	}
+	key, err := req.sessionKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, cached := s.resolve(w, r, &req.compileSpec)
+	if a == nil {
+		return
+	}
+	if a.err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		return
+	}
+	res := a.session(key, s.cfg.DrainTimeout).Run(scheduler)
+	resp := runResponse{
+		Key:     a.key,
+		Cached:  cached,
+		Outcome: res.Outcome().String(),
+		Output:  res.Output,
+		Stats: runStats{
+			Collectives: res.Stats.Collectives,
+			P2PMessages: res.Stats.P2PMessages,
+			Barriers:    res.Stats.Barriers,
+			Steps:       res.Stats.Steps,
+			CCChecks:    res.Stats.CCChecks,
+			PhaseChecks: res.Stats.PhaseChecks,
+		},
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if rp, ok := scheduler.(*sched.Replay); ok && rp.Diverged() {
+		resp.Diverged = true
+	}
+	writeJSON(w, resp)
+}
+
+//
+// POST /explore
+//
+
+type exploreRequest struct {
+	compileSpec
+	runSpec
+	// Strategy is rr|random|pct|dfs (default random); Frontier is
+	// steal|wave|dpor (DFS only, default steal).
+	Strategy  string `json:"strategy,omitempty"`
+	Frontier  string `json:"frontier,omitempty"`
+	Schedules int    `json:"schedules,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	PCTDepth  int    `json:"pctDepth,omitempty"`
+	// Workers widths the exploration's run fan-out (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Stream switches the response to NDJSON: one JSON object per line —
+	// "start", then "verdict" (first run of each outcome class),
+	// "failure" (first non-clean run, with its replay token), "progress"
+	// heartbeats, and a final "report".
+	Stream bool `json:"stream,omitempty"`
+	// ProgressEvery is the heartbeat period in completed runs (streamed
+	// mode; default 64, minimum 1).
+	ProgressEvery int `json:"progressEvery,omitempty"`
+}
+
+type verdictJSON struct {
+	Outcome string `json:"outcome"`
+	Count   int    `json:"count"`
+	First   int    `json:"first"`
+	Error   string `json:"error,omitempty"`
+	// Schedule replays the first run of this class (also accepted by
+	// hybridrun -replay).
+	Schedule string `json:"schedule"`
+}
+
+type failureJSON struct {
+	Outcome  string `json:"outcome"`
+	Error    string `json:"error"`
+	Schedule string `json:"schedule"`
+	Index    int    `json:"index"`
+}
+
+type reportJSON struct {
+	Key        string        `json:"key"`
+	Cached     bool          `json:"cached"`
+	Strategy   string        `json:"strategy"`
+	Schedules  int           `json:"schedules"`
+	Exhausted  bool          `json:"exhausted"`
+	Pruned     int           `json:"pruned"`
+	SleepSkips int           `json:"sleepSkips"`
+	Diverged   int           `json:"diverged"`
+	Verdicts   []verdictJSON `json:"verdicts"`
+	// FirstFailure is the earliest failing schedule in canonical order,
+	// nil when the explored space is clean.
+	FirstFailure *failureJSON `json:"firstFailure"`
+}
+
+// streamEvent is one NDJSON line of a streamed exploration.
+type streamEvent struct {
+	Event string `json:"event"` // start|verdict|failure|progress|report
+	// start
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	// verdict/failure/progress
+	Done     int    `json:"done,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+	// report
+	Report *reportJSON `json:"report,omitempty"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	opts := explore.Options{
+		Schedules: req.Schedules,
+		Seed:      req.Seed,
+		PCTDepth:  req.PCTDepth,
+		Workers:   req.Workers,
+	}
+	if req.Strategy != "" {
+		var err error
+		if opts.Strategy, err = explore.ParseStrategy(req.Strategy); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		opts.Strategy = explore.StrategyRandom
+	}
+	if req.Frontier != "" {
+		var err error
+		if opts.Frontier, err = explore.ParseFrontier(req.Frontier); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	key, err := req.sessionKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The exploration step budget defaults below the interpreter's plain
+	// default (spinning schedules must classify, not hang the budget);
+	// the session key must carry the post-normalization value so /run
+	// replays of streamed tokens land on the same warm session.
+	if key.maxSteps <= 0 {
+		key.maxSteps = explore.DefaultMaxSteps
+	}
+	opts.Procs, opts.Threads = key.procs, key.threads
+	opts.MaxSteps = key.maxSteps
+	opts.Policy = key.policy
+	opts.Level, opts.LevelSet = key.level, key.levelSet
+
+	a, cached := s.resolve(w, r, &req.compileSpec)
+	if a == nil {
+		return
+	}
+	if a.err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		return
+	}
+	sess := a.session(key, s.cfg.DrainTimeout)
+
+	if !req.Stream {
+		start := time.Now()
+		rep := explore.ExploreSession(sess, opts)
+		s.noteExplore(rep, start)
+		writeJSON(w, renderReport(rep, a.key, cached))
+		return
+	}
+
+	// Streamed mode: NDJSON, one event per line, flushed as produced.
+	// Progress callbacks arrive serialized (the engine's sink holds a
+	// lock across delivery), and the handler itself only writes before
+	// the exploration starts and after it returns, so the writer needs
+	// no extra locking.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev streamEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(streamEvent{Event: "start", Key: a.key, Cached: cached})
+
+	every := req.ProgressEvery
+	if every <= 0 {
+		every = 64
+	}
+	var failed bool
+	opts.Progress = func(ev explore.ProgressEvent) {
+		switch {
+		case ev.NewVerdict:
+			out := streamEvent{Event: "verdict", Done: ev.Done,
+				Outcome: ev.Outcome.String(), Error: ev.Err, Schedule: ev.Schedule}
+			emit(out)
+			if ev.Outcome != interp.OutcomeClean && !failed {
+				failed = true
+				out.Event = "failure"
+				emit(out)
+			}
+		case ev.Done%every == 0:
+			emit(streamEvent{Event: "progress", Done: ev.Done})
+		}
+	}
+	start := time.Now()
+	rep := explore.ExploreSession(sess, opts)
+	s.noteExplore(rep, start)
+	final := renderReport(rep, a.key, cached)
+	emit(streamEvent{Event: "report", Report: &final})
+}
+
+// noteExplore folds one exploration into the throughput counters.
+func (s *Server) noteExplore(rep *explore.Report, start time.Time) {
+	s.schedTotal.Add(int64(rep.Schedules))
+	s.schedNanos.Add(int64(time.Since(start)))
+}
+
+func renderReport(rep *explore.Report, key string, cached bool) reportJSON {
+	out := reportJSON{
+		Key:        key,
+		Cached:     cached,
+		Strategy:   rep.Strategy.String(),
+		Schedules:  rep.Schedules,
+		Exhausted:  rep.Exhausted,
+		Pruned:     rep.Pruned,
+		SleepSkips: rep.SleepSkips,
+		Diverged:   rep.Diverged,
+		Verdicts:   []verdictJSON{},
+	}
+	for _, v := range rep.Verdicts {
+		out.Verdicts = append(out.Verdicts, verdictJSON{
+			Outcome:  v.Outcome.String(),
+			Count:    v.Count,
+			First:    v.First,
+			Error:    v.Sample,
+			Schedule: v.Schedule,
+		})
+	}
+	if f := rep.FirstFailure; f != nil {
+		out.FirstFailure = &failureJSON{
+			Outcome:  f.Outcome.String(),
+			Error:    f.Err,
+			Schedule: f.Schedule,
+			Index:    f.Index,
+		}
+	}
+	return out
+}

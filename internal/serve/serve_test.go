@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"parcoach"
+	"parcoach/internal/explore"
+)
+
+// buggySrc produces analysis warnings and instrumentation — the
+// interesting case for diagnostics caching.
+const buggySrc = `
+func main() {
+	MPI_Init()
+	var x = 0
+	if rank() == 0 {
+		MPI_Bcast(x)
+	}
+	parallel num_threads(2) {
+		MPI_Barrier()
+	}
+	MPI_Finalize()
+}`
+
+const cleanSrc = `
+func main() {
+	MPI_Init()
+	MPI_Barrier()
+	MPI_Finalize()
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+func decode[T any](t *testing.T, raw []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("bad response %q: %v", raw, err)
+	}
+	return v
+}
+
+// TestCompileCacheDiagnosticsByteIdentical: the second identical
+// submission must hit the cache and serve diagnostics byte-identical to
+// both the first response and a fresh out-of-band compile.
+func TestCompileCacheDiagnosticsByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := map[string]any{"name": "buggy.mh", "source": buggySrc}
+
+	code, raw := postJSON(t, ts.URL+"/compile", req)
+	if code != http.StatusOK {
+		t.Fatalf("first compile: %d %s", code, raw)
+	}
+	first := decode[compileResponse](t, raw)
+	if first.Cached {
+		t.Error("first compile claims cached")
+	}
+	if first.Key == "" || len(first.Diagnostics) == 0 || !first.Instrumented {
+		t.Fatalf("unexpected first response: %+v", first)
+	}
+
+	code, raw2 := postJSON(t, ts.URL+"/compile", req)
+	if code != http.StatusOK {
+		t.Fatalf("second compile: %d %s", code, raw2)
+	}
+	second := decode[compileResponse](t, raw2)
+	if !second.Cached {
+		t.Error("second compile missed the cache")
+	}
+	second.Cached = first.Cached
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cache hit differs from miss:\n%+v\n%+v", first, second)
+	}
+
+	// Ground truth: a fresh compile outside the daemon renders the same
+	// diagnostic lines in the same order.
+	prog, err := parcoach.Compile("buggy.mh", buggySrc, parcoach.Options{Mode: parcoach.ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh []string
+	for _, d := range prog.Diagnostics() {
+		fresh = append(fresh, d.String())
+	}
+	if !reflect.DeepEqual(first.Diagnostics, fresh) {
+		t.Errorf("cached diagnostics differ from fresh compile:\n%v\n%v", first.Diagnostics, fresh)
+	}
+	if parcoach.CacheKey("buggy.mh", buggySrc, parcoach.Options{Mode: parcoach.ModeFull}) != first.Key {
+		t.Error("served key does not match CacheKey")
+	}
+
+	st := s.Snapshot()
+	if st.Cache.Misses != 1 || st.Cache.Hits < 1 {
+		t.Errorf("stats: misses=%d hits=%d, want 1 miss and ≥1 hit", st.Cache.Misses, st.Cache.Hits)
+	}
+}
+
+// TestCompileErrorCached: compile failures are answered 422 and cached —
+// the same broken source does not recompile.
+func TestCompileErrorCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := map[string]any{"name": "bad.mh", "source": "func main( {"}
+	for i := 0; i < 2; i++ {
+		code, raw := postJSON(t, ts.URL+"/compile", req)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("attempt %d: status %d %s", i, code, raw)
+		}
+	}
+	if st := s.Snapshot(); st.Cache.Misses != 1 {
+		t.Errorf("broken source recompiled: %d misses", st.Cache.Misses)
+	}
+}
+
+// TestSingleflight: concurrent identical submissions compile exactly
+// once; exactly one response reports cached=false.
+func TestSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]compileResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, raw := postJSON(t, ts.URL+"/compile",
+				map[string]any{"name": "clean.mh", "source": cleanSrc})
+			if code == http.StatusOK {
+				json.Unmarshal(raw, &results[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	var misses int
+	for i, r := range results {
+		if r.Key == "" {
+			t.Fatalf("request %d failed", i)
+		}
+		if r.Key != results[0].Key {
+			t.Fatalf("divergent keys: %s vs %s", r.Key, results[0].Key)
+		}
+		if !r.Cached {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d requests compiled, want exactly 1", misses)
+	}
+	if st := s.Snapshot(); st.Cache.Misses != 1 {
+		t.Errorf("stats count %d misses, want 1", st.Cache.Misses)
+	}
+}
+
+// TestBackpressure: with every slot held and the queue full, the next
+// request is shed with 429 + Retry-After instead of waiting.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	s.slots <- struct{}{} // occupy the only slot
+
+	// One request parks in the queue.
+	queuedDone := make(chan int, 1)
+	go func() {
+		code, _ := postJSON(t, ts.URL+"/compile",
+			map[string]any{"name": "clean.mh", "source": cleanSrc})
+		queuedDone <- code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next arrival must be rejected, now.
+	resp, err := http.Post(ts.URL+"/compile", "application/json",
+		bytes.NewReader([]byte(`{"name":"x.mh","source":"func main() { MPI_Init() MPI_Finalize() }"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	<-s.slots // release; the queued request proceeds
+	if code := <-queuedDone; code != http.StatusOK {
+		t.Fatalf("queued request finished with %d", code)
+	}
+	if st := s.Snapshot(); st.Queue.Rejected != 1 {
+		t.Errorf("rejected=%d, want 1", st.Queue.Rejected)
+	}
+}
+
+// TestRunEndpoint: a clean run by key, including output capture and a
+// 404 for an unknown key.
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, raw := postJSON(t, ts.URL+"/compile", map[string]any{"name": "clean.mh", "source": cleanSrc})
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, raw)
+	}
+	key := decode[compileResponse](t, raw).Key
+
+	code, raw = postJSON(t, ts.URL+"/run", map[string]any{"key": key, "procs": 2})
+	if code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, raw)
+	}
+	run := decode[runResponse](t, raw)
+	if run.Outcome != "clean" || run.Error != "" {
+		t.Fatalf("clean program ran dirty: %+v", run)
+	}
+	if run.Stats.Steps == 0 {
+		t.Error("run stats empty")
+	}
+
+	code, raw = postJSON(t, ts.URL+"/run", map[string]any{"key": "sha256:feedface"})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d %s", code, raw)
+	}
+}
+
+// TestExploreStreamAndReplay is the end-to-end contract: a streamed DFS
+// exploration of the planted racer must surface the deadlock as a
+// verdict delta and a failure event whose replay token, fed back to
+// /run against the same cached artifact, reproduces the deadlock.
+func TestExploreStreamAndReplay(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(map[string]any{
+		"name": "racer.mh", "source": explore.BenchRacerSrc,
+		"strategy": "dfs", "schedules": 256, "workers": 4,
+		"stream": true, "progressEvery": 16,
+	})
+	resp, err := http.Post(ts.URL+"/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	var (
+		events  []streamEvent
+		scanner = bufio.NewScanner(resp.Body)
+	)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 || events[0].Event != "start" || events[0].Key == "" {
+		t.Fatalf("bad stream shape: %+v", events)
+	}
+	last := events[len(events)-1]
+	if last.Event != "report" || last.Report == nil {
+		t.Fatalf("stream did not end with a report: %+v", last)
+	}
+	var failure *streamEvent
+	verdicts := map[string]bool{}
+	for i := range events[1 : len(events)-1] {
+		ev := &events[1+i]
+		switch ev.Event {
+		case "verdict":
+			if verdicts[ev.Outcome] {
+				t.Errorf("outcome %s streamed as a verdict twice", ev.Outcome)
+			}
+			verdicts[ev.Outcome] = true
+		case "failure":
+			if failure == nil {
+				failure = ev
+			}
+		}
+	}
+	if failure == nil || failure.Schedule == "" || failure.Outcome != "deadlock" {
+		t.Fatalf("racer exploration streamed no deadlock failure: %+v", failure)
+	}
+	if len(verdicts) != len(last.Report.Verdicts) {
+		t.Errorf("streamed %d verdict classes, report has %d", len(verdicts), len(last.Report.Verdicts))
+	}
+
+	// Feed the failure token back: same artifact (by key), same run
+	// parameters — the replay must reproduce the deadlock.
+	code, raw := postJSON(t, ts.URL+"/run", map[string]any{
+		"key": events[0].Key, "schedule": failure.Schedule,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("replay: %d %s", code, raw)
+	}
+	replay := decode[runResponse](t, raw)
+	if replay.Outcome != "deadlock" || replay.Diverged {
+		t.Fatalf("replay did not reproduce: %+v", replay)
+	}
+
+	st := s.Snapshot()
+	if st.Sessions.Warm == 0 {
+		t.Error("no warm sessions after exploration")
+	}
+	if st.Explore.Schedules < int64(last.Report.Schedules) {
+		t.Errorf("stats count %d schedules, report ran %d", st.Explore.Schedules, last.Report.Schedules)
+	}
+	if st.Explore.SchedulesPerSec <= 0 {
+		t.Error("schedules/sec not measured")
+	}
+}
+
+// TestExploreUnstreamed: the plain JSON report path.
+func TestExploreUnstreamed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, raw := postJSON(t, ts.URL+"/explore", map[string]any{
+		"name": "racer.mh", "source": explore.BenchRacerSrc,
+		"strategy": "random", "schedules": 16, "seed": 1,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("explore: %d %s", code, raw)
+	}
+	rep := decode[reportJSON](t, raw)
+	if rep.Strategy != "random" || rep.Schedules != 16 || len(rep.Verdicts) == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+}
+
+// TestEviction: the cache honors its cap, evicting least-recently-used
+// entries; an evicted key answers 404.
+func TestEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheCap: 2})
+	keys := make([]string, 3)
+	for i := range keys {
+		code, raw := postJSON(t, ts.URL+"/compile", map[string]any{
+			"name":   fmt.Sprintf("p%d.mh", i),
+			"source": cleanSrc + fmt.Sprintf("\n// %d\n", i),
+		})
+		if code != http.StatusOK {
+			t.Fatalf("compile %d: %d %s", i, code, raw)
+		}
+		keys[i] = decode[compileResponse](t, raw).Key
+	}
+	if st := s.Snapshot(); st.Cache.Entries != 2 || st.Cache.Evicted != 1 {
+		t.Fatalf("entries=%d evicted=%d, want 2/1", st.Cache.Entries, st.Cache.Evicted)
+	}
+	code, _ := postJSON(t, ts.URL+"/run", map[string]any{"key": keys[0]})
+	if code != http.StatusNotFound {
+		t.Errorf("evicted key answered %d, want 404", code)
+	}
+}
+
+// TestHealthz: liveness answers without taking a slot.
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	s.slots <- struct{}{} // saturate
+	defer func() { <-s.slots }()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

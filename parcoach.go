@@ -31,6 +31,8 @@
 package parcoach
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -198,6 +200,63 @@ func CompileBatch(files []File, opts Options) ([]*Program, error) {
 	errs := make([]error, len(files))
 	pool.Map(len(files), func(i int) {
 		progs[i], errs[i] = compile(files[i].Name, files[i].Source, opts, pool)
+	})
+	return progs, errors.Join(errs...)
+}
+
+// CacheKey names the compiled artifact of (name, src, opts): a
+// versioned SHA-256 over the source bytes and the canonicalized
+// options. Two submissions with the same key compile to byte-identical
+// diagnostics, stats and code, so a cache (cmd/parcoachd's artifact
+// cache) may serve either's Program for both.
+//
+// Canonicalization: only the fields that change the compiled artifact
+// participate — Mode, Initial, RawPDF. Workers is deliberately
+// excluded (diagnostics, stats and generated code are identical for
+// any worker count; letting pool width fragment the cache would make
+// the hit rate depend on a knob that cannot change the answer). The
+// name participates because diagnostics embed it in their positions.
+func CacheKey(name, src string, opts Options) string {
+	h := sha256.New()
+	h.Write([]byte("parcoach-artifact-v1\x00"))
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "mode=%d;initial=%d;rawpdf=%t", opts.Mode, opts.Initial, opts.RawPDF)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Compiler is the long-lived form of CompileBatch: one worker pool
+// shared across every Compile and Batch call for the life of the
+// value, so a server compiling on demand (cmd/parcoachd) keeps its
+// workers warm instead of rebuilding a pool per request. Safe for
+// concurrent use.
+type Compiler struct {
+	pool *pipeline.Pool
+}
+
+// NewCompiler builds a compiler around a persistent pool of the given
+// width (0 = GOMAXPROCS, 1 = serial), matching Options.Workers
+// semantics. The Workers field of per-call Options is ignored — the
+// shared pool is the width.
+func NewCompiler(workers int) *Compiler {
+	return &Compiler{pool: pipeline.NewPool(workers)}
+}
+
+// Compile runs the pipeline on src using the compiler's shared pool.
+// Output is identical to a standalone Compile of the same inputs.
+func (c *Compiler) Compile(name, src string, opts Options) (*Program, error) {
+	return compile(name, src, opts, c.pool)
+}
+
+// Batch compiles many programs on the shared pool; the returned slice
+// is parallel to files, exactly as CompileBatch.
+func (c *Compiler) Batch(files []File, opts Options) ([]*Program, error) {
+	progs := make([]*Program, len(files))
+	errs := make([]error, len(files))
+	c.pool.Map(len(files), func(i int) {
+		progs[i], errs[i] = compile(files[i].Name, files[i].Source, opts, c.pool)
 	})
 	return progs, errors.Join(errs...)
 }

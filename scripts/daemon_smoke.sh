@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the parcoachd daemon: build it under the race
+# detector, boot it, and drive the whole validation loop over HTTP —
+# cold compile → content-addressed cache hit (byte-identical
+# diagnostics) → streamed DFS exploration of a planted schedule-only
+# deadlock → replay of the reported failing schedule, both through the
+# daemon's /run and through hybridrun -replay.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -race -o "$workdir/parcoachd" ./cmd/parcoachd
+go build -o "$workdir/hybridrun" ./cmd/hybridrun
+
+addr=127.0.0.1:7490
+"$workdir/parcoachd" -addr "$addr" &
+daemon_pid=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" -eq 50 ]; then echo "FAIL: daemon never became healthy"; exit 1; fi
+  sleep 0.2
+done
+echo "daemon healthy on $addr"
+
+# The property-suite racer: statically quiet, deadlocks only under a
+# particular single-election schedule — exactly what /explore must find.
+cat > "$workdir/racer.mh" <<'EOF'
+func main() {
+	MPI_Init()
+	var winner = 0
+	parallel num_threads(2) {
+		single nowait { winner = tid() }
+	}
+	if winner == 0 {
+		MPI_Barrier()
+	}
+	MPI_Finalize()
+}
+EOF
+jq -Rs '{name: "racer.mh", source: .}' "$workdir/racer.mh" > "$workdir/compile.json"
+
+# 1. Cold compile: a miss.
+miss=$(curl -sf -d @"$workdir/compile.json" "http://$addr/compile")
+[ "$(jq -r .cached <<<"$miss")" = "false" ] || { echo "FAIL: first compile claims cached"; exit 1; }
+key=$(jq -r .key <<<"$miss")
+echo "compiled cold: $key"
+
+# 2. Same source again: a hit, diagnostics byte-identical.
+hit=$(curl -sf -d @"$workdir/compile.json" "http://$addr/compile")
+[ "$(jq -r .cached <<<"$hit")" = "true" ] || { echo "FAIL: second compile missed the cache"; exit 1; }
+[ "$(jq -c .diagnostics <<<"$miss")" = "$(jq -c .diagnostics <<<"$hit")" ] \
+  || { echo "FAIL: cached diagnostics differ"; exit 1; }
+echo "cache hit with identical diagnostics"
+
+# 3. Streamed DFS exploration must find the planted deadlock.
+jq -n --arg key "$key" \
+  '{key: $key, strategy: "dfs", schedules: 512, workers: 4, stream: true}' \
+  > "$workdir/explore.json"
+curl -sfN -d @"$workdir/explore.json" "http://$addr/explore" > "$workdir/stream.ndjson"
+[ "$(head -n1 "$workdir/stream.ndjson" | jq -r .event)" = "start" ] \
+  || { echo "FAIL: stream did not open with a start event"; exit 1; }
+report=$(tail -n1 "$workdir/stream.ndjson")
+[ "$(jq -r .event <<<"$report")" = "report" ] || { echo "FAIL: stream did not end with a report"; exit 1; }
+outcome=$(jq -r .report.firstFailure.outcome <<<"$report")
+token=$(jq -r .report.firstFailure.schedule <<<"$report")
+[ "$outcome" = "deadlock" ] || { echo "FAIL: explored outcome $outcome, want deadlock"; exit 1; }
+grep -q '"event":"failure"' "$workdir/stream.ndjson" || { echo "FAIL: no streamed failure event"; exit 1; }
+echo "exploration streamed a deadlock, replay token: $token"
+
+# 4. Replay the token through the daemon: must reproduce.
+replay=$(jq -n --arg key "$key" --arg sched "$token" '{key: $key, schedule: $sched}' \
+  | curl -sf -d @- "http://$addr/run")
+[ "$(jq -r .outcome <<<"$replay")" = "deadlock" ] || { echo "FAIL: daemon replay did not reproduce"; exit 1; }
+[ "$(jq -r .diverged <<<"$replay")" = "null" ] || { echo "FAIL: daemon replay diverged"; exit 1; }
+echo "daemon replay reproduced the deadlock"
+
+# 5. And through the CLI: hybridrun -replay exits 1 on the failing run.
+set +e
+"$workdir/hybridrun" -replay "$token" "$workdir/racer.mh" >/dev/null 2>"$workdir/replay.err"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "FAIL: hybridrun -replay exited $rc, want 1"; cat "$workdir/replay.err"; exit 1; }
+grep -q deadlock "$workdir/replay.err" || { echo "FAIL: hybridrun replay error is not a deadlock"; exit 1; }
+echo "hybridrun -replay reproduced the deadlock"
+
+# 6. Stats reflect the traffic.
+stats=$(curl -sf "http://$addr/stats")
+[ "$(jq -r .cache.hits <<<"$stats")" -ge 1 ] || { echo "FAIL: no cache hits counted"; exit 1; }
+[ "$(jq -r .sessions.warm <<<"$stats")" -ge 1 ] || { echo "FAIL: no warm sessions"; exit 1; }
+[ "$(jq -r .explore.schedules <<<"$stats")" -ge 1 ] || { echo "FAIL: no schedules counted"; exit 1; }
+
+echo "PASS: daemon smoke complete"
