@@ -164,6 +164,12 @@ func BenchmarkRuntime(b *testing.B) {
 
 func BenchmarkDetection(b *testing.B) {
 	for _, bug := range workload.AllBugs {
+		if bug == workload.BugTornBuffer {
+			// Schedule-dependent: a free-running run only sometimes trips
+			// the value oracle, so there is no deterministic time-to-abort
+			// to measure here (the diff harness judges it by exploration).
+			continue
+		}
 		w := workload.Micro(bug)
 		p, err := parcoach.Compile(w.Name, w.Source, parcoach.Options{Mode: parcoach.ModeFull})
 		if err != nil {

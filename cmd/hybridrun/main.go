@@ -194,9 +194,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybridrun: replay diverged — trace %q does not match this program/configuration\n", *replay)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "stats: collectives=%d p2p=%d barriers=%d steps=%d cc-checks=%d phase-checks=%d\n",
+	fmt.Fprintf(os.Stderr, "stats: collectives=%d p2p=%d barriers=%d steps=%d cc-checks=%d phase-checks=%d value-checks=%d\n",
 		res.Stats.Collectives, res.Stats.P2PMessages, res.Stats.Barriers,
-		res.Stats.Steps, res.Stats.CCChecks, res.Stats.PhaseChecks)
+		res.Stats.Steps, res.Stats.CCChecks, res.Stats.PhaseChecks, res.Stats.ValueChecks)
 	if res.Err != nil {
 		fmt.Fprintln(os.Stderr, "run failed:", res.Err)
 		os.Exit(1)

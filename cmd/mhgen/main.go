@@ -109,8 +109,9 @@ func generate(seed uint64, bugName, size string) (*mhgen.Program, error) {
 }
 
 // writeCorpus (re)generates the committed go-fuzz seed corpus: three
-// generated programs per bug class (clean included) for both fuzz
-// targets, plus a few malformed inputs for the parser target.
+// generated programs per bug class (clean included) for the program-text
+// targets, a few malformed inputs for the parser target, and a spread of
+// generation seeds for the seed-driven value-oracle target.
 func writeCorpus(dir string) error {
 	bugs := append([]workload.Bug{workload.BugNone}, workload.AllBugs...)
 	var entries []struct{ name, src string }
@@ -126,11 +127,18 @@ func writeCorpus(dir string) error {
 			})
 		}
 	}
-	for _, target := range []string{"FuzzParse", "FuzzCompile"} {
+	for _, target := range []string{"FuzzParse", "FuzzCompile", "FuzzExplore"} {
 		for _, e := range entries {
 			if err := writeSeed(dir, target, e.name, e.src); err != nil {
 				return err
 			}
+		}
+	}
+	for seed := uint64(0); seed < 16; seed++ {
+		name := fmt.Sprintf("seed-%d", seed)
+		body := fmt.Sprintf("go test fuzz v1\nuint64(%d)\n", seed)
+		if err := writeRaw(dir, "FuzzValueOracle", name, body); err != nil {
+			return err
 		}
 	}
 	malformed := []struct{ name, src string }{
@@ -149,10 +157,13 @@ func writeCorpus(dir string) error {
 }
 
 func writeSeed(dir, target, name, src string) error {
+	return writeRaw(dir, target, name, "go test fuzz v1\nstring("+strconv.Quote(src)+")\n")
+}
+
+func writeRaw(dir, target, name, body string) error {
 	path := filepath.Join(dir, target, name)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	body := "go test fuzz v1\nstring(" + strconv.Quote(src) + ")\n"
 	return os.WriteFile(path, []byte(body), 0o644)
 }

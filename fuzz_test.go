@@ -8,6 +8,7 @@ import (
 	"parcoach"
 	"parcoach/internal/ast"
 	"parcoach/internal/explore"
+	"parcoach/internal/interp"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/mhgen/diff"
 	"parcoach/internal/parser"
@@ -173,6 +174,43 @@ func TestExploreSmoke(t *testing.T) {
 	if got := parcoach.ClassifyRun(res.Err); got != parcoach.RunCheckAbort {
 		t.Fatalf("replay of %q = %v (%v), want check-abort", v.Schedule, got, res.Err)
 	}
+}
+
+// FuzzValueOracle: the value oracle never fires on a correct-by-
+// construction program, under any explored schedule. The input is a
+// generation seed, not program text: an arbitrary mutated program can
+// legitimately carry a wrong root or a torn buffer, but a clean mhgen
+// program cannot — so any verdict here is an oracle false positive (the
+// result recomputation disagreeing with the matcher's own snapshots),
+// never a real race.
+func FuzzValueOracle(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		gp := mhgen.Generate(mhgen.Config{
+			Seed: seed,
+			Bug:  workload.BugNone,
+			Size: mhgen.Size(seed % 2),
+		})
+		prog, err := parser.Parse(gp.Name+".mh", gp.Source)
+		if err != nil {
+			t.Fatalf("clean generated program failed to parse: %v", err)
+		}
+		rep := explore.Explore(prog, explore.Options{
+			Strategy:   explore.StrategyRandom,
+			Schedules:  4,
+			Seed:       int64(seed),
+			Procs:      gp.Procs,
+			Threads:    gp.Threads,
+			MaxSteps:   200_000,
+			ValueCheck: true,
+		})
+		if v := rep.Verdict(interp.OutcomeValueError); v != nil {
+			t.Fatalf("value oracle fired on a clean program (seed %d, schedule %s): %s\n%s",
+				seed, v.Schedule, v.Sample, gp.Source)
+		}
+	})
 }
 
 // FuzzExplore: schedule exploration never panics, hangs, or goes

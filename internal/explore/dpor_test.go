@@ -83,7 +83,10 @@ func TestDPORDeterministicAcrossWorkers(t *testing.T) {
 // frontier observed must appear in DPOR's exhaustive set.
 func TestDPOREquivalenceMhgenMatrix(t *testing.T) {
 	seeds := uint64(200)
-	minCompared := 50
+	// See TestFrontierEquivalenceMhgenMatrix: the ten-class seed
+	// rotation (torn-buffer's racing writer rarely exhausts) leaves
+	// ~44 of 200 seeds exhausted under both frontiers.
+	minCompared := 40
 	if raceEnabled {
 		seeds = 50
 		minCompared = 8

@@ -129,12 +129,15 @@ func TestFrontierEquivalencePropertySuite(t *testing.T) {
 // the test fails if that leaves too few seeds to mean anything.
 func TestFrontierEquivalenceMhgenMatrix(t *testing.T) {
 	seeds := uint64(200)
-	minCompared := 50
+	// The seed rotation spans ten bug classes; the torn-buffer programs
+	// carry an extra in-region racing writer whose interleaving space
+	// rarely exhausts at this budget, so ~45 of 200 seeds qualify.
+	minCompared := 40
 	if raceEnabled {
 		// The race gate exercises the concurrent frontier machinery; the
 		// full 200-seed equivalence proof runs in the regular suite.
 		// (Exhaustible seeds are not uniformly distributed — the first
-		// 50 seeds only contain 9.)
+		// 50 seeds only contain 8.)
 		seeds = 50
 		minCompared = 8
 	}

@@ -210,6 +210,11 @@ type Options struct {
 	// under the same configuration a plain run would).
 	Level    mpi.ThreadLevel
 	LevelSet bool
+	// ValueCheck arms the verifier's value oracle on every explored run
+	// (mirroring interp.Options.ValueCheck); schedule-dependent value
+	// bugs — a torn source buffer — surface as OutcomeValueError on the
+	// schedules that expose them.
+	ValueCheck bool
 }
 
 // DefaultMaxSteps is the per-schedule statement budget when Options
@@ -433,12 +438,13 @@ func Explore(prog *ast.Program, opts Options) *Report {
 	// across every schedule, so per-run setup is amortized instead of
 	// paid opts.Schedules times.
 	sess := interp.NewSession(prog, interp.Options{
-		Procs:    opts.Procs,
-		Threads:  opts.Threads,
-		Level:    opts.Level,
-		LevelSet: opts.LevelSet,
-		Policy:   opts.Policy,
-		MaxSteps: opts.MaxSteps,
+		Procs:      opts.Procs,
+		Threads:    opts.Threads,
+		Level:      opts.Level,
+		LevelSet:   opts.LevelSet,
+		Policy:     opts.Policy,
+		MaxSteps:   opts.MaxSteps,
+		ValueCheck: opts.ValueCheck,
 	})
 	return ExploreSession(sess, opts)
 }

@@ -65,6 +65,13 @@ type Options struct {
 	// goroutine blocked forever — which is what keeps a long-lived
 	// parcoachd worker pool alive through a bad run.
 	DrainTimeout time.Duration
+	// ValueCheck arms the verifier's value oracle: every matched
+	// collective round is audited for divergent roots, mismatched
+	// reduction ops, torn source buffers and mis-delivered results, and a
+	// violation aborts the run with OutcomeValueError. Off by default —
+	// uninstrumented ground-truth runs must keep the simulator's own
+	// error classes.
+	ValueCheck bool
 }
 
 // DefaultDrainTimeout is the drain bound when Options.DrainTimeout is
@@ -82,6 +89,7 @@ type Stats struct {
 	Steps       int64
 	CCChecks    int
 	PhaseChecks int
+	ValueChecks int
 }
 
 // Result is the outcome of a run.
@@ -1034,7 +1042,7 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 	root := int(root64)
 
 	var contribValue int64
-	var contribVector []int64
+	var contribVector, liveVector []int64
 	switch s.Kind {
 	case ast.MPIBarrier:
 	case ast.MPIBcast:
@@ -1050,11 +1058,11 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 		}
 		contribValue = v
 	case ast.MPIScatter, ast.MPIAlltoall:
-		arr, err := c.arrayValue(s.Src, e)
+		arr, live, err := c.arrayValue(s.Src, e)
 		if err != nil {
 			return err
 		}
-		contribVector = arr
+		contribVector, liveVector = arr, live
 	}
 
 	var collK uint64
@@ -1062,7 +1070,7 @@ func (c *thctx) execMPI(s *ast.MPIStmt, e *env) error {
 		collK = c.tagCollEntry()
 	}
 	atomic.AddInt64(&c.r.collectives, 1)
-	outV, outVec, err := c.p.Collective(tid, op, red, root, contribValue, contribVector, loc)
+	outV, outVec, err := c.p.CollectiveLive(tid, op, red, root, contribValue, contribVector, liveVector, loc)
 	if err != nil {
 		return err
 	}
@@ -1129,14 +1137,16 @@ func (c *thctx) lvalueValue(lv ast.LValue, e *env) (int64, error) {
 	return v.i, nil
 }
 
-// arrayValue snapshots the named array (Scatter/Alltoall contribution).
-func (c *thctx) arrayValue(ex ast.Expr, e *env) ([]int64, error) {
+// arrayValue snapshots the named array (Scatter/Alltoall contribution)
+// and also returns the live backing array, which the value oracle
+// re-reads at match time to detect a source torn by a concurrent write.
+func (c *thctx) arrayValue(ex ast.Expr, e *env) (snapshot, live []int64, err error) {
 	v, err := c.evalExpr(ex, e)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if v.arr == nil {
-		return nil, c.errf(ex.Pos(), "array expected")
+		return nil, nil, c.errf(ex.Pos(), "array expected")
 	}
 	if c.trace {
 		// The snapshot feeds a collective result, so every element read
@@ -1147,7 +1157,7 @@ func (c *thctx) arrayValue(ex ast.Expr, e *env) ([]int64, error) {
 	}
 	// Snapshot: the MPI layer reads the vector outside any cell lock,
 	// possibly while another simulated thread writes elements.
-	return snapshotArr(v.arr), nil
+	return snapshotArr(v.arr), v.arr, nil
 }
 
 // storeVector copies a collective's vector result into the destination

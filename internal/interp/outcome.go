@@ -41,6 +41,12 @@ const (
 	// terminated within budget) so bounded exploration of generated
 	// programs cannot misread a spin as a hang.
 	OutcomeBudget
+	// OutcomeValueError: the value oracle (internal/verifier's collective
+	// round observer) flagged data-level disagreement — divergent roots,
+	// mismatched reduction ops, a torn source buffer, or a result that
+	// differs from the oracle's recomputation — in a round whose
+	// collective sequence matched.
+	OutcomeValueError
 )
 
 var outcomeNames = [...]string{
@@ -50,6 +56,7 @@ var outcomeNames = [...]string{
 	OutcomeDeadlock:     "deadlock",
 	OutcomeRuntimeError: "runtime-error",
 	OutcomeBudget:       "budget-exhausted",
+	OutcomeValueError:   "value-error",
 }
 
 func (o Outcome) String() string {
@@ -71,6 +78,8 @@ func ClassifyError(err error) Outcome {
 	switch err.(type) {
 	case *verifier.Error:
 		return OutcomeCheckAbort
+	case *verifier.ValueError:
+		return OutcomeValueError
 	case *monitor.DeadlockError:
 		return OutcomeDeadlock
 	case *StepLimitError:
@@ -83,6 +92,10 @@ func ClassifyError(err error) Outcome {
 	var verr *verifier.Error
 	if errors.As(err, &verr) {
 		return OutcomeCheckAbort
+	}
+	var valerr *verifier.ValueError
+	if errors.As(err, &valerr) {
+		return OutcomeValueError
 	}
 	if monitor.IsDeadlock(err) {
 		return OutcomeDeadlock

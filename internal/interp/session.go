@@ -131,6 +131,11 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 		}
 		env = &runEnv{world: world, r: new(runner)}
 		env.r.ver = verifier.New(world.Monitor(), opts.Procs)
+		if opts.ValueCheck {
+			// The round observer survives World.Reset (like the monitor's
+			// analyzers), so pooled envs stay armed across reuse.
+			env.r.ver.AttachWorld(world)
+		}
 	}
 	world := env.world
 	r := env.r
@@ -218,7 +223,7 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 		Barriers:    atomic.LoadInt64(&r.barriers),
 		Steps:       atomic.LoadInt64(&r.steps),
 	}
-	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
+	res.Stats.CCChecks, res.Stats.PhaseChecks, res.Stats.ValueChecks = r.ver.Stats()
 	for _, rs := range ranks {
 		if rs != nil {
 			rankPool.Put(rs)
@@ -251,7 +256,7 @@ func (s *Session) abandon(res *Result, r *runner) *Result {
 		Barriers:    atomic.LoadInt64(&r.barriers),
 		Steps:       atomic.LoadInt64(&r.steps),
 	}
-	res.Stats.CCChecks, res.Stats.PhaseChecks = r.ver.Stats()
+	res.Stats.CCChecks, res.Stats.PhaseChecks, res.Stats.ValueChecks = r.ver.Stats()
 	return res
 }
 

@@ -27,6 +27,7 @@ import (
 	"parcoach"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/omp"
+	"parcoach/internal/sched"
 	"parcoach/internal/workload"
 )
 
@@ -65,7 +66,12 @@ func (o Options) exploreBudget() int {
 func scheduleDependent(bug workload.Bug) bool {
 	switch bug {
 	case workload.BugMultithreadedCollective, workload.BugConcurrentSingles,
-		workload.BugSectionsCollectives:
+		workload.BugSectionsCollectives,
+		// The torn source buffer only manifests when the racing writer is
+		// interleaved between the snapshot and the match point — the value
+		// oracle needs exploration to reach such a schedule (round-robin
+		// provably misses it).
+		workload.BugTornBuffer:
 		return true
 	}
 	return false
@@ -112,10 +118,17 @@ type Row struct {
 	// exploration is disabled).
 	Explored string
 	// FirstDetect is the 0-based index of the first explored schedule
-	// stopped by a planted check — the schedules-to-first-detection
-	// metric ("-" when not explored or never detected).
+	// stopped by a planted check or the value oracle — the
+	// schedules-to-first-detection metric ("-" when not explored or never
+	// detected).
 	FirstDetect string
-	Label       Label
+	// FailSchedule is the replayable token of that first failing explored
+	// schedule ("" when none). ReduceFailure replays it on every
+	// reduction candidate, so reduced reproducers of schedule-only
+	// failures keep failing on the same schedule. Not part of the rendered
+	// row: the token is an exploration-order artifact, not a verdict.
+	FailSchedule string
+	Label        Label
 	// Violations lists soundness-contract breaches (empty = sound).
 	Violations []string
 }
@@ -170,10 +183,25 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 		Policy:   omp.RoundRobin,
 		MaxSteps: opts.MaxSteps,
 	}
+	if gp.Bug == workload.BugTornBuffer {
+		// The torn source buffer is the one class whose *instrumented*
+		// outcome is schedule-dependent: a free-running reference run
+		// resolves differently run to run, and golden files must be
+		// stable. Serialize it under the deterministic round-robin virtual
+		// scheduler — which provably misses the race, exactly the paper's
+		// point about single-schedule testing — and judge detection by the
+		// exploration pass below.
+		if rr, err := sched.Parse("rr"); err == nil {
+			runOpts.Scheduler = rr
+		}
+	}
 	fullRes := full.Run(runOpts)
 	row.Full = fullRes.Outcome()
+	if runOpts.Scheduler != nil && (row.Full == parcoach.RunCheckAbort || row.Full == parcoach.RunValueError) {
+		row.FailSchedule = "rr"
+	}
 
-	dynamicCaught := row.Full == parcoach.RunCheckAbort
+	dynamicCaught := row.Full == parcoach.RunCheckAbort || row.Full == parcoach.RunValueError
 
 	// Exploration pass: the schedule-dependent programs are judged
 	// against the whole explored interleaving space, not the one
@@ -197,8 +225,13 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 			Workers:   opts.Workers,
 		})
 		row.Explored = fmt.Sprint(rep.Schedules)
-		if v := rep.Verdict(parcoach.RunCheckAbort); v != nil {
-			row.FirstDetect = fmt.Sprint(v.First)
+		detect := rep.Verdict(parcoach.RunCheckAbort)
+		if v := rep.Verdict(parcoach.RunValueError); v != nil && (detect == nil || v.First < detect.First) {
+			detect = v
+		}
+		if detect != nil {
+			row.FirstDetect = fmt.Sprint(detect.First)
+			row.FailSchedule = detect.Schedule
 			if gp.Bug != workload.BugNone {
 				dynamicCaught = true
 			}
@@ -297,14 +330,61 @@ func signature(r Row) string {
 
 // ReduceFailure greedily shrinks gp's source to the smallest program
 // that still evaluates to the same verdict signature — the form in which
-// the harness reports a failing seed.
+// the harness reports a failing seed. When the original verdict hinges
+// on a particular explored schedule (FailSchedule non-empty), every
+// candidate is additionally replayed under that exact schedule and must
+// still fail there: re-judging with fresh exploration alone preserves
+// the signature but can silently shift WHICH schedule fails, publishing
+// a reproducer whose recorded schedule token no longer reproduces.
 func ReduceFailure(gp *mhgen.Program, opts Options) string {
-	want := signature(Evaluate(gp, opts))
+	ref := Evaluate(gp, opts)
+	want := signature(ref)
 	return mhgen.Reduce(gp.Source, func(src string) bool {
 		probe := *gp
 		probe.Source = src
-		return signature(Evaluate(&probe, opts)) == want
+		if signature(Evaluate(&probe, opts)) != want {
+			return false
+		}
+		if ref.FailSchedule == "" {
+			return true
+		}
+		return replayFails(&probe, ref.FailSchedule, opts)
 	})
+}
+
+// replayFails compiles gp in ModeFull and runs it under the exact
+// schedule token, reporting whether a planted check or the value oracle
+// still stops that schedule. Trace tokens must additionally replay
+// without diverging — a shrunk program that consumes the trace
+// differently is not reproducing the original failure, merely failing
+// somewhere nearby.
+func replayFails(gp *mhgen.Program, token string, opts Options) bool {
+	p, err := parcoach.Compile(gp.Name+".mh", gp.Source,
+		parcoach.Options{Mode: parcoach.ModeFull, Workers: opts.Workers})
+	if err != nil {
+		return false
+	}
+	s, err := sched.Parse(token)
+	if err != nil {
+		return false
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000
+	}
+	res := p.Run(parcoach.RunOptions{
+		Procs:     gp.Procs,
+		Threads:   gp.Threads,
+		MaxSteps:  maxSteps,
+		Scheduler: s,
+	})
+	if out := res.Outcome(); out != parcoach.RunCheckAbort && out != parcoach.RunValueError {
+		return false
+	}
+	if r, ok := s.(*sched.Replay); ok && r.Diverged() {
+		return false
+	}
+	return true
 }
 
 // Matrix aggregates rows into the per-bug-class detection counts of the

@@ -90,6 +90,61 @@ func TestReduceFailurePreservesSignature(t *testing.T) {
 	}
 }
 
+// TestReduceFailurePreservesSchedule: reducing a schedule-only failure
+// must keep the reduced reproducer failing under the SAME schedule
+// token. The previous keep predicate re-judged candidates only by
+// verdict signature, and for this exact seed it shrank the torn-buffer
+// program into one whose exploration first fails under a different
+// schedule — the published (source, token) pair no longer reproduced.
+func TestReduceFailurePreservesSchedule(t *testing.T) {
+	gp := mhgen.Generate(mhgen.Config{Seed: 2, Bug: workload.BugTornBuffer})
+	opts := Options{Workers: 4}
+	ref := Evaluate(gp, opts)
+	if ref.FailSchedule == "" {
+		t.Fatalf("torn-buffer program has no failing schedule: %s", ref)
+	}
+	red := ReduceFailure(gp, opts)
+	if len(red) >= len(gp.Source) {
+		t.Fatalf("no shrink: %d -> %d bytes", len(gp.Source), len(red))
+	}
+	probe := *gp
+	probe.Source = red
+	if got := Evaluate(&probe, opts); signature(got) != signature(ref) {
+		t.Fatalf("reduced signature %q != original %q\n%s", signature(got), signature(ref), red)
+	}
+	if !replayFails(&probe, ref.FailSchedule, opts) {
+		t.Fatalf("reduced reproducer no longer fails under the original schedule %s:\n%s",
+			ref.FailSchedule, red)
+	}
+}
+
+// TestEvaluateValueBugRows: the value-bug classes land on the dynamic
+// side of the matrix. The root and op mismatches are schedule-independent
+// — the oracle stops the reference run itself — while the torn source
+// buffer needs the exploration pass and records which schedule failed.
+func TestEvaluateValueBugRows(t *testing.T) {
+	opts := Options{Workers: 4}
+	for _, bug := range []workload.Bug{workload.BugWrongRoot, workload.BugWrongOp} {
+		row := Evaluate(mhgen.Generate(mhgen.Config{Seed: 1, Bug: bug}), opts)
+		if row.Full != parcoach.RunValueError {
+			t.Errorf("%s: reference run outcome = %s, want value-error: %s", bug, row.Full, row)
+		}
+		if row.Label != LabelDynamic && row.Label != LabelBoth {
+			t.Errorf("%s: label = %s, want a dynamic detection: %s", bug, row.Label, row)
+		}
+	}
+	torn := Evaluate(mhgen.Generate(mhgen.Config{Seed: 1, Bug: workload.BugTornBuffer}), opts)
+	if torn.Explored == "-" || torn.FirstDetect == "-" {
+		t.Errorf("torn-buffer not judged by exploration: %s", torn)
+	}
+	if torn.FailSchedule == "" {
+		t.Errorf("torn-buffer detection did not record its failing schedule: %s", torn)
+	}
+	if torn.Label != LabelDynamic && torn.Label != LabelBoth {
+		t.Errorf("torn-buffer label = %s, want a dynamic detection: %s", torn.Label, torn)
+	}
+}
+
 func TestMatrixFormat(t *testing.T) {
 	var m Matrix
 	for seed := uint64(0); seed < 21; seed++ { // three full bug cycles

@@ -518,6 +518,11 @@ func (g *gen) plantBug() {
 		g.e.Close()
 	case workload.BugEarlyReturn:
 		g.e.SeedEarlyReturnBug(bug, v.name)
+	case workload.BugWrongRoot, workload.BugWrongOp, workload.BugTornBuffer:
+		// Value bugs: structurally matched collectives with wrong
+		// arguments or a racy source buffer (the torn-buffer pattern
+		// brings its own parallel region).
+		g.e.SeedValueBug(bug, v.name)
 	default:
 		g.e.SeedProcessBug(bug, v.name)
 	}
@@ -1114,7 +1119,12 @@ func (g *gen) collDst(inSingle bool) *varInfo {
 	return pick(g.rng, pool)
 }
 
-// collArr picks (or declares) an array operand the same way.
+// collArr picks (or declares) an array operand the same way. Read-only
+// source operands inside a parallel region are restricted to arrays the
+// region cannot write (frozen shared state, or fresh single-body locals):
+// a concurrently-writable source would race the collective's buffer read —
+// exactly the torn-buffer bug — and trip the value oracle on a program
+// that is supposed to be correct by construction.
 func (g *gen) collArr(inSingle bool, writable bool) *arrInfo {
 	var pool []*arrInfo
 	if inSingle && writable {
@@ -1122,6 +1132,8 @@ func (g *gen) collArr(inSingle bool, writable bool) *arrInfo {
 		pool = g.arrays(func(a *arrInfo) bool { return a.idx >= singleBase || g.mutArr[a] })
 	} else if writable {
 		pool = g.writableArrays()
+	} else if g.inPar > 0 {
+		pool = g.arrays(func(a *arrInfo) bool { return a.idx < g.parBase && !g.mutArr[a] })
 	} else {
 		pool = g.arrays(func(*arrInfo) bool { return true })
 	}

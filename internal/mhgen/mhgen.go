@@ -90,10 +90,10 @@ type Program struct {
 // FromSeed derives a full Config from a bare seed — bug class and size
 // cycle with the seed so any contiguous seed range covers every planted
 // bug class plus clean programs at both sizes — and generates the
-// program. Seeds ≡ 0 (mod 7) are clean.
+// program. Seeds ≡ 0 (mod 10) are clean.
 func FromSeed(seed uint64) *Program {
 	cfg := Config{Seed: seed, Size: SizeSmall}
-	if n := seed % 7; n != 0 {
+	if n := seed % 10; n != 0 {
 		cfg.Bug = workload.AllBugs[n-1]
 	}
 	if seed%3 == 0 {

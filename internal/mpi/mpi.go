@@ -81,8 +81,18 @@ func ParseRedOp(name string) (RedOp, error) {
 	return RedSum, fmt.Errorf("mpi: unknown reduction op %q", name)
 }
 
-func (r RedOp) apply(a, b int64) int64 {
+// Valid reports whether r is one of the defined reduction operators.
+// Collective entry validates with this instead of letting an out-of-range
+// op reach apply.
+func (r RedOp) Valid() bool { return r >= RedSum && r <= RedProd }
+
+// Apply folds b into a under the operator. Out-of-range operators panic:
+// every collective validates its op on entry, so an invalid op here is a
+// matcher bug, not a user error — it must never silently reduce as sum.
+func (r RedOp) Apply(a, b int64) int64 {
 	switch r {
+	case RedSum:
+		return a + b
 	case RedMin:
 		if b < a {
 			return b
@@ -96,8 +106,10 @@ func (r RedOp) apply(a, b int64) int64 {
 	case RedProd:
 		return a * b
 	}
-	return a + b
+	panic(fmt.Sprintf("mpi: RedOp(%d).Apply on unvalidated op", int(r)))
 }
+
+func (r RedOp) apply(a, b int64) int64 { return r.Apply(a, b) }
 
 func (r RedOp) String() string {
 	switch r {
@@ -155,9 +167,44 @@ type World struct {
 	arrived map[int]*pendingCall
 	round   int
 
+	// observer, if set, sees every completed collective round (all
+	// contributions plus computed results) before the waiters wake; a
+	// non-nil error aborts the run. Installed once (SetRoundObserver) and
+	// deliberately NOT cleared by Reset, like the monitor's analyzers.
+	observer func(round int, calls []CollCall) error
+
 	// point-to-point state, guarded by mon's lock
 	sends map[p2pKey][]*pendingSend
 	recvs map[p2pKey][]*pendingRecv
+}
+
+// CollCall is an observer's read-only view of one rank's contribution to
+// a completed collective round: the call's arguments, the source vector
+// snapshot taken at call time, the live source buffer it was taken from
+// (nil for value-only collectives), and the computed results.
+type CollCall struct {
+	Rank   int
+	Op     Op
+	Red    RedOp
+	Root   int
+	Value  int64
+	Vector []int64 // snapshot of the source buffer at call time
+	Live   []int64 // the caller's live source buffer, if any
+	Loc    string
+
+	OutValue  int64
+	OutVector []int64
+}
+
+// SetRoundObserver installs the per-round collective observer (the
+// verifier's value oracle). The hook runs under the monitor's lock after
+// the round's results are computed but before any participant resumes;
+// returning an error aborts the run with it. The observer survives Reset
+// so pooled worlds stay instrumented across schedule-exploration runs.
+func (w *World) SetRoundObserver(fn func(round int, calls []CollCall) error) {
+	w.mon.Lock()
+	w.observer = fn
+	w.mon.Unlock()
 }
 
 // NewWorld creates a world with its own monitor.

@@ -399,6 +399,121 @@ func TestInvalidRootAborts(t *testing.T) {
 	}
 }
 
+func TestInvalidRedOpAborts(t *testing.T) {
+	// Regression: an out-of-range reduction op used to fall through
+	// RedOp.apply and silently reduce as sum; it must abort the world with
+	// a diagnostic at collective entry instead.
+	err := runAll(t, 2, func(p *Proc) error {
+		_, _, err := p.Collective(1, OpAllreduce, RedOp(99), 0, int64(p.Rank()+1), nil, "")
+		return err
+	})
+	var ue *UsageError
+	if !errors.As(err, &ue) || !strings.Contains(ue.Error(), "out of range") {
+		t.Fatalf("want reduction-op range error, got %v", err)
+	}
+}
+
+func TestRedOpApplyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply on an unvalidated op must panic, not silently sum")
+		}
+	}()
+	RedOp(99).Apply(1, 2)
+}
+
+func TestRoundObserverSeesCallsAndResults(t *testing.T) {
+	w := newWorld(t, 3, ThreadMultiple)
+	type seen struct {
+		round int
+		calls []CollCall
+	}
+	var rounds []seen
+	w.SetRoundObserver(func(round int, calls []CollCall) error {
+		rounds = append(rounds, seen{round, calls})
+		return nil
+	})
+	err := w.Run(func(p *Proc) error {
+		if err := p.Init(1); err != nil {
+			return err
+		}
+		if _, _, err := p.Collective(1, OpAllreduce, RedSum, 0, int64(p.Rank()+1), nil, "here"); err != nil {
+			return err
+		}
+		return p.Finalize(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var red *seen
+	for i := range rounds {
+		if len(rounds[i].calls) > 0 && rounds[i].calls[0].Op == OpAllreduce {
+			red = &rounds[i]
+		}
+	}
+	if red == nil {
+		t.Fatal("observer never saw the allreduce round")
+	}
+	for r, c := range red.calls {
+		if c.Rank != r || c.Value != int64(r+1) || c.OutValue != 6 || c.Loc != "here" {
+			t.Fatalf("call %d observed wrong: %+v", r, c)
+		}
+	}
+}
+
+func TestRoundObserverErrorAbortsWorld(t *testing.T) {
+	w := newWorld(t, 2, ThreadMultiple)
+	boom := errors.New("oracle says no")
+	w.SetRoundObserver(func(round int, calls []CollCall) error {
+		if len(calls) > 0 && calls[0].Op == OpAllreduce {
+			return boom
+		}
+		return nil
+	})
+	err := w.Run(func(p *Proc) error {
+		if err := p.Init(1); err != nil {
+			return err
+		}
+		_, _, err := p.Collective(1, OpAllreduce, RedSum, 0, 1, nil, "")
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("observer error must abort the world, got %v", err)
+	}
+}
+
+func TestRoundObserverSurvivesReset(t *testing.T) {
+	w := newWorld(t, 2, ThreadMultiple)
+	var fired int
+	w.SetRoundObserver(func(round int, calls []CollCall) error {
+		fired++
+		return nil
+	})
+	body := func(p *Proc) error {
+		if err := p.Init(1); err != nil {
+			return err
+		}
+		if _, _, err := p.Collective(1, OpBarrier, RedSum, 0, 0, nil, ""); err != nil {
+			return err
+		}
+		return p.Finalize(1)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	first := fired
+	if first == 0 {
+		t.Fatal("observer never fired")
+	}
+	w.Reset()
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if fired <= first {
+		t.Error("observer must survive Reset for pooled session reuse")
+	}
+}
+
 func TestParseRedOp(t *testing.T) {
 	for name, want := range map[string]RedOp{"": RedSum, "sum": RedSum, "min": RedMin, "max": RedMax, "prod": RedProd} {
 		got, err := ParseRedOp(name)

@@ -157,7 +157,10 @@ type pendingCall struct {
 	root   int
 	value  int64
 	vector []int64
-	loc    string
+	// live is the caller's live source buffer the vector snapshot was
+	// taken from; the round observer re-reads it to detect torn reads.
+	live []int64
+	loc  string
 
 	waiter *monitor.Waiter
 	// result slots filled by the completing rank
@@ -170,6 +173,14 @@ type pendingCall struct {
 // package comment of internal/interp for the mapping). loc is a source
 // location for error messages.
 func (p *Proc) Collective(threadID int64, op Op, red RedOp, root int, value int64, vector []int64, loc string) (int64, []int64, error) {
+	return p.CollectiveLive(threadID, op, red, root, value, vector, nil, loc)
+}
+
+// CollectiveLive is Collective with the live source buffer the vector
+// snapshot was read from, exposed to the round observer so the value
+// oracle can detect a source torn by a concurrent write while the call
+// was in flight. live may be nil (value-only collectives, or no oracle).
+func (p *Proc) CollectiveLive(threadID int64, op Op, red RedOp, root int, value int64, vector, live []int64, loc string) (int64, []int64, error) {
 	w := p.world
 	m := w.mon
 	m.Lock()
@@ -189,6 +200,12 @@ func (p *Proc) Collective(threadID int64, op Op, red RedOp, root int, value int6
 		m.Unlock()
 		return 0, nil, err
 	}
+	if !red.Valid() {
+		err := &UsageError{Rank: p.rank, Msg: fmt.Sprintf("%s reduction op %d out of range", op, int(red))}
+		m.AbortLocked(err)
+		m.Unlock()
+		return 0, nil, err
+	}
 	if prev, dup := w.arrived[p.rank]; dup {
 		err := &ConcurrentCallError{Rank: p.rank, OpA: prev.op.String(), OpB: op.String()}
 		m.AbortLocked(err)
@@ -200,19 +217,29 @@ func (p *Proc) Collective(threadID int64, op Op, red RedOp, root int, value int6
 	pc := &pendingCall{
 		op: op, red: red, root: root,
 		value: value, vector: append([]int64(nil), vector...),
-		loc: loc,
+		live: live, loc: loc,
 	}
 	w.arrived[p.rank] = pc
 
 	if len(w.arrived) == w.cfg.Procs {
-		// Last arrival: validate and complete the round.
+		// Last arrival: validate, compute, let the observer audit the
+		// round, then release the waiters.
 		if err := w.validateRoundLocked(); err != nil {
 			p.inMPI--
 			m.AbortLocked(err)
 			m.Unlock()
 			return 0, nil, err
 		}
-		w.completeRoundLocked()
+		w.computeRoundLocked()
+		if w.observer != nil {
+			if err := w.observer(w.round, w.observedRoundLocked()); err != nil {
+				p.inMPI--
+				m.AbortLocked(err)
+				m.Unlock()
+				return 0, nil, err
+			}
+		}
+		w.finishRoundLocked()
 		p.inMPI--
 		out := pc.outValue
 		outV := pc.outVector
@@ -246,16 +273,21 @@ func locSuffix(loc string) string {
 	return " at " + loc
 }
 
-// validateRoundLocked checks that all arrived calls agree on op and root.
+// validateRoundLocked checks that all arrived calls agree on op — and on
+// root when no round observer is installed. With an observer present,
+// root divergence is deliberately left to it: the value oracle reports a
+// wrong-root as its own verdict class instead of the matcher's generic
+// mismatch, while uninstrumented runs keep the ground-truth MismatchError.
 func (w *World) validateRoundLocked() error {
 	var first *pendingCall
 	agree := true
+	checkRoot := w.observer == nil
 	for _, pc := range w.arrived {
 		if first == nil {
 			first = pc
 			continue
 		}
-		if pc.op != first.op || pc.root != first.root {
+		if pc.op != first.op || (checkRoot && pc.root != first.root) {
 			agree = false
 		}
 	}
@@ -284,8 +316,11 @@ func opHasRoot(op Op) bool {
 	return false
 }
 
-// completeRoundLocked computes every rank's result and wakes the waiters.
-func (w *World) completeRoundLocked() {
+// computeRoundLocked computes every rank's result into the pending
+// calls' out slots; finishRoundLocked then wakes the waiters. The round
+// observer runs between the two, seeing contributions and results while
+// every participant is still parked.
+func (w *World) computeRoundLocked() {
 	n := w.cfg.Procs
 	calls := make([]*pendingCall, n)
 	for r, pc := range w.arrived {
@@ -365,8 +400,25 @@ func (w *World) completeRoundLocked() {
 			pc.outVector = out
 		}
 	}
+}
 
-	for _, pc := range calls {
+// observedRoundLocked snapshots the completed round for the observer.
+func (w *World) observedRoundLocked() []CollCall {
+	calls := make([]CollCall, 0, len(w.arrived))
+	for r := 0; r < w.cfg.Procs; r++ {
+		pc := w.arrived[r]
+		calls = append(calls, CollCall{
+			Rank: r, Op: pc.op, Red: pc.red, Root: pc.root,
+			Value: pc.value, Vector: pc.vector, Live: pc.live, Loc: pc.loc,
+			OutValue: pc.outValue, OutVector: pc.outVector,
+		})
+	}
+	return calls
+}
+
+// finishRoundLocked wakes the round's waiters and rearms the matcher.
+func (w *World) finishRoundLocked() {
+	for _, pc := range w.arrived {
 		if pc.waiter != nil {
 			w.mon.WakeLocked(pc.waiter)
 		}

@@ -20,6 +20,7 @@ import (
 	"parcoach/internal/interp"
 	"parcoach/internal/mpi"
 	"parcoach/internal/omp"
+	"parcoach/internal/sched"
 	"parcoach/internal/verifier"
 	"parcoach/internal/workload"
 )
@@ -183,10 +184,33 @@ func DetectionMatrix() (string, error) {
 		if bug == workload.BugConcurrentSingles || bug == workload.BugSectionsCollectives {
 			procs = 1
 		}
-		run := p.Run(parcoach.RunOptions{Procs: procs, Threads: 2, Policy: omp.RoundRobin})
-		dynamic := describeRunError(run.Err)
-		plain := p.RunUninstrumented(parcoach.RunOptions{Procs: procs, Threads: 2, Policy: omp.RoundRobin})
-		ground := describeRunError(plain.Err)
+		runOpts := parcoach.RunOptions{Procs: procs, Threads: 2, Policy: omp.RoundRobin}
+		var dynamic, ground string
+		if bug == workload.BugTornBuffer {
+			// The torn source buffer only manifests under particular
+			// interleavings — a single free-running run is a coin flip, so
+			// the matrix judges it the way the tool does (schedule
+			// exploration) and pins the uninstrumented ground-truth run to
+			// the deterministic round-robin scheduler, which provably
+			// misses the race: on a real machine it is silent corruption.
+			rep := p.Explore(parcoach.ExploreOptions{
+				Strategy:  parcoach.ExploreRandom,
+				Schedules: 8,
+				Procs:     procs,
+				Threads:   2,
+			})
+			dynamic = "explored: completes"
+			if v := rep.Verdict(parcoach.RunValueError); v != nil {
+				dynamic = "explored: value oracle @ " + v.Schedule
+			}
+			if rr, err := sched.Parse("rr"); err == nil {
+				runOpts.Scheduler = rr
+			}
+			ground = describeRunError(p.RunUninstrumented(runOpts).Err)
+		} else {
+			dynamic = describeRunError(p.Run(runOpts).Err)
+			ground = describeRunError(p.RunUninstrumented(runOpts).Err)
+		}
 		fmt.Fprintf(&b, "%-26s %-28s %-28s %s\n", bug.String(), static, dynamic, ground)
 	}
 	b.WriteString("\n(instrumented runs abort with located verification errors; uninstrumented\n")
@@ -217,6 +241,12 @@ func describeRunError(err error) string {
 		return "deadlock (detected)"
 	case parcoach.RunBudget:
 		return "step budget exhausted"
+	case parcoach.RunValueError:
+		var ve *verifier.ValueError
+		if errors.As(err, &ve) {
+			return "value oracle: " + ve.Check.String()
+		}
+		return "value oracle"
 	default:
 		return "error"
 	}

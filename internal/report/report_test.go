@@ -66,6 +66,9 @@ func TestDetectionMatrixTable(t *testing.T) {
 		"verifier: multithreaded-collective",
 		"verifier: concurrent-collectives",
 		"verifier: collective-mismatch",
+		"value oracle: wrong-root",
+		"value oracle: wrong-op",
+		"explored: value oracle @ rand:",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("detection matrix missing %q:\n%s", want, out)

@@ -8,6 +8,7 @@ package sem
 
 import (
 	"parcoach/internal/ast"
+	"parcoach/internal/mpi"
 	"parcoach/internal/source"
 )
 
@@ -317,6 +318,12 @@ func (c *checker) checkMPI(s *ast.MPIStmt, sc *scope) {
 		scalarLV(s.Dst)
 		scalar(s.Src)
 		scalar(s.Root)
+		// Reject unknown reduction-op names here, with a position, rather
+		// than letting them surface as a runtime error mid-execution. The
+		// empty string is the documented sum default.
+		if _, err := mpi.ParseRedOp(s.OpName); err != nil {
+			c.errorf(s.KindPos, "%s: unknown reduction op %q (want sum, min, max, or prod)", s.Kind, s.OpName)
+		}
 	case ast.MPIGather, ast.MPIAllgather:
 		if ref, ok := s.Dst.(*ast.VarRef); ok {
 			c.checkArrayOperand(ref, s.Kind.String()+" destination", sc)

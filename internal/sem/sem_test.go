@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"parcoach/internal/ast"
 	"parcoach/internal/parser"
 )
 
@@ -135,6 +136,32 @@ func TestMPIBufferShapes(t *testing.T) {
 func TestMPIUndefinedOperands(t *testing.T) {
 	wantErr(t, checkMain(t, "MPI_Bcast(x)"), `undefined variable "x"`)
 	wantErr(t, checkMain(t, "var x = 0\nMPI_Reduce(x, y)"), `undefined variable "y"`)
+}
+
+func TestUnknownReductionOpRejected(t *testing.T) {
+	// The parser only admits the known op names from surface syntax, but the
+	// AST contract is enforced here: an MPIStmt carrying an op name the
+	// runtime does not know (front-end drift, programmatic construction)
+	// must be rejected with a position instead of erroring mid-execution.
+	prog, err := parser.Parse("t.mh", "func main() {\nvar x = 0\nMPI_Allreduce(x, x, sum)\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var mutated bool
+	for _, st := range prog.Funcs[0].Body.Stmts {
+		if m, ok := st.(*ast.MPIStmt); ok {
+			m.OpName = "avg"
+			mutated = true
+		}
+	}
+	if !mutated {
+		t.Fatal("no MPIStmt found to mutate")
+	}
+	err = Check(prog)
+	wantErr(t, err, `unknown reduction op "avg"`)
+	if !strings.Contains(err.Error(), "t.mh:3") {
+		t.Errorf("op error must carry the collective's position, got %v", err)
+	}
 }
 
 func TestReturnInsideConstructRejected(t *testing.T) {

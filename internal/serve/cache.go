@@ -71,12 +71,15 @@ func (a *artifact) session(k sessionKey, drain time.Duration) *interp.Session {
 		target = a.prog.Instrumented
 	}
 	s := interp.NewSession(target, interp.Options{
-		Procs:        k.procs,
-		Threads:      k.threads,
-		Level:        k.level,
-		LevelSet:     k.levelSet,
-		Policy:       k.policy,
-		MaxSteps:     k.maxSteps,
+		Procs:    k.procs,
+		Threads:  k.threads,
+		Level:    k.level,
+		LevelSet: k.levelSet,
+		Policy:   k.policy,
+		MaxSteps: k.maxSteps,
+		// Mirror parcoach.Program.Run: full-mode artifacts run with the
+		// value oracle armed; uninstrumented ground-truth runs do not.
+		ValueCheck:   !k.uninstrumented && a.prog.Mode() >= parcoach.ModeFull,
 		DrainTimeout: drain,
 	})
 	if a.sessions == nil {

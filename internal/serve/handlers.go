@@ -225,6 +225,7 @@ type runStats struct {
 	Steps       int64 `json:"steps"`
 	CCChecks    int   `json:"ccChecks"`
 	PhaseChecks int   `json:"phaseChecks"`
+	ValueChecks int   `json:"valueChecks"`
 }
 
 type runResponse struct {
@@ -283,6 +284,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Steps:       res.Stats.Steps,
 			CCChecks:    res.Stats.CCChecks,
 			PhaseChecks: res.Stats.PhaseChecks,
+			ValueChecks: res.Stats.ValueChecks,
 		},
 	}
 	if res.Err != nil {
@@ -354,7 +356,7 @@ type reportJSON struct {
 
 // streamEvent is one NDJSON line of a streamed exploration.
 type streamEvent struct {
-	Event string `json:"event"` // start|verdict|failure|progress|report
+	Event string `json:"event"` // start|verdict|failure|progress|error|report
 	// start
 	Key    string `json:"key,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
@@ -467,10 +469,32 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	rep := explore.ExploreSession(sess, opts)
+	rep, err := runExploreStream(sess, opts)
+	if err != nil {
+		// The stream has already begun (the start event is out, the HTTP
+		// status is committed), so the failure must reach the client as a
+		// terminal typed record — never a silent mid-stream truncation.
+		emit(streamEvent{Event: "error", Error: err.Error()})
+		return
+	}
 	s.noteExplore(rep, start)
 	final := renderReport(rep, a.key, cached)
 	emit(streamEvent{Event: "report", Report: &final})
+}
+
+// exploreStream is the streamed handler's exploration entry point,
+// swappable by tests to inject a mid-run failure.
+var exploreStream = explore.ExploreSession
+
+// runExploreStream runs the exploration and converts a panic into an
+// error the streamed handler can deliver as a terminal typed event.
+func runExploreStream(sess *interp.Session, opts explore.Options) (rep *explore.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exploration failed: %v", r)
+		}
+	}()
+	return exploreStream(sess, opts), nil
 }
 
 // noteExplore folds one exploration into the throughput counters.

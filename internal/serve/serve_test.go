@@ -8,12 +8,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"parcoach"
 	"parcoach/internal/explore"
+	"parcoach/internal/interp"
 )
 
 // buggySrc produces analysis warnings and instrumentation — the
@@ -400,5 +402,192 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// wrongOpSrc carries a value bug the static phase also warns about:
+// rank 0 reduces with max while the others reduce with sum.
+const wrongOpSrc = `
+func main() {
+	MPI_Init()
+	var x = rank() + 2
+	if rank() == 0 {
+		MPI_Allreduce(x, x, max)
+	} else {
+		MPI_Allreduce(x, x, sum)
+	}
+	MPI_Finalize()
+}`
+
+// tornSrc races a nowait team worker's rewrite of the collective's
+// source buffer against the collective itself — the schedule-dependent
+// value-bug shape.
+const tornSrc = `
+func main() {
+	MPI_Init()
+	var src[4]
+	var dst[4]
+	for i = 0 .. 4 {
+		src[i] = i + 1
+	}
+	parallel num_threads(2) {
+		single nowait {
+			for j = 0 .. 4 {
+				src[j] = src[j] + 100
+			}
+		}
+		single {
+			MPI_Alltoall(dst, src)
+		}
+	}
+	MPI_Finalize()
+}`
+
+// TestValueBugCachedDiagnosticsAndRun: a value-bug program's cached
+// compile answer is byte-identical to the miss, and /run on the warm
+// artifact reports the value oracle's verdict deterministically.
+func TestValueBugCachedDiagnosticsAndRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := map[string]any{"name": "wrongop.mh", "source": wrongOpSrc}
+
+	code, raw := postJSON(t, ts.URL+"/compile", req)
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, raw)
+	}
+	first := decode[compileResponse](t, raw)
+	if len(first.Diagnostics) == 0 {
+		t.Fatalf("wrong-op program compiled without a static warning: %+v", first)
+	}
+	code, raw2 := postJSON(t, ts.URL+"/compile", req)
+	if code != http.StatusOK {
+		t.Fatalf("second compile: %d %s", code, raw2)
+	}
+	second := decode[compileResponse](t, raw2)
+	if !second.Cached {
+		t.Error("second compile missed the cache")
+	}
+	a, _ := json.Marshal(first.Diagnostics)
+	b, _ := json.Marshal(second.Diagnostics)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cached diagnostics not byte-identical:\n%s\n%s", a, b)
+	}
+
+	for i := 0; i < 2; i++ {
+		code, raw = postJSON(t, ts.URL+"/run", map[string]any{"key": first.Key, "procs": 2})
+		if code != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, code, raw)
+		}
+		run := decode[runResponse](t, raw)
+		if run.Outcome != "value-error" || !strings.Contains(run.Error, "wrong-op") {
+			t.Fatalf("run %d: value bug not caught by the oracle: %+v", i, run)
+		}
+	}
+}
+
+// TestExploreStreamValueVerdict: the schedule-dependent torn-buffer race
+// surfaces through the streamed NDJSON protocol as a value-error verdict
+// delta with a replayable schedule, and the replayed token reproduces
+// the oracle abort on the same cached artifact.
+func TestExploreStreamValueVerdict(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(map[string]any{
+		"name": "torn.mh", "source": tornSrc,
+		"strategy": "random", "schedules": 16, "procs": 2, "threads": 2,
+		"stream": true,
+	})
+	resp, err := http.Post(ts.URL+"/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var (
+		key     string
+		verdict *streamEvent
+		scanner = bufio.NewScanner(resp.Body)
+	)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		if ev.Event == "start" {
+			key = ev.Key
+		}
+		if ev.Event == "verdict" && ev.Outcome == "value-error" && verdict == nil {
+			verdict = &ev
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if verdict == nil || verdict.Schedule == "" {
+		t.Fatal("torn-buffer exploration streamed no value-error verdict")
+	}
+	if !strings.Contains(verdict.Error, "torn-buffer") {
+		t.Errorf("verdict error does not name the check: %q", verdict.Error)
+	}
+
+	code, raw := postJSON(t, ts.URL+"/run", map[string]any{
+		"key": key, "procs": 2, "threads": 2, "schedule": verdict.Schedule,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("replay: %d %s", code, raw)
+	}
+	replay := decode[runResponse](t, raw)
+	if replay.Outcome != "value-error" || replay.Diverged {
+		t.Fatalf("replay did not reproduce the torn buffer: %+v", replay)
+	}
+}
+
+// TestExploreStreamMidRunError: an exploration that dies mid-stream must
+// still end the NDJSON stream with a terminal typed error event — the
+// HTTP status is long committed, so silent truncation is the only other
+// observable, and clients cannot tell it from a network fault.
+func TestExploreStreamMidRunError(t *testing.T) {
+	old := exploreStream
+	exploreStream = func(sess *interp.Session, opts explore.Options) *explore.Report {
+		opts.Progress(explore.ProgressEvent{Done: 1})
+		panic("injected mid-run failure")
+	}
+	t.Cleanup(func() { exploreStream = old })
+
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(map[string]any{
+		"name": "clean.mh", "source": cleanSrc,
+		"strategy": "random", "schedules": 4,
+		"stream": true, "progressEvery": 1,
+	})
+	resp, err := http.Post(ts.URL+"/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: %d", resp.StatusCode)
+	}
+	var events []streamEvent
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 || events[0].Event != "start" {
+		t.Fatalf("bad stream shape: %+v", events)
+	}
+	last := events[len(events)-1]
+	if last.Event != "error" || !strings.Contains(last.Error, "injected mid-run failure") {
+		t.Fatalf("stream did not end with a typed error event: %+v", last)
+	}
+	for _, ev := range events {
+		if ev.Event == "report" {
+			t.Fatalf("failed exploration still emitted a report: %+v", ev)
+		}
 	}
 }

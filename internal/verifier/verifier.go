@@ -98,6 +98,7 @@ type Verifier struct {
 	// Stats.
 	ccChecks    int
 	phaseChecks int
+	valueChecks int
 }
 
 type ccEntry struct {
@@ -152,13 +153,14 @@ func (v *Verifier) Reset() {
 	clear(v.teamSizes)
 	v.ccChecks = 0
 	v.phaseChecks = 0
+	v.valueChecks = 0
 }
 
 // Stats reports how many checks executed (for the overhead experiments).
-func (v *Verifier) Stats() (ccChecks, phaseChecks int) {
+func (v *Verifier) Stats() (ccChecks, phaseChecks, valueChecks int) {
 	v.mon.Lock()
 	defer v.mon.Unlock()
-	return v.ccChecks, v.phaseChecks
+	return v.ccChecks, v.phaseChecks, v.valueChecks
 }
 
 func (v *Verifier) describeState() []string {

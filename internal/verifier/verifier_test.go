@@ -39,7 +39,7 @@ func TestCCAgreementCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("agreeing CC rounds must pass: %v", err)
 	}
-	cc, _ := v.Stats()
+	cc, _, _ := v.Stats()
 	if cc != 15 {
 		t.Errorf("ccChecks = %d, want 15", cc)
 	}
@@ -84,7 +84,7 @@ func TestCCSkipsFinalizedProcess(t *testing.T) {
 	if err != nil {
 		t.Fatalf("post-finalize CC must be skipped: %v", err)
 	}
-	cc, _ := v.Stats()
+	cc, _, _ := v.Stats()
 	if cc != 0 {
 		t.Errorf("skipped CC still counted: %d", cc)
 	}

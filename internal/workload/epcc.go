@@ -190,6 +190,8 @@ func EPCC(sc Scale, bug Bug) Workload {
 	e.Close()
 	if e.SeedProcessBug(bug, "r7") {
 		// inter-process bug at suite level
+	} else if e.SeedValueBug(bug, "r7") {
+		// value bug at suite level
 	} else if bug != BugNone && bug != BugEarlyReturn {
 		e.Open("parallel {")
 		e.SeedThreadingBug(bug, "r6")

@@ -167,7 +167,7 @@ func HERA(sc Scale, bug Bug) Workload {
 		e.Line("return 1")
 		e.Close()
 	}
-	if !e.SeedProcessBug(bug, "mi") && bug != BugNone && bug != BugEarlyReturn {
+	if !e.SeedProcessBug(bug, "mi") && !e.SeedValueBug(bug, "mi") && bug != BugNone && bug != BugEarlyReturn {
 		e.Open("parallel {")
 		e.SeedThreadingBug(bug, "mi")
 		e.Close()

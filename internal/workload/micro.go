@@ -58,6 +58,8 @@ func Micro(bug Bug) Workload {
 		e.ElseOpen()
 		e.Line("MPI_Reduce(x, x, sum)")
 		e.Close()
+	case BugWrongRoot, BugWrongOp, BugTornBuffer:
+		e.SeedValueBug(bug, "x")
 	}
 	e.Line("print(x)")
 	e.Line("MPI_Finalize()")

@@ -51,7 +51,7 @@ func BTMZ(sc Scale, bug Bug) Workload {
 	e.Line("residual = convergence(u, n)")
 	e.Close()
 	e.Close()
-	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+	if !e.SeedProcessBug(bug, "residual") && !e.SeedValueBug(bug, "residual") && bug == BugEarlyReturn {
 		e.BugComment(bug)
 		e.Open("if rank() %% 2 == 1 {")
 		e.Line("MPI_Finalize()")
@@ -119,7 +119,7 @@ func SPMZ(sc Scale, bug Bug) Workload {
 	e.Line("residual = convergence(u, n)")
 	e.Close()
 	e.Close()
-	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+	if !e.SeedProcessBug(bug, "residual") && !e.SeedValueBug(bug, "residual") && bug == BugEarlyReturn {
 		e.BugComment(bug)
 		e.Open("if rank() %% 2 == 1 {")
 		e.Line("MPI_Finalize()")
@@ -199,7 +199,7 @@ func LUMZ(sc Scale, bug Bug) Workload {
 	e.Line("residual = convergence(u, n)")
 	e.Close()
 	e.Close()
-	if !e.SeedProcessBug(bug, "residual") && bug == BugEarlyReturn {
+	if !e.SeedProcessBug(bug, "residual") && !e.SeedValueBug(bug, "residual") && bug == BugEarlyReturn {
 		e.BugComment(bug)
 		e.Open("if rank() %% 2 == 1 {")
 		e.Line("MPI_Finalize()")

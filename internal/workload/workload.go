@@ -71,6 +71,17 @@ const (
 	// BugMismatchedKinds makes rank 0 call a different collective than
 	// the others (phase-3 error).
 	BugMismatchedKinds
+	// BugWrongRoot makes ranks disagree on a rooted collective's root
+	// argument (value error: structurally matched, wrong arguments).
+	BugWrongRoot
+	// BugWrongOp makes ranks reduce under different operators via
+	// rank-divergent branches that call the same collective kind (value
+	// error: the kind check passes, the result is wrong).
+	BugWrongOp
+	// BugTornBuffer races a concurrent write against a collective's
+	// source buffer so the matched round can read a torn mix of old and
+	// new elements (value error: schedule-dependent).
+	BugTornBuffer
 )
 
 var bugNames = map[Bug]string{
@@ -81,6 +92,9 @@ var bugNames = map[Bug]string{
 	BugRankDependentCollective: "rank-dependent-collective",
 	BugEarlyReturn:             "early-return",
 	BugMismatchedKinds:         "mismatched-kinds",
+	BugWrongRoot:               "wrong-root",
+	BugWrongOp:                 "wrong-op",
+	BugTornBuffer:              "torn-buffer",
 }
 
 func (b Bug) String() string {
@@ -94,6 +108,7 @@ func (b Bug) String() string {
 var AllBugs = []Bug{
 	BugMultithreadedCollective, BugConcurrentSingles, BugSectionsCollectives,
 	BugRankDependentCollective, BugEarlyReturn, BugMismatchedKinds,
+	BugWrongRoot, BugWrongOp, BugTornBuffer,
 }
 
 // Workload is one generated benchmark program.
@@ -211,6 +226,50 @@ func (e *Emitter) SeedEarlyReturnBug(b Bug, varName string) bool {
 	e.Close()
 	e.Line("MPI_Allreduce(%s, %s, sum)", varName, varName)
 	return true
+}
+
+// SeedValueBug emits the value-level bug patterns at sequential level:
+// every rank calls the same collective kinds in the same order — the
+// structural checks all pass — yet the computed result is wrong. The
+// wrong-root and wrong-op variants diverge on collective arguments; the
+// torn-buffer variant races a concurrent write against the collective's
+// source array, so only schedules that land the write mid-round corrupt
+// the result. Returns true if it handled the bug.
+func (e *Emitter) SeedValueBug(b Bug, varName string) bool {
+	switch b {
+	case BugWrongRoot:
+		e.BugComment(b)
+		e.Line("MPI_Bcast(%s, rank() %% size())", varName)
+		return true
+	case BugWrongOp:
+		e.BugComment(b)
+		e.Open("if rank() == 0 {")
+		e.Line("MPI_Allreduce(%s, %s, max)", varName, varName)
+		e.ElseOpen()
+		e.Line("MPI_Allreduce(%s, %s, sum)", varName, varName)
+		e.Close()
+		return true
+	case BugTornBuffer:
+		e.BugComment(b)
+		e.Line("var tornsrc[4]")
+		e.Line("var torndst[4]")
+		e.Open("for ti = 0 .. 4 {")
+		e.Line("tornsrc[ti] = %s + ti", varName)
+		e.Close()
+		e.Open("parallel num_threads(2) {")
+		e.Open("single nowait {")
+		e.Open("for tj = 0 .. 4 {")
+		e.Line("tornsrc[tj] = tornsrc[tj] + 100")
+		e.Close()
+		e.Close()
+		e.Open("single {")
+		e.Line("MPI_Alltoall(torndst, tornsrc)")
+		e.Close()
+		e.Close()
+		e.Line("%s = %s + torndst[0]", varName, varName)
+		return true
+	}
+	return false
 }
 
 // SeedProcessBug emits the inter-process (phase 3) bug patterns at

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"parcoach/internal/core"
+	"parcoach/internal/explore"
 	"parcoach/internal/instrument"
 	"parcoach/internal/interp"
 	"parcoach/internal/omp"
@@ -123,16 +124,28 @@ func TestSeededBugsAreFlaggedStatically(t *testing.T) {
 		BugSectionsCollectives:     core.DiagConcurrentCollectives,
 		BugRankDependentCollective: core.DiagCollectiveMismatch,
 		BugEarlyReturn:             core.DiagCollectiveMismatch,
-		BugMismatchedKinds:         core.DiagCollectiveMismatch,
+		// The wrong-op value bug diverges control flow by rank around
+		// same-kind collectives: statically indistinguishable from a real
+		// sequence mismatch, so it still draws a mismatch warning.
+		BugMismatchedKinds: core.DiagCollectiveMismatch,
+		BugWrongOp:         core.DiagCollectiveMismatch,
 	}
 	for _, g := range gens {
 		for _, bug := range AllBugs {
+			want, ok := wantKind[bug]
+			if !ok {
+				// wrong-root and torn-buffer are value bugs with no static
+				// signature by design: every rank calls the same collective
+				// sequence. Their detection is the value oracle's job
+				// (TestMicroDetectionMatrix, TestTornBufferScheduleDependence).
+				continue
+			}
 			w := g.make(ScaleS, bug)
 			res := compileWorkload(t, w)
 			counts := core.CountByKind(res.Errors())
-			if counts[wantKind[bug]] == 0 {
+			if counts[want] == 0 {
 				t.Errorf("%s + %s: expected a %s warning, got %v",
-					g.name, bug, wantKind[bug], res.Errors())
+					g.name, bug, want, res.Errors())
 			}
 		}
 	}
@@ -149,7 +162,18 @@ func TestMicroDetectionMatrix(t *testing.T) {
 		BugEarlyReturn:             verifier.ErrCollectiveMismatch,
 		BugMismatchedKinds:         verifier.ErrCollectiveMismatch,
 	}
+	// The value bug classes are caught by the oracle, not the planted
+	// checks: they produce a *verifier.ValueError of the given class.
+	wantValue := map[Bug]verifier.ValueCheck{
+		BugWrongRoot: verifier.ValueWrongRoot,
+		BugWrongOp:   verifier.ValueWrongOp,
+	}
 	for _, bug := range AllBugs {
+		if bug == BugTornBuffer {
+			// Schedule-dependent: a free-running run may legitimately miss
+			// it. Covered by TestTornBufferScheduleDependence.
+			continue
+		}
 		w := Micro(bug)
 		prog, err := parser.Parse(w.Name+".mh", w.Source)
 		if err != nil {
@@ -170,9 +194,19 @@ func TestMicroDetectionMatrix(t *testing.T) {
 		if bug == BugConcurrentSingles || bug == BugSectionsCollectives {
 			procs = 1
 		}
-		out := interp.Run(inst, interp.Options{Procs: procs, Threads: 2, Policy: omp.RoundRobin})
+		wantCheck, isValue := wantValue[bug]
+		out := interp.Run(inst, interp.Options{Procs: procs, Threads: 2, Policy: omp.RoundRobin, ValueCheck: isValue})
 		if out.Err == nil {
 			t.Errorf("%s: instrumented run must abort", w.Name)
+			continue
+		}
+		if isValue {
+			ve, ok := out.Err.(*verifier.ValueError)
+			if !ok {
+				t.Errorf("%s: want value error, got %T: %v", w.Name, out.Err, out.Err)
+			} else if ve.Check != wantCheck {
+				t.Errorf("%s: check = %v, want %v", w.Name, ve.Check, wantCheck)
+			}
 			continue
 		}
 		ve, ok := out.Err.(*verifier.Error)
@@ -199,6 +233,47 @@ func TestMicroDetectionMatrix(t *testing.T) {
 	out := interp.Run(inst, interp.Options{Procs: 2, Threads: 2})
 	if out.Err != nil {
 		t.Errorf("clean micro failed: %v", out.Err)
+	}
+}
+
+// The torn-buffer value bug is schedule-dependent: the round-robin
+// scheduler provably misses it (the writer thread always drains before
+// the collective matches), while schedule exploration with the oracle
+// armed reaches a torn-buffer verdict.
+func TestTornBufferScheduleDependence(t *testing.T) {
+	w := Micro(BugTornBuffer)
+	prog, err := parser.Parse(w.Name+".mh", w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sem.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res := core.Analyze(prog, core.Options{})
+	inst := instrument.Program(prog, res)
+
+	rr := explore.Explore(inst, explore.Options{
+		Strategy: explore.StrategyRoundRobin,
+		Procs:    w.Procs, Threads: w.Threads,
+		ValueCheck: true,
+	})
+	if rr.FirstFailure != nil {
+		t.Errorf("round-robin schedule must miss the torn buffer, got %v", rr.FirstFailure.Err)
+	}
+
+	rnd := explore.Explore(inst, explore.Options{
+		Strategy:  explore.StrategyRandom,
+		Schedules: 16,
+		Procs:     w.Procs, Threads: w.Threads,
+		ValueCheck: true,
+	})
+	if rnd.FirstFailure == nil {
+		t.Fatal("random exploration found no failing schedule for the torn buffer")
+	}
+	if rnd.FirstFailure.Outcome != interp.OutcomeValueError ||
+		!strings.Contains(rnd.FirstFailure.Err, "torn-buffer") {
+		t.Fatalf("want a torn-buffer value error, got %s: %s",
+			rnd.FirstFailure.Outcome, rnd.FirstFailure.Err)
 	}
 }
 

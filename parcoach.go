@@ -671,6 +671,11 @@ const (
 	// RunBudget: the run exhausted its step budget (a spinning schedule,
 	// distinct from a deadlock).
 	RunBudget = interp.OutcomeBudget
+	// RunValueError: the value oracle flagged data-level disagreement in
+	// a collective round whose sequence matched (divergent roots,
+	// mismatched reduction ops, a torn source buffer, or a result
+	// differing from the oracle's recomputation).
+	RunValueError = interp.OutcomeValueError
 )
 
 // ClassifyRun maps a run error to its outcome class (nil means RunClean).
@@ -682,12 +687,23 @@ type RunOptions = interp.Options
 // RunResult is the outcome of executing a program.
 type RunResult = interp.Result
 
+// Mode reports the compilation mode the program was built with (the
+// daemon's session cache reads it to decide whether a cached artifact's
+// runs carry the value oracle).
+func (p *Program) Mode() Mode { return p.opts.Mode }
+
 // Run executes the program: the instrumented tree when codegen produced
-// one, otherwise the pristine source.
+// one, otherwise the pristine source. In ModeFull the verifier's value
+// oracle is armed alongside the planted checks — value bugs are
+// statically invisible, so the oracle is tied to the mode, not to
+// whether instrumentation rewrote anything.
 func (p *Program) Run(opts RunOptions) *RunResult {
 	target := p.Source
 	if p.Instrumented != nil {
 		target = p.Instrumented
+	}
+	if p.opts.Mode >= ModeFull {
+		opts.ValueCheck = true
 	}
 	return interp.Run(target, opts)
 }
@@ -749,6 +765,9 @@ func (p *Program) Explore(opts ExploreOptions) *ExplorationReport {
 	target := p.Source
 	if p.Instrumented != nil {
 		target = p.Instrumented
+	}
+	if p.opts.Mode >= ModeFull {
+		opts.ValueCheck = true
 	}
 	return explore.Explore(target, opts)
 }
