@@ -1,0 +1,141 @@
+package parcoach_test
+
+import (
+	"strings"
+	"testing"
+
+	"parcoach"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/sched"
+)
+
+// campaignSeeds is the compact corpus the campaign tests sweep: two
+// full bug-class cycles of mhgen seeds.
+func campaignSeeds(n uint64) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	return seeds
+}
+
+// TestCampaignDeterministicAcrossWorkers pins the determinism
+// contract: a fixed-seed campaign renders byte-identically at any
+// worker count — every coverage-set update, splice and mutation
+// decision happens in the serial merge, never in the parallel phase.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	var reports []string
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := parcoach.Campaign(parcoach.CampaignOptions{
+			Seeds:   campaignSeeds(20),
+			Budget:  140,
+			Seed:    7,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reports = append(reports, rep.Format())
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("campaign report differs between worker counts:\n--- workers=1\n%s\n--- other\n%s",
+				reports[0], reports[i])
+		}
+	}
+}
+
+// TestCampaignSmoke is the CI campaign-smoke assertion set: a small
+// fixed-seed campaign's coverage trajectory grows monotonically, it
+// catches bugs, and every committed corpus entry with a recorded
+// failing schedule replays to the same detection — mutants from their
+// (reduced) committed source, seed entries from their seed.
+func TestCampaignSmoke(t *testing.T) {
+	rep, err := parcoach.Campaign(parcoach.CampaignOptions{
+		Seeds:  campaignSeeds(20),
+		Budget: 140,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trajectory) == 0 {
+		t.Fatal("campaign ran no rounds")
+	}
+	last := 0
+	for _, p := range rep.Trajectory {
+		if p.Coverage < last {
+			t.Fatalf("coverage shrank at round %d: %d -> %d", p.Round, last, p.Coverage)
+		}
+		last = p.Coverage
+	}
+	if last == 0 {
+		t.Fatal("campaign accumulated no coverage")
+	}
+	if len(rep.Bugs) == 0 {
+		t.Fatal("campaign caught no planted bugs")
+	}
+	if rep.Runs > rep.Budget {
+		t.Fatalf("campaign overspent its budget: %d > %d", rep.Runs, rep.Budget)
+	}
+
+	replayed := 0
+	for _, ce := range rep.Corpus {
+		if ce.FailToken == "" {
+			continue
+		}
+		src := ce.Source
+		if ce.Origin == "seed" {
+			src = mhgen.FromSeed(ce.Seed).Source
+		}
+		p, err := parcoach.Compile(ce.Name+".mh", src, parcoach.Options{Mode: parcoach.ModeFull})
+		if err != nil {
+			t.Fatalf("corpus entry %s no longer compiles: %v", ce.Name, err)
+		}
+		s, err := sched.Parse(ce.FailToken)
+		if err != nil {
+			t.Fatalf("corpus entry %s has an unparsable fail token %q: %v", ce.Name, ce.FailToken, err)
+		}
+		res := p.Run(parcoach.RunOptions{Procs: ce.Procs, Threads: ce.Threads, MaxSteps: 2_000_000, Scheduler: s})
+		out := res.Outcome()
+		if out != parcoach.RunCheckAbort && out != parcoach.RunValueError {
+			t.Fatalf("corpus entry %s: recorded failing schedule replays %s:\n%s", ce.Name, out, src)
+		}
+		if r, ok := s.(*sched.Replay); ok && r.Diverged() {
+			t.Fatalf("corpus entry %s: fail-token replay diverged", ce.Name)
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		t.Fatal("no corpus entry recorded a failing schedule")
+	}
+}
+
+// TestCampaignUniformBaseline: the uniform mode spends exactly the
+// per-entry budget with no mutation, and its report carries the same
+// coverage signal (the comparability contract of the bench).
+func TestCampaignUniformBaseline(t *testing.T) {
+	rep, err := parcoach.Campaign(parcoach.CampaignOptions{
+		Seeds:         campaignSeeds(10),
+		Seed:          7,
+		Uniform:       true,
+		UniformBudget: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 40 {
+		t.Fatalf("uniform sweep ran %d schedules, want 40", rep.Runs)
+	}
+	if rep.Mutants != 0 {
+		t.Fatalf("uniform sweep admitted %d mutants", rep.Mutants)
+	}
+	for _, ce := range rep.Corpus {
+		if ce.Runs != 4 {
+			t.Fatalf("uniform sweep gave %s %d runs, want 4", ce.Name, ce.Runs)
+		}
+	}
+	if !strings.HasPrefix(rep.Format(), "uniform ") {
+		t.Fatalf("uniform report mislabeled:\n%s", rep.Format())
+	}
+}

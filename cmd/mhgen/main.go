@@ -7,24 +7,46 @@
 //	mhgen -seed 0 -n 200 -eval       # sweep 200 seeds, print the matrix
 //	mhgen -bug early-return -eval    # force a bug class (with -seed/-size)
 //	mhgen -corpus testdata/fuzz      # (re)write the go-fuzz seed corpus
+//	mhgen -n 200 -eval -shards 4 -shard 1   # CI matrix: shard 1 of 4
+//
+// Sharding partitions the seed range round-robin (every shards-th
+// seed), so each shard still covers every bug class; the union of all
+// shards' per-seed verdict lines is exactly the unsharded matrix.
+//
+// The campaign subcommand runs a coverage-guided exploration campaign
+// (internal/campaign) over a corpus of consecutive seeds, spending the
+// schedule budget where coverage still grows:
+//
+//	mhgen campaign -n 200 -budget 3200            # adaptive campaign
+//	mhgen campaign -n 200 -budget 3200 -uniform   # even-spread baseline
+//	mhgen campaign -n 50 -json                    # structured report
+//
+// A fixed -campaign-seed renders byte-identically at any -workers
+// count.
 //
 // On a soundness violation the failing program is greedily reduced
 // before printing, and the exit status is 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"parcoach"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/mhgen/diff"
 	"parcoach/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		runCampaign(os.Args[2:])
+		return
+	}
 	var (
 		seed    = flag.Uint64("seed", 0, "generation seed")
 		n       = flag.Uint64("n", 1, "number of consecutive seeds to process")
@@ -33,8 +55,15 @@ func main() {
 		eval    = flag.Bool("eval", false, "compile and run under the differential harness")
 		workers = flag.Int("workers", 0, "compile worker-pool width (0 = GOMAXPROCS)")
 		corpus  = flag.String("corpus", "", "write the fuzz seed corpus under this directory and exit")
+		shards  = flag.Int("shards", 1, "partition the seed range round-robin into this many shards (CI matrix jobs)")
+		shard   = flag.Int("shard", 0, "process this shard of the partition (0-based)")
 	)
 	flag.Parse()
+
+	if *shards < 1 || *shard < 0 || *shard >= *shards {
+		fmt.Fprintf(os.Stderr, "mhgen: invalid -shard %d of -shards %d\n", *shard, *shards)
+		os.Exit(2)
+	}
 
 	if *corpus != "" {
 		if err := writeCorpus(*corpus); err != nil {
@@ -46,7 +75,7 @@ func main() {
 
 	var m diff.Matrix
 	failed := false
-	for s := *seed; s < *seed+*n; s++ {
+	for _, s := range mhgen.ShardSeeds(*seed, *n, *shards, *shard) {
 		gp, err := generate(s, *bugName, *size)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mhgen:", err)
@@ -74,6 +103,51 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runCampaign is the campaign subcommand: a coverage-guided (or, with
+// -uniform, evenly spread) exploration campaign over consecutive seeds.
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("mhgen campaign", flag.ExitOnError)
+	var (
+		start   = fs.Uint64("seed", 0, "first generation seed of the corpus")
+		n       = fs.Uint64("n", 50, "number of consecutive seeds in the corpus")
+		budget  = fs.Int("budget", 0, "total schedule budget (0 = 16 per seed)")
+		cseed   = fs.Uint64("campaign-seed", 1, "campaign schedule and mutation seed")
+		workers = fs.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
+		uniform = fs.Bool("uniform", false, "spread the budget evenly instead of by coverage yield (the bench baseline; no mutation)")
+		asJSON  = fs.Bool("json", false, "emit the structured report as JSON")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mhgen campaign: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	seeds := make([]uint64, *n)
+	for i := range seeds {
+		seeds[i] = *start + uint64(i)
+	}
+	rep, err := parcoach.Campaign(parcoach.CampaignOptions{
+		Seeds:   seeds,
+		Budget:  *budget,
+		Seed:    *cseed,
+		Workers: *workers,
+		Uniform: *uniform,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhgen campaign:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mhgen campaign:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+		return
+	}
+	fmt.Print(rep.Format())
 }
 
 func generate(seed uint64, bugName, size string) (*mhgen.Program, error) {

@@ -1,0 +1,530 @@
+// Package campaign is the corpus-driven exploration campaign engine:
+// it runs many generated MiniHybrid programs (internal/mhgen) over one
+// shared worker pool and allocates schedule budget by marginal
+// coverage instead of uniformly.
+//
+// The campaign keeps a frontier of corpus entries scored by recent
+// coverage yield: the number of novel coverage keys (see coverage.go)
+// an entry's schedules produced in its last active round, per
+// schedule. Each round, every entry gets a share of the per-round
+// budget proportional to its rate relative to the round's best;
+// entries whose share rounds to zero are parked, and after enough
+// consecutive parked rounds they retire, their budget flowing to where
+// coverage still grows. Two mutation channels grow the corpus: mhgen seed
+// neighborhoods (rotated bug class, flipped size, displaced seed) for
+// entries that yield, and schedule-prefix splicing — the decision
+// prefix of a run that reached novel coverage is replayed with each
+// untaken alternative at its deepest novel branch, the same child
+// expansion the DFS/DPOR explorer performs, rooted at schedules that
+// proved interesting. Committed mutant reproducers are minimized with
+// mhgen.Reduce before they enter the final corpus.
+//
+// Determinism contract: a campaign is a pure function of its Options.
+// Each round plans jobs in corpus order, runs them on the pool (runs
+// are pure functions of (program, schedule seed, prefix)), and merges
+// results serially in job order — every coverage-set update, mutation
+// admission and splice decision happens in the merge, so reports are
+// byte-identical at any worker count.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"parcoach/internal/interp"
+	"parcoach/internal/mhgen"
+	"parcoach/internal/pipeline"
+	"parcoach/internal/sched"
+)
+
+// Compiled is what the injected compiler returns for one corpus entry:
+// a reusable run session over the (instrumented) program and the
+// static warning kinds of its compile-time verification. The session
+// must be safe for concurrent Run calls, as parcoach sessions are.
+type Compiled struct {
+	Session     *interp.Session
+	StaticKinds []string
+}
+
+// CompileFunc compiles one generated program for campaign execution.
+// The root package wires this to its artifact-cached compiler
+// (parcoach.Campaign); tests may inject lighter pipelines.
+type CompileFunc func(gp *mhgen.Program) (*Compiled, error)
+
+// Options configures a campaign.
+type Options struct {
+	// Seeds are the mhgen generation seeds of the initial corpus
+	// (mhgen.FromSeed each).
+	Seeds []uint64
+	// Budget is the total number of schedules the campaign may run
+	// across the whole corpus (default UniformBudget × len(Seeds)).
+	Budget int
+	// Seed is the campaign master seed: every schedule seed derives
+	// from (Seed, entry id, schedule index).
+	Seed uint64
+	// Compile builds each corpus entry (required).
+	Compile CompileFunc
+	// Pool is the shared worker pool (required; width = parallelism).
+	Pool *pipeline.Pool
+	// Uniform switches to the linear-sweep baseline: every entry gets
+	// exactly UniformBudget schedules, one per round, with no
+	// retirement, no mutation and no splicing. The coverage signal and
+	// the schedule streams are identical to the campaign's, so the two
+	// trajectories are directly comparable.
+	Uniform bool
+	// NoMutate disables seed-neighborhood mutation; NoSplice disables
+	// schedule-prefix splicing.
+	NoMutate bool
+	NoSplice bool
+	// NoReduce skips mhgen.Reduce minimization of committed mutant
+	// reproducers (the bench harness turns it off: reduction changes
+	// the corpus listing, never the coverage trajectory).
+	NoReduce bool
+
+	// Initial is the round-0 schedule allocation per entry (default 1:
+	// one probe run per program suffices to rank entries, and every
+	// extra probe is budget the leaders never get back).
+	Initial int
+	// MaxPerRound is the per-round allocation of the round's
+	// best-yielding entry; every other entry gets a proportional share
+	// of it. The default is 2 — deliberately tight: with a cap of 2
+	// only entries within half the best rate run at all, which
+	// concentrates the budget on the steepest coverage growth (the
+	// measured sweep: cap 2 ≈ 3.4× over the linear baseline, cap 8 ≈
+	// 2.2×, cap 32 ≈ 1.6×).
+	MaxPerRound int
+	// DryRounds is how many consecutive parked rounds (relative yield
+	// rate rounding to a zero allocation) retire an entry for good
+	// (default 8 — long enough for the revisit trickle to probe a
+	// parked entry a couple more times before giving up on it).
+	DryRounds int
+	// UniformBudget is the per-entry schedule count of the uniform
+	// baseline and the default-budget multiplier (default 16).
+	UniformBudget int
+	// MaxCorpus caps the corpus size including mutants (default
+	// 2 × len(Seeds)).
+	MaxCorpus int
+}
+
+func (o *Options) defaults() {
+	if o.Initial <= 0 {
+		o.Initial = 1
+	}
+	if o.MaxPerRound <= 0 {
+		o.MaxPerRound = 2
+	}
+	if o.DryRounds <= 0 {
+		o.DryRounds = 8
+	}
+	if o.UniformBudget <= 0 {
+		o.UniformBudget = 16
+	}
+	if o.Budget <= 0 {
+		o.Budget = o.UniformBudget * len(o.Seeds)
+	}
+	if o.MaxCorpus <= 0 {
+		o.MaxCorpus = 2 * len(o.Seeds)
+	}
+}
+
+// entry is one corpus member and its frontier bookkeeping.
+type entry struct {
+	id     int // admission order: the determinism anchor
+	gp     *mhgen.Program
+	cfg    mhgen.Config // generation config (mutation neighborhood root)
+	origin string       // "seed" or a mutant channel name
+	hash   uint64       // source hash: the program half of every coverage key
+	comp   *Compiled
+
+	staticCaught bool
+	detected     bool
+	failToken    string // replay token of the first detecting schedule
+
+	runs       int // schedules spent on this entry
+	nextSched  int // next schedule-index (seed derivation)
+	roundYield int // novel keys this round (reset at round end)
+	yield      int // novel keys in the entry's last active round
+	lastRuns   int // schedules of the entry's last active round
+	totalYield int
+	alloc      int // schedules planned this round
+	dry        int // consecutive parked rounds
+	retired    bool
+
+	splices [][]sched.ThreadID // spliced prefixes planned for next round
+}
+
+// bugLabel names an entry's planted bug for the found-bug set.
+func (e *entry) bugLabel() string {
+	tag := "s"
+	if e.origin != "seed" {
+		tag = "m"
+	}
+	return fmt.Sprintf("%s%d:%s", tag, e.gp.Seed, e.gp.Bug)
+}
+
+// job is one planned schedule of one entry.
+type job struct {
+	e      *entry
+	sched  int
+	prefix []sched.ThreadID
+}
+
+// jobResult is the raw material one run hands to the serial merge.
+// Keys are derived in the merge (it owns the global set); the job only
+// reports what it observed.
+type jobResult struct {
+	outcome    interp.Outcome
+	valueKind  string // value-oracle check kind ("" unless value error)
+	trace      []sched.ThreadID
+	branches   []branchRec
+	edgeShapes []uint64 // raw HB edge signatures (empty if overflowed)
+	diverged   bool
+}
+
+// Run executes the campaign and returns its report.
+func Run(opts Options) (*Report, error) {
+	opts.defaults()
+	if opts.Compile == nil {
+		return nil, fmt.Errorf("campaign: Options.Compile is required")
+	}
+	if opts.Pool == nil {
+		return nil, fmt.Errorf("campaign: Options.Pool is required")
+	}
+	if len(opts.Seeds) == 0 {
+		return nil, fmt.Errorf("campaign: empty seed corpus")
+	}
+
+	c := &state{
+		opts:  opts,
+		cover: pipeline.NewShardedSet(),
+		seen:  make(map[uint64]bool),
+	}
+
+	// Admit the initial corpus. Generation is cheap and deterministic;
+	// compilation fans out on the pool (and through the root's artifact
+	// cache when wired).
+	gps := make([]*mhgen.Program, len(opts.Seeds))
+	comps := make([]*Compiled, len(opts.Seeds))
+	errs := make([]error, len(opts.Seeds))
+	for i, s := range opts.Seeds {
+		gps[i] = mhgen.FromSeed(s)
+	}
+	opts.Pool.Map(len(gps), func(i int) {
+		comps[i], errs[i] = opts.Compile(gps[i])
+	})
+	for i, gp := range gps {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("campaign: seed %d: %w", opts.Seeds[i], errs[i])
+		}
+		cfg := mhgen.Config{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size}
+		c.admit(gp, cfg, "seed", comps[i])
+	}
+
+	for round := 0; c.runs < opts.Budget; round++ {
+		jobs := c.plan(round)
+		if len(jobs) == 0 {
+			break
+		}
+		results := make([]jobResult, len(jobs))
+		opts.Pool.Map(len(jobs), func(i int) {
+			results[i] = c.execute(jobs[i])
+		})
+		c.merge(round, jobs, results)
+	}
+
+	return c.report(), nil
+}
+
+// state is the campaign's mutable world. Everything in it is touched
+// only from the serial phases (planning, merge, reporting); the
+// parallel phase reads entries' immutable fields and runs sessions.
+type state struct {
+	opts    Options
+	entries []*entry
+	cover   *pipeline.ShardedSet
+	seen    map[uint64]bool // source hashes of admitted programs (dedup)
+
+	runs       int
+	sigKeys    int
+	verdictKey int
+	edgeKeys   int
+	staticKeys int
+	trajectory []Point
+	mutants    int
+}
+
+// admit appends a program to the corpus and credits its static
+// coverage (compile-time warning kinds cost no schedule budget).
+func (c *state) admit(gp *mhgen.Program, cfg mhgen.Config, origin string, comp *Compiled) *entry {
+	e := &entry{
+		id:     len(c.entries),
+		gp:     gp,
+		cfg:    cfg,
+		origin: origin,
+		hash:   fnvString(gp.Source),
+		comp:   comp,
+	}
+	c.seen[e.hash] = true
+	for _, k := range comp.StaticKinds {
+		if c.cover.TryAdd(key(classStatic, e.hash, fnvString(k))) {
+			c.staticKeys++
+		}
+	}
+	if len(comp.StaticKinds) > 0 && gp.Bug.String() != "none" {
+		e.staticCaught = true
+	}
+	c.entries = append(c.entries, e)
+	return e
+}
+
+// rateScale is the fixed-point scale of the novel-keys-per-schedule
+// rate (integer arithmetic keeps allocation trivially deterministic).
+const rateScale = 1024
+
+// reallocate scores the frontier for a round: each entry's allocation
+// is proportional to its last active round's rate of novel coverage
+// keys per schedule, relative to the round's best entry — the budget
+// concentrates where coverage still grows fastest instead of being
+// spread evenly. Entries whose relative rate rounds to zero are parked
+// for the round (no schedules; a later drop in the leaders' rate can
+// revive them), and after DryRounds consecutive parked rounds they
+// retire for good. Entries admitted last round probe with Initial.
+func (c *state) reallocate(round int) {
+	if c.opts.Uniform {
+		for _, e := range c.entries {
+			e.alloc = 0
+			if e.runs < c.opts.UniformBudget {
+				e.alloc = 1
+			}
+		}
+		return
+	}
+	if round == 0 {
+		for _, e := range c.entries {
+			e.alloc = c.opts.Initial
+		}
+		return
+	}
+	rateMax := 0
+	for _, e := range c.entries {
+		if e.retired || e.lastRuns == 0 {
+			continue
+		}
+		if r := e.yield * rateScale / e.lastRuns; r > rateMax {
+			rateMax = r
+		}
+	}
+	for _, e := range c.entries {
+		switch {
+		case e.retired:
+			e.alloc = 0
+		case e.lastRuns == 0: // admitted last round, not yet probed
+			e.alloc = c.opts.Initial
+		default:
+			alloc := 0
+			if rateMax > 0 {
+				alloc = e.yield * rateScale / e.lastRuns * c.opts.MaxPerRound / rateMax
+			}
+			if alloc == 0 {
+				e.dry++
+				if e.dry >= c.opts.DryRounds {
+					e.retired = true
+				}
+				e.splices = nil // parked: schedule follow-ups lapse too
+			} else {
+				e.dry = 0
+			}
+			e.alloc = alloc
+		}
+	}
+	c.trickle()
+}
+
+// trickle spends a side budget on entries the frontier left behind
+// (parked or retired): coverage rates are estimated from tiny samples,
+// and dynamic-only bugs (races the planted checks only catch on the
+// right schedule) hide in the schedule tail — without revisits a
+// one-bad-probe entry is starved forever and the campaign loses
+// detections the linear sweep finds. The trickle only opens in the
+// back half of the budget, after the concentration phase has done its
+// work: the front half is spent purely where coverage grows fastest,
+// the back half splits evenly between the frontier and a
+// fewest-probed-first floor over everyone else.
+func (c *state) trickle() {
+	if c.runs*2 < c.opts.Budget {
+		return
+	}
+	frontier := 0
+	var idle []*entry
+	for _, e := range c.entries {
+		frontier += e.alloc
+		if e.alloc == 0 && e.lastRuns > 0 {
+			idle = append(idle, e)
+		}
+	}
+	if frontier == 0 || len(idle) == 0 {
+		return
+	}
+	sort.SliceStable(idle, func(i, j int) bool { return idle[i].runs < idle[j].runs })
+	for i := 0; i < frontier && i < len(idle); i++ {
+		idle[i].alloc = 1
+	}
+}
+
+// plan builds the round's job list in corpus order: each live entry's
+// pending spliced prefixes first, then its adaptive allocation,
+// truncated at the remaining budget.
+func (c *state) plan(round int) []job {
+	c.reallocate(round)
+	remaining := c.opts.Budget - c.runs
+	var jobs []job
+	for _, e := range c.entries {
+		for _, p := range e.splices {
+			if len(jobs) >= remaining {
+				break
+			}
+			jobs = append(jobs, job{e: e, sched: e.nextSched, prefix: p})
+			e.nextSched++
+		}
+		e.splices = nil
+		for k := 0; k < e.alloc && len(jobs) < remaining; k++ {
+			jobs = append(jobs, job{e: e, sched: e.nextSched})
+			e.nextSched++
+		}
+	}
+	return jobs
+}
+
+// schedSeed derives the PRNG seed of one (entry, schedule index) pair
+// from the campaign master seed.
+func (c *state) schedSeed(e *entry, idx int) int64 {
+	return int64(mix(mix(c.opts.Seed, uint64(e.id)), uint64(idx)) >> 1)
+}
+
+// execute runs one job. It mutates nothing outside its own result —
+// the determinism contract of the parallel phase.
+func (c *state) execute(j job) jobResult {
+	st := tracerPool.Get().(*runState)
+	defer tracerPool.Put(st)
+	st.tr.reset(j.prefix, c.schedSeed(j.e, j.sched))
+
+	res := j.e.comp.Session.Run(&st.tr)
+	jr := jobResult{
+		outcome:  res.Outcome(),
+		trace:    st.tr.trace(),
+		diverged: st.tr.diverged,
+	}
+	if jr.outcome == interp.OutcomeValueError {
+		jr.valueKind = valueKindOf(res.Err)
+	}
+	jr.branches = append([]branchRec(nil), st.tr.branches...)
+	for i := range jr.branches {
+		jr.branches[i].enabled = append([]sched.ThreadID(nil), jr.branches[i].enabled...)
+	}
+	if !st.tr.events.Overflowed() {
+		st.an.Analyze(&st.tr.events)
+		st.an.EdgeSignatures(&st.tr.events, func(sig uint64) {
+			jr.edgeShapes = append(jr.edgeShapes, sig)
+		})
+	}
+	return jr
+}
+
+// merge folds the round's results into the global coverage set, in job
+// order — the only place the set, the frontier scores and the corpus
+// change.
+func (c *state) merge(round int, jobs []job, results []jobResult) {
+	for i := range results {
+		e, jr := jobs[i].e, &results[i]
+		e.runs++
+		c.runs++
+		novel := 0
+
+		if c.cover.TryAdd(key(classVerdict, e.hash, fnvString(jr.outcome.String()+"/"+jr.valueKind))) {
+			c.verdictKey++
+			novel++
+		}
+		deepest := -1
+		for bi := range jr.branches {
+			b := &jr.branches[bi]
+			if b.sig == 0 {
+				continue
+			}
+			if c.cover.TryAdd(key(classSig, e.hash, mix(b.sig, uint64(b.chosen)))) {
+				c.sigKeys++
+				novel++
+				deepest = bi
+			}
+		}
+		for _, sig := range jr.edgeShapes {
+			if c.cover.TryAdd(key(classEdge, e.hash, sig)) {
+				c.edgeKeys++
+				novel++
+			}
+		}
+
+		if (jr.outcome == interp.OutcomeCheckAbort || jr.outcome == interp.OutcomeValueError) && !e.detected {
+			e.detected = true
+			e.failToken = sched.FormatTrace(jr.trace)
+		}
+
+		e.roundYield += novel
+		e.totalYield += novel
+
+		// Splice: expand the deepest branch that produced a novel
+		// positional signature — the same child expansion DFS performs,
+		// but rooted only where this run proved the state space is still
+		// growing.
+		if novel > 0 && deepest >= 0 && !c.opts.Uniform && !c.opts.NoSplice &&
+			len(e.splices) < spliceCap {
+			b := &jr.branches[deepest]
+			for _, alt := range b.enabled {
+				if alt == b.chosen || len(e.splices) >= spliceCap {
+					continue
+				}
+				child := make([]sched.ThreadID, deepest+1)
+				copy(child, jr.trace[:deepest])
+				child[deepest] = alt
+				e.splices = append(e.splices, child)
+			}
+		}
+	}
+
+	// Close the round: frontier scores and mutation (parking and
+	// retirement happen in reallocate, where relative rates are known).
+	ran := make(map[*entry]int, len(jobs))
+	for i := range jobs {
+		ran[jobs[i].e]++
+	}
+	for _, e := range c.entries {
+		n := ran[e]
+		if n == 0 {
+			continue
+		}
+		e.yield = e.roundYield
+		e.lastRuns = n
+		if e.roundYield > 0 {
+			c.mutate(e)
+		}
+		e.roundYield = 0
+	}
+
+	c.trajectory = append(c.trajectory, Point{
+		Round:    round,
+		Runs:     c.runs,
+		Coverage: c.cover.Len(),
+		Bugs:     c.bugCount(),
+	})
+}
+
+// bugCount counts entries whose planted bug has been caught (static or
+// dynamic).
+func (c *state) bugCount() int {
+	n := 0
+	for _, e := range c.entries {
+		if e.gp.Bug.String() != "none" && (e.staticCaught || e.detected) {
+			n++
+		}
+	}
+	return n
+}

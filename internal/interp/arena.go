@@ -126,7 +126,9 @@ func (c *thctx) releaseEnv(e *env) {
 	a.envs = append(a.envs, e)
 }
 
-// declare binds name to a fresh (recycled) cell holding v.
+// declare binds name to a fresh (recycled) cell holding v. Traced runs
+// stamp the cell with its schedule-ordered allocation id, the identity
+// trace tags use in place of the (arena-dependent) machine address.
 func (c *thctx) declare(e *env, name string, v value) {
 	a := c.ar
 	var cl *cell
@@ -136,6 +138,9 @@ func (c *thctx) declare(e *env, name string, v value) {
 		cl.v = v
 	} else {
 		cl = &cell{v: v}
+	}
+	if c.trace {
+		cl.id = c.r.tr.nextAlloc()
 	}
 	e.names = append(e.names, name)
 	e.cells = append(e.cells, cl)

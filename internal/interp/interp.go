@@ -174,6 +174,9 @@ func (r *runner) printLine(rank int, line string) {
 type value struct {
 	arr []int64 // non-nil means array
 	i   int64
+	// aid is the array's logical identity for trace tagging (set at
+	// declaration when tracing; copies alias the array and share it).
+	aid uint64
 }
 
 func scalar(i int64) value { return value{i: i} }
@@ -189,6 +192,13 @@ func scalar(i int64) value { return value{i: i} }
 type cell struct {
 	mu sync.Mutex
 	v  value
+	// id is the cell's logical identity for trace tagging, assigned at
+	// declaration from the run's allocation counter (see trace.go).
+	// Cells are recycled through process-wide arenas, so their machine
+	// address depends on what other sessions ran before — the logical
+	// id is a pure function of the schedule and keeps traces (and
+	// everything derived from them) reproducible.
+	id uint64
 }
 
 // load returns the cell's value (the array payload stays aliased).
@@ -331,7 +341,11 @@ func (c *thctx) execStmt(s ast.Stmt, e *env) (bool, int64, error) {
 			if n < 0 || n > 1<<28 {
 				return false, 0, c.errf(s.VarPos, "invalid array size %d for %q", n, s.Name)
 			}
-			c.declare(e, s.Name, value{arr: make([]int64, n)})
+			av := value{arr: make([]int64, n)}
+			if c.trace {
+				av.aid = c.r.tr.nextAlloc()
+			}
+			c.declare(e, s.Name, av)
 			return false, 0, nil
 		}
 		v := int64(0)
@@ -733,7 +747,7 @@ func (c *thctx) assign(lv ast.LValue, op ast.AssignOp, v int64, e *env) error {
 			return c.errf(lv.NamePos, "index %d out of range for %q (len %d)", idx, lv.Name, len(v.arr))
 		}
 		if c.trace {
-			c.tagWrite(elemObj(&v.arr[idx]))
+			c.tagWrite(elemObj(v, idx))
 		}
 		atomic.StoreInt64(&v.arr[idx], apply(atomic.LoadInt64(&v.arr[idx])))
 		return nil
@@ -791,7 +805,7 @@ func (c *thctx) evalExpr(ex ast.Expr, e *env) (value, error) {
 			return value{}, c.errf(ex.NamePos, "index %d out of range for %q (len %d)", idx, ex.Name, len(v.arr))
 		}
 		if c.trace {
-			c.tagRead(elemObj(&v.arr[idx]))
+			c.tagRead(elemObj(v, idx))
 		}
 		return scalar(atomic.LoadInt64(&v.arr[idx])), nil
 	case *ast.UnaryExpr:
@@ -1152,7 +1166,7 @@ func (c *thctx) arrayValue(ex ast.Expr, e *env) (snapshot, live []int64, err err
 		// The snapshot feeds a collective result, so every element read
 		// is verdict-visible and must participate in conflict detection.
 		for i := range v.arr {
-			c.tagRead(elemObj(&v.arr[i]))
+			c.tagRead(elemObj(v, int64(i)))
 		}
 	}
 	// Snapshot: the MPI layer reads the vector outside any cell lock,
@@ -1177,7 +1191,7 @@ func (c *thctx) storeVector(lv ast.LValue, vec []int64, e *env) error {
 	}
 	for i := 0; i < len(v.arr) && i < len(vec); i++ {
 		if c.trace {
-			c.tagWrite(elemObj(&v.arr[i]))
+			c.tagWrite(elemObj(v, int64(i)))
 		}
 		atomic.StoreInt64(&v.arr[i], vec[i])
 	}

@@ -38,12 +38,11 @@ package interp
 
 import (
 	"sync"
-	"unsafe"
 
 	"parcoach/internal/monitor"
 )
 
-// Composite object kinds (cells and elements use raw addresses).
+// Composite object kinds.
 const (
 	objMPI     uint64 = 2  // per-rank MPI call slot (W)
 	objCollHB  uint64 = 3  // collective round handoff (Rel/Acq)
@@ -58,6 +57,8 @@ const (
 	objJoinHB  uint64 = 13 // parallel-region join edge (Rel/Acq)
 	objVer     uint64 = 14 // per-rank verifier state (W)
 	objCCHB    uint64 = 15 // CC agreement round handoff (Rel/Acq)
+	objCell    uint64 = 16 // scalar cell, keyed by allocation id (R/W)
+	objElem    uint64 = 17 // array element, keyed by array id and index (R/W)
 )
 
 // traceRT is the runner's tracing scratch: matching-round counters that
@@ -80,6 +81,12 @@ type traceRT struct {
 	// regionSeq numbers parallel-region instances (fork/join/barrier
 	// object keys must not collide across sequential regions).
 	regionSeq uint64
+	// allocSeq numbers cell and array allocations in schedule order.
+	// Declarations only execute while their thread holds the run token,
+	// so the sequence — and with it every cell/element object id in the
+	// trace — is a pure function of the schedule, not of which pooled
+	// arena (and hence machine addresses) this run happened to draw.
+	allocSeq uint64
 }
 
 func newTraceRT(procs int) *traceRT {
@@ -99,6 +106,7 @@ func (tr *traceRT) reset() {
 	}
 	clear(tr.chanSeq)
 	tr.regionSeq = 0
+	tr.allocSeq = 0
 }
 
 func (tr *traceRT) nextColl(rank int) uint64 {
@@ -133,15 +141,29 @@ func (tr *traceRT) nextRegion() uint64 {
 	return k
 }
 
-// cellObj keys a scalar cell by address.
-func cellObj(cl *cell) monitor.Obj {
-	return monitor.Mix(uint64(uintptr(unsafe.Pointer(cl))))
+// nextAlloc issues the next cell/array allocation id. Ids start at 1 so
+// an unassigned (untraced) identity is distinguishable.
+func (tr *traceRT) nextAlloc() uint64 {
+	tr.mu.Lock()
+	tr.allocSeq++
+	k := tr.allocSeq
+	tr.mu.Unlock()
+	return k
 }
 
-// elemObj keys an array element by address, which makes element
-// dependence exact under MiniHybrid's by-reference array aliasing.
-func elemObj(p *int64) monitor.Obj {
-	return monitor.Mix(uint64(uintptr(unsafe.Pointer(p))))
+// cellObj keys a scalar cell by its allocation id. Ids — not machine
+// addresses — keep traces independent of arena recycling: a recycled
+// cell is a fresh declaration and gets a fresh id, so aliasing across a
+// cell's lifetimes cannot occur either.
+func cellObj(cl *cell) monitor.Obj {
+	return monitor.ObjID(objCell, cl.id, 0)
+}
+
+// elemObj keys an array element by the array's allocation id and the
+// element index, which keeps element dependence exact under
+// MiniHybrid's by-reference array aliasing (copies share arr and aid).
+func elemObj(v value, idx int64) monitor.Obj {
+	return monitor.ObjID(objElem, v.aid, uint64(idx))
 }
 
 func hashName(s string) uint64 {

@@ -34,7 +34,15 @@ import (
 // Options configures an evaluation.
 type Options struct {
 	// Workers is the compile worker-pool width (0 = GOMAXPROCS).
+	// Ignored when Compiler is set — the shared pool is the width.
 	Workers int
+	// Compiler, when non-nil, routes every compilation through the
+	// shared artifact cache (parcoach.Compiler.Cached). The sweep and
+	// especially ReduceFailure resubmit identical (source, mode) pairs —
+	// Evaluate and the replay path compile the same ModeFull source per
+	// reduction candidate — so a shared compiler removes the duplicate
+	// pipeline runs. Verdicts are identical with or without it.
+	Compiler *parcoach.Compiler
 	// MaxSteps bounds each run (default 2 million).
 	MaxSteps int64
 	// ExploreSchedules is the per-program schedule budget for the
@@ -44,6 +52,16 @@ type Options struct {
 	// planted check aborts counts as a dynamic detection — and clean
 	// programs must stay clean under every explored schedule.
 	ExploreSchedules int
+}
+
+// compile builds (name, src) in the given mode, through the shared
+// artifact cache when one is configured.
+func (o Options) compile(name, src string, mode parcoach.Mode) (*parcoach.Program, error) {
+	copts := parcoach.Options{Mode: mode, Workers: o.Workers}
+	if o.Compiler != nil {
+		return o.Compiler.Cached(name, src, copts)
+	}
+	return parcoach.Compile(name, src, copts)
 }
 
 // exploreBudget resolves the schedule budget.
@@ -155,7 +173,7 @@ func Evaluate(gp *mhgen.Program, opts Options) Row {
 
 	var progs [3]*parcoach.Program
 	for i, mode := range []parcoach.Mode{parcoach.ModeBaseline, parcoach.ModeAnalyze, parcoach.ModeFull} {
-		p, err := parcoach.Compile(name, gp.Source, parcoach.Options{Mode: mode, Workers: opts.Workers})
+		p, err := opts.compile(name, gp.Source, mode)
 		if err != nil {
 			row.Violations = append(row.Violations,
 				fmt.Sprintf("compile (%s) failed: %v", mode, err))
@@ -359,8 +377,7 @@ func ReduceFailure(gp *mhgen.Program, opts Options) string {
 // differently is not reproducing the original failure, merely failing
 // somewhere nearby.
 func replayFails(gp *mhgen.Program, token string, opts Options) bool {
-	p, err := parcoach.Compile(gp.Name+".mh", gp.Source,
-		parcoach.Options{Mode: parcoach.ModeFull, Workers: opts.Workers})
+	p, err := opts.compile(gp.Name+".mh", gp.Source, parcoach.ModeFull)
 	if err != nil {
 		return false
 	}

@@ -102,6 +102,27 @@ func FromSeed(seed uint64) *Program {
 	return Generate(cfg)
 }
 
+// ShardSeeds partitions the seed interval [start, start+n) round-robin
+// into shards and returns shard's slice (every shards-th seed starting
+// at start+shard), in increasing order. Round-robin rather than
+// contiguous blocks because FromSeed cycles the bug class with the
+// seed: with a shard count coprime to that 10-class cycle every shard
+// of a matrix sweep covers every bug class (and any shard count still
+// spreads classes far more evenly than contiguous blocks would). The
+// union of all shards is exactly the unsharded range and
+// shards are pairwise disjoint. Panics on an invalid (shards, shard)
+// pair — a CLI misconfiguration, not a recoverable state.
+func ShardSeeds(start, n uint64, shards, shard int) []uint64 {
+	if shards < 1 || shard < 0 || shard >= shards {
+		panic(fmt.Sprintf("mhgen.ShardSeeds: invalid shard %d of %d", shard, shards))
+	}
+	var out []uint64
+	for s := start + uint64(shard); s < start+n; s += uint64(shards) {
+		out = append(out, s)
+	}
+	return out
+}
+
 // Generate emits the program for cfg. The result always parses and
 // passes semantic checking (validated here with MustParse, so a
 // generator regression fails loudly at the source).

@@ -116,3 +116,67 @@ func TestReduceKeepsUninterestingInputUntouched(t *testing.T) {
 		t.Fatalf("Reduce changed an unparsable input: %q", got)
 	}
 }
+
+// TestReduceMemoizesKeepOnCandidateSource pins the reduction-cost fix:
+// the fixpoint loop re-offers rejected deletions verbatim on every later
+// round (here, deleting print(a) out of the already-shrunk program is
+// attempted in round 1 and again in round 2), and keep predicates
+// typically recompile and re-run the candidate, so each distinct
+// rendered source must reach the caller's predicate exactly once.
+func TestReduceMemoizesKeepOnCandidateSource(t *testing.T) {
+	src := "func main() {\n\tvar a = 1\n\tvar b = 2\n\tprint(a)\n}"
+	calls := map[string]int{}
+	keep := func(cand string) bool {
+		calls[cand]++
+		if _, err := parser.Parse("r.mh", cand); err != nil {
+			return false
+		}
+		return strings.Contains(cand, "var a") && strings.Contains(cand, "print(a)")
+	}
+	red := Reduce(src, keep)
+	if !strings.Contains(red, "var a") || !strings.Contains(red, "print(a)") || strings.Contains(red, "var b") {
+		t.Fatalf("unexpected reduction:\n%s", red)
+	}
+	for cand, n := range calls {
+		if n > 1 {
+			t.Fatalf("keep evaluated %d times for a byte-identical candidate:\n%s", n, cand)
+		}
+	}
+}
+
+// TestShardSeedsPartition: the shards are pairwise disjoint, their
+// union is exactly the unsharded range, and round-robin assignment
+// keeps every bug class in every shard (FromSeed cycles the class with
+// the seed).
+func TestShardSeedsPartition(t *testing.T) {
+	const start, n = 5, 200
+	for _, shards := range []int{1, 3, 4, 7} {
+		seen := make(map[uint64]int)
+		for shard := 0; shard < shards; shard++ {
+			classes := make(map[workload.Bug]bool)
+			for _, s := range ShardSeeds(start, n, shards, shard) {
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("shards %d: seed %d in both shard %d and %d", shards, s, prev, shard)
+				}
+				seen[s] = shard
+				classes[FromSeed(s).Bug] = true
+			}
+			// Full class coverage per shard needs the stride coprime to
+			// FromSeed's 10-class cycle (shards 4 sees only half the
+			// residues per shard).
+			coprime := shards%2 != 0 && shards%5 != 0
+			if coprime && len(classes) != len(workload.AllBugs)+1 {
+				t.Errorf("shards %d shard %d: covers %d of %d bug classes",
+					shards, shard, len(classes), len(workload.AllBugs)+1)
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("shards %d: union has %d seeds, want %d", shards, len(seen), n)
+		}
+		for s := uint64(start); s < start+n; s++ {
+			if _, ok := seen[s]; !ok {
+				t.Fatalf("shards %d: seed %d missing from every shard", shards, s)
+			}
+		}
+	}
+}

@@ -21,11 +21,26 @@ import (
 //
 // keep must be true for src itself (otherwise src is returned unchanged)
 // and should be deterministic; the reducer calls it O(statements²) times
-// in the worst case.
+// in the worst case. Calls are memoized on the candidate's rendered
+// source: the greedy passes re-offer byte-identical candidates through
+// different deletion paths (most commonly, a rejected deletion is
+// retried verbatim on every subsequent fixpoint round), and keep
+// predicates typically recompile and re-execute the program — by far the
+// dominant cost — so each distinct candidate is evaluated exactly once.
 func Reduce(src string, keep func(string) bool) string {
 	prog, err := parser.Parse("reduce.mh", src)
 	if err != nil || prog == nil {
 		return src
+	}
+	memo := make(map[string]bool)
+	inner := keep
+	keep = func(candidate string) bool {
+		if v, ok := memo[candidate]; ok {
+			return v
+		}
+		v := inner(candidate)
+		memo[candidate] = v
+		return v
 	}
 	if base := ast.String(prog); !keep(base) {
 		// The canonical rendering already behaves differently (or src was

@@ -1,0 +1,98 @@
+package monitor
+
+import "testing"
+
+// edgeSigs analyzes a trace and collects its edge signatures.
+func edgeSigs(t *EventTrace) []uint64 {
+	var an Analysis
+	an.Analyze(t)
+	var out []uint64
+	an.EdgeSignatures(t, func(k uint64) { out = append(out, k) })
+	return out
+}
+
+// TestEdgeSignatureDeterministic pins the campaign coverage contract:
+// analyzing byte-identical traces yields byte-identical edge-signature
+// sequences, including through Analysis buffer reuse.
+func TestEdgeSignatureDeterministic(t *testing.T) {
+	cellX := ObjID(1, 0, 0)
+	events := []traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+		{thread: 1, branch: 1, accs: []Access{rd(cellX)}},
+		{thread: 0, branch: 2, accs: []Access{wr(cellX)}},
+	}
+	a := edgeSigs(buildTrace(events))
+	if len(a) == 0 {
+		t.Fatal("expected at least one race-pair edge signature")
+	}
+	b := edgeSigs(buildTrace(events))
+	if len(a) != len(b) {
+		t.Fatalf("identical traces: %d vs %d signatures", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical traces diverge at signature %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	// Reuse one Analysis across both traces (the campaign's pooled use).
+	var an Analysis
+	an.Analyze(buildTrace(events))
+	var c []uint64
+	an.EdgeSignatures(buildTrace(events), func(k uint64) { c = append(c, k) })
+	if len(c) != len(a) || c[0] != a[0] {
+		t.Fatalf("reused Analysis diverges: %v vs %v", c, a)
+	}
+}
+
+// TestEdgeSignatureDistinguishesReversal: the same conflicting pair of
+// accesses observed in the opposite order is a different dependence
+// shape — the whole point of using edges as a coverage signal is that
+// reaching the reversal counts as new behavior.
+func TestEdgeSignatureDistinguishesReversal(t *testing.T) {
+	cellX := ObjID(1, 0, 0)
+	fwd := edgeSigs(buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+		{thread: 1, branch: 1, accs: []Access{wr(cellX)}},
+	}))
+	rev := edgeSigs(buildTrace([]traceEvent{
+		{thread: 1, branch: 0, accs: []Access{wr(cellX)}},
+		{thread: 0, branch: 1, accs: []Access{wr(cellX)}},
+	}))
+	if len(fwd) != 1 || len(rev) != 1 {
+		t.Fatalf("expected one race pair each, got %d and %d", len(fwd), len(rev))
+	}
+	if fwd[0] == rev[0] {
+		t.Fatalf("reversed race pair must yield a distinct signature, both %#x", fwd[0])
+	}
+}
+
+// TestEdgeSignatureShapeInvariance: the signature abstracts absolute
+// trace positions — padding the trace with unrelated events of the same
+// threads shifts every absolute index but, as long as the per-thread
+// ordinals of the conflicting steps move together, distinct conflicts
+// keep distinct signatures and repeated shapes collide.
+func TestEdgeSignatureShapeInvariance(t *testing.T) {
+	cellX, cellY := ObjID(1, 0, 0), ObjID(1, 0, 1)
+	// Two structurally identical conflicts on different objects at the
+	// same per-thread ordinals must collide (the shape ignores the
+	// object), while the same conflict at different ordinals must not.
+	sameShape := edgeSigs(buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+		{thread: 1, branch: 1, accs: []Access{wr(cellX)}},
+	}))
+	otherObj := edgeSigs(buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellY)}},
+		{thread: 1, branch: 1, accs: []Access{wr(cellY)}},
+	}))
+	if len(sameShape) != 1 || len(otherObj) != 1 || sameShape[0] != otherObj[0] {
+		t.Fatalf("same shape on a different object should collide: %v vs %v", sameShape, otherObj)
+	}
+	shifted := edgeSigs(buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: nil}, // unrelated step shifts thread 0's ordinals
+		{thread: 0, branch: 1, accs: []Access{wr(cellX)}},
+		{thread: 1, branch: 2, accs: []Access{wr(cellX)}},
+	}))
+	if len(shifted) != 1 || shifted[0] == sameShape[0] {
+		t.Fatalf("shifted per-thread ordinal should change the signature: %v vs %v", shifted, sameShape)
+	}
+}

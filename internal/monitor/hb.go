@@ -27,6 +27,8 @@
 // and analysis runs after the run completes.
 package monitor
 
+import "encoding/binary"
+
 // Obj identifies one shared object within a single run. Interpreters
 // derive ids from addresses and composite keys via Mix/ObjID; a
 // collision merely merges two objects into one conflict class, which
@@ -276,6 +278,12 @@ func (a *Analysis) Analyze(t *EventTrace) {
 		a.cur[i] = 0
 	}
 
+	// Within the loop, clockOf(j) may only be consulted for j < i: event
+	// i's own row is not written until the end of its iteration, and on a
+	// reused Analysis it still holds the previous trace's clocks. A prior
+	// access index equal to i arises when one event touches the same
+	// object twice (a read-modify-write between two scheduling decisions)
+	// — same thread, so there is nothing to order or report anyway.
 	for i := 0; i < n; i++ {
 		tid, _ := t.At(i)
 		cur := a.cur[tid*a.stride : (tid+1)*a.stride]
@@ -286,11 +294,11 @@ func (a *Analysis) Analyze(t *EventTrace) {
 			case AccRelease:
 				st.lastRel = int32(i)
 			case AccAcquire:
-				if st.lastRel >= 0 {
+				if st.lastRel >= 0 && int(st.lastRel) != i {
 					joinClock(cur, a.clockOf(int(st.lastRel)))
 				}
 			case AccRead:
-				if w := st.lastW; w >= 0 {
+				if w := st.lastW; w >= 0 && int(w) != i {
 					wt, _ := t.At(int(w))
 					if wt != tid && a.clockOf(int(w))[wt] > cur[wt] {
 						a.addRace(int(w), i)
@@ -311,7 +319,7 @@ func (a *Analysis) Analyze(t *EventTrace) {
 					st.readers = append(st.readers, int32(i))
 				}
 			case AccWrite:
-				if w := st.lastW; w >= 0 {
+				if w := st.lastW; w >= 0 && int(w) != i {
 					wt, _ := t.At(int(w))
 					if wt != tid && a.clockOf(int(w))[wt] > cur[wt] {
 						a.addRace(int(w), i)
@@ -319,6 +327,9 @@ func (a *Analysis) Analyze(t *EventTrace) {
 					joinClock(cur, a.clockOf(int(w)))
 				}
 				for _, r := range st.readers {
+					if int(r) == i {
+						continue
+					}
 					rt, _ := t.At(int(r))
 					if rt != tid && a.clockOf(int(r))[rt] > cur[rt] {
 						a.addRace(int(r), i)
@@ -346,6 +357,58 @@ func (a *Analysis) Threads() int { return a.threads }
 func (a *Analysis) HappensBefore(i, j int, t *EventTrace) bool {
 	ti, _ := t.At(i)
 	return a.clockOf(i)[ti] <= a.clockOf(j)[ti]
+}
+
+// threadOrdinal returns the 0-based position of event ev within its own
+// thread's event sequence. ev must be an event of the analyzed trace.
+func (a *Analysis) threadOrdinal(thread, ev int) int {
+	evs := a.byThread[thread]
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(evs[mid]) < ev {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EdgeSignature folds one race pair into a dependence-edge shape key: a
+// hash over (thread of A, A's ordinal within that thread, thread of B,
+// B's ordinal within that thread). The shape abstracts away absolute
+// trace positions — two runs whose threads interleave the same
+// conflicting steps in the same per-thread order produce the same
+// signature — while a reversed pair (the same conflict observed in the
+// opposite order) hashes the roles swapped and therefore yields a
+// distinct key. This is the monitor-level component of the campaign
+// engine's coverage signal (internal/campaign): a new edge shape means
+// the schedule reached a dependence the corpus had not yet witnessed.
+func (a *Analysis) EdgeSignature(rc Race, t *EventTrace) uint64 {
+	ta, _ := t.At(rc.A)
+	tb, _ := t.At(rc.B)
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(ta))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(a.threadOrdinal(ta, rc.A)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(tb))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(a.threadOrdinal(tb, rc.B)))
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// EdgeSignatures emits the edge signature of every race pair of the
+// analyzed trace, in trace order. Identical traces emit identical
+// sequences; the emit function typically feeds a coverage set.
+func (a *Analysis) EdgeSignatures(t *EventTrace, emit func(uint64)) {
+	for _, rc := range a.races {
+		emit(a.EdgeSignature(rc, t))
+	}
 }
 
 // NextEventOf returns the first event of thread strictly after trace

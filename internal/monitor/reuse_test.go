@@ -1,0 +1,73 @@
+package monitor
+
+import "testing"
+
+func TestEdgeSignatureReuseAcrossDifferentTraces(t *testing.T) {
+	cellX, cellY := ObjID(1, 0, 0), ObjID(1, 0, 1)
+	big := buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellX), wr(cellY)}},
+		{thread: 1, branch: 1, accs: []Access{rd(cellX), wr(cellY)}},
+		{thread: 2, branch: 2, accs: []Access{wr(cellX)}},
+		{thread: 0, branch: 3, accs: []Access{wr(cellY)}},
+	})
+	small := buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(cellX)}},
+		{thread: 1, branch: 1, accs: []Access{wr(cellX)}},
+	})
+	fresh := edgeSigs(small)
+	var an Analysis
+	an.Analyze(big)
+	an.Analyze(small)
+	var reused []uint64
+	an.EdgeSignatures(small, func(k uint64) { reused = append(reused, k) })
+	if len(fresh) != len(reused) {
+		t.Fatalf("reused Analysis yields %d sigs vs fresh %d", len(reused), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("sig %d differs: fresh %#x reused %#x", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestAnalyzeReuseAfterSameEventRMW pins the self-reference rule: when
+// one event touches the same object twice (a read-modify-write between
+// two scheduling decisions), the prior-access index equals the current
+// event, whose clock row is not written yet. On a reused Analysis that
+// row still holds the previous trace's clocks — joining it inflated the
+// thread's clock and silently suppressed later race reports, making
+// race sets (and every coverage signal built on them) depend on which
+// trace the Analysis happened to see before.
+func TestAnalyzeReuseAfterSameEventRMW(t *testing.T) {
+	objW, objX, objY := ObjID(1, 0, 0), ObjID(1, 0, 1), ObjID(1, 0, 2)
+	// A single-threaded warm-up trace leaves monotonically growing
+	// clock rows behind (stride 1, reinterpreted at stride 2 below).
+	var warm []traceEvent
+	for i := 0; i < 6; i++ {
+		warm = append(warm, traceEvent{thread: 0, branch: i, accs: []Access{wr(objW)}})
+	}
+	prev := buildTrace(warm)
+	rmw := buildTrace([]traceEvent{
+		{thread: 0, branch: 0, accs: []Access{wr(objX)}},
+		{thread: 1, branch: 1, accs: []Access{rd(objY), wr(objY)}},
+		{thread: 1, branch: 2, accs: []Access{rd(objX)}},
+	})
+	var fresh Analysis
+	fresh.Analyze(rmw)
+	want := append([]Race(nil), fresh.Races()...)
+	if len(want) != 1 || want[0] != (Race{0, 2}) {
+		t.Fatalf("fresh analysis: races = %v, want [{0 2}]", want)
+	}
+	var an Analysis
+	an.Analyze(prev)
+	an.Analyze(rmw)
+	got := an.Races()
+	if len(got) != len(want) {
+		t.Fatalf("reused analysis: races = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused analysis: races = %v, want %v", got, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -143,6 +144,15 @@ type Controller struct {
 	isOff    bool
 	owner    map[interface{}]*Gate // monitor waiter → parked gate
 
+	// ready is the sorted id set of runnable gates, maintained
+	// incrementally on every state transition. Decisions are then
+	// O(enabled) instead of O(every gate ever forked) — a run that
+	// keeps entering parallel regions forks a fresh team each time, and
+	// scanning the accumulated dead gates once per statement turns such
+	// runs quadratic (the step-limit abort of a reduced looping program
+	// would take hours instead of seconds).
+	ready []ThreadID
+
 	enabledScratch []ThreadID
 
 	// Incremental positional-state signature: xsig is the XOR of every
@@ -192,6 +202,7 @@ func NewController(s Scheduler, procs int) *Controller {
 	}
 	c.xsig = 0
 	c.dirty = c.dirty[:0]
+	c.ready = c.ready[:0]
 	c.trace = nil
 	c.branchN = 0
 	if ts, ok := s.(TraceSource); ok {
@@ -226,7 +237,34 @@ func (c *Controller) newGateLocked() *Gate {
 	g.sig = g.contribution()
 	c.xsig ^= g.sig
 	c.gates = append(c.gates, g)
+	c.readyAddLocked(g.id)
 	return g
+}
+
+// readyAddLocked inserts id into the sorted ready set. Freshly forked
+// gates carry the highest id so far, so forks take the append fast
+// path; only wakes of low-id threads pay the insertion walk.
+func (c *Controller) readyAddLocked(id ThreadID) {
+	n := len(c.ready)
+	if n == 0 || c.ready[n-1] < id {
+		c.ready = append(c.ready, id)
+		return
+	}
+	i := sort.Search(n, func(k int) bool { return c.ready[k] >= id })
+	if i < n && c.ready[i] == id {
+		return
+	}
+	c.ready = append(c.ready, 0)
+	copy(c.ready[i+1:], c.ready[i:])
+	c.ready[i] = id
+}
+
+// readyRemoveLocked deletes id from the sorted ready set.
+func (c *Controller) readyRemoveLocked(id ThreadID) {
+	i := sort.Search(len(c.ready), func(k int) bool { return c.ready[k] >= id })
+	if i < len(c.ready) && c.ready[i] == id {
+		c.ready = append(c.ready[:i], c.ready[i+1:]...)
+	}
 }
 
 // Recycle returns the controller and its gates to the pool. Only call
@@ -245,6 +283,7 @@ func (c *Controller) Recycle() {
 	c.sched = nil
 	clear(c.owner)
 	c.dirty = c.dirty[:0]
+	c.ready = c.ready[:0]
 	c.xsig = 0
 	c.trace = nil
 	c.mu.Unlock()
@@ -319,14 +358,11 @@ func (g *Gate) Yield(line int) {
 // enabledLocked returns the sorted runnable set in the controller's
 // scratch slice — one scheduling decision per statement makes this the
 // hottest allocation site, so the backing array is reused; Next
-// implementations must not retain it.
+// implementations must not retain it. The set is a copy of the
+// incrementally maintained ready list, so the cost is O(enabled), not
+// O(every gate ever forked).
 func (c *Controller) enabledLocked() []ThreadID {
-	out := c.enabledScratch[:0]
-	for _, g := range c.gates {
-		if g.state == gateReady {
-			out = append(out, g.id)
-		}
-	}
+	out := append(c.enabledScratch[:0], c.ready...)
 	c.enabledScratch = out
 	return out
 }
@@ -462,6 +498,7 @@ func (c *Controller) HolderParked(w interface{}) {
 	}
 	g := c.gates[c.holder]
 	g.state = gateParked
+	c.readyRemoveLocked(g.id)
 	c.markDirtyLocked(g)
 	c.owner[w] = g
 	c.pickLocked(-1)
@@ -477,6 +514,7 @@ func (c *Controller) WaiterWoken(w interface{}) {
 		return
 	}
 	g.state = gateReady
+	c.readyAddLocked(g.id)
 	c.markDirtyLocked(g)
 }
 
@@ -504,6 +542,7 @@ func (c *Controller) HolderExited() {
 	}
 	g := c.gates[c.holder]
 	g.state = gateDone
+	c.readyRemoveLocked(g.id)
 	c.markDirtyLocked(g)
 	c.pickLocked(-1)
 }

@@ -36,15 +36,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"parcoach/internal/ast"
+	"parcoach/internal/campaign"
 	"parcoach/internal/cfg"
 	"parcoach/internal/core"
 	"parcoach/internal/dom"
 	"parcoach/internal/explore"
 	"parcoach/internal/instrument"
 	"parcoach/internal/interp"
+	"parcoach/internal/mhgen"
 	"parcoach/internal/parser"
 	"parcoach/internal/passes"
 	"parcoach/internal/pipeline"
@@ -232,8 +235,27 @@ func CacheKey(name, src string, opts Options) string {
 // value, so a server compiling on demand (cmd/parcoachd) keeps its
 // workers warm instead of rebuilding a pool per request. Safe for
 // concurrent use.
+//
+// Cached additionally memoizes compiled artifacts by CacheKey, so
+// harnesses that resubmit the same source under the same options (the
+// differential sweep's replay paths, a campaign's corpus re-runs) pay
+// for each distinct artifact once.
 type Compiler struct {
 	pool *pipeline.Pool
+
+	mu     sync.Mutex
+	cache  map[string]*cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+// cacheEntry is one memoized artifact; the Once gives Cached
+// singleflight semantics — concurrent requests for the same key block
+// on one compilation instead of duplicating it.
+type cacheEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
 }
 
 // NewCompiler builds a compiler around a persistent pool of the given
@@ -248,6 +270,44 @@ func NewCompiler(workers int) *Compiler {
 // Output is identical to a standalone Compile of the same inputs.
 func (c *Compiler) Compile(name, src string, opts Options) (*Program, error) {
 	return compile(name, src, opts, c.pool)
+}
+
+// Cached is Compile through the compiler's artifact cache: the first
+// request for a CacheKey compiles (errors are cached too — a source
+// that fails to parse fails identically on every resubmission), and
+// every later request for the same key returns the same *Program.
+// Callers therefore share the artifact; Program is read-only after
+// compilation and safe for concurrent Run/Explore.
+func (c *Compiler) Cached(name, src string, opts Options) (*Program, error) {
+	key := CacheKey(name, src, opts)
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[string]*cacheEntry)
+	}
+	e, ok := c.cache[key]
+	if ok {
+		c.hits++
+	} else {
+		e = new(cacheEntry)
+		c.cache[key] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = compile(name, src, opts, c.pool) })
+	return e.prog, e.err
+}
+
+// CompilerStats reports the artifact cache's traffic.
+type CompilerStats struct {
+	Hits   uint64 // Cached requests served from the artifact cache
+	Misses uint64 // Cached requests that had to compile
+}
+
+// CacheStats returns a snapshot of the artifact cache counters.
+func (c *Compiler) CacheStats() CompilerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CompilerStats{Hits: c.hits, Misses: c.misses}
 }
 
 // Batch compiles many programs on the shared pool; the returned slice
@@ -789,4 +849,98 @@ func (p *Program) ExploreUninstrumented(opts ExploreOptions) *ExplorationReport 
 // by the overhead experiments to compare against instrumented runs).
 func (p *Program) RunUninstrumented(opts RunOptions) *RunResult {
 	return interp.Run(p.Source, opts)
+}
+
+// CampaignOptions configures an exploration campaign over generated
+// programs (internal/campaign): a corpus of mhgen seeds is explored
+// with the total schedule budget allocated by marginal coverage —
+// entries whose schedules keep producing novel coverage keys
+// (positional state signatures, verdict classes, happens-before edge
+// shapes, static warning kinds) earn more schedules, dry entries are
+// retired, and mutation (seed neighborhoods, schedule-prefix splicing)
+// grows the corpus. A campaign is a pure function of its options:
+// reports are byte-identical at any Workers value.
+type CampaignOptions struct {
+	// Seeds is the initial corpus (mhgen generation seeds).
+	Seeds []uint64
+	// Budget is the total schedule budget (default 16 × len(Seeds) —
+	// the same total the uniform baseline spends).
+	Budget int
+	// Seed is the campaign master seed.
+	Seed uint64
+	// Workers is the shared pool width (0 = GOMAXPROCS).
+	Workers int
+	// MaxSteps bounds each run (default 2 million, as the differential
+	// harness).
+	MaxSteps int64
+	// Uniform runs the linear-sweep baseline instead: the same engine,
+	// coverage signal and schedule streams, but a fixed equal budget
+	// per entry and no adaptation, mutation or splicing.
+	Uniform bool
+	// NoMutate / NoSplice / NoReduce disable individual campaign
+	// channels (the bench harness disables mutation so campaign and
+	// baseline cover the identical program set).
+	NoMutate bool
+	NoSplice bool
+	NoReduce bool
+	// Initial, MaxPerRound, DryRounds, UniformBudget and MaxCorpus
+	// override the engine's allocation knobs (zero = default).
+	Initial       int
+	MaxPerRound   int
+	DryRounds     int
+	UniformBudget int
+	MaxCorpus     int
+}
+
+// CampaignReport re-exports the campaign's result; CampaignPoint is
+// one round of its coverage-vs-budget trajectory.
+type (
+	CampaignReport = campaign.Report
+	CampaignPoint  = campaign.Point
+)
+
+// Campaign runs a coverage-guided exploration campaign: every corpus
+// entry compiles once through a shared artifact-cached Compiler
+// (ModeFull, so planted checks and the value oracle are armed), and
+// all schedule execution fans out on one worker pool.
+func Campaign(opts CampaignOptions) (*CampaignReport, error) {
+	pool := pipeline.NewPool(opts.Workers)
+	comp := &Compiler{pool: pool}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000
+	}
+	compile := func(gp *mhgen.Program) (*campaign.Compiled, error) {
+		p, err := comp.Cached(gp.Name+".mh", gp.Source, Options{Mode: ModeFull})
+		if err != nil {
+			return nil, err
+		}
+		target := p.Source
+		if p.Instrumented != nil {
+			target = p.Instrumented
+		}
+		sess := interp.NewSession(target, interp.Options{
+			Procs:      gp.Procs,
+			Threads:    gp.Threads,
+			MaxSteps:   maxSteps,
+			ValueCheck: true,
+		})
+		return &campaign.Compiled{Session: sess, StaticKinds: p.WarningKinds()}, nil
+	}
+	return campaign.Run(campaign.Options{
+		Seeds:         opts.Seeds,
+		Budget:        opts.Budget,
+		Seed:          opts.Seed,
+		Compile:       compile,
+		Pool:          pool,
+		Uniform:       opts.Uniform,
+		NoMutate:      opts.NoMutate,
+		NoSplice:      opts.NoSplice,
+		NoReduce:      opts.NoReduce,
+		Initial:       opts.Initial,
+		MaxPerRound:   opts.MaxPerRound,
+		DryRounds:     opts.DryRounds,
+		UniformBudget: opts.UniformBudget,
+		MaxCorpus:     opts.MaxCorpus,
+	})
 }
