@@ -30,12 +30,21 @@
 //	               wave (legacy reference) | dpor (partial-order
 //	               reduction: explore only genuinely racing schedules)
 //	-replay TOK    run the single schedule named by a replay token
+//	-timeout D     wall-clock bound: a single run is abandoned by the
+//	               watchdog after D; an exploration is canceled at the
+//	               deadline and prints its partial report. Either way
+//	               the exit code is 3 (0 = none)
 //
 // -replay and -explore are mutually exclusive, and -dfs-frontier is
-// only meaningful with -explore dfs; contradictory combinations exit 2.
+// only meaningful with -explore dfs; contradictory combinations (and a
+// negative -timeout) exit 2.
+//
+// Exit codes: 0 clean, 1 verification/run failure, 2 usage error,
+// 3 timed out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +69,12 @@ func main() {
 	schedSeed := flag.Int64("sched-seed", 0, "base seed of the random/pct schedule samplers")
 	dfsFrontier := flag.String("dfs-frontier", "steal", "DFS frontier: steal|wave|dpor")
 	replay := flag.String("replay", "", "replay one schedule from its token (rr, rand:<seed>, pct:<seed>:<depth>, trace:...)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the run/exploration; exceeding it exits 3 (0 = none)")
 	flag.Parse()
+
+	if *timeout < 0 {
+		fatal(fmt.Errorf("-timeout must be non-negative, got %v", *timeout))
+	}
 
 	// Flags that are meaningless together are an error, not a silent
 	// precedence pick: a user combining them always means something the
@@ -149,7 +163,7 @@ func main() {
 			// machine would see it, without the planted checks.
 			explorer = prog.ExploreUninstrumented
 		}
-		rep := explorer(parcoach.ExploreOptions{
+		eopts := parcoach.ExploreOptions{
 			Strategy:  strat,
 			Frontier:  frontier,
 			Schedules: *schedules,
@@ -161,8 +175,18 @@ func main() {
 			Policy:    opts.Policy,
 			Level:     opts.Level,
 			LevelSet:  opts.LevelSet,
-		})
+		}
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			eopts.Ctx = ctx
+		}
+		rep := explorer(eopts)
 		fmt.Print(rep)
+		if rep.Canceled {
+			fmt.Fprintf(os.Stderr, "hybridrun: exploration timed out after %v; the report above is partial\n", *timeout)
+			os.Exit(3)
+		}
 		if rep.FirstFailure != nil {
 			os.Exit(1)
 		}
@@ -185,7 +209,12 @@ func main() {
 		}
 	}
 
+	opts.WallTimeout = *timeout
 	res := prog.Run(opts)
+	if res.Outcome() == parcoach.RunTimeout {
+		fmt.Fprintf(os.Stderr, "hybridrun: run abandoned by the watchdog after %v\n", *timeout)
+		os.Exit(3)
+	}
 	if replaying != nil && replaying.Diverged() {
 		// The trace named a thread that was not enabled: the program (or
 		// its flags) differ from the recording, so whatever just ran was

@@ -86,11 +86,17 @@ func TestFlagConflicts(t *testing.T) {
 		{"frontier-without-explore", []string{"-dfs-frontier", "wave"}, 2, "requires -explore dfs"},
 		{"frontier-with-sampling", []string{"-explore", "random", "-dfs-frontier", "dpor"}, 2, "applies only to -explore dfs"},
 		{"frontier-with-rr", []string{"-explore", "rr", "-dfs-frontier", "steal"}, 2, "applies only to -explore dfs"},
+		{"negative-timeout", []string{"-timeout", "-1s"}, 2, "non-negative"},
 		// Valid combinations stay valid.
 		{"plain-run", nil, 0, ""},
 		{"replay-alone", []string{"-replay", "rr"}, 0, ""},
 		{"explore-dfs-frontier", []string{"-explore", "dfs", "-dfs-frontier", "wave", "-schedules", "8"}, 0, ""},
 		{"frontier-default-untouched", []string{"-explore", "random", "-schedules", "4"}, 0, ""},
+		// A generous -timeout composes with everything and never fires on a
+		// fast clean program.
+		{"timeout-with-run", []string{"-timeout", "1m"}, 0, ""},
+		{"timeout-with-replay", []string{"-timeout", "1m", "-replay", "rr"}, 0, ""},
+		{"timeout-with-explore", []string{"-timeout", "1m", "-explore", "rr"}, 0, ""},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -103,6 +109,48 @@ func TestFlagConflicts(t *testing.T) {
 			}
 		})
 	}
+}
+
+// cliSpinSrc loops far past any test's patience — the program -timeout
+// has to interrupt.
+const cliSpinSrc = `
+func main() {
+	MPI_Init()
+	var i = 0
+	while i < 2000000000 {
+		i = i + 1
+	}
+	MPI_Finalize()
+}`
+
+// TestTimeoutExitCode: a run or exploration that exceeds -timeout exits
+// 3 (distinct from verification failure's 1 and usage's 2), names the
+// timeout on stderr, and — for explorations — still prints the partial
+// report.
+func TestTimeoutExitCode(t *testing.T) {
+	spin := writeProgram(t, "spin.mh", cliSpinSrc)
+
+	t.Run("run", func(t *testing.T) {
+		_, stderr, code := runCLI(t, "-timeout", "100ms", spin)
+		if code != 3 {
+			t.Fatalf("timed-out run exited %d, want 3; stderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "watchdog") {
+			t.Errorf("stderr does not name the watchdog:\n%s", stderr)
+		}
+	})
+	t.Run("explore", func(t *testing.T) {
+		stdout, stderr, code := runCLI(t, "-timeout", "100ms", "-explore", "rr", spin)
+		if code != 3 {
+			t.Fatalf("timed-out exploration exited %d, want 3; stderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "timed out") {
+			t.Errorf("stderr does not report the timeout:\n%s", stderr)
+		}
+		if !strings.Contains(stdout, "canceled=true") {
+			t.Errorf("partial report missing its canceled marker:\n%s", stdout)
+		}
+	})
 }
 
 // reportOutcomes extracts the verdict outcome names from the CLI's

@@ -22,7 +22,13 @@
 //	mhgen campaign -n 50 -json                    # structured report
 //
 // A fixed -campaign-seed renders byte-identically at any -workers
-// count.
+// count. Campaigns checkpoint and resume: -checkpoint FILE writes the
+// resumable state after every -checkpoint-every rounds (atomically, so
+// a kill mid-write keeps the previous checkpoint), and -resume
+// continues from it — the resumed report is byte-identical to an
+// uninterrupted run of the same options. -halt-after-round N stops
+// deterministically after round N (the kill switch the smoke scripts
+// use to prove that identity).
 //
 // On a soundness violation the failing program is greedily reduced
 // before printing, and the exit status is 1.
@@ -117,22 +123,41 @@ func runCampaign(args []string) {
 		workers = fs.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
 		uniform = fs.Bool("uniform", false, "spread the budget evenly instead of by coverage yield (the bench baseline; no mutation)")
 		asJSON  = fs.Bool("json", false, "emit the structured report as JSON")
+
+		checkpoint = fs.String("checkpoint", "", "write resumable campaign state to this file")
+		ckEvery    = fs.Int("checkpoint-every", 0, "rounds between checkpoint writes (0 = every round)")
+		resume     = fs.Bool("resume", false, "continue from the -checkpoint file instead of starting fresh")
+		haltAfter  = fs.Int("halt-after-round", 0, "checkpoint and stop after this round (0 = run to completion; requires -checkpoint)")
+		runTimeout = fs.Duration("timeout", 0, "per-run wall-clock watchdog (0 = none)")
 	)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mhgen campaign: unexpected argument %q\n", fs.Arg(0))
 		os.Exit(2)
 	}
+	if *checkpoint == "" && (*resume || *haltAfter > 0 || *ckEvery > 0) {
+		fmt.Fprintln(os.Stderr, "mhgen campaign: -resume/-halt-after-round/-checkpoint-every require -checkpoint")
+		os.Exit(2)
+	}
 	seeds := make([]uint64, *n)
 	for i := range seeds {
 		seeds[i] = *start + uint64(i)
 	}
+	resumeFrom := ""
+	if *resume {
+		resumeFrom = *checkpoint
+	}
 	rep, err := parcoach.Campaign(parcoach.CampaignOptions{
-		Seeds:   seeds,
-		Budget:  *budget,
-		Seed:    *cseed,
-		Workers: *workers,
-		Uniform: *uniform,
+		Seeds:           seeds,
+		Budget:          *budget,
+		Seed:            *cseed,
+		Workers:         *workers,
+		Uniform:         *uniform,
+		RunTimeout:      *runTimeout,
+		Checkpoint:      *checkpoint,
+		CheckpointEvery: *ckEvery,
+		Resume:          resumeFrom,
+		HaltAfterRound:  *haltAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mhgen campaign:", err)

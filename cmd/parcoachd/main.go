@@ -14,6 +14,9 @@
 //	-queue-depth N     requests waiting for a slot before 429
 //	-drain-timeout D   per-run drain bound before a wedged run's state
 //	                   is abandoned (0 = interpreter default)
+//	-timeout D         per-run wall-clock watchdog: a wedged run is
+//	                   abandoned after D and answers with outcome
+//	                   "timeout" (0 = no watchdog)
 //
 // Endpoints: POST /compile, POST /run, POST /explore (NDJSON streaming
 // with "stream":true), GET /healthz, GET /stats. Example:
@@ -46,14 +49,20 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent request slots (0 = NumCPU)")
 	queueDepth := flag.Int("queue-depth", 0, "queued requests before 429 (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 0, "per-run drain bound (0 = default)")
+	runTimeout := flag.Duration("timeout", 0, "per-run wall-clock watchdog (0 = none)")
 	flag.Parse()
 
+	if *runTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "parcoachd: -timeout must be non-negative, got %v\n", *runTimeout)
+		os.Exit(2)
+	}
 	srv := serve.New(serve.Config{
 		Workers:       *workers,
 		CacheCap:      *cacheCap,
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queueDepth,
 		DrainTimeout:  *drainTimeout,
+		RunTimeout:    *runTimeout,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

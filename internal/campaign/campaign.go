@@ -28,9 +28,11 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"parcoach/internal/chaos"
 	"parcoach/internal/interp"
 	"parcoach/internal/mhgen"
 	"parcoach/internal/pipeline"
@@ -104,6 +106,36 @@ type Options struct {
 	// MaxCorpus caps the corpus size including mutants (default
 	// 2 × len(Seeds)).
 	MaxCorpus int
+
+	// Ctx, when non-nil, cancels the campaign: the context is checked
+	// between rounds and per job, and in-flight runs are aborted through
+	// the interpreter's RunCtx guard. A canceled campaign returns a
+	// well-formed partial report (Report.Canceled) reducing only the
+	// rounds that merged completely — a half-merged round would break
+	// the determinism contract, so the interrupted round's results are
+	// dropped.
+	Ctx context.Context
+	// Checkpoint, when set, is a file path the campaign atomically
+	// rewrites (every CheckpointEvery rounds, default 1) with everything
+	// needed to resume: coverage key log, corpus snapshots, counters.
+	// Programs are NOT serialized — they are regenerated from their
+	// mhgen configs on resume, which is why checkpoints stay small.
+	Checkpoint string
+	// CheckpointEvery is the round cadence of checkpoint writes
+	// (default 1 when Checkpoint is set).
+	CheckpointEvery int
+	// Resume, when set, loads a checkpoint file before running and
+	// continues from its round. The checkpoint's option fingerprint must
+	// match; a resumed campaign's final report is byte-identical to an
+	// uninterrupted run of the same Options (the determinism contract
+	// extended across the interruption).
+	Resume string
+	// HaltAfterRound, when > 0, stops the campaign deterministically
+	// after that many completed rounds, writing a final checkpoint
+	// (Checkpoint must be set). This is the kill switch the
+	// checkpoint/resume smoke uses: a deterministic halt point instead
+	// of a flaky mid-write kill.
+	HaltAfterRound int
 }
 
 func (o *Options) defaults() {
@@ -125,6 +157,17 @@ func (o *Options) defaults() {
 	if o.MaxCorpus <= 0 {
 		o.MaxCorpus = 2 * len(o.Seeds)
 	}
+	if o.Checkpoint != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+}
+
+// ctxErr is context.Cause tolerant of a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return context.Cause(ctx)
 }
 
 // entry is one corpus member and its frontier bookkeeping.
@@ -194,42 +237,80 @@ func Run(opts Options) (*Report, error) {
 		return nil, fmt.Errorf("campaign: empty seed corpus")
 	}
 
+	if opts.HaltAfterRound > 0 && opts.Checkpoint == "" {
+		return nil, fmt.Errorf("campaign: HaltAfterRound requires Checkpoint")
+	}
+
 	c := &state{
 		opts:  opts,
 		cover: pipeline.NewShardedSet(),
 		seen:  make(map[uint64]bool),
 	}
 
-	// Admit the initial corpus. Generation is cheap and deterministic;
-	// compilation fans out on the pool (and through the root's artifact
-	// cache when wired).
-	gps := make([]*mhgen.Program, len(opts.Seeds))
-	comps := make([]*Compiled, len(opts.Seeds))
-	errs := make([]error, len(opts.Seeds))
-	for i, s := range opts.Seeds {
-		gps[i] = mhgen.FromSeed(s)
-	}
-	opts.Pool.Map(len(gps), func(i int) {
-		comps[i], errs[i] = opts.Compile(gps[i])
-	})
-	for i, gp := range gps {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("campaign: seed %d: %w", opts.Seeds[i], errs[i])
+	startRound := 0
+	if opts.Resume != "" {
+		ck, err := loadCheckpoint(opts.Resume)
+		if err != nil {
+			return nil, err
 		}
-		cfg := mhgen.Config{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size}
-		c.admit(gp, cfg, "seed", comps[i])
+		if err := c.restore(ck); err != nil {
+			return nil, err
+		}
+		startRound = ck.Round
+	} else {
+		// Admit the initial corpus. Generation is cheap and deterministic;
+		// compilation fans out on the pool (and through the root's artifact
+		// cache when wired).
+		gps := make([]*mhgen.Program, len(opts.Seeds))
+		comps := make([]*Compiled, len(opts.Seeds))
+		errs := make([]error, len(opts.Seeds))
+		for i, s := range opts.Seeds {
+			gps[i] = mhgen.FromSeed(s)
+		}
+		opts.Pool.Map(len(gps), func(i int) {
+			comps[i], errs[i] = opts.Compile(gps[i])
+		})
+		for i, gp := range gps {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("campaign: seed %d: %w", opts.Seeds[i], errs[i])
+			}
+			cfg := mhgen.Config{Seed: gp.Seed, Bug: gp.Bug, Size: gp.Size}
+			c.admit(gp, cfg, "seed", comps[i])
+		}
 	}
 
-	for round := 0; c.runs < opts.Budget; round++ {
+	for round := startRound; c.runs < opts.Budget; round++ {
+		if ctxErr(opts.Ctx) != nil {
+			c.canceled = true
+			break
+		}
 		jobs := c.plan(round)
 		if len(jobs) == 0 {
 			break
 		}
 		results := make([]jobResult, len(jobs))
-		opts.Pool.Map(len(jobs), func(i int) {
+		opts.Pool.MapCtx(opts.Ctx, len(jobs), func(i int) {
 			results[i] = c.execute(jobs[i])
 		})
+		if ctxErr(opts.Ctx) != nil {
+			// Drop the interrupted round: skipped jobs left holes in
+			// results and aborted runs carry no verdicts, so merging it
+			// would make the partial report depend on worker timing. The
+			// report reduces complete rounds only.
+			c.canceled = true
+			break
+		}
 		c.merge(round, jobs, results)
+		completed := round + 1
+		if opts.Checkpoint != "" &&
+			(completed%opts.CheckpointEvery == 0 || completed == opts.HaltAfterRound) {
+			if err := c.writeCheckpoint(completed); err != nil {
+				return nil, err
+			}
+		}
+		if opts.HaltAfterRound > 0 && completed >= opts.HaltAfterRound {
+			break
+		}
 	}
 
 	return c.report(), nil
@@ -251,6 +332,23 @@ type state struct {
 	staticKeys int
 	trajectory []Point
 	mutants    int
+
+	// keyLog records every key that entered the coverage set, in
+	// admission order. It exists for checkpointing: ShardedSet has no
+	// iteration, so resume rebuilds the set by replaying the log.
+	keyLog      []uint64
+	canceled    bool
+	quarantined int
+}
+
+// tryAdd is cover.TryAdd with the checkpoint log attached: every novel
+// key is recorded so a resumed campaign can rebuild the exact set.
+func (c *state) tryAdd(k uint64) bool {
+	if !c.cover.TryAdd(k) {
+		return false
+	}
+	c.keyLog = append(c.keyLog, k)
+	return true
 }
 
 // admit appends a program to the corpus and credits its static
@@ -266,7 +364,7 @@ func (c *state) admit(gp *mhgen.Program, cfg mhgen.Config, origin string, comp *
 	}
 	c.seen[e.hash] = true
 	for _, k := range comp.StaticKinds {
-		if c.cover.TryAdd(key(classStatic, e.hash, fnvString(k))) {
+		if c.tryAdd(key(classStatic, e.hash, fnvString(k))) {
 			c.staticKeys++
 		}
 	}
@@ -402,14 +500,24 @@ func (c *state) schedSeed(e *entry, idx int) int64 {
 }
 
 // execute runs one job. It mutates nothing outside its own result —
-// the determinism contract of the parallel phase.
-func (c *state) execute(j job) jobResult {
+// the determinism contract of the parallel phase. It is also a
+// quarantine boundary: a panicking run classifies as
+// OutcomeInternalError (its runState is abandoned, never recycled) and
+// the campaign continues; the entry is retired in the merge.
+func (c *state) execute(j job) (jr jobResult) {
 	st := tracerPool.Get().(*runState)
-	defer tracerPool.Put(st)
+	defer func() {
+		if r := recover(); r != nil {
+			jr = jobResult{outcome: interp.OutcomeInternalError}
+			return
+		}
+		tracerPool.Put(st)
+	}()
+	chaos.Here("campaign.execute")
 	st.tr.reset(j.prefix, c.schedSeed(j.e, j.sched))
 
-	res := j.e.comp.Session.Run(&st.tr)
-	jr := jobResult{
+	res := j.e.comp.Session.RunCtx(c.opts.Ctx, &st.tr)
+	jr = jobResult{
 		outcome:  res.Outcome(),
 		trace:    st.tr.trace(),
 		diverged: st.tr.diverged,
@@ -438,9 +546,18 @@ func (c *state) merge(round int, jobs []job, results []jobResult) {
 		e, jr := jobs[i].e, &results[i]
 		e.runs++
 		c.runs++
+
+		if jr.outcome == interp.OutcomeInternalError {
+			// Quarantined panic: a validator bug, not program coverage.
+			// Count it, retire the entry (rerunning a crashing entry
+			// would burn the budget on the same panic), keep going.
+			c.quarantined++
+			e.retired = true
+			continue
+		}
 		novel := 0
 
-		if c.cover.TryAdd(key(classVerdict, e.hash, fnvString(jr.outcome.String()+"/"+jr.valueKind))) {
+		if c.tryAdd(key(classVerdict, e.hash, fnvString(jr.outcome.String()+"/"+jr.valueKind))) {
 			c.verdictKey++
 			novel++
 		}
@@ -450,14 +567,14 @@ func (c *state) merge(round int, jobs []job, results []jobResult) {
 			if b.sig == 0 {
 				continue
 			}
-			if c.cover.TryAdd(key(classSig, e.hash, mix(b.sig, uint64(b.chosen)))) {
+			if c.tryAdd(key(classSig, e.hash, mix(b.sig, uint64(b.chosen)))) {
 				c.sigKeys++
 				novel++
 				deepest = bi
 			}
 		}
 		for _, sig := range jr.edgeShapes {
-			if c.cover.TryAdd(key(classEdge, e.hash, sig)) {
+			if c.tryAdd(key(classEdge, e.hash, sig)) {
 				c.edgeKeys++
 				novel++
 			}

@@ -62,6 +62,13 @@ type Report struct {
 	Mutants int `json:"mutants"`
 	Retired int `json:"retired"`
 
+	// Canceled marks a campaign stopped by Options.Ctx: the report
+	// reduces only the rounds that completed before the cancellation.
+	Canceled bool `json:"canceled,omitempty"`
+	// Quarantined counts runs whose panic was caught at the job boundary
+	// (OutcomeInternalError); their entries were retired.
+	Quarantined int `json:"quarantined,omitempty"`
+
 	Trajectory []Point       `json:"trajectory"`
 	Corpus     []CorpusEntry `json:"corpus"`
 }
@@ -80,6 +87,8 @@ func (c *state) report() *Report {
 		EdgeKeys:    c.edgeKeys,
 		StaticKeys:  c.staticKeys,
 		Mutants:     c.mutants,
+		Canceled:    c.canceled,
+		Quarantined: c.quarantined,
 		Trajectory:  c.trajectory,
 	}
 	for _, e := range c.entries {
@@ -183,6 +192,12 @@ func (r *Report) Format() string {
 		mode, r.Seed, r.Budget, r.Runs, len(r.Corpus), r.Mutants, r.Retired)
 	fmt.Fprintf(&b, "coverage total=%d sig=%d verdict=%d edge=%d static=%d\n",
 		r.Coverage, r.SigKeys, r.VerdictKeys, r.EdgeKeys, r.StaticKeys)
+	// Robustness line only when something robustness-worthy happened, so
+	// clean runs keep their exact historical rendering (the byte-identity
+	// surface of the determinism and checkpoint/resume contracts).
+	if r.Canceled || r.Quarantined > 0 {
+		fmt.Fprintf(&b, "robustness canceled=%t quarantined=%d\n", r.Canceled, r.Quarantined)
+	}
 	fmt.Fprintf(&b, "bugs caught=%d: %s\n", len(r.Bugs), strings.Join(r.Bugs, " "))
 	if len(r.MutantBugs) > 0 {
 		fmt.Fprintf(&b, "mutant bugs caught=%d: %s\n", len(r.MutantBugs), strings.Join(r.MutantBugs, " "))

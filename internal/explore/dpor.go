@@ -42,9 +42,11 @@
 package explore
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"parcoach/internal/chaos"
 	"parcoach/internal/interp"
 	"parcoach/internal/monitor"
 	"parcoach/internal/pipeline"
@@ -100,8 +102,22 @@ func exploreDFSDPOR(sess *interp.Session, opts Options, pool *pipeline.Pool,
 func (f *stealFrontier) execDPOR(w int, prefix []sched.ThreadID) {
 	st := dporPool.Get().(*dporState)
 	st.rec.Reset(prefix)
-	res := f.sess.Run(st.rec)
-	dr := dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: st.rec.Trace(), diverged: st.rec.Diverged()}
+	dr, quarantined := f.runDPOR(st, prefix)
+	if quarantined {
+		// Panicked run: record the internal-error verdict, abandon the
+		// dporState (unknown state, never recycled), spawn nothing.
+		f.results[w] = append(f.results[w], dr)
+		f.sink.noteDFS(&f.results[w][len(f.results[w])-1])
+		return
+	}
+	if dr.outcome == interp.OutcomeCanceled {
+		// Aborted half-run: no verdict, no reversals; wind down via the
+		// ctx check in process.
+		dporPool.Put(st)
+		f.leftover.Store(true)
+		f.end()
+		return
+	}
 	f.results[w] = append(f.results[w], dr)
 	f.sink.noteDFS(&f.results[w][len(f.results[w])-1])
 	if dr.diverged {
@@ -159,6 +175,26 @@ func (f *stealFrontier) execDPOR(w int, prefix []sched.ThreadID) {
 		}
 	}
 	dporPool.Put(st)
+}
+
+// runDPOR executes one DPOR prefix on st's recorder. Like runPrefix it
+// is a quarantine boundary: quarantined=true means the run panicked and
+// dr carries the OutcomeInternalError verdict (and st must be abandoned,
+// not recycled).
+func (f *stealFrontier) runDPOR(st *dporState, prefix []sched.ThreadID) (dr dfsRun, quarantined bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			qerr := interp.NewQuarantineError("explore.run", r, debug.Stack())
+			tr := make([]sched.ThreadID, len(prefix))
+			copy(tr, prefix)
+			dr = dfsRun{outcome: interp.OutcomeInternalError, runErr: qerr, trace: tr}
+			quarantined = true
+		}
+	}()
+	chaos.Here("explore.run")
+	res := f.sess.RunCtx(f.opts.Ctx, st.rec)
+	dr = dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: st.rec.Trace(), diverged: st.rec.Diverged()}
+	return dr, false
 }
 
 // childPrefix builds the reversal prefix: follow trace up to depth d,

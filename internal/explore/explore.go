@@ -35,12 +35,16 @@
 package explore
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"parcoach/internal/ast"
+	"parcoach/internal/chaos"
 	"parcoach/internal/interp"
 	"parcoach/internal/mpi"
 	"parcoach/internal/omp"
@@ -215,6 +219,20 @@ type Options struct {
 	// bugs — a torn source buffer — surface as OutcomeValueError on the
 	// schedules that expose them.
 	ValueCheck bool
+	// Ctx, when non-nil, cancels the exploration: runs not yet started
+	// are skipped, the run in flight is aborted at its next statement
+	// boundary (interp.RunCtx), and the engine returns a well-formed
+	// partial report with Canceled set. Canceled runs are excluded from
+	// Schedules and the verdict aggregation — a half-run says nothing
+	// about the program.
+	Ctx context.Context
+	// WallTimeout, when positive, arms the interpreter's per-run
+	// wall-clock watchdog (interp.Options.WallTimeout) on every explored
+	// run: a wedged schedule is abandoned after this long and classifies
+	// as OutcomeTimeout instead of hanging the exploration. Only honored
+	// by Explore (which builds the session); ExploreSession callers
+	// configure the watchdog on their own session.
+	WallTimeout time.Duration
 }
 
 // DefaultMaxSteps is the per-schedule statement budget when Options
@@ -313,6 +331,16 @@ type Report struct {
 	// FirstFailure is the earliest non-clean schedule, or nil when every
 	// explored schedule completed cleanly.
 	FirstFailure *Failure
+	// Canceled is true when Options.Ctx was canceled before the budget
+	// drained: the report is a well-formed reduction of the runs that
+	// completed, not of the full budget. DFS additionally reports
+	// Exhausted=false.
+	Canceled bool
+	// Quarantined counts runs that panicked and were caught at the run
+	// boundary (OutcomeInternalError) — validator bugs, not program
+	// verdicts. They do appear in Verdicts (so they are visible), and are
+	// summed here for the robustness counters.
+	Quarantined int
 }
 
 // Verdict returns the aggregate for an outcome class, or nil if no
@@ -340,6 +368,12 @@ func (r *Report) String() string {
 		if r.SleepSkips > 0 {
 			fmt.Fprintf(&b, " sleepskips=%d", r.SleepSkips)
 		}
+	}
+	if r.Canceled {
+		b.WriteString(" canceled=true")
+	}
+	if r.Quarantined > 0 {
+		fmt.Fprintf(&b, " quarantined=%d", r.Quarantined)
 	}
 	b.WriteString("\n")
 	for _, v := range r.Verdicts {
@@ -438,13 +472,14 @@ func Explore(prog *ast.Program, opts Options) *Report {
 	// across every schedule, so per-run setup is amortized instead of
 	// paid opts.Schedules times.
 	sess := interp.NewSession(prog, interp.Options{
-		Procs:      opts.Procs,
-		Threads:    opts.Threads,
-		Level:      opts.Level,
-		LevelSet:   opts.LevelSet,
-		Policy:     opts.Policy,
-		MaxSteps:   opts.MaxSteps,
-		ValueCheck: opts.ValueCheck,
+		Procs:       opts.Procs,
+		Threads:     opts.Threads,
+		Level:       opts.Level,
+		LevelSet:    opts.LevelSet,
+		Policy:      opts.Policy,
+		MaxSteps:    opts.MaxSteps,
+		ValueCheck:  opts.ValueCheck,
+		WallTimeout: opts.WallTimeout,
 	})
 	return ExploreSession(sess, opts)
 }
@@ -459,8 +494,14 @@ func Explore(prog *ast.Program, opts Options) *Report {
 // for replay tokens to reproduce.
 func ExploreSession(sess *interp.Session, opts Options) *Report {
 	opts = opts.normalized()
-	pool := pipeline.NewPool(opts.Workers)
 	rep := &Report{Strategy: opts.Strategy}
+	if ctxErr(opts.Ctx) != nil {
+		// Already canceled: a well-formed empty report beats a refused run
+		// per schedule.
+		rep.Canceled = true
+		return rep
+	}
+	pool := pipeline.NewPool(opts.Workers)
 	sink := newProgressSink(opts.Progress)
 	switch opts.Strategy {
 	case StrategyDFS:
@@ -469,12 +510,37 @@ func ExploreSession(sess *interp.Session, opts Options) *Report {
 		exploreSampled(sess, opts, pool, rep, sink)
 	}
 	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].Outcome < rep.Verdicts[j].Outcome })
+	if ctxErr(opts.Ctx) != nil {
+		rep.Canceled = true
+	}
+	if v := rep.Verdict(interp.OutcomeInternalError); v != nil {
+		rep.Quarantined = v.Count
+	}
 	return rep
 }
 
-func runOne(sess *interp.Session, s sched.Scheduler, token string) run {
-	res := sess.Run(s)
-	r := run{outcome: res.Outcome(), schedule: token}
+// ctxErr is context.Cause tolerant of a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return context.Cause(ctx)
+}
+
+// runOne executes one sampled schedule. It is a quarantine boundary: a
+// panic anywhere under the run is caught here, classified
+// OutcomeInternalError, and the exploration continues on the remaining
+// schedules instead of taking the process down.
+func runOne(ctx context.Context, sess *interp.Session, s sched.Scheduler, token string) (r run) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			qerr := interp.NewQuarantineError("explore.run", rec, debug.Stack())
+			r = run{outcome: interp.OutcomeInternalError, err: qerr.Error(), schedule: token}
+		}
+	}()
+	chaos.Here("explore.run")
+	res := sess.RunCtx(ctx, s)
+	r = run{outcome: res.Outcome(), schedule: token}
 	if res.Err != nil {
 		r.err = res.Err.Error()
 	}
@@ -520,15 +586,26 @@ func exploreSampled(sess *interp.Session, opts Options, pool *pipeline.Pool, rep
 		}
 	}
 	results := make([]run, len(jobs))
-	pool.Map(len(jobs), func(i int) {
-		results[i] = runOne(sess, jobs[i].mk(), jobs[i].token)
+	ran := make([]bool, len(jobs))
+	pool.MapCtx(opts.Ctx, len(jobs), func(i int) {
+		results[i] = runOne(opts.Ctx, sess, jobs[i].mk(), jobs[i].token)
+		ran[i] = true
 		one := &results[i]
+		if one.outcome == interp.OutcomeCanceled {
+			// An aborted half-run carries no verdict; don't stream it.
+			return
+		}
 		sink.note(one.outcome, func() string { return one.err }, one.schedule)
 	})
 	// Merge in submission order so the report (and FirstFailure.Index)
-	// is identical at any worker count.
-	for _, one := range results {
-		rep.merge(one)
+	// is identical at any worker count. Schedules the cancellation
+	// skipped (never started) or aborted mid-run are excluded: the
+	// report reduces only completed runs.
+	for i := range results {
+		if !ran[i] || results[i].outcome == interp.OutcomeCanceled {
+			continue
+		}
+		rep.merge(results[i])
 	}
 }
 
@@ -562,11 +639,28 @@ var recorderPool = sync.Pool{New: func() any { return new(sched.Recorder) }}
 // runPrefix replays one decision prefix and returns the completed run
 // and its recorder (whose Branches drive child enumeration; return it
 // to recorderPool when done with them).
-func runPrefix(sess *interp.Session, prefix []sched.ThreadID) (dfsRun, *sched.Recorder) {
-	rec := recorderPool.Get().(*sched.Recorder)
+//
+// It is a quarantine boundary: a panic under the run yields an
+// OutcomeInternalError dfsRun with a nil recorder (the panicked
+// recorder's state is unknown, so it is abandoned to the GC, never
+// recycled) — callers must skip enumeration when rec is nil. A
+// canceled run comes back as OutcomeCanceled with its recorder intact;
+// callers drop it from the result set and stop taking new work.
+func runPrefix(ctx context.Context, sess *interp.Session, prefix []sched.ThreadID) (dr dfsRun, rec *sched.Recorder) {
+	rec = recorderPool.Get().(*sched.Recorder)
 	rec.Reset(prefix)
-	res := sess.Run(rec)
-	dr := dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: rec.Trace(), diverged: rec.Diverged()}
+	defer func() {
+		if r := recover(); r != nil {
+			qerr := interp.NewQuarantineError("explore.run", r, debug.Stack())
+			tr := make([]sched.ThreadID, len(prefix))
+			copy(tr, prefix)
+			dr = dfsRun{outcome: interp.OutcomeInternalError, runErr: qerr, trace: tr}
+			rec = nil
+		}
+	}()
+	chaos.Here("explore.run")
+	res := sess.RunCtx(ctx, rec)
+	dr = dfsRun{outcome: res.Outcome(), runErr: res.Err, trace: rec.Trace(), diverged: rec.Diverged()}
 	return dr, rec
 }
 
@@ -708,6 +802,12 @@ func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
 	}
 	frontier := [][]sched.ThreadID{nil} // start with the unconstrained run
 	for len(frontier) > 0 && len(runs) < opts.Schedules {
+		if ctxErr(opts.Ctx) != nil {
+			// Cancellation is checked once per wave: the in-flight wave's
+			// runs are each aborted by their own RunCtx guard, and the
+			// remaining frontier is abandoned (leftover → Exhausted=false).
+			return runs, true, pruned, diverged
+		}
 		batch := frontier
 		if left := opts.Schedules - len(runs); len(batch) > left {
 			batch = batch[:left]
@@ -717,12 +817,24 @@ func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
 		}
 		results := make([]result, len(batch))
 		pool.Map(len(batch), func(i int) {
-			dr, rec := runPrefix(sess, batch[i])
+			dr, rec := runPrefix(opts.Ctx, sess, batch[i])
 			results[i] = result{dr: dr, prefix: batch[i], rec: rec}
 		})
+		canceled := false
 		for _, res := range results {
+			if res.dr.outcome == interp.OutcomeCanceled {
+				// Aborted half-run: no verdict, no children.
+				canceled = true
+				if res.rec != nil {
+					recorderPool.Put(res.rec)
+				}
+				continue
+			}
 			runs = append(runs, res.dr)
 			sink.noteDFS(&runs[len(runs)-1])
+			if res.rec == nil {
+				continue // quarantined panic: no recorder, no children
+			}
 			if res.dr.diverged {
 				recorderPool.Put(res.rec)
 				diverged++
@@ -731,6 +843,9 @@ func exploreDFSWave(sess *interp.Session, opts Options, pool *pipeline.Pool,
 			pruned += enumerate(opts, seen, len(res.prefix), res.dr.trace, res.rec.Branches,
 				func(child []sched.ThreadID) { frontier = append(frontier, child) })
 			recorderPool.Put(res.rec)
+		}
+		if canceled {
+			return runs, true, pruned, diverged
 		}
 	}
 	return runs, len(frontier) > 0, pruned, diverged

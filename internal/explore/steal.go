@@ -233,6 +233,14 @@ func (f *stealFrontier) next(w int) ([]sched.ThreadID, bool) {
 
 // process reserves budget and hands the prefix to the frontier's body.
 func (f *stealFrontier) process(w int, prefix []sched.ThreadID) {
+	if ctxErr(f.opts.Ctx) != nil {
+		// Canceled: abandon this prefix (and, via end, the whole frontier)
+		// without consuming budget. Workers mid-run are aborted by their
+		// own RunCtx guard; this check is what stops the queued tail.
+		f.leftover.Store(true)
+		f.end()
+		return
+	}
 	if atomic.AddInt64(&f.started, 1) > int64(f.opts.Schedules) {
 		// Budget spent with this prefix (at least) unexplored: the
 		// enumeration is not exhaustive. Ending here is what bounds the
@@ -261,9 +269,22 @@ func (f *stealFrontier) pushChild(w int, child []sched.ThreadID) {
 // execDFS is the plain DFS body: run the prefix and enqueue every
 // unseen untaken alternative beyond it.
 func (f *stealFrontier) execDFS(w int, prefix []sched.ThreadID) {
-	dr, rec := runPrefix(f.sess, prefix)
+	dr, rec := runPrefix(f.opts.Ctx, f.sess, prefix)
+	if dr.outcome == interp.OutcomeCanceled {
+		// Aborted half-run: no verdict, no children; the frontier winds
+		// down through the ctx check in process.
+		if rec != nil {
+			recorderPool.Put(rec)
+		}
+		f.leftover.Store(true)
+		f.end()
+		return
+	}
 	f.results[w] = append(f.results[w], dr)
 	f.sink.noteDFS(&f.results[w][len(f.results[w])-1])
+	if rec == nil {
+		return // quarantined panic: recorder abandoned, no children
+	}
 	if dr.diverged {
 		recorderPool.Put(rec)
 		atomic.AddInt64(&f.diverged, 1)

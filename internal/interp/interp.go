@@ -65,6 +65,14 @@ type Options struct {
 	// goroutine blocked forever — which is what keeps a long-lived
 	// parcoachd worker pool alive through a bad run.
 	DrainTimeout time.Duration
+	// WallTimeout, when positive, arms a per-run wall-clock watchdog
+	// complementing MaxSteps: past the deadline the run is aborted with
+	// a WatchdogError (OutcomeTimeout) and counted (Session.Watchdogs,
+	// WatchdogRuns). Where a step budget needs the run to keep executing
+	// statements, the watchdog also stops runs wedged outside the
+	// interpreter's control; a run the abort cannot unwedge is then
+	// abandoned by the existing DrainTimeout machinery. 0 disables it.
+	WallTimeout time.Duration
 	// ValueCheck arms the verifier's value oracle: every matched
 	// collective round is audited for divergent roots, mismatched
 	// reduction ops, torn source buffers and mis-delivered results, and a

@@ -47,16 +47,35 @@ const (
 	// differs from the oracle's recomputation — in a round whose
 	// collective sequence matched.
 	OutcomeValueError
+	// OutcomeCanceled: the run was stopped from outside — a canceled
+	// context (client disconnect, SIGTERM, -timeout on the whole job).
+	// Says nothing about the program; exploration and campaigns exclude
+	// these runs from verdict aggregation.
+	OutcomeCanceled
+	// OutcomeTimeout: the per-run wall-clock watchdog
+	// (Options.WallTimeout) fired. Complements OutcomeBudget: a budget
+	// overrun counts statements, a watchdog counts seconds — a run that
+	// wedges without executing statements (outside the monitor's
+	// control) only the watchdog can stop.
+	OutcomeTimeout
+	// OutcomeInternalError: the run (or its compile) panicked and was
+	// quarantined at the pool boundary instead of taking the process
+	// down — a bug in the validator, not in the validated program. The
+	// error carries the panic value and stack (QuarantineError).
+	OutcomeInternalError
 )
 
 var outcomeNames = [...]string{
-	OutcomeClean:        "clean",
-	OutcomeCheckAbort:   "check-abort",
-	OutcomeMPIError:     "mpi-error",
-	OutcomeDeadlock:     "deadlock",
-	OutcomeRuntimeError: "runtime-error",
-	OutcomeBudget:       "budget-exhausted",
-	OutcomeValueError:   "value-error",
+	OutcomeClean:         "clean",
+	OutcomeCheckAbort:    "check-abort",
+	OutcomeMPIError:      "mpi-error",
+	OutcomeDeadlock:      "deadlock",
+	OutcomeRuntimeError:  "runtime-error",
+	OutcomeBudget:        "budget-exhausted",
+	OutcomeValueError:    "value-error",
+	OutcomeCanceled:      "canceled",
+	OutcomeTimeout:       "timeout",
+	OutcomeInternalError: "internal-error",
 }
 
 func (o Outcome) String() string {
@@ -88,6 +107,12 @@ func ClassifyError(err error) Outcome {
 		return OutcomeMPIError
 	case *RuntimeError:
 		return OutcomeRuntimeError
+	case *CancelError:
+		return OutcomeCanceled
+	case *WatchdogError:
+		return OutcomeTimeout
+	case *QuarantineError:
+		return OutcomeInternalError
 	}
 	var verr *verifier.Error
 	if errors.As(err, &verr) {
@@ -109,6 +134,18 @@ func ClassifyError(err error) Outcome {
 	var usage *mpi.UsageError
 	if errors.As(err, &mismatch) || errors.As(err, &conc) || errors.As(err, &usage) {
 		return OutcomeMPIError
+	}
+	var cancel *CancelError
+	if errors.As(err, &cancel) {
+		return OutcomeCanceled
+	}
+	var wd *WatchdogError
+	if errors.As(err, &wd) {
+		return OutcomeTimeout
+	}
+	var quar *QuarantineError
+	if errors.As(err, &quar) {
+		return OutcomeInternalError
 	}
 	return OutcomeRuntimeError
 }

@@ -1,0 +1,162 @@
+// Fault-tolerant execution: external cancellation, per-run wall-clock
+// watchdogs, and panic quarantine.
+//
+// The cancellation lever is the monitor: Abort(err) wakes every parked
+// waiter with the error, tells the scheduling controller to release
+// everything, and flips the abort flag that every statement boundary
+// polls — so once a guard fires, a serialized run stops within one
+// statement and a free-running one at each thread's next boundary or
+// blocking transition. RunCtx arms a guard from a context
+// (context.AfterFunc) and Options.WallTimeout arms one from a timer;
+// both go through the same mutex-disciplined runGuard so a late firing
+// can never abort the *next* run on a recycled environment.
+package interp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcoach/internal/monitor"
+)
+
+// CancelError reports that a run was stopped by external cancellation
+// (a canceled context: client disconnect, SIGTERM, job timeout). It
+// classifies as OutcomeCanceled.
+type CancelError struct {
+	// Cause is the context's cancellation cause (context.Canceled,
+	// context.DeadlineExceeded, or whatever CancelCause recorded).
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	if e.Cause == nil {
+		return "run canceled"
+	}
+	return fmt.Sprintf("run canceled: %v", e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// WatchdogError reports that a run exceeded Options.WallTimeout and was
+// aborted by the per-run watchdog. It classifies as OutcomeTimeout.
+type WatchdogError struct {
+	Timeout time.Duration
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("run exceeded wall-clock watchdog (%v)", e.Timeout)
+}
+
+// QuarantineError wraps a panic caught at a pool/job boundary: the
+// panicking run or compile is classified OutcomeInternalError — a bug
+// in the validator, not the validated program — and the pool, session
+// and cache stay healthy instead of the process dying. Stack is the
+// goroutine stack at recovery time.
+type QuarantineError struct {
+	// Op names the boundary that caught the panic ("explore.run",
+	// "campaign.execute", "compile", ...).
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("panic quarantined at %s: %v", e.Op, e.Value)
+}
+
+// NewQuarantineError builds the quarantined form of a recovered panic.
+func NewQuarantineError(op string, value any, stack []byte) *QuarantineError {
+	return &QuarantineError{Op: op, Value: value, Stack: stack}
+}
+
+// Process-wide robustness counters, mirroring abandonedWorlds: the
+// daemon's /stats reads them, tests assert their deltas.
+var (
+	canceledRuns atomic.Int64
+	watchdogRuns atomic.Int64
+)
+
+// CanceledRuns reports the process-wide count of runs stopped by
+// context cancellation (before or during execution).
+func CanceledRuns() int64 { return canceledRuns.Load() }
+
+// WatchdogRuns reports the process-wide count of runs aborted by the
+// wall-clock watchdog.
+func WatchdogRuns() int64 { return watchdogRuns.Load() }
+
+// runGuard aborts one run from outside: on context cancellation, on
+// watchdog expiry, or both. The mutex is the recycling discipline —
+// disarm() takes it after stopping both triggers, so once disarm
+// returns no late callback can touch the (about to be recycled)
+// monitor, and a callback that lost the race to disarm sees done and
+// leaves.
+type runGuard struct {
+	mu       sync.Mutex
+	mon      *monitor.Monitor
+	done     bool
+	canceled bool
+	timedOut bool
+
+	timer   *time.Timer
+	stopCtx func() bool
+}
+
+// armGuard installs the run's external-abort triggers; nil when neither
+// a cancelable context nor a wall timeout is configured (the zero-cost
+// hot path of plain Run).
+func (s *Session) armGuard(ctx context.Context, mon *monitor.Monitor) *runGuard {
+	hasCtx := ctx != nil && ctx.Done() != nil
+	wall := s.opts.WallTimeout
+	if !hasCtx && wall <= 0 {
+		return nil
+	}
+	g := &runGuard{mon: mon}
+	if hasCtx {
+		g.stopCtx = context.AfterFunc(ctx, func() {
+			g.fire(true, &CancelError{Cause: context.Cause(ctx)})
+		})
+	}
+	if wall > 0 {
+		g.timer = time.AfterFunc(wall, func() {
+			g.fire(false, &WatchdogError{Timeout: wall})
+		})
+	}
+	return g
+}
+
+// fire aborts the run unless the guard was already disarmed.
+func (g *runGuard) fire(isCancel bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done {
+		return
+	}
+	if isCancel {
+		g.canceled = true
+	} else {
+		g.timedOut = true
+	}
+	// First error wins inside the monitor: a run that already failed on
+	// its own keeps its error; the abort still wakes any stragglers.
+	g.mon.Abort(err)
+}
+
+// disarm stops both triggers and waits out any in-flight firing. After
+// it returns the monitor is safe to recycle. Reports which triggers
+// fired during the run.
+func (g *runGuard) disarm() (canceled, timedOut bool) {
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	if g.stopCtx != nil {
+		g.stopCtx()
+	}
+	g.mu.Lock()
+	g.done = true
+	canceled, timedOut = g.canceled, g.timedOut
+	g.mu.Unlock()
+	return canceled, timedOut
+}

@@ -19,6 +19,7 @@
 package interp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,10 @@ type Session struct {
 	// abandoned counts runs whose state never drained within
 	// DrainTimeout and was leaked to the GC instead of recycled.
 	abandoned atomic.Int64
+	// watchdogs counts runs the wall-clock watchdog aborted; canceled
+	// counts runs stopped by context cancellation.
+	watchdogs atomic.Int64
+	canceled  atomic.Int64
 }
 
 // Abandoned reports how many of this session's runs wedged past
@@ -53,6 +58,17 @@ type Session struct {
 // goroutine blocked outside the monitor's control; the session itself
 // stays fully usable (fresh state is built on demand).
 func (s *Session) Abandoned() int64 { return s.abandoned.Load() }
+
+// Watchdogs reports how many of this session's runs were aborted by the
+// wall-clock watchdog (Options.WallTimeout); Canceled how many were
+// stopped by context cancellation (RunCtx). Both leave the session
+// fully usable — aborted runs recycle (or, if wedged, are abandoned and
+// counted by Abandoned as well).
+func (s *Session) Watchdogs() int64 { return s.watchdogs.Load() }
+
+// Canceled reports how many of this session's runs a canceled context
+// stopped (including runs refused before starting).
+func (s *Session) Canceled() int64 { return s.canceled.Load() }
 
 // abandonedWorlds counts drain-timeout leaks process-wide, for the
 // daemon's /stats endpoint.
@@ -112,7 +128,25 @@ var rankPool = sync.Pool{New: func() any { return &rankState{ar: getArena()} }}
 // Run executes the program once under the given scheduler (nil keeps
 // the free-running goroutine execution).
 func (s *Session) Run(scheduler sched.Scheduler) *Result {
+	return s.RunCtx(nil, scheduler)
+}
+
+// RunCtx is Run under a context: when ctx is canceled the run is
+// aborted (CancelError / OutcomeCanceled) within one statement boundary
+// of a serialized run — the bounded-latency cancellation path streamed
+// exploration and the daemon ride on. A nil (or never-canceled) ctx
+// adds nothing to the hot path.
+func (s *Session) RunCtx(ctx context.Context, scheduler sched.Scheduler) *Result {
 	opts := s.opts
+	if ctx != nil {
+		if err := context.Cause(ctx); err != nil {
+			// Refuse to start: a canceled caller wants its slot back, not
+			// one more full run.
+			s.canceled.Add(1)
+			canceledRuns.Add(1)
+			return &Result{Err: &CancelError{Cause: err}, ExitValues: make([]int64, opts.Procs)}
+		}
+	}
 	res := &Result{ExitValues: make([]int64, opts.Procs)}
 	if s.mainFn == nil {
 		res.Err = &RuntimeError{Pos: s.prog.Pos(), Msg: "program has no main function"}
@@ -157,6 +191,7 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 	if testWedge != nil {
 		testWedge(world)
 	}
+	guard := s.armGuard(ctx, world.Monitor())
 	ranks := make([]*rankState, opts.Procs)
 	err := world.Run(func(p *mpi.Proc) error {
 		var gate *sched.Gate
@@ -183,6 +218,20 @@ func (s *Session) Run(scheduler sched.Scheduler) *Result {
 		return nil
 	})
 	res.Err = err
+	if guard != nil {
+		// Disarm before any recycling: after disarm returns, no late
+		// guard callback can abort the monitor this env is about to
+		// recycle into its next run.
+		canceled, timedOut := guard.disarm()
+		if canceled {
+			s.canceled.Add(1)
+			canceledRuns.Add(1)
+		}
+		if timedOut {
+			s.watchdogs.Add(1)
+			watchdogRuns.Add(1)
+		}
+	}
 	// Wait for the last goroutine to deregister before reading results
 	// or recycling. World.Run returning only joins the process mains —
 	// a team worker released from its final join barrier (or, after an

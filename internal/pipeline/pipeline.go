@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -119,8 +120,22 @@ func (m *Manager) Add(p Pass) {
 // the pipeline. Per-function passes fan across the pool; the first error
 // of a fan-out (by item order) is reported.
 func (m *Manager) Run() error {
+	return m.RunCtx(nil)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// between passes, so a canceled compile stops at the next pass boundary
+// (individual passes run to completion — they are short). The returned
+// error is the context's cause, so callers can distinguish "compile
+// failed" from "compile abandoned".
+func (m *Manager) RunCtx(ctx context.Context) error {
 	m.timings = m.timings[:0]
 	for _, p := range m.passes {
+		if ctx != nil {
+			if err := context.Cause(ctx); err != nil {
+				return err
+			}
+		}
 		start := time.Now()
 		err := m.runPass(p)
 		m.timings = append(m.timings, PassTime{Name: p.Name, Duration: time.Since(start)})

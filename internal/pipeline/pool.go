@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -106,4 +107,29 @@ recruit:
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, items
+// not yet started are skipped (items already running finish — the
+// per-run abort is the session's job, not the pool's). Returns ctx.Err()
+// when the batch was cut short, nil when every item ran. Callers that
+// need to distinguish skipped items must mark completion themselves;
+// the pool does not report which indices ran.
+//
+// Panic semantics are Map's: a panicking item is re-raised on the
+// caller after the drain. Quarantine, where wanted, wraps fn.
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		p.Map(n, fn)
+		return nil
+	}
+	done := ctx.Done()
+	p.Map(n, func(i int) {
+		select {
+		case <-done:
+		default:
+			fn(i)
+		}
+	})
+	return ctx.Err()
 }

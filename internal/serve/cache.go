@@ -13,6 +13,7 @@ package serve
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,7 @@ type sessionKey struct {
 
 // session returns (building on first use) the warm session for the
 // given run parameters.
-func (a *artifact) session(k sessionKey, drain time.Duration) *interp.Session {
+func (a *artifact) session(k sessionKey, drain, runTimeout time.Duration) *interp.Session {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if s, ok := a.sessions[k]; ok {
@@ -81,6 +82,7 @@ func (a *artifact) session(k sessionKey, drain time.Duration) *interp.Session {
 		// value oracle armed; uninstrumented ground-truth runs do not.
 		ValueCheck:   !k.uninstrumented && a.prog.Mode() >= parcoach.ModeFull,
 		DrainTimeout: drain,
+		WallTimeout:  runTimeout,
 	})
 	if a.sessions == nil {
 		a.sessions = make(map[sessionKey]*interp.Session)
@@ -126,8 +128,26 @@ func (s *Server) artifactFor(ctx context.Context, name, source string, opts parc
 	s.misses.Add(1)
 	// Compile on the requesting goroutine — it holds a concurrency slot
 	// already, so the compile pool's width is the only parallelism knob.
+	// A panic inside the pipeline is quarantined into a cached error (the
+	// source deterministically breaks this compiler — recompiling it for
+	// the next client would panic again); a context cancellation is NOT
+	// cached: the entry is evicted so the next client gets a real compile.
 	opts.Workers = 0 // the compiler's shared pool decides
-	a.prog, a.err = s.compiler.Compile(name, source, opts)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				a.prog, a.err = nil, interp.NewQuarantineError("serve.compile", r, debug.Stack())
+			}
+		}()
+		a.prog, a.err = s.compiler.CompileCtx(ctx, name, source, opts)
+	}()
+	if a.err != nil && ctx.Err() != nil {
+		s.mu.Lock()
+		if s.cache[key] == a {
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+	}
 	close(a.ready)
 	return a, false, nil
 }

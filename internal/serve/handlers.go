@@ -3,6 +3,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -16,6 +17,19 @@ import (
 )
 
 func abandonedWorldsCount() int64 { return interp.AbandonedWorlds() }
+
+// writeCompileError distinguishes the client's fault from ours: a
+// normal compile error is 422 (the source is broken), a quarantined
+// compiler panic is 500 (the compiler is broken — retrying the same
+// source cannot help, but other sources are fine).
+func writeCompileError(w http.ResponseWriter, err error) {
+	var qe *interp.QuarantineError
+	if errors.As(err, &qe) {
+		writeError(w, http.StatusInternalServerError, "compile failed: %v", err)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", err)
+}
 
 // compileSpec names a program: either a key from a previous /compile, or
 // inline source with compile options. Embedded by every request type.
@@ -179,7 +193,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if a.err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		writeCompileError(w, a.err)
 		return
 	}
 	writeJSON(w, compileResult(a, cached))
@@ -268,10 +282,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if a.err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		writeCompileError(w, a.err)
 		return
 	}
-	res := a.session(key, s.cfg.DrainTimeout).Run(scheduler)
+	res := a.session(key, s.cfg.DrainTimeout, s.cfg.RunTimeout).RunCtx(r.Context(), scheduler)
 	resp := runResponse{
 		Key:     a.key,
 		Cached:  cached,
@@ -352,6 +366,11 @@ type reportJSON struct {
 	// FirstFailure is the earliest failing schedule in canonical order,
 	// nil when the explored space is clean.
 	FirstFailure *failureJSON `json:"firstFailure"`
+	// Canceled marks a partial report (client disconnect or timeout cut
+	// the exploration short); Quarantined counts runs whose panic was
+	// caught and classified as internal-error.
+	Canceled    bool `json:"canceled,omitempty"`
+	Quarantined int  `json:"quarantined,omitempty"`
 }
 
 // streamEvent is one NDJSON line of a streamed exploration.
@@ -418,10 +437,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if a.err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "compile failed: %v", a.err)
+		writeCompileError(w, a.err)
 		return
 	}
-	sess := a.session(key, s.cfg.DrainTimeout)
+	// The request context threads through the whole exploration: a client
+	// disconnect cancels the frontier within one run, and the report that
+	// falls out is the well-formed partial (Canceled=true).
+	opts.Ctx = r.Context()
+	sess := a.session(key, s.cfg.DrainTimeout, s.cfg.RunTimeout)
 
 	if !req.Stream {
 		start := time.Now()
@@ -505,15 +528,17 @@ func (s *Server) noteExplore(rep *explore.Report, start time.Time) {
 
 func renderReport(rep *explore.Report, key string, cached bool) reportJSON {
 	out := reportJSON{
-		Key:        key,
-		Cached:     cached,
-		Strategy:   rep.Strategy.String(),
-		Schedules:  rep.Schedules,
-		Exhausted:  rep.Exhausted,
-		Pruned:     rep.Pruned,
-		SleepSkips: rep.SleepSkips,
-		Diverged:   rep.Diverged,
-		Verdicts:   []verdictJSON{},
+		Key:         key,
+		Cached:      cached,
+		Strategy:    rep.Strategy.String(),
+		Schedules:   rep.Schedules,
+		Exhausted:   rep.Exhausted,
+		Pruned:      rep.Pruned,
+		SleepSkips:  rep.SleepSkips,
+		Diverged:    rep.Diverged,
+		Verdicts:    []verdictJSON{},
+		Canceled:    rep.Canceled,
+		Quarantined: rep.Quarantined,
 	}
 	for _, v := range rep.Verdicts {
 		out.Verdicts = append(out.Verdicts, verdictJSON{

@@ -30,12 +30,15 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parcoach"
+	"parcoach/internal/chaos"
+	"parcoach/internal/interp"
 )
 
 // Config sizes the daemon.
@@ -58,6 +61,11 @@ type Config struct {
 	// DrainTimeout is handed to every warm session (see
 	// interp.Options.DrainTimeout; 0 = the interpreter's default).
 	DrainTimeout time.Duration
+	// RunTimeout arms the per-run wall-clock watchdog on every warm
+	// session (interp.Options.WallTimeout): a wedged run is abandoned
+	// after this long and answers with outcome "timeout" instead of
+	// holding a request slot until the client gives up. Zero disables.
+	RunTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +116,12 @@ type Server struct {
 	// inside explorations, for the /stats schedules-per-second figure.
 	schedTotal atomic.Int64
 	schedNanos atomic.Int64
+
+	// Robustness counters: requests whose handler panicked (quarantined
+	// at the middleware, answered 500) and requests whose client
+	// disconnected mid-flight (context canceled).
+	panicked atomic.Int64
+	canceled atomic.Int64
 }
 
 // New builds a server; zero Config fields take the documented defaults.
@@ -160,7 +174,10 @@ func (s *Server) acquire(r *http.Request) (release func(), err error) {
 	}
 }
 
-// guarded wraps a handler with admission control and the body bound.
+// guarded wraps a handler with admission control, the body bound, panic
+// quarantine (a panicking handler answers 500 and the daemon lives on —
+// the slot is released, the caches stay consistent), and disconnect
+// accounting.
 func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -172,11 +189,30 @@ func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		if err != nil {
+			s.canceled.Add(1)
 			return // client went away while queued; nothing to answer
 		}
 		defer release()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // the sentinel means "hang up", not "bug"
+				}
+				s.panicked.Add(1)
+				// If the handler already committed the response this write
+				// is a no-op; a truncated body is the best a committed
+				// stream can do (streamed explore emits its own terminal
+				// error event before this point).
+				writeError(w, http.StatusInternalServerError,
+					"internal error: %v", interp.NewQuarantineError("serve.request", rec, debug.Stack()))
+			}
+		}()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+		chaos.Here("serve.request")
 		h(w, r)
+		if r.Context().Err() != nil {
+			s.canceled.Add(1)
+		}
 	}
 }
 
@@ -238,6 +274,18 @@ type Stats struct {
 		Schedules       int64   `json:"schedules"`
 		SchedulesPerSec float64 `json:"schedulesPerSec"`
 	} `json:"explore"`
+	Robust struct {
+		// CanceledRequests counts requests whose client disconnected
+		// (while queued or mid-handler); QuarantinedPanics counts handler
+		// panics caught by the middleware (each answered 500).
+		CanceledRequests  int64 `json:"canceledRequests"`
+		QuarantinedPanics int64 `json:"quarantinedPanics"`
+		// CanceledRuns / WatchdogRuns are the interpreter's process-wide
+		// counts of runs stopped by context cancellation and by the
+		// per-run wall-clock watchdog (Config.RunTimeout).
+		CanceledRuns int64 `json:"canceledRuns"`
+		WatchdogRuns int64 `json:"watchdogRuns"`
+	} `json:"robust"`
 }
 
 // Snapshot returns the current server statistics (the /stats payload).
@@ -264,6 +312,10 @@ func (s *Server) Snapshot() Stats {
 	st.Queue.Queued = s.queued.Load()
 	st.Queue.Rejected = s.rejected.Load()
 	st.Sessions.AbandonedWorlds = abandonedWorldsCount()
+	st.Robust.CanceledRequests = s.canceled.Load()
+	st.Robust.QuarantinedPanics = s.panicked.Load()
+	st.Robust.CanceledRuns = interp.CanceledRuns()
+	st.Robust.WatchdogRuns = interp.WatchdogRuns()
 	st.Explore.Schedules = s.schedTotal.Load()
 	if ns := s.schedNanos.Load(); ns > 0 {
 		st.Explore.SchedulesPerSec = float64(st.Explore.Schedules) / (float64(ns) / 1e9)

@@ -31,10 +31,12 @@
 package parcoach
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -272,6 +274,14 @@ func (c *Compiler) Compile(name, src string, opts Options) (*Program, error) {
 	return compile(name, src, opts, c.pool)
 }
 
+// CompileCtx is Compile with cooperative cancellation at pass
+// boundaries; the daemon uses it so a disconnected client's compile
+// stops early. Canceled compiles return the context's cause — callers
+// that cache errors must take care not to cache those.
+func (c *Compiler) CompileCtx(ctx context.Context, name, src string, opts Options) (*Program, error) {
+	return compileCtx(ctx, name, src, opts, c.pool)
+}
+
 // Cached is Compile through the compiler's artifact cache: the first
 // request for a CacheKey compiles (errors are cached too — a source
 // that fails to parse fails identically on every resubmission), and
@@ -293,7 +303,20 @@ func (c *Compiler) Cached(name, src string, opts Options) (*Program, error) {
 		c.misses++
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.prog, e.err = compile(name, src, opts, c.pool) })
+	e.once.Do(func() {
+		// Quarantine a panicking compile INSIDE the once: sync.Once marks
+		// itself done even when f panics, so without this a panic would be
+		// cached forever as a (nil, nil) artifact — every later request for
+		// the key would get a nil Program and no error. The panic becomes a
+		// cached QuarantineError instead, which is at least a loud,
+		// deterministic failure for this source.
+		defer func() {
+			if r := recover(); r != nil {
+				e.prog, e.err = nil, interp.NewQuarantineError("compile", r, debug.Stack())
+			}
+		}()
+		e.prog, e.err = compile(name, src, opts, c.pool)
+	})
 	return e.prog, e.err
 }
 
@@ -324,6 +347,13 @@ func (c *Compiler) Batch(files []File, opts Options) ([]*Program, error) {
 // compile builds and runs the pass pipeline for one source file on the
 // given pool.
 func compile(name, src string, opts Options, pool *pipeline.Pool) (*Program, error) {
+	return compileCtx(nil, name, src, opts, pool)
+}
+
+// compileCtx is compile under a context: cancellation is observed at
+// pass boundaries, so an abandoned request stops compiling within one
+// pass instead of running the pipeline to completion for nobody.
+func compileCtx(ctx context.Context, name, src string, opts Options, pool *pipeline.Pool) (*Program, error) {
 	start := time.Now()
 	p := &Program{Name: name, opts: opts}
 	m := pipeline.New(pool)
@@ -507,7 +537,7 @@ func compile(name, src string, opts Options, pool *pipeline.Pool) (*Program, err
 		},
 	})
 
-	if err := m.Run(); err != nil {
+	if err := m.RunCtx(ctx); err != nil {
 		return nil, err
 	}
 
@@ -736,6 +766,14 @@ const (
 	// mismatched reduction ops, a torn source buffer, or a result
 	// differing from the oracle's recomputation).
 	RunValueError = interp.OutcomeValueError
+	// RunCanceled: the run was stopped by external cancellation (client
+	// disconnect, SIGTERM, -timeout); says nothing about the program.
+	RunCanceled = interp.OutcomeCanceled
+	// RunTimeout: the per-run wall-clock watchdog fired.
+	RunTimeout = interp.OutcomeTimeout
+	// RunInternalError: the run or its compile panicked and was
+	// quarantined — a validator bug, not a program verdict.
+	RunInternalError = interp.OutcomeInternalError
 )
 
 // ClassifyRun maps a run error to its outcome class (nil means RunClean).
@@ -890,6 +928,22 @@ type CampaignOptions struct {
 	DryRounds     int
 	UniformBudget int
 	MaxCorpus     int
+
+	// Ctx, when non-nil, cancels the campaign between rounds and aborts
+	// in-flight runs; the partial report carries Canceled.
+	Ctx context.Context
+	// RunTimeout, when positive, arms the per-run wall-clock watchdog on
+	// every campaign session (wedged runs classify as timeout instead of
+	// hanging the campaign).
+	RunTimeout time.Duration
+	// Checkpoint/CheckpointEvery/Resume/HaltAfterRound expose the
+	// engine's checkpoint-resume machinery (see campaign.Options): a
+	// resumed campaign's report is byte-identical to an uninterrupted
+	// run of the same options.
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          string
+	HaltAfterRound  int
 }
 
 // CampaignReport re-exports the campaign's result; CampaignPoint is
@@ -920,27 +974,33 @@ func Campaign(opts CampaignOptions) (*CampaignReport, error) {
 			target = p.Instrumented
 		}
 		sess := interp.NewSession(target, interp.Options{
-			Procs:      gp.Procs,
-			Threads:    gp.Threads,
-			MaxSteps:   maxSteps,
-			ValueCheck: true,
+			Procs:       gp.Procs,
+			Threads:     gp.Threads,
+			MaxSteps:    maxSteps,
+			ValueCheck:  true,
+			WallTimeout: opts.RunTimeout,
 		})
 		return &campaign.Compiled{Session: sess, StaticKinds: p.WarningKinds()}, nil
 	}
 	return campaign.Run(campaign.Options{
-		Seeds:         opts.Seeds,
-		Budget:        opts.Budget,
-		Seed:          opts.Seed,
-		Compile:       compile,
-		Pool:          pool,
-		Uniform:       opts.Uniform,
-		NoMutate:      opts.NoMutate,
-		NoSplice:      opts.NoSplice,
-		NoReduce:      opts.NoReduce,
-		Initial:       opts.Initial,
-		MaxPerRound:   opts.MaxPerRound,
-		DryRounds:     opts.DryRounds,
-		UniformBudget: opts.UniformBudget,
-		MaxCorpus:     opts.MaxCorpus,
+		Seeds:           opts.Seeds,
+		Budget:          opts.Budget,
+		Seed:            opts.Seed,
+		Compile:         compile,
+		Pool:            pool,
+		Uniform:         opts.Uniform,
+		NoMutate:        opts.NoMutate,
+		NoSplice:        opts.NoSplice,
+		NoReduce:        opts.NoReduce,
+		Initial:         opts.Initial,
+		MaxPerRound:     opts.MaxPerRound,
+		DryRounds:       opts.DryRounds,
+		UniformBudget:   opts.UniformBudget,
+		MaxCorpus:       opts.MaxCorpus,
+		Ctx:             opts.Ctx,
+		Checkpoint:      opts.Checkpoint,
+		CheckpointEvery: opts.CheckpointEvery,
+		Resume:          opts.Resume,
+		HaltAfterRound:  opts.HaltAfterRound,
 	})
 }

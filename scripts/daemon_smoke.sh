@@ -97,4 +97,30 @@ stats=$(curl -sf "http://$addr/stats")
 [ "$(jq -r .sessions.warm <<<"$stats")" -ge 1 ] || { echo "FAIL: no warm sessions"; exit 1; }
 [ "$(jq -r .explore.schedules <<<"$stats")" -ge 1 ] || { echo "FAIL: no schedules counted"; exit 1; }
 
+# 7. Robustness: a client that hangs up mid-run must show up in the
+# robustness counters — the run aborted (canceledRuns), the request
+# counted (canceledRequests) — and the daemon must stay healthy.
+for counter in canceledRequests quarantinedPanics canceledRuns watchdogRuns; do
+  [ "$(jq -r ".robust.$counter" <<<"$stats")" != "null" ] \
+    || { echo "FAIL: /stats robust section lacks $counter"; exit 1; }
+done
+cat > "$workdir/spin.json" <<'EOF'
+{"name":"spin.mh","schedule":"rr","maxSteps":2000000000,
+ "source":"func main() {\n\tMPI_Init()\n\tvar i = 0\n\twhile i < 2000000000 {\n\t\ti = i + 1\n\t}\n\tMPI_Finalize()\n}"}
+EOF
+set +e
+curl -s --max-time 2 -d @"$workdir/spin.json" "http://$addr/run" >/dev/null 2>&1
+set -e
+for i in $(seq 1 50); do
+  robust=$(curl -sf "http://$addr/stats" | jq .robust)
+  if [ "$(jq -r .canceledRequests <<<"$robust")" -ge 1 ] \
+     && [ "$(jq -r .canceledRuns <<<"$robust")" -ge 1 ]; then break; fi
+  if [ "$i" -eq 50 ]; then
+    echo "FAIL: client disconnect never reached the robustness counters: $robust"; exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "http://$addr/healthz" >/dev/null || { echo "FAIL: daemon unhealthy after disconnect"; exit 1; }
+echo "client disconnect aborted the run and was counted"
+
 echo "PASS: daemon smoke complete"
